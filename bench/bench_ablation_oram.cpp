@@ -1,0 +1,204 @@
+// Ablations for the ORAM design choices of Section IV-D:
+//  1. Block/page size sweep: per-access bandwidth and time vs the number of
+//     queries needed per transaction (why 1 KB is the sweet spot).
+//  2. Bucket capacity Z vs stash occupancy (why Z=4).
+//  3. Pagewise code prefetching on/off: inter-query gap statistics and the
+//     visibility of code bursts (the A7 timing channel).
+//  4. Storage grouping on/off: queries per transaction with 32-record pages
+//     vs one record per page.
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "hypervisor/prefetch.hpp"
+#include "oram/recursive.hpp"
+
+using namespace hardtape;
+
+namespace {
+
+crypto::AesKey128 key() {
+  crypto::AesKey128 k{};
+  k[3] = 0x77;
+  return k;
+}
+
+}  // namespace
+
+int main() {
+  // --- 1. page size sweep ---
+  {
+    bench::Table table({"page size", "tree depth (1.1TB)", "path KB/access",
+                        "time/access ms", "code q/contract(8KB)", "kv waste"});
+    for (const size_t page : {256u, 512u, 1024u, 2048u, 4096u}) {
+      // Modeled production tree: 1.1 TB / page blocks.
+      const double blocks = 1.1e12 / static_cast<double>(page);
+      uint32_t depth = 0;
+      while ((1ull << depth) < static_cast<uint64_t>(blocks)) ++depth;
+      service::RoutedStateReader::Timing timing;
+      timing.modeled_tree_depth = depth;
+      timing.page_bytes = page + 60;
+      const double path_kb =
+          static_cast<double>((depth + 1) * 4 * (page + 60)) / 1024.0;
+      // Reuse the service's access-cost formula via a throwaway reader.
+      state::WorldState dummy;
+      service::RoutedStateReader reader(dummy, nullptr,
+                                        service::SecurityConfig::raw(), timing);
+      const double ms = static_cast<double>(reader.oram_access_ns()) / 1e6;
+      const double code_queries = std::ceil(8192.0 / static_cast<double>(page));
+      table.add_row({std::to_string(page) + " B", std::to_string(depth),
+                     bench::fmt(path_kb), bench::fmt(ms, 2),
+                     bench::fmt(code_queries, 0),
+                     bench::fmt(static_cast<double>(page) / 32.0, 0) + "x rec"});
+    }
+    table.print("Ablation 1: ORAM page size (paper picks 1 KB: balanced path size "
+                "vs queries; 32-byte records alone miss the log^2 n bound)");
+  }
+
+  // --- 2. bucket capacity Z vs stash occupancy ---
+  {
+    bench::Table table({"Z", "stash high-water", "overflowed", "server bytes/access"});
+    for (const size_t z : {2u, 3u, 4u, 6u, 8u}) {
+      oram::OramConfig config{.block_size = 64, .bucket_capacity = z, .capacity = 512,
+                              .max_stash_blocks = 300};
+      oram::OramServer server(config);
+      oram::OramClient client(server, key(), 99, oram::SealMode::kChaChaHmac);
+      Random rng(7);
+      for (uint64_t i = 0; i < 400; ++i) {
+        client.write(crypto::keccak256(u256{i}.to_be_bytes_vec()).to_u256(), Bytes{1});
+      }
+      for (int i = 0; i < 3000; ++i) {
+        client.read(crypto::keccak256(u256{rng.uniform(400)}.to_be_bytes_vec()).to_u256());
+      }
+      table.add_row({std::to_string(z), std::to_string(client.stash_high_water()),
+                     client.stash_overflowed() ? "YES" : "no",
+                     std::to_string(server.bytes_per_access())});
+    }
+    table.print("Ablation 2: bucket capacity Z vs stash occupancy "
+                "(Z=4 keeps the stash O(log n) at minimal bandwidth)");
+  }
+
+  // --- 3. prefetching on/off ---
+  {
+    // What can the adversary learn from query *timing*? Two statistics,
+    // demand timeline (no prefetching) vs observed timeline (with it):
+    //  - type distinguishability: |mean gap before code - mean gap before
+    //    K-V| / pooled stddev. High = timing reveals the query type.
+    //  - frame-entry displacement: how far each code query moved from its
+    //    demand instant. Zero = the adversary learns exactly when each
+    //    frame's code fetch happened (contract fingerprinting, §IV-D (3)).
+    bench::EvaluationSetup setup(1, 30);
+    auto config = bench::default_service_config(service::SecurityConfig::full());
+    service::PreExecutionService service(setup.node, config);
+    if (service.synchronize() != Status::kOk) return 1;
+
+    auto type_distinguishability = [](const std::vector<hypervisor::QueryEvent>& t) {
+      std::vector<double> code_gaps, kv_gaps;
+      for (size_t i = 1; i < t.size(); ++i) {
+        const double gap = double(t[i].time_ns - t[i - 1].time_ns);
+        (t[i].type == oram::PageType::kCode ? code_gaps : kv_gaps).push_back(gap);
+      }
+      if (code_gaps.empty() || kv_gaps.empty()) return 0.0;
+      auto mean = [](const std::vector<double>& v) {
+        double s = 0;
+        for (double x : v) s += x;
+        return s / double(v.size());
+      };
+      const double mc = mean(code_gaps), mk = mean(kv_gaps);
+      double var = 0;
+      for (double x : code_gaps) var += (x - mc) * (x - mc);
+      for (double x : kv_gaps) var += (x - mk) * (x - mk);
+      const double sd = std::sqrt(var / double(code_gaps.size() + kv_gaps.size()));
+      return sd > 0 ? std::abs(mc - mk) / sd : 0.0;
+    };
+
+    double dist_demand = 0, dist_observed = 0, displacement_ms = 0;
+    uint64_t code_events = 0;
+    int measured = 0;
+    for (const auto& tx : setup.all_transactions()) {
+      const auto outcome = service.pre_execute({tx});
+      const auto& demand = outcome.query_stats.demand_timeline;
+      const auto& observed = outcome.observed_timeline;
+      if (demand.size() < 4) continue;
+      dist_demand += type_distinguishability(demand);
+      dist_observed += type_distinguishability(observed);
+      // Displacement of code queries (observed preserves multiset of events;
+      // match code queries in order).
+      std::vector<uint64_t> demand_code, observed_code;
+      for (const auto& e : demand)
+        if (e.type == oram::PageType::kCode) demand_code.push_back(e.time_ns);
+      for (const auto& e : observed)
+        if (e.type == oram::PageType::kCode) observed_code.push_back(e.time_ns);
+      for (size_t i = 0; i < demand_code.size() && i < observed_code.size(); ++i) {
+        displacement_ms += std::abs(double(observed_code[i]) - double(demand_code[i])) / 1e6;
+        ++code_events;
+      }
+      ++measured;
+    }
+    bench::Table table({"metric", "no prefetch", "with prefetch"});
+    table.add_row({"type distinguishability (gap z-score)",
+                   bench::fmt(dist_demand / measured, 2),
+                   bench::fmt(dist_observed / measured, 2)});
+    table.add_row({"code-fetch displacement (ms, mean)", "0.00",
+                   bench::fmt(displacement_ms / double(code_events), 2)});
+    table.print("Ablation 3: pagewise code prefetching (paper §IV-D problem 3) — "
+                "prefetch decouples code fetches from frame entry");
+    std::printf("txs measured: %d, code queries: %llu\n", measured,
+                static_cast<unsigned long long>(code_events));
+  }
+
+  // --- 4. storage grouping on/off ---
+  {
+    bench::EvaluationSetup setup(1, 30);
+    // Grouped (the design): the service's per-bundle page cache makes all
+    // records of a group cost one query. Ungrouped: every record is its own
+    // query (count distinct slots instead of distinct groups).
+    auto config = bench::default_service_config(service::SecurityConfig::ESO());
+    service::PreExecutionService service(setup.node, config);
+    if (service.synchronize() != Status::kOk) return 1;
+    uint64_t grouped_queries = 0, ungrouped_queries = 0, txs = 0;
+    for (const auto& tx : setup.all_transactions()) {
+      const auto outcome = service.pre_execute({tx});
+      grouped_queries += outcome.query_stats.kv_queries;
+      // Without grouping each local (cache-hit) read would be its own query.
+      ungrouped_queries +=
+          outcome.query_stats.kv_queries + outcome.query_stats.local_reads;
+      ++txs;
+    }
+    bench::Table table({"strategy", "K-V ORAM queries/tx"});
+    table.add_row({"32-record group pages (paper)",
+                   bench::fmt(double(grouped_queries) / double(txs))});
+    table.add_row({"one record per block",
+                   bench::fmt(double(ungrouped_queries) / double(txs))});
+    table.print("Ablation 4: storage-record grouping (consecutive Solidity slots "
+                "share a page => grouping acts as a prefetch)");
+  }
+  // --- 5. recursive position map (paper §II-C) ---
+  {
+    constexpr size_t kBlocks = 2048;
+    // Plain client: O(n) on-chip position map.
+    oram::OramServer flat_server(
+        oram::OramConfig{.block_size = 64, .capacity = kBlocks});
+    oram::OramClient flat(flat_server, key(), 1, oram::SealMode::kChaChaHmac);
+    for (uint64_t i = 0; i < kBlocks; ++i) {
+      flat.write(crypto::keccak256(u256{i}.to_be_bytes_vec()).to_u256(), Bytes{1});
+    }
+    // Recursive client: position map in a second ORAM.
+    oram::RecursiveOramClient recursive(
+        oram::RecursiveOramConfig{.block_size = 64, .capacity = kBlocks,
+                                  .map_entries_per_block = 128},
+        key(), 2, oram::SealMode::kChaChaHmac);
+    for (uint64_t i = 0; i < kBlocks; ++i) recursive.write(i, Bytes{1});
+    const uint64_t d0 = recursive.data_accesses(), m0 = recursive.map_accesses();
+    for (uint64_t i = 0; i < 500; ++i) recursive.read(i % kBlocks);
+
+    bench::Table table({"design", "on-chip position entries", "accesses per query"});
+    table.add_row({"flat position map", std::to_string(flat.block_count()), "1"});
+    table.add_row({"recursive (1 level)",
+                   std::to_string(recursive.onchip_position_entries()),
+                   bench::fmt(double((recursive.data_accesses() - d0) +
+                                     (recursive.map_accesses() - m0)) / 500.0, 1)});
+    table.print("Ablation 5: recursive position map (paper §II-C) — on-chip state "
+                "shrinks ~100x for 2x the accesses");
+  }
+  return 0;
+}

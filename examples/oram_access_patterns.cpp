@@ -1,0 +1,79 @@
+// Why the ORAM matters: a side-by-side of what the service provider
+// observes with and without access-pattern protection (threat A7,
+// Section IV-D). This is the MEV scenario from the paper's introduction: if
+// the SP can see WHICH token a user's pre-executed swap touches, it can
+// front-run the real transaction.
+#include <cstdio>
+#include <map>
+
+#include "oram/paged_state.hpp"
+#include "workload/generator.hpp"
+
+using namespace hardtape;
+
+int main() {
+  std::printf("== ORAM access patterns: the adversary's view ==\n\n");
+
+  state::WorldState world;
+  workload::WorkloadGenerator gen(workload::GeneratorConfig{
+      .user_accounts = 4, .erc20_contracts = 3, .dex_pairs = 1, .routers = 1});
+  gen.deploy(world);
+
+  // The user's secret intention: trade token #2.
+  const Address secret_target = gen.tokens()[2];
+  const Address decoy = gen.tokens()[0];
+
+  // --- 1. without ORAM: queries name addresses and keys ---
+  std::printf("WITHOUT ORAM, the SP's query log for one pre-execution:\n");
+  std::printf("  GET code    %s   <-- the target token, in cleartext\n",
+              secret_target.hex().c_str());
+  std::printf("  GET storage %s slot(balance[user])\n", secret_target.hex().c_str());
+  std::printf("  GET storage %s slot(balance[recipient])\n", secret_target.hex().c_str());
+  std::printf("  => the SP knows the token and can front-run the trade.\n\n");
+
+  // --- 2. with ORAM: uniform, re-randomized path accesses ---
+  oram::OramServer server(oram::OramConfig{.block_size = oram::kPageSize,
+                                           .capacity = 2048});
+  crypto::AesKey128 oram_key{};
+  oram_key[0] = 0x5e;
+  oram::OramClient client(server, oram_key, 7, oram::SealMode::kChaChaHmac);
+  oram::sync_world_state(world, client);
+  oram::OramWorldState oram_state(client);
+
+  server.clear_observations();
+  // Access the SECRET token's balance twice and the decoy once.
+  oram_state.storage(secret_target, gen.users()[0].to_u256());
+  oram_state.storage(secret_target, gen.users()[0].to_u256());
+  oram_state.storage(decoy, gen.users()[0].to_u256());
+
+  std::printf("WITH ORAM, the same three queries appear as:\n");
+  for (uint64_t leaf : server.observed_leaves()) {
+    std::printf("  READ+REWRITE path to leaf %llu (%llu bytes, re-encrypted)\n",
+                static_cast<unsigned long long>(leaf),
+                static_cast<unsigned long long>(server.bytes_per_access()));
+  }
+  std::printf("  => same block accessed twice maps to fresh random leaves;\n"
+              "     code pages and storage records are the same 1 KB shape.\n\n");
+
+  // --- 3. the statistics an adversary would try to build ---
+  std::printf("leaf histogram over 2000 repeated accesses to ONE hot block:\n");
+  server.clear_observations();
+  const auto hot = oram::page_id(oram::PageType::kStorageGroup, secret_target,
+                                 gen.users()[0].to_u256() >> 5);
+  for (int i = 0; i < 2000; ++i) client.read(hot);
+  std::map<uint64_t, int> histogram;
+  for (uint64_t leaf : server.observed_leaves()) histogram[leaf / 256] += 1;
+  for (const auto& [bucket, count] : histogram) {
+    std::printf("  leaves %4llu-%4llu: %-4d ",
+                static_cast<unsigned long long>(bucket * 256),
+                static_cast<unsigned long long>(bucket * 256 + 255), count);
+    for (int i = 0; i < count / 25; ++i) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("  => flat: the hottest block in the workload is statistically\n"
+              "     indistinguishable from any other (Path ORAM remapping).\n\n");
+
+  std::printf("stash high-water during the run: %zu blocks (bounded, on-chip)\n",
+              client.stash_high_water());
+  return 0;
+}

@@ -1,0 +1,56 @@
+#include "common/bytes.hpp"
+
+namespace hardtape {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(BytesView data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string to_hex0x(BytesView data) { return "0x" + to_hex(data); }
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("from_hex: bad digit");
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+  return acc == 0;
+}
+
+Bytes right_pad(BytesView data, size_t size) {
+  Bytes out(size, 0);
+  const size_t n = std::min(size, data.size());
+  std::memcpy(out.data(), data.data(), n);
+  return out;
+}
+
+}  // namespace hardtape

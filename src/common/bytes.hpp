@@ -1,0 +1,44 @@
+// Byte-buffer utilities shared by every HarDTAPE module.
+//
+// Ethereum data is byte-oriented: addresses, hashes, RLP payloads, contract
+// bytecode, ORAM pages. We standardize on std::vector<uint8_t> ("Bytes") for
+// owning buffers and std::span<const uint8_t> ("BytesView") for views.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hardtape {
+
+using Bytes = std::vector<uint8_t>;
+using BytesView = std::span<const uint8_t>;
+
+/// Encodes a byte range as lowercase hex without a 0x prefix.
+std::string to_hex(BytesView data);
+
+/// Encodes with a 0x prefix (Ethereum convention).
+std::string to_hex0x(BytesView data);
+
+/// Decodes a hex string (with or without 0x prefix). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, BytesView src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-time equality for secrets (MAC tags, keys). Returns false on
+/// length mismatch without early exit inside the compared range.
+bool ct_equal(BytesView a, BytesView b);
+
+/// Returns a copy of `data` zero-padded (on the right) to `size`; truncates
+/// if longer. Used for fixed-size message fields.
+Bytes right_pad(BytesView data, size_t size);
+
+}  // namespace hardtape

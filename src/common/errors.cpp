@@ -1,0 +1,20 @@
+#include "common/errors.hpp"
+
+namespace hardtape {
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kAuthFailed: return "auth-failed";
+    case Status::kBadProof: return "bad-proof";
+    case Status::kNotFound: return "not-found";
+    case Status::kBusy: return "busy";
+    case Status::kMemoryOverflow: return "memory-overflow";
+    case Status::kStashOverflow: return "stash-overflow";
+    case Status::kMalformedMessage: return "malformed-message";
+    case Status::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace hardtape

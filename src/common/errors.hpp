@@ -1,0 +1,49 @@
+// Error taxonomy for HarDTAPE.
+//
+// Two regimes, per CppCoreGuidelines I.10 / E.14:
+//  - Programming and contract violations throw exceptions derived from
+//    HardtapeError (misuse of an API, malformed inputs to library internals).
+//  - Expected protocol-level failures — a MAC that fails to verify, a Merkle
+//    proof that does not check out, an HEVM that ran out of gas — are values:
+//    status enums carried in results, because callers must branch on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hardtape {
+
+/// Base class for all library exceptions.
+class HardtapeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on malformed serialized data (RLP, message frames, pages).
+class DecodingError : public HardtapeError {
+ public:
+  using HardtapeError::HardtapeError;
+};
+
+/// Thrown when an API precondition is violated by the caller.
+class UsageError : public HardtapeError {
+ public:
+  using HardtapeError::HardtapeError;
+};
+
+/// Protocol-level status for operations whose failure is an expected outcome.
+enum class Status {
+  kOk,
+  kAuthFailed,        ///< AES-GCM tag or ECDSA signature rejected
+  kBadProof,          ///< Merkle proof inconsistent with the trusted root
+  kNotFound,          ///< key absent (world state, ORAM page)
+  kBusy,              ///< no idle HEVM available
+  kMemoryOverflow,    ///< execution frame exceeded half of layer-2 memory (paper §IV-B)
+  kStashOverflow,     ///< Path ORAM stash exceeded its on-chip bound
+  kMalformedMessage,  ///< hypervisor rejected a message header
+  kRejected,          ///< attestation or policy rejection
+};
+
+const char* to_string(Status s);
+
+}  // namespace hardtape

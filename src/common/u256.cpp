@@ -1,0 +1,355 @@
+#include "common/u256.hpp"
+
+#include <algorithm>
+
+namespace hardtape {
+
+namespace {
+using u128 = unsigned __int128;
+
+// 512-bit scratch value used by mulmod / wide multiplication, little-endian
+// limbs. Internal only; not exposed in the public API.
+struct U512 {
+  std::array<uint64_t, 8> limbs{};
+
+  bool is_zero() const {
+    for (uint64_t l : limbs)
+      if (l) return false;
+    return true;
+  }
+  unsigned bit_length() const {
+    for (int i = 7; i >= 0; --i) {
+      if (limbs[i]) return static_cast<unsigned>(i * 64 + 64 - __builtin_clzll(limbs[i]));
+    }
+    return 0;
+  }
+  bool bit(unsigned i) const { return ((limbs[i / 64] >> (i % 64)) & 1u) != 0; }
+  void set_bit(unsigned i) { limbs[i / 64] |= (uint64_t{1} << (i % 64)); }
+
+  // *this <<= 1
+  void shl1() {
+    uint64_t carry = 0;
+    for (auto& l : limbs) {
+      const uint64_t next = l >> 63;
+      l = (l << 1) | carry;
+      carry = next;
+    }
+  }
+  // Compare against a 256-bit value placed in the low limbs.
+  std::strong_ordering cmp256(const u256& v) const {
+    for (int i = 7; i >= 4; --i)
+      if (limbs[i]) return std::strong_ordering::greater;
+    for (int i = 3; i >= 0; --i) {
+      if (limbs[i] != v.limb(i)) {
+        return limbs[i] < v.limb(i) ? std::strong_ordering::less
+                                    : std::strong_ordering::greater;
+      }
+    }
+    return std::strong_ordering::equal;
+  }
+  // *this -= v (v placed in low limbs); caller guarantees *this >= v.
+  void sub256(const u256& v) {
+    uint64_t borrow = 0;
+    for (int i = 0; i < 4; ++i) {
+      const u128 d = u128(limbs[i]) - v.limb(i) - borrow;
+      limbs[i] = static_cast<uint64_t>(d);
+      borrow = static_cast<uint64_t>((d >> 64) & 1);
+    }
+    for (int i = 4; i < 8 && borrow; ++i) {
+      const u128 d = u128(limbs[i]) - borrow;
+      limbs[i] = static_cast<uint64_t>(d);
+      borrow = static_cast<uint64_t>((d >> 64) & 1);
+    }
+  }
+};
+
+// 512 mod 256 by binary long division. O(bits) but simple and obviously
+// correct; division is rare in real contract workloads.
+u256 mod512(const U512& a, const u256& m) {
+  if (m.is_zero()) return u256{};
+  U512 rem{};
+  const unsigned n = a.bit_length();
+  for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+    rem.shl1();
+    if (a.bit(static_cast<unsigned>(i))) rem.limbs[0] |= 1;
+    if (rem.cmp256(m) >= 0) rem.sub256(m);
+  }
+  return u256{rem.limbs[3], rem.limbs[2], rem.limbs[1], rem.limbs[0]};
+}
+}  // namespace
+
+std::strong_ordering operator<=>(const u256& a, const u256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limbs_[i] != b.limbs_[i]) {
+      return a.limbs_[i] < b.limbs_[i] ? std::strong_ordering::less
+                                       : std::strong_ordering::greater;
+    }
+  }
+  return std::strong_ordering::equal;
+}
+
+u256 operator+(const u256& a, const u256& b) {
+  u256 r;
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = u128(a.limbs_[i]) + b.limbs_[i] + carry;
+    r.limbs_[i] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  return r;
+}
+
+u256 operator-(const u256& a, const u256& b) {
+  u256 r;
+  uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 d = u128(a.limbs_[i]) - b.limbs_[i] - borrow;
+    r.limbs_[i] = static_cast<uint64_t>(d);
+    borrow = static_cast<uint64_t>((d >> 64) & 1);
+  }
+  return r;
+}
+
+std::pair<u256, u256> u256::mul_wide(const u256& a, const u256& b) {
+  std::array<uint64_t, 8> r{};
+  for (int i = 0; i < 4; ++i) {
+    uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = u128(a.limbs_[i]) * b.limbs_[j] + r[i + j] + carry;
+      r[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    r[i + 4] = carry;
+  }
+  return {u256{r[7], r[6], r[5], r[4]}, u256{r[3], r[2], r[1], r[0]}};
+}
+
+u256 operator*(const u256& a, const u256& b) { return u256::mul_wide(a, b).second; }
+
+std::pair<u256, u256> u256::divmod(const u256& a, const u256& b) {
+  if (b.is_zero()) return {u256{}, u256{}};
+  if (a < b) return {u256{}, a};
+  // Binary long division.
+  u256 quotient{}, rem{};
+  const unsigned n = a.bit_length();
+  for (int i = static_cast<int>(n) - 1; i >= 0; --i) {
+    rem = rem << 1;
+    if (a.bit(static_cast<unsigned>(i))) rem.limbs_[0] |= 1;
+    if (rem >= b) {
+      rem -= b;
+      quotient.limbs_[i / 64] |= (uint64_t{1} << (i % 64));
+    }
+  }
+  return {quotient, rem};
+}
+
+u256 operator/(const u256& a, const u256& b) { return u256::divmod(a, b).first; }
+u256 operator%(const u256& a, const u256& b) { return u256::divmod(a, b).second; }
+
+u256 operator&(const u256& a, const u256& b) {
+  u256 r;
+  for (int i = 0; i < 4; ++i) r.limbs_[i] = a.limbs_[i] & b.limbs_[i];
+  return r;
+}
+u256 operator|(const u256& a, const u256& b) {
+  u256 r;
+  for (int i = 0; i < 4; ++i) r.limbs_[i] = a.limbs_[i] | b.limbs_[i];
+  return r;
+}
+u256 operator^(const u256& a, const u256& b) {
+  u256 r;
+  for (int i = 0; i < 4; ++i) r.limbs_[i] = a.limbs_[i] ^ b.limbs_[i];
+  return r;
+}
+u256 operator~(const u256& a) {
+  u256 r;
+  for (int i = 0; i < 4; ++i) r.limbs_[i] = ~a.limbs_[i];
+  return r;
+}
+
+u256 operator<<(const u256& a, unsigned n) {
+  if (n >= 256) return u256{};
+  u256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    uint64_t v = 0;
+    const int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) {
+      v = a.limbs_[src] << bit_shift;
+      if (bit_shift != 0 && src - 1 >= 0) v |= a.limbs_[src - 1] >> (64 - bit_shift);
+    }
+    r.limbs_[i] = v;
+  }
+  return r;
+}
+
+u256 operator>>(const u256& a, unsigned n) {
+  if (n >= 256) return u256{};
+  u256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    const unsigned src = static_cast<unsigned>(i) + limb_shift;
+    if (src < 4) {
+      v = a.limbs_[src] >> bit_shift;
+      if (bit_shift != 0 && src + 1 < 4) v |= a.limbs_[src + 1] << (64 - bit_shift);
+    }
+    r.limbs_[i] = v;
+  }
+  return r;
+}
+
+unsigned u256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limbs_[i]) return static_cast<unsigned>(i * 64 + 64 - __builtin_clzll(limbs_[i]));
+  }
+  return 0;
+}
+
+u256 u256::from_be_bytes(BytesView be) {
+  if (be.size() > 32) throw std::invalid_argument("u256: more than 32 bytes");
+  u256 r;
+  for (size_t i = 0; i < be.size(); ++i) {
+    const size_t bit_pos = (be.size() - 1 - i) * 8;
+    r.limbs_[bit_pos / 64] |= uint64_t{be[i]} << (bit_pos % 64);
+  }
+  return r;
+}
+
+std::array<uint8_t, 32> u256::to_be_bytes() const {
+  std::array<uint8_t, 32> out{};
+  for (size_t i = 0; i < 32; ++i) {
+    const size_t bit_pos = (31 - i) * 8;
+    out[i] = static_cast<uint8_t>(limbs_[bit_pos / 64] >> (bit_pos % 64));
+  }
+  return out;
+}
+
+Bytes u256::to_be_bytes_vec() const {
+  const auto a = to_be_bytes();
+  return Bytes(a.begin(), a.end());
+}
+
+u256 u256::from_string(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("u256: empty string");
+  if (s.starts_with("0x") || s.starts_with("0X")) {
+    s.remove_prefix(2);
+    if (s.empty() || s.size() > 64) throw std::invalid_argument("u256: bad hex");
+    std::string padded(s.size() % 2 ? "0" : "", s.size() % 2 ? 1 : 0);
+    padded += s;
+    return from_be_bytes(hardtape::from_hex(padded));
+  }
+  u256 r;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("u256: bad decimal");
+    r = r * u256{10} + u256{static_cast<uint64_t>(c - '0')};
+  }
+  return r;
+}
+
+std::string u256::to_hex() const {
+  const auto be = to_be_bytes();
+  std::string full = hardtape::to_hex({be.data(), be.size()});
+  const size_t first = full.find_first_not_of('0');
+  return first == std::string::npos ? "0" : full.substr(first);
+}
+
+std::string u256::to_string() const {
+  if (is_zero()) return "0";
+  std::string out;
+  u256 v = *this;
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, u256{10});
+    out.push_back(static_cast<char>('0' + r.as_u64()));
+    v = q;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+u256 u256::addmod(const u256& a, const u256& b, const u256& m) {
+  if (m.is_zero()) return u256{};
+  // Sum can be 257 bits; carry it through a U512.
+  U512 sum{};
+  uint64_t carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u128 s = u128(a.limbs_[i]) + b.limbs_[i] + carry;
+    sum.limbs[static_cast<size_t>(i)] = static_cast<uint64_t>(s);
+    carry = static_cast<uint64_t>(s >> 64);
+  }
+  sum.limbs[4] = carry;
+  return mod512(sum, m);
+}
+
+u256 u256::mulmod(const u256& a, const u256& b, const u256& m) {
+  if (m.is_zero()) return u256{};
+  const auto [hi, lo] = mul_wide(a, b);
+  U512 prod{};
+  for (int i = 0; i < 4; ++i) {
+    prod.limbs[static_cast<size_t>(i)] = lo.limb(static_cast<size_t>(i));
+    prod.limbs[static_cast<size_t>(i) + 4] = hi.limb(static_cast<size_t>(i));
+  }
+  return mod512(prod, m);
+}
+
+u256 u256::exp(const u256& base, const u256& exponent) {
+  u256 result{1};
+  u256 b = base;
+  const unsigned n = exponent.bit_length();
+  for (unsigned i = 0; i < n; ++i) {
+    if (exponent.bit(i)) result *= b;
+    b *= b;
+  }
+  return result;
+}
+
+u256 u256::sdiv(const u256& a, const u256& b) {
+  if (b.is_zero()) return u256{};
+  const bool an = a.is_negative();
+  const bool bn = b.is_negative();
+  const u256 q = (an ? a.neg() : a) / (bn ? b.neg() : b);
+  return (an != bn) ? q.neg() : q;
+}
+
+u256 u256::smod(const u256& a, const u256& b) {
+  if (b.is_zero()) return u256{};
+  const bool an = a.is_negative();
+  const u256 r = (an ? a.neg() : a) % (b.is_negative() ? b.neg() : b);
+  return an ? r.neg() : r;  // result takes the sign of the dividend
+}
+
+bool u256::slt(const u256& a, const u256& b) {
+  const bool an = a.is_negative();
+  const bool bn = b.is_negative();
+  if (an != bn) return an;
+  return a < b;
+}
+
+u256 u256::signextend(const u256& byte_index, const u256& value) {
+  if (!byte_index.fits_u64() || byte_index.as_u64() >= 31) return value;
+  const unsigned sign_bit = static_cast<unsigned>(byte_index.as_u64()) * 8 + 7;
+  u256 mask = (u256{1} << (sign_bit + 1)) - u256{1};
+  if (value.bit(sign_bit)) return value | ~mask;
+  return value & mask;
+}
+
+u256 u256::sar(const u256& value, const u256& shift) {
+  const bool neg = value.is_negative();
+  if (!shift.fits_u64() || shift.as_u64() >= 256) {
+    return neg ? ~u256{} : u256{};
+  }
+  const unsigned n = static_cast<unsigned>(shift.as_u64());
+  u256 r = value >> n;
+  if (neg && n > 0) r = r | (~u256{} << (256 - n));
+  return r;
+}
+
+u256 u256::byte(const u256& index, const u256& value) {
+  if (!index.fits_u64() || index.as_u64() >= 32) return u256{};
+  const auto be = value.to_be_bytes();
+  return u256{be[index.as_u64()]};
+}
+
+}  // namespace hardtape

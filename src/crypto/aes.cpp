@@ -1,0 +1,204 @@
+#include "crypto/aes.hpp"
+
+#include <cstring>
+
+namespace hardtape::crypto {
+
+namespace {
+// AES S-box (FIPS-197).
+constexpr uint8_t kSbox[256] = {
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b,
+    0xfe, 0xd7, 0xab, 0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0,
+    0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26,
+    0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0,
+    0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed,
+    0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f,
+    0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec,
+    0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14,
+    0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c,
+    0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f,
+    0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e,
+    0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1, 0xf8, 0x98, 0x11,
+    0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f,
+    0xb0, 0x54, 0xbb, 0x16};
+
+constexpr uint8_t kRcon[11] = {0x00, 0x01, 0x02, 0x04, 0x08, 0x10,
+                               0x20, 0x40, 0x80, 0x1b, 0x36};
+
+uint8_t xtime(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1b));
+}
+}  // namespace
+
+Aes128::Aes128(const AesKey128& key) {
+  std::memcpy(round_keys_.data(), key.data(), 16);
+  for (int i = 4; i < 44; ++i) {
+    uint8_t t[4];
+    std::memcpy(t, round_keys_.data() + (i - 1) * 4, 4);
+    if (i % 4 == 0) {
+      const uint8_t tmp = t[0];
+      t[0] = static_cast<uint8_t>(kSbox[t[1]] ^ kRcon[i / 4]);
+      t[1] = kSbox[t[2]];
+      t[2] = kSbox[t[3]];
+      t[3] = kSbox[tmp];
+    }
+    for (int j = 0; j < 4; ++j) {
+      round_keys_[static_cast<size_t>(i * 4 + j)] =
+          round_keys_[static_cast<size_t>((i - 4) * 4 + j)] ^ t[j];
+    }
+  }
+}
+
+void Aes128::encrypt_block(const uint8_t in[16], uint8_t out[16]) const {
+  uint8_t s[16];
+  for (int i = 0; i < 16; ++i) s[i] = in[i] ^ round_keys_[static_cast<size_t>(i)];
+
+  for (int round = 1; round <= 10; ++round) {
+    // SubBytes
+    for (auto& b : s) b = kSbox[b];
+    // ShiftRows (state is column-major: s[col*4 + row])
+    uint8_t t[16];
+    for (int col = 0; col < 4; ++col) {
+      for (int row = 0; row < 4; ++row) {
+        t[col * 4 + row] = s[((col + row) % 4) * 4 + row];
+      }
+    }
+    std::memcpy(s, t, 16);
+    // MixColumns (skipped in the final round)
+    if (round != 10) {
+      for (int col = 0; col < 4; ++col) {
+        uint8_t* c = s + col * 4;
+        const uint8_t a0 = c[0], a1 = c[1], a2 = c[2], a3 = c[3];
+        const uint8_t all = static_cast<uint8_t>(a0 ^ a1 ^ a2 ^ a3);
+        c[0] = static_cast<uint8_t>(a0 ^ all ^ xtime(static_cast<uint8_t>(a0 ^ a1)));
+        c[1] = static_cast<uint8_t>(a1 ^ all ^ xtime(static_cast<uint8_t>(a1 ^ a2)));
+        c[2] = static_cast<uint8_t>(a2 ^ all ^ xtime(static_cast<uint8_t>(a2 ^ a3)));
+        c[3] = static_cast<uint8_t>(a3 ^ all ^ xtime(static_cast<uint8_t>(a3 ^ a0)));
+      }
+    }
+    // AddRoundKey
+    for (int i = 0; i < 16; ++i) s[i] ^= round_keys_[static_cast<size_t>(round * 16 + i)];
+  }
+  std::memcpy(out, s, 16);
+}
+
+namespace {
+// GF(2^128) multiplication for GHASH, bit-by-bit (right-shift algorithm,
+// NIST SP 800-38D notation).
+void gf_mul(uint8_t x[16], const uint8_t y[16]) {
+  uint8_t z[16] = {};
+  uint8_t v[16];
+  std::memcpy(v, y, 16);
+  for (int i = 0; i < 128; ++i) {
+    if ((x[i / 8] >> (7 - i % 8)) & 1) {
+      for (int j = 0; j < 16; ++j) z[j] ^= v[j];
+    }
+    const bool lsb = v[15] & 1;
+    for (int j = 15; j > 0; --j) v[j] = static_cast<uint8_t>((v[j] >> 1) | (v[j - 1] << 7));
+    v[0] >>= 1;
+    if (lsb) v[0] ^= 0xe1;
+  }
+  std::memcpy(x, z, 16);
+}
+
+void ghash_update(uint8_t y[16], const uint8_t h[16], BytesView data) {
+  size_t offset = 0;
+  while (offset < data.size()) {
+    const size_t take = std::min<size_t>(16, data.size() - offset);
+    for (size_t i = 0; i < take; ++i) y[i] ^= data[offset + i];
+    gf_mul(y, h);
+    offset += take;
+  }
+}
+
+void inc32(uint8_t counter[16]) {
+  for (int i = 15; i >= 12; --i) {
+    if (++counter[i] != 0) break;
+  }
+}
+
+struct GcmContext {
+  Aes128 cipher;
+  uint8_t h[16];
+  uint8_t j0[16];
+
+  explicit GcmContext(const AesKey128& key, const GcmNonce& nonce) : cipher(key) {
+    const uint8_t zero[16] = {};
+    cipher.encrypt_block(zero, h);
+    std::memcpy(j0, nonce.data(), 12);
+    j0[12] = j0[13] = j0[14] = 0;
+    j0[15] = 1;
+  }
+
+  Bytes ctr_crypt(BytesView data) {
+    Bytes out(data.size());
+    uint8_t counter[16];
+    std::memcpy(counter, j0, 16);
+    size_t offset = 0;
+    while (offset < data.size()) {
+      inc32(counter);
+      uint8_t keystream[16];
+      cipher.encrypt_block(counter, keystream);
+      const size_t take = std::min<size_t>(16, data.size() - offset);
+      for (size_t i = 0; i < take; ++i) out[offset + i] = data[offset + i] ^ keystream[i];
+      offset += take;
+    }
+    return out;
+  }
+
+  GcmTag compute_tag(BytesView aad, BytesView ciphertext) {
+    uint8_t y[16] = {};
+    ghash_update(y, h, aad);
+    ghash_update(y, h, ciphertext);
+    uint8_t lengths[16];
+    const uint64_t aad_bits = uint64_t{aad.size()} * 8;
+    const uint64_t ct_bits = uint64_t{ciphertext.size()} * 8;
+    for (int i = 0; i < 8; ++i) {
+      lengths[i] = static_cast<uint8_t>(aad_bits >> (56 - i * 8));
+      lengths[8 + i] = static_cast<uint8_t>(ct_bits >> (56 - i * 8));
+    }
+    ghash_update(y, h, BytesView{lengths, 16});
+    uint8_t ek_j0[16];
+    cipher.encrypt_block(j0, ek_j0);
+    GcmTag tag;
+    for (int i = 0; i < 16; ++i) tag[static_cast<size_t>(i)] = y[i] ^ ek_j0[i];
+    return tag;
+  }
+};
+}  // namespace
+
+GcmResult aes_gcm_encrypt(const AesKey128& key, const GcmNonce& nonce,
+                          BytesView plaintext, BytesView aad) {
+  GcmContext ctx(key, nonce);
+  GcmResult result;
+  result.ciphertext = ctx.ctr_crypt(plaintext);
+  result.tag = ctx.compute_tag(aad, result.ciphertext);
+  return result;
+}
+
+std::optional<Bytes> aes_gcm_decrypt(const AesKey128& key, const GcmNonce& nonce,
+                                     BytesView ciphertext, BytesView aad,
+                                     const GcmTag& tag) {
+  GcmContext ctx(key, nonce);
+  const GcmTag expected = ctx.compute_tag(aad, ciphertext);
+  if (!ct_equal(BytesView{expected.data(), expected.size()},
+                BytesView{tag.data(), tag.size()})) {
+    return std::nullopt;
+  }
+  return ctx.ctr_crypt(ciphertext);
+}
+
+Bytes aes_ctr_xor(const AesKey128& key, const GcmNonce& nonce, BytesView data) {
+  GcmContext ctx(key, nonce);
+  return ctx.ctr_crypt(data);
+}
+
+}  // namespace hardtape::crypto

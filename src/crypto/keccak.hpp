@@ -1,0 +1,19 @@
+// Keccak-256 — Ethereum's hash function.
+//
+// Ethereum uses the original Keccak padding (0x01), not the FIPS-202 SHA-3
+// padding (0x06). Every address derivation, storage-trie key, code hash and
+// Merkle Patricia Trie node hash in this repository flows through here.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::crypto {
+
+/// Keccak-256 of `data`.
+H256 keccak256(BytesView data);
+
+/// Convenience overload for string literals in tests.
+H256 keccak256(std::string_view data);
+
+}  // namespace hardtape::crypto

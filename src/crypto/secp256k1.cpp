@@ -1,0 +1,343 @@
+#include "crypto/secp256k1.hpp"
+
+#include "common/errors.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hardtape::crypto {
+
+namespace {
+
+// p = 2^256 - 2^32 - 977, n = group order.
+const u256 kP{0xffffffffffffffffULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+              0xfffffffefffffc2fULL};
+const u256 kN{0xffffffffffffffffULL, 0xfffffffffffffffeULL, 0xbaaedce6af48a03bULL,
+              0xbfd25e8cd0364141ULL};
+// Complements c = 2^256 - m used for fast reduction (2^256 ≡ c mod m).
+const u256 kPc{0, 0, 0, 0x1000003d1ULL};
+const u256 kNc{0, 0x1ULL, 0x4551231950b75fc4ULL, 0x402da1732fc9bebfULL};
+
+const u256 kGx = u256::from_string(
+    "0x79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const u256 kGy = u256::from_string(
+    "0x483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+// Reduces a 512-bit value (hi, lo) modulo m, where c = 2^256 - m and m is
+// close to 2^256 (both p and n qualify). Uses 2^256 ≡ c (mod m) repeatedly.
+u256 mod_special(u256 hi, u256 lo, const u256& m, const u256& c) {
+  while (!hi.is_zero()) {
+    const auto [h2, l2] = u256::mul_wide(hi, c);
+    const u256 sum = lo + l2;
+    const uint64_t carry = (sum < lo) ? 1 : 0;  // wrapped => carry out
+    lo = sum;
+    hi = h2 + u256{carry};
+  }
+  while (lo >= m) lo -= m;
+  return lo;
+}
+
+u256 mulmod_p(const u256& a, const u256& b) {
+  const auto [hi, lo] = u256::mul_wide(a, b);
+  return mod_special(hi, lo, kP, kPc);
+}
+u256 mulmod_n(const u256& a, const u256& b) {
+  const auto [hi, lo] = u256::mul_wide(a, b);
+  return mod_special(hi, lo, kN, kNc);
+}
+
+u256 addmod_m(const u256& a, const u256& b, const u256& m) {
+  u256 s = a + b;
+  // Detect the wrap: (a + b) mod 2^256 < a  <=>  carry out.
+  if (s < a || s >= m) s -= m;
+  return s;
+}
+u256 submod_m(const u256& a, const u256& b, const u256& m) {
+  return (a >= b) ? a - b : m - (b - a);
+}
+
+u256 powmod_p(u256 base, const u256& exponent) {
+  u256 result{1};
+  const unsigned bits = exponent.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = mulmod_p(result, base);
+    base = mulmod_p(base, base);
+  }
+  return result;
+}
+
+u256 inv_p(const u256& a) { return powmod_p(a, kP - u256{2}); }
+
+u256 powmod_n(u256 base, const u256& exponent) {
+  u256 result{1};
+  const unsigned bits = exponent.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (exponent.bit(i)) result = mulmod_n(result, base);
+    base = mulmod_n(base, base);
+  }
+  return result;
+}
+
+u256 inv_n(const u256& a) { return powmod_n(a, kN - u256{2}); }
+
+// Jacobian projective coordinates: (X, Y, Z) with x = X/Z^2, y = Y/Z^3.
+struct Jacobian {
+  u256 x{};
+  u256 y{};
+  u256 z{};
+  bool is_infinity = false;
+};
+
+Jacobian to_jacobian(const Point& p) {
+  if (p.is_infinity) return {.is_infinity = true};
+  return {p.x, p.y, u256{1}, false};
+}
+
+Point to_affine(const Jacobian& j) {
+  if (j.is_infinity || j.z.is_zero()) return {.is_infinity = true};
+  const u256 zi = inv_p(j.z);
+  const u256 zi2 = mulmod_p(zi, zi);
+  const u256 zi3 = mulmod_p(zi2, zi);
+  return {mulmod_p(j.x, zi2), mulmod_p(j.y, zi3), false};
+}
+
+Jacobian jac_double(const Jacobian& p) {
+  if (p.is_infinity || p.y.is_zero()) return {.is_infinity = true};
+  // dbl-2009-l formulas (a = 0 curve).
+  const u256 a = mulmod_p(p.x, p.x);                    // X^2
+  const u256 b = mulmod_p(p.y, p.y);                    // Y^2
+  const u256 c = mulmod_p(b, b);                        // Y^4
+  u256 d = mulmod_p(addmod_m(p.x, b, kP), addmod_m(p.x, b, kP));
+  d = submod_m(submod_m(d, a, kP), c, kP);
+  d = addmod_m(d, d, kP);                               // 2*((X+B)^2 - A - C)
+  const u256 e = addmod_m(addmod_m(a, a, kP), a, kP);   // 3*A
+  const u256 f = mulmod_p(e, e);
+  const u256 x3 = submod_m(f, addmod_m(d, d, kP), kP);
+  u256 c8 = addmod_m(c, c, kP);
+  c8 = addmod_m(c8, c8, kP);
+  c8 = addmod_m(c8, c8, kP);
+  const u256 y3 = submod_m(mulmod_p(e, submod_m(d, x3, kP)), c8, kP);
+  const u256 z3 = mulmod_p(addmod_m(p.y, p.y, kP), p.z);
+  return {x3, y3, z3, false};
+}
+
+Jacobian jac_add(const Jacobian& p, const Jacobian& q) {
+  if (p.is_infinity) return q;
+  if (q.is_infinity) return p;
+  const u256 z1z1 = mulmod_p(p.z, p.z);
+  const u256 z2z2 = mulmod_p(q.z, q.z);
+  const u256 u1 = mulmod_p(p.x, z2z2);
+  const u256 u2 = mulmod_p(q.x, z1z1);
+  const u256 s1 = mulmod_p(p.y, mulmod_p(z2z2, q.z));
+  const u256 s2 = mulmod_p(q.y, mulmod_p(z1z1, p.z));
+  if (u1 == u2) {
+    if (s1 == s2) return jac_double(p);
+    return {.is_infinity = true};
+  }
+  const u256 h = submod_m(u2, u1, kP);
+  u256 i = addmod_m(h, h, kP);
+  i = mulmod_p(i, i);
+  const u256 j = mulmod_p(h, i);
+  u256 r = submod_m(s2, s1, kP);
+  r = addmod_m(r, r, kP);
+  const u256 v = mulmod_p(u1, i);
+  u256 x3 = mulmod_p(r, r);
+  x3 = submod_m(x3, j, kP);
+  x3 = submod_m(x3, addmod_m(v, v, kP), kP);
+  u256 y3 = mulmod_p(r, submod_m(v, x3, kP));
+  const u256 s1j = mulmod_p(s1, j);
+  y3 = submod_m(y3, addmod_m(s1j, s1j, kP), kP);
+  u256 z3 = mulmod_p(p.z, q.z);
+  z3 = mulmod_p(addmod_m(z3, z3, kP), h);
+  return {x3, y3, z3, false};
+}
+
+Jacobian jac_mul(const Jacobian& p, const u256& scalar) {
+  Jacobian result{.is_infinity = true};
+  Jacobian base = p;
+  const unsigned bits = scalar.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (scalar.bit(i)) result = jac_add(result, base);
+    base = jac_double(base);
+  }
+  return result;
+}
+
+}  // namespace
+
+namespace secp256k1 {
+
+u256 field_prime() { return kP; }
+u256 group_order() { return kN; }
+Point generator() { return {kGx, kGy, false}; }
+
+Point add(const Point& a, const Point& b) {
+  return to_affine(jac_add(to_jacobian(a), to_jacobian(b)));
+}
+
+Point dbl(const Point& a) { return to_affine(jac_double(to_jacobian(a))); }
+
+Point mul(const Point& p, const u256& scalar) {
+  const u256 k = scalar % kN;
+  return to_affine(jac_mul(to_jacobian(p), k));
+}
+
+bool is_on_curve(const Point& p) {
+  if (p.is_infinity) return true;
+  if (p.x >= kP || p.y >= kP) return false;
+  const u256 lhs = mulmod_p(p.y, p.y);
+  const u256 rhs = addmod_m(mulmod_p(mulmod_p(p.x, p.x), p.x), u256{7}, kP);
+  return lhs == rhs;
+}
+
+std::optional<Point> lift_x(const u256& x, bool y_odd) {
+  if (x >= kP) return std::nullopt;
+  const u256 rhs = addmod_m(mulmod_p(mulmod_p(x, x), x), u256{7}, kP);
+  // sqrt via exponent (p+1)/4, valid since p ≡ 3 (mod 4).
+  const u256 exp = (kP + u256{1}) >> 2;
+  u256 y = powmod_p(rhs, exp);
+  if (mulmod_p(y, y) != rhs) return std::nullopt;
+  if (y.bit(0) != y_odd) y = kP - y;
+  return Point{x, y, false};
+}
+
+}  // namespace secp256k1
+
+Bytes Signature::serialize() const {
+  Bytes out;
+  out.reserve(65);
+  append(out, r.to_be_bytes_vec());
+  append(out, s.to_be_bytes_vec());
+  out.push_back(recovery_id);
+  return out;
+}
+
+std::optional<Signature> Signature::deserialize(BytesView data) {
+  if (data.size() != 65) return std::nullopt;
+  Signature sig;
+  sig.r = u256::from_be_bytes(data.subspan(0, 32));
+  sig.s = u256::from_be_bytes(data.subspan(32, 32));
+  sig.recovery_id = data[64];
+  if (sig.recovery_id > 1) return std::nullopt;
+  return sig;
+}
+
+PrivateKey::PrivateKey(const u256& secret) : secret_(secret) {
+  if (secret.is_zero() || secret >= kN) throw UsageError("private key out of range");
+}
+
+PrivateKey PrivateKey::from_seed(BytesView seed) {
+  Bytes material(seed.begin(), seed.end());
+  for (uint8_t counter = 0;; ++counter) {
+    Bytes attempt = material;
+    attempt.push_back(counter);
+    const H256 h = sha256(attempt);
+    const u256 candidate = h.to_u256();
+    if (!candidate.is_zero() && candidate < kN) return PrivateKey(candidate);
+  }
+}
+
+Point PrivateKey::public_key() const {
+  return secp256k1::mul(secp256k1::generator(), secret_);
+}
+
+Signature PrivateKey::sign(const H256& message_hash) const {
+  const u256 z = message_hash.to_u256() % kN;
+  // Deterministic nonce, RFC 6979 flavored: HMAC over (secret || hash || ctr).
+  for (uint8_t counter = 0;; ++counter) {
+    Bytes nonce_input;
+    append(nonce_input, secret_.to_be_bytes_vec());
+    append(nonce_input, message_hash.view());
+    nonce_input.push_back(counter);
+    const u256 k = hmac_sha256(secret_.to_be_bytes_vec(), nonce_input).to_u256() % kN;
+    if (k.is_zero()) continue;
+
+    const Point rp = secp256k1::mul(secp256k1::generator(), k);
+    if (rp.is_infinity) continue;
+    const u256 r = rp.x % kN;
+    if (r.is_zero()) continue;
+    const u256 s = mulmod_n(inv_n(k), addmod_m(z, mulmod_n(r, secret_), kN));
+    if (s.is_zero()) continue;
+
+    Signature sig;
+    sig.r = r;
+    sig.s = s;
+    // Recovery id: parity of R.y; assume rp.x < n (overwhelmingly likely, and
+    // enforced by the retry loop given r = rp.x mod n must equal rp.x here).
+    if (rp.x != r) continue;  // extremely rare overflow case; retry
+    sig.recovery_id = rp.y.bit(0) ? 1 : 0;
+    return sig;
+  }
+}
+
+H256 PrivateKey::ecdh(const Point& peer_public) const {
+  if (!secp256k1::is_on_curve(peer_public) || peer_public.is_infinity) {
+    throw UsageError("ecdh: invalid peer public key");
+  }
+  const Point shared = secp256k1::mul(peer_public, secret_);
+  return sha256(shared.x.to_be_bytes_vec());
+}
+
+bool ecdsa_verify(const Point& public_key, const H256& message_hash,
+                  const Signature& sig) {
+  if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) return false;
+  if (!secp256k1::is_on_curve(public_key) || public_key.is_infinity) return false;
+  const u256 z = message_hash.to_u256() % kN;
+  const u256 w = inv_n(sig.s);
+  const u256 u1 = mulmod_n(z, w);
+  const u256 u2 = mulmod_n(sig.r, w);
+  const Jacobian sum = jac_add(jac_mul(to_jacobian(secp256k1::generator()), u1),
+                               jac_mul(to_jacobian(public_key), u2));
+  const Point p = to_affine(sum);
+  if (p.is_infinity) return false;
+  return (p.x % kN) == sig.r;
+}
+
+std::optional<Point> ecdsa_recover(const H256& message_hash, const Signature& sig) {
+  if (sig.r.is_zero() || sig.r >= kN || sig.s.is_zero() || sig.s >= kN) return std::nullopt;
+  if (sig.recovery_id > 1) return std::nullopt;
+  const auto rp = secp256k1::lift_x(sig.r, sig.recovery_id == 1);
+  if (!rp) return std::nullopt;
+  const u256 z = message_hash.to_u256() % kN;
+  const u256 r_inv = inv_n(sig.r);
+  // Q = r^-1 * (s*R - z*G)
+  const Jacobian s_r = jac_mul(to_jacobian(*rp), sig.s);
+  Point neg_g = secp256k1::generator();
+  neg_g.y = kP - neg_g.y;
+  const Jacobian z_g = jac_mul(to_jacobian(neg_g), z);
+  const Jacobian q = jac_mul(jac_add(s_r, z_g), r_inv);
+  const Point result = to_affine(q);
+  if (result.is_infinity || !secp256k1::is_on_curve(result)) return std::nullopt;
+  return result;
+}
+
+Address pubkey_to_address(const Point& public_key) {
+  const Bytes serialized = point_serialize(public_key);
+  const H256 h = keccak256(serialized);
+  Address addr;
+  std::memcpy(addr.bytes.data(), h.bytes.data() + 12, 20);
+  return addr;
+}
+
+Bytes point_serialize(const Point& p) {
+  Bytes out;
+  out.reserve(64);
+  if (p.is_infinity) {
+    out.assign(64, 0);
+    return out;
+  }
+  append(out, p.x.to_be_bytes_vec());
+  append(out, p.y.to_be_bytes_vec());
+  return out;
+}
+
+std::optional<Point> point_deserialize(BytesView data) {
+  if (data.size() != 64) return std::nullopt;
+  Point p;
+  p.x = u256::from_be_bytes(data.subspan(0, 32));
+  p.y = u256::from_be_bytes(data.subspan(32, 32));
+  p.is_infinity = p.x.is_zero() && p.y.is_zero();
+  if (!p.is_infinity && !secp256k1::is_on_curve(p)) return std::nullopt;
+  return p;
+}
+
+}  // namespace hardtape::crypto

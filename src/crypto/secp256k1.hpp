@@ -1,0 +1,93 @@
+// secp256k1 elliptic curve: field/scalar arithmetic, ECDSA, ECDH.
+//
+// Three consumers in HarDTAPE:
+//  - remote attestation + session signatures (Sections IV-A, VI-C "-ES"):
+//    the device key signs the attestation report; the user and Hypervisor
+//    sign bundle inputs and traces with per-session ECDSA keys;
+//  - Diffie-Hellman session-key agreement (ECDH on the same curve);
+//  - the EVM's ecrecover precompile (address 0x1).
+//
+// Curve: y^2 = x^3 + 7 over F_p, p = 2^256 - 2^32 - 977.
+// ECDSA nonces are deterministic (RFC 6979 style via HMAC-SHA256) so runs
+// are reproducible and there is no nonce-reuse hazard.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::crypto {
+
+/// Affine curve point; infinity is represented by {is_infinity = true}.
+struct Point {
+  u256 x{};
+  u256 y{};
+  bool is_infinity = false;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+namespace secp256k1 {
+
+/// Field prime p and group order n.
+u256 field_prime();
+u256 group_order();
+Point generator();
+
+Point add(const Point& a, const Point& b);
+Point dbl(const Point& a);
+Point mul(const Point& p, const u256& scalar);
+bool is_on_curve(const Point& p);
+
+/// Lifts an x coordinate to a point with the requested y parity; nullopt if
+/// x^3 + 7 is not a quadratic residue.
+std::optional<Point> lift_x(const u256& x, bool y_odd);
+
+}  // namespace secp256k1
+
+struct Signature {
+  u256 r;
+  u256 s;
+  uint8_t recovery_id = 0;  ///< parity of R.y (0 or 1), enables recovery
+
+  Bytes serialize() const;  ///< 65 bytes: r || s || v
+  static std::optional<Signature> deserialize(BytesView data);
+};
+
+class PrivateKey {
+ public:
+  /// `secret` must be in [1, n-1]; throws UsageError otherwise.
+  explicit PrivateKey(const u256& secret);
+  /// Derives a valid key from arbitrary seed material.
+  static PrivateKey from_seed(BytesView seed);
+
+  const u256& secret() const { return secret_; }
+  Point public_key() const;
+
+  /// ECDSA over a 32-byte message hash.
+  Signature sign(const H256& message_hash) const;
+
+  /// ECDH: shared secret = x-coordinate of (secret * peer), hashed.
+  H256 ecdh(const Point& peer_public) const;
+
+ private:
+  u256 secret_;
+};
+
+/// Standard ECDSA verification.
+bool ecdsa_verify(const Point& public_key, const H256& message_hash,
+                  const Signature& sig);
+
+/// Public-key recovery (the ecrecover semantics). Returns nullopt for
+/// invalid signatures.
+std::optional<Point> ecdsa_recover(const H256& message_hash, const Signature& sig);
+
+/// Ethereum address of a public key: low 20 bytes of keccak256(x || y).
+Address pubkey_to_address(const Point& public_key);
+
+/// Serializes a point as 64 bytes (x || y, big-endian). Infinity -> zeros.
+Bytes point_serialize(const Point& p);
+std::optional<Point> point_deserialize(BytesView data);
+
+}  // namespace hardtape::crypto

@@ -1,0 +1,124 @@
+#include "crypto/sha256.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "common/errors.hpp"
+
+namespace hardtape::crypto {
+
+namespace {
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+void compress(uint32_t h[8], const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (uint32_t{block[i * 4]} << 24) | (uint32_t{block[i * 4 + 1]} << 16) |
+           (uint32_t{block[i * 4 + 2]} << 8) | block[i * 4 + 3];
+  }
+  for (int i = 16; i < 64; ++i) {
+    const uint32_t s0 = std::rotr(w[i - 15], 7) ^ std::rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const uint32_t s1 = std::rotr(w[i - 2], 17) ^ std::rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  uint32_t a = h[0], b = h[1], c = h[2], d = h[3];
+  uint32_t e = h[4], f = h[5], g = h[6], hh = h[7];
+  for (int i = 0; i < 64; ++i) {
+    const uint32_t s1 = std::rotr(e, 6) ^ std::rotr(e, 11) ^ std::rotr(e, 25);
+    const uint32_t ch = (e & f) ^ (~e & g);
+    const uint32_t t1 = hh + s1 + ch + kK[i] + w[i];
+    const uint32_t s0 = std::rotr(a, 2) ^ std::rotr(a, 13) ^ std::rotr(a, 22);
+    const uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint32_t t2 = s0 + maj;
+    hh = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }
+  h[0] += a; h[1] += b; h[2] += c; h[3] += d;
+  h[4] += e; h[5] += f; h[6] += g; h[7] += hh;
+}
+}  // namespace
+
+H256 sha256(BytesView data) {
+  uint32_t h[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                   0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  size_t offset = 0;
+  while (data.size() - offset >= 64) {
+    compress(h, data.data() + offset);
+    offset += 64;
+  }
+  uint8_t block[64] = {};
+  const size_t remaining = data.size() - offset;
+  std::memcpy(block, data.data() + offset, remaining);
+  block[remaining] = 0x80;
+  if (remaining >= 56) {
+    compress(h, block);
+    std::memset(block, 0, sizeof block);
+  }
+  const uint64_t bit_len = uint64_t{data.size()} * 8;
+  for (int i = 0; i < 8; ++i) block[56 + i] = static_cast<uint8_t>(bit_len >> (56 - i * 8));
+  compress(h, block);
+
+  H256 out;
+  for (int i = 0; i < 8; ++i) {
+    out.bytes[i * 4] = static_cast<uint8_t>(h[i] >> 24);
+    out.bytes[i * 4 + 1] = static_cast<uint8_t>(h[i] >> 16);
+    out.bytes[i * 4 + 2] = static_cast<uint8_t>(h[i] >> 8);
+    out.bytes[i * 4 + 3] = static_cast<uint8_t>(h[i]);
+  }
+  return out;
+}
+
+H256 hmac_sha256(BytesView key, BytesView data) {
+  uint8_t key_block[64] = {};
+  if (key.size() > 64) {
+    const H256 kh = sha256(key);
+    std::memcpy(key_block, kh.bytes.data(), 32);
+  } else {
+    std::memcpy(key_block, key.data(), key.size());
+  }
+  Bytes inner;
+  inner.reserve(64 + data.size());
+  for (int i = 0; i < 64; ++i) inner.push_back(key_block[i] ^ 0x36);
+  append(inner, data);
+  const H256 inner_hash = sha256(inner);
+
+  Bytes outer;
+  outer.reserve(64 + 32);
+  for (int i = 0; i < 64; ++i) outer.push_back(key_block[i] ^ 0x5c);
+  append(outer, inner_hash.view());
+  return sha256(outer);
+}
+
+Bytes hkdf_sha256(BytesView input_key_material, BytesView salt, BytesView info,
+                  size_t length) {
+  if (length > 255 * 32) throw UsageError("hkdf: length too large");
+  const H256 prk = salt.empty()
+                       ? hmac_sha256(Bytes(32, 0), input_key_material)
+                       : hmac_sha256(salt, input_key_material);
+  Bytes okm;
+  Bytes t;
+  uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block = t;
+    append(block, info);
+    block.push_back(counter++);
+    const H256 out = hmac_sha256(prk.view(), block);
+    t.assign(out.bytes.begin(), out.bytes.end());
+    append(okm, t);
+  }
+  okm.resize(length);
+  return okm;
+}
+
+}  // namespace hardtape::crypto

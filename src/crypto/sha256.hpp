@@ -1,0 +1,21 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used by the SHA256 precompile (address 0x2), HKDF-style key derivation for
+// session keys, and RFC 6979 deterministic ECDSA nonces.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::crypto {
+
+H256 sha256(BytesView data);
+
+/// HMAC-SHA256 (RFC 2104) — building block for HKDF and RFC 6979.
+H256 hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract-and-Expand (RFC 5869) producing `length` <= 8160 bytes.
+Bytes hkdf_sha256(BytesView input_key_material, BytesView salt, BytesView info,
+                  size_t length);
+
+}  // namespace hardtape::crypto

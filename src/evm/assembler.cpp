@@ -1,0 +1,160 @@
+#include "evm/assembler.hpp"
+
+#include <charconv>
+#include <map>
+#include <sstream>
+
+#include "common/errors.hpp"
+#include "common/u256.hpp"
+#include "evm/opcodes.hpp"
+
+namespace hardtape::evm {
+
+namespace {
+
+struct Token {
+  std::string text;
+  int line;
+};
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw UsageError("asm line " + std::to_string(line) + ": " + message);
+}
+
+// Minimal big-endian bytes of a u256 value (at least one byte).
+Bytes minimal_be(const u256& v) {
+  const auto be = v.to_be_bytes();
+  size_t first = 0;
+  while (first < 31 && be[first] == 0) ++first;
+  return Bytes(be.begin() + static_cast<long>(first), be.end());
+}
+
+u256 parse_number(const Token& tok) {
+  try {
+    return u256::from_string(tok.text);
+  } catch (const std::invalid_argument&) {
+    fail(tok.line, "bad numeric literal '" + tok.text + "'");
+  }
+}
+
+}  // namespace
+
+Bytes assemble(std::string_view source) {
+  // Tokenize: strip ';' comments, split on whitespace, keep line numbers.
+  std::vector<Token> tokens;
+  {
+    int line_no = 0;
+    std::istringstream stream{std::string(source)};
+    std::string line;
+    while (std::getline(stream, line)) {
+      ++line_no;
+      const size_t comment = line.find(';');
+      if (comment != std::string::npos) line.resize(comment);
+      std::istringstream words(line);
+      std::string word;
+      while (words >> word) tokens.push_back({word, line_no});
+    }
+  }
+
+  Bytes code;
+  std::map<std::string, uint16_t> labels;
+  struct Fixup {
+    size_t offset;  // where the 2-byte immediate lives
+    std::string label;
+    int line;
+  };
+  std::vector<Fixup> fixups;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& tok = tokens[i];
+
+    if (tok.text.ends_with(":")) {  // label definition
+      const std::string name = tok.text.substr(0, tok.text.size() - 1);
+      if (name.empty()) fail(tok.line, "empty label");
+      if (labels.contains(name)) fail(tok.line, "duplicate label '" + name + "'");
+      if (code.size() > 0xffff) fail(tok.line, "code exceeds 64 KiB label range");
+      labels[name] = static_cast<uint16_t>(code.size());
+      continue;
+    }
+
+    if (tok.text == "PUSH") {  // auto-sized push
+      if (i + 1 >= tokens.size()) fail(tok.line, "PUSH needs an operand");
+      const Token& operand = tokens[++i];
+      if (operand.text.starts_with("@")) {
+        code.push_back(0x61);  // PUSH2
+        fixups.push_back({code.size(), operand.text.substr(1), operand.line});
+        code.push_back(0);
+        code.push_back(0);
+      } else {
+        const Bytes imm = minimal_be(parse_number(operand));
+        code.push_back(static_cast<uint8_t>(0x5f + imm.size()));  // PUSHn
+        append(code, imm);
+      }
+      continue;
+    }
+
+    const auto opcode = opcode_from_name(tok.text);
+    if (!opcode.has_value()) fail(tok.line, "unknown mnemonic '" + tok.text + "'");
+
+    const OpInfo& info = opcode_info(*opcode);
+    code.push_back(*opcode);
+    if (info.immediate_size > 0) {
+      if (i + 1 >= tokens.size()) fail(tok.line, tok.text + " needs an immediate");
+      const Token& operand = tokens[++i];
+      if (operand.text.starts_with("@")) {
+        if (info.immediate_size != 2) {
+          fail(operand.line, "label operands require PUSH2 (or bare PUSH)");
+        }
+        fixups.push_back({code.size(), operand.text.substr(1), operand.line});
+        code.push_back(0);
+        code.push_back(0);
+      } else {
+        const u256 value = parse_number(operand);
+        const Bytes imm = minimal_be(value);
+        if (imm.size() > info.immediate_size && !(imm.size() == 1 && imm[0] == 0)) {
+          fail(operand.line, "immediate too wide for " + std::string(info.name));
+        }
+        // Left-pad to the declared width.
+        for (size_t pad = imm.size(); pad < info.immediate_size; ++pad) code.push_back(0);
+        append(code, imm);
+      }
+    }
+  }
+
+  for (const Fixup& fixup : fixups) {
+    const auto it = labels.find(fixup.label);
+    if (it == labels.end()) fail(fixup.line, "undefined label '" + fixup.label + "'");
+    code[fixup.offset] = static_cast<uint8_t>(it->second >> 8);
+    code[fixup.offset + 1] = static_cast<uint8_t>(it->second & 0xff);
+  }
+  return code;
+}
+
+std::string disassemble(BytesView code) {
+  std::ostringstream out;
+  for (size_t pc = 0; pc < code.size();) {
+    const uint8_t op = code[pc];
+    const OpInfo& info = opcode_info(op);
+    out << std::hex << pc << std::dec << ": ";
+    if (!info.defined) {
+      char buf[16];
+      std::snprintf(buf, sizeof buf, "UNKNOWN_%02x", op);
+      out << buf << "\n";
+      ++pc;
+      continue;
+    }
+    out << info.name;
+    if (info.immediate_size > 0) {
+      Bytes imm;
+      for (size_t i = 0; i < info.immediate_size && pc + 1 + i < code.size(); ++i) {
+        imm.push_back(code[pc + 1 + i]);
+      }
+      out << " 0x" << to_hex(imm);
+    }
+    out << "\n";
+    pc += 1 + info.immediate_size;
+  }
+  return out.str();
+}
+
+}  // namespace hardtape::evm

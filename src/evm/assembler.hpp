@@ -1,0 +1,35 @@
+// A small EVM assembler for authoring test and workload contracts.
+//
+// The workload generator (src/workload) hand-assembles ERC-20, DEX, Ponzi
+// and rollup contracts; writing raw hex is unmaintainable, so this module
+// provides a line-oriented assembly dialect:
+//
+//   ; comment
+//   PUSH1 0x04          ; sized push with immediate (hex or decimal)
+//   PUSH  1000000       ; auto-sized push
+//   PUSH  @target       ; label reference (2-byte push, backpatched)
+//   JUMP
+//   target:
+//   JUMPDEST
+//   STOP
+//
+// Labels must be declared as "name:" on their own line and referenced as
+// "@name". Label pushes always assemble as PUSH2 so that forward references
+// need no relaxation pass.
+#pragma once
+
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace hardtape::evm {
+
+/// Assembles source into bytecode. Throws UsageError with a line-numbered
+/// message on any syntax error or unknown mnemonic/label.
+Bytes assemble(std::string_view source);
+
+/// Disassembles bytecode into one instruction per line (for debugging and
+/// examples). Unknown opcodes print as "UNKNOWN_xx".
+std::string disassemble(BytesView code);
+
+}  // namespace hardtape::evm

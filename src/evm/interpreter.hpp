@@ -1,0 +1,82 @@
+// The EVM interpreter — semantic core shared by every execution role.
+//
+// One interpreter, two timing skins (DESIGN.md §6): the "Geth role" (software
+// node baseline) and the HEVM (hardware pre-executor) both execute this
+// interpreter; they differ in the attached cost models and memory-hierarchy
+// simulation, which hook in through ExecutionObserver. Trace equality between
+// the two roles is the §VI-B correctness experiment.
+//
+// Supported ISA: the full Cancun-era opcode set (PUSH0, MCOPY, TLOAD/TSTORE,
+// EIP-2929 warm/cold gas, EIP-2200/3529 SSTORE gas and refunds, EIP-150
+// 63/64 forwarding, EIP-3860 initcode limits, EIP-6780 SELFDESTRUCT).
+// Precompiles: ecrecover (0x1), sha256 (0x2), identity (0x4).
+#pragma once
+
+#include "evm/stack_memory.hpp"
+#include "evm/trace.hpp"
+#include "evm/types.hpp"
+#include "state/overlay.hpp"
+
+namespace hardtape::evm {
+
+class Interpreter {
+ public:
+  Interpreter(state::OverlayState& state, BlockContext block)
+      : state_(state), block_(std::move(block)) {}
+
+  /// Attach an observer (tracer / HEVM cost model). Not owned; may be null.
+  void set_observer(ExecutionObserver* observer) { observer_ = observer; }
+
+  /// Hard cap on one frame's Memory size in bytes; exceeding it aborts the
+  /// bundle with kMemoryOverflow. Models the paper's rule that a frame
+  /// reaching half of the 1 MB layer-2 memory is treated as an attack
+  /// (Section IV-B). Zero disables the check (the Geth role).
+  void set_frame_memory_limit(uint64_t bytes) { frame_memory_limit_ = bytes; }
+
+  /// Executes a complete transaction against the overlay: nonce and balance
+  /// checks, intrinsic gas, execution, refund and fee settlement.
+  TxResult execute_transaction(const Transaction& tx);
+
+  /// Low-level message call (exposed for tests and precompile benches).
+  struct Message {
+    Address code_address{};  ///< account whose code runs
+    Address recipient{};     ///< storage/balance context ("address" opcode)
+    Address sender{};
+    Address origin{};
+    u256 value{};
+    u256 gas_price{1};
+    Bytes input{};
+    uint64_t gas = 0;
+    int depth = 0;
+    bool is_static = false;
+    // Creation:
+    bool is_create = false;
+    Bytes init_code{};
+  };
+  CallResult call(const Message& msg);
+
+  const BlockContext& block() const { return block_; }
+  state::OverlayState& state() { return state_; }
+
+ private:
+  struct Frame;
+
+  CallResult run_frame(const Message& msg, BytesView code);
+  CallResult run_create(const Message& msg);
+  CallResult run_precompile(const Message& msg);
+  static bool is_precompile(const Address& addr);
+
+  // Opcode group handlers returning false when the frame must terminate
+  // (status recorded in the frame).
+  void do_call_family(Frame& f, Opcode op);
+  void do_create_family(Frame& f, Opcode op);
+  void do_sstore(Frame& f);
+
+  state::OverlayState& state_;
+  BlockContext block_;
+  ExecutionObserver* observer_ = nullptr;
+  uint64_t frame_memory_limit_ = 0;
+  bool bundle_aborted_ = false;  // sticky kMemoryOverflow
+};
+
+}  // namespace hardtape::evm

@@ -1,0 +1,174 @@
+#include "evm/opcodes.hpp"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+
+namespace hardtape::evm {
+
+namespace {
+
+std::array<OpInfo, 256> build_table() {
+  std::array<OpInfo, 256> table{};
+  auto def = [&](Opcode op, std::string_view name, uint8_t in, uint8_t out,
+                 uint16_t gas, OpClass cls, uint8_t immediate = 0) {
+    table[static_cast<size_t>(op)] = OpInfo{name, in, out, immediate, gas, cls, true};
+  };
+
+  // Gas tiers (Yellow Paper appendix G, Shanghai/Cancun values). Dynamic
+  // components (memory expansion, cold access, copy size, ...) are charged
+  // by the interpreter in-line.
+  constexpr uint16_t kZero = 0, kBase = 2, kVeryLow = 3, kLow = 5, kMid = 8,
+                     kHigh = 10;
+
+  def(Opcode::STOP, "STOP", 0, 0, kZero, OpClass::kControl);
+  def(Opcode::ADD, "ADD", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::MUL, "MUL", 2, 1, kLow, OpClass::kArithmetic);
+  def(Opcode::SUB, "SUB", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::DIV, "DIV", 2, 1, kLow, OpClass::kArithmetic);
+  def(Opcode::SDIV, "SDIV", 2, 1, kLow, OpClass::kArithmetic);
+  def(Opcode::MOD, "MOD", 2, 1, kLow, OpClass::kArithmetic);
+  def(Opcode::SMOD, "SMOD", 2, 1, kLow, OpClass::kArithmetic);
+  def(Opcode::ADDMOD, "ADDMOD", 3, 1, kMid, OpClass::kArithmetic);
+  def(Opcode::MULMOD, "MULMOD", 3, 1, kMid, OpClass::kArithmetic);
+  def(Opcode::EXP, "EXP", 2, 1, kHigh, OpClass::kArithmetic);
+  def(Opcode::SIGNEXTEND, "SIGNEXTEND", 2, 1, kLow, OpClass::kArithmetic);
+
+  def(Opcode::LT, "LT", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::GT, "GT", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::SLT, "SLT", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::SGT, "SGT", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::EQ, "EQ", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::ISZERO, "ISZERO", 1, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::AND, "AND", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::OR, "OR", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::XOR, "XOR", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::NOT, "NOT", 1, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::BYTE, "BYTE", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::SHL, "SHL", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::SHR, "SHR", 2, 1, kVeryLow, OpClass::kArithmetic);
+  def(Opcode::SAR, "SAR", 2, 1, kVeryLow, OpClass::kArithmetic);
+
+  def(Opcode::SHA3, "SHA3", 2, 1, 30, OpClass::kKeccak);
+
+  def(Opcode::ADDRESS, "ADDRESS", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::BALANCE, "BALANCE", 1, 1, kZero, OpClass::kEnvironment);
+  def(Opcode::ORIGIN, "ORIGIN", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CALLER, "CALLER", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CALLVALUE, "CALLVALUE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CALLDATALOAD, "CALLDATALOAD", 1, 1, kVeryLow, OpClass::kMemory);
+  def(Opcode::CALLDATASIZE, "CALLDATASIZE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CALLDATACOPY, "CALLDATACOPY", 3, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::CODESIZE, "CODESIZE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CODECOPY, "CODECOPY", 3, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::GASPRICE, "GASPRICE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::EXTCODESIZE, "EXTCODESIZE", 1, 1, kZero, OpClass::kEnvironment);
+  def(Opcode::EXTCODECOPY, "EXTCODECOPY", 4, 0, kZero, OpClass::kMemory);
+  def(Opcode::RETURNDATASIZE, "RETURNDATASIZE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::RETURNDATACOPY, "RETURNDATACOPY", 3, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::EXTCODEHASH, "EXTCODEHASH", 1, 1, kZero, OpClass::kEnvironment);
+
+  def(Opcode::BLOCKHASH, "BLOCKHASH", 1, 1, 20, OpClass::kEnvironment);
+  def(Opcode::COINBASE, "COINBASE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::TIMESTAMP, "TIMESTAMP", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::NUMBER, "NUMBER", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::PREVRANDAO, "PREVRANDAO", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::GASLIMIT, "GASLIMIT", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::CHAINID, "CHAINID", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::SELFBALANCE, "SELFBALANCE", 0, 1, kLow, OpClass::kEnvironment);
+  def(Opcode::BASEFEE, "BASEFEE", 0, 1, kBase, OpClass::kEnvironment);
+
+  def(Opcode::POP, "POP", 1, 0, kBase, OpClass::kStack);
+  def(Opcode::MLOAD, "MLOAD", 1, 1, kVeryLow, OpClass::kMemory);
+  def(Opcode::MSTORE, "MSTORE", 2, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::MSTORE8, "MSTORE8", 2, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::SLOAD, "SLOAD", 1, 1, kZero, OpClass::kStorage);
+  def(Opcode::SSTORE, "SSTORE", 2, 0, kZero, OpClass::kStorage);
+  def(Opcode::JUMP, "JUMP", 1, 0, kMid, OpClass::kControl);
+  def(Opcode::JUMPI, "JUMPI", 2, 0, kHigh, OpClass::kControl);
+  def(Opcode::PC, "PC", 0, 1, kBase, OpClass::kControl);
+  def(Opcode::MSIZE, "MSIZE", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::GAS, "GAS", 0, 1, kBase, OpClass::kEnvironment);
+  def(Opcode::JUMPDEST, "JUMPDEST", 0, 0, 1, OpClass::kControl);
+  def(Opcode::TLOAD, "TLOAD", 1, 1, 100, OpClass::kStorage);
+  def(Opcode::TSTORE, "TSTORE", 2, 0, 100, OpClass::kStorage);
+  def(Opcode::MCOPY, "MCOPY", 3, 0, kVeryLow, OpClass::kMemory);
+  def(Opcode::PUSH0, "PUSH0", 0, 1, kBase, OpClass::kStack);
+
+  static const char* kPushNames[] = {
+      "PUSH1",  "PUSH2",  "PUSH3",  "PUSH4",  "PUSH5",  "PUSH6",  "PUSH7",
+      "PUSH8",  "PUSH9",  "PUSH10", "PUSH11", "PUSH12", "PUSH13", "PUSH14",
+      "PUSH15", "PUSH16", "PUSH17", "PUSH18", "PUSH19", "PUSH20", "PUSH21",
+      "PUSH22", "PUSH23", "PUSH24", "PUSH25", "PUSH26", "PUSH27", "PUSH28",
+      "PUSH29", "PUSH30", "PUSH31", "PUSH32"};
+  for (int i = 0; i < 32; ++i) {
+    table[static_cast<size_t>(0x60 + i)] =
+        OpInfo{kPushNames[i], 0, 1, static_cast<uint8_t>(i + 1), kVeryLow,
+               OpClass::kStack, true};
+  }
+  static const char* kDupNames[] = {"DUP1",  "DUP2",  "DUP3",  "DUP4",
+                                    "DUP5",  "DUP6",  "DUP7",  "DUP8",
+                                    "DUP9",  "DUP10", "DUP11", "DUP12",
+                                    "DUP13", "DUP14", "DUP15", "DUP16"};
+  for (int i = 0; i < 16; ++i) {
+    table[static_cast<size_t>(0x80 + i)] =
+        OpInfo{kDupNames[i], static_cast<uint8_t>(i + 1),
+               static_cast<uint8_t>(i + 2), 0, kVeryLow, OpClass::kStack, true};
+  }
+  static const char* kSwapNames[] = {"SWAP1",  "SWAP2",  "SWAP3",  "SWAP4",
+                                     "SWAP5",  "SWAP6",  "SWAP7",  "SWAP8",
+                                     "SWAP9",  "SWAP10", "SWAP11", "SWAP12",
+                                     "SWAP13", "SWAP14", "SWAP15", "SWAP16"};
+  for (int i = 0; i < 16; ++i) {
+    table[static_cast<size_t>(0x90 + i)] =
+        OpInfo{kSwapNames[i], static_cast<uint8_t>(i + 2),
+               static_cast<uint8_t>(i + 2), 0, kVeryLow, OpClass::kStack, true};
+  }
+  static const char* kLogNames[] = {"LOG0", "LOG1", "LOG2", "LOG3", "LOG4"};
+  for (int i = 0; i < 5; ++i) {
+    table[static_cast<size_t>(0xa0 + i)] =
+        OpInfo{kLogNames[i], static_cast<uint8_t>(i + 2), 0, 0, 375,
+               OpClass::kLog, true};
+  }
+
+  def(Opcode::CREATE, "CREATE", 3, 1, 32000, OpClass::kCall);
+  def(Opcode::CALL, "CALL", 7, 1, kZero, OpClass::kCall);
+  def(Opcode::CALLCODE, "CALLCODE", 7, 1, kZero, OpClass::kCall);
+  def(Opcode::RETURN, "RETURN", 2, 0, kZero, OpClass::kControl);
+  def(Opcode::DELEGATECALL, "DELEGATECALL", 6, 1, kZero, OpClass::kCall);
+  def(Opcode::CREATE2, "CREATE2", 4, 1, 32000, OpClass::kCall);
+  def(Opcode::STATICCALL, "STATICCALL", 6, 1, kZero, OpClass::kCall);
+  def(Opcode::REVERT, "REVERT", 2, 0, kZero, OpClass::kControl);
+  def(Opcode::INVALID, "INVALID", 0, 0, kZero, OpClass::kControl);
+  def(Opcode::SELFDESTRUCT, "SELFDESTRUCT", 1, 0, 5000, OpClass::kCall);
+
+  return table;
+}
+
+const std::array<OpInfo, 256>& table() {
+  static const std::array<OpInfo, 256> t = build_table();
+  return t;
+}
+
+}  // namespace
+
+const OpInfo& opcode_info(uint8_t opcode) { return table()[opcode]; }
+
+std::optional<uint8_t> opcode_from_name(std::string_view name) {
+  static const std::unordered_map<std::string, uint8_t> lookup = [] {
+    std::unordered_map<std::string, uint8_t> m;
+    for (int i = 0; i < 256; ++i) {
+      const OpInfo& info = table()[static_cast<size_t>(i)];
+      if (info.defined) m.emplace(std::string(info.name), static_cast<uint8_t>(i));
+    }
+    // Aliases.
+    m.emplace("KECCAK256", 0x20);
+    m.emplace("DIFFICULTY", 0x44);
+    return m;
+  }();
+  const auto it = lookup.find(std::string(name));
+  if (it == lookup.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace hardtape::evm

@@ -1,0 +1,86 @@
+// EVM instruction set (paper Section II-A, Figure 2).
+//
+// The opcode table drives four consumers:
+//  - the interpreter's dispatch and static gas charging,
+//  - the assembler (mnemonic -> opcode),
+//  - the HEVM pipeline cost model (opcode class -> cycles),
+//  - the tracer (opcode names in traces).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hardtape::evm {
+
+enum class Opcode : uint8_t {
+  STOP = 0x00, ADD = 0x01, MUL = 0x02, SUB = 0x03, DIV = 0x04, SDIV = 0x05,
+  MOD = 0x06, SMOD = 0x07, ADDMOD = 0x08, MULMOD = 0x09, EXP = 0x0a,
+  SIGNEXTEND = 0x0b,
+
+  LT = 0x10, GT = 0x11, SLT = 0x12, SGT = 0x13, EQ = 0x14, ISZERO = 0x15,
+  AND = 0x16, OR = 0x17, XOR = 0x18, NOT = 0x19, BYTE = 0x1a, SHL = 0x1b,
+  SHR = 0x1c, SAR = 0x1d,
+
+  SHA3 = 0x20,
+
+  ADDRESS = 0x30, BALANCE = 0x31, ORIGIN = 0x32, CALLER = 0x33,
+  CALLVALUE = 0x34, CALLDATALOAD = 0x35, CALLDATASIZE = 0x36,
+  CALLDATACOPY = 0x37, CODESIZE = 0x38, CODECOPY = 0x39, GASPRICE = 0x3a,
+  EXTCODESIZE = 0x3b, EXTCODECOPY = 0x3c, RETURNDATASIZE = 0x3d,
+  RETURNDATACOPY = 0x3e, EXTCODEHASH = 0x3f,
+
+  BLOCKHASH = 0x40, COINBASE = 0x41, TIMESTAMP = 0x42, NUMBER = 0x43,
+  PREVRANDAO = 0x44, GASLIMIT = 0x45, CHAINID = 0x46, SELFBALANCE = 0x47,
+  BASEFEE = 0x48,
+
+  POP = 0x50, MLOAD = 0x51, MSTORE = 0x52, MSTORE8 = 0x53, SLOAD = 0x54,
+  SSTORE = 0x55, JUMP = 0x56, JUMPI = 0x57, PC = 0x58, MSIZE = 0x59,
+  GAS = 0x5a, JUMPDEST = 0x5b, TLOAD = 0x5c, TSTORE = 0x5d, MCOPY = 0x5e,
+  PUSH0 = 0x5f,
+
+  PUSH1 = 0x60, PUSH32 = 0x7f,   // 0x60..0x7f
+  DUP1 = 0x80, DUP16 = 0x8f,     // 0x80..0x8f
+  SWAP1 = 0x90, SWAP16 = 0x9f,   // 0x90..0x9f
+  LOG0 = 0xa0, LOG1 = 0xa1, LOG2 = 0xa2, LOG3 = 0xa3, LOG4 = 0xa4,
+
+  CREATE = 0xf0, CALL = 0xf1, CALLCODE = 0xf2, RETURN = 0xf3,
+  DELEGATECALL = 0xf4, CREATE2 = 0xf5, STATICCALL = 0xfa, REVERT = 0xfd,
+  INVALID = 0xfe, SELFDESTRUCT = 0xff,
+};
+
+/// Instruction classes used by the HEVM pipeline cost model and by the
+/// Figure 5 micro-benchmarks.
+enum class OpClass : uint8_t {
+  kControl,     // STOP, JUMP*, PC, JUMPDEST, RETURN, REVERT, INVALID
+  kArithmetic,  // ADD..SIGNEXTEND, LT..SAR
+  kKeccak,      // SHA3
+  kEnvironment, // frame-state queries 0x30-0x48
+  kStack,       // POP, PUSH*, DUP*, SWAP*
+  kMemory,      // MLOAD/MSTORE/MSTORE8/MCOPY/*COPY
+  kStorage,     // SLOAD/SSTORE/TLOAD/TSTORE
+  kLog,         // LOG0-4
+  kCall,        // CALL family, CREATE family, SELFDESTRUCT
+};
+
+struct OpInfo {
+  std::string_view name;
+  uint8_t stack_in = 0;      ///< operands popped
+  uint8_t stack_out = 0;     ///< results pushed
+  uint8_t immediate_size = 0;///< PUSH payload bytes
+  uint16_t base_gas = 0;     ///< static gas (dynamic parts charged in-line)
+  OpClass op_class = OpClass::kControl;
+  bool defined = false;
+};
+
+/// Metadata for every opcode byte; undefined opcodes have defined == false.
+const OpInfo& opcode_info(uint8_t opcode);
+inline const OpInfo& opcode_info(Opcode op) { return opcode_info(static_cast<uint8_t>(op)); }
+
+/// Reverse lookup for the assembler. Returns nullopt for unknown mnemonics.
+std::optional<uint8_t> opcode_from_name(std::string_view name);
+
+inline bool is_push(uint8_t op) { return op >= 0x5f && op <= 0x7f; }
+inline size_t push_size(uint8_t op) { return op < 0x60 ? 0 : op - 0x5f; }
+
+}  // namespace hardtape::evm

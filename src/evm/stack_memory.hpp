@@ -1,0 +1,89 @@
+// The runtime stack and the byte-addressed Memory of one execution frame
+// (paper Figure 2). In the hardware design, the stack lives entirely in the
+// layer-1 cache (32 KB = 1024 x 32 bytes, Section IV-B); Memory is one of
+// the four "memory-likes".
+#pragma once
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::evm {
+
+/// 1024-slot operand stack. Overflow/underflow are reported by the caller
+/// (the interpreter checks against OpInfo before dispatch), so the fast-path
+/// accessors here assume validity.
+class Stack {
+ public:
+  static constexpr size_t kLimit = 1024;
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  void push(const u256& v) { items_.push_back(v); }
+  u256 pop() {
+    u256 v = items_.back();
+    items_.pop_back();
+    return v;
+  }
+  /// 0 = top of stack.
+  const u256& peek(size_t depth = 0) const { return items_[items_.size() - 1 - depth]; }
+  u256& peek(size_t depth = 0) { return items_[items_.size() - 1 - depth]; }
+  void swap_top(size_t depth) { std::swap(peek(0), peek(depth)); }
+  void dup(size_t depth) { push(peek(depth)); }
+
+ private:
+  std::vector<u256> items_;
+};
+
+/// Byte-addressed, zero-initialized, word-expanded frame memory. Expansion
+/// gas (3 * words + words^2 / 512) is computed by the interpreter via
+/// word_count(); this class only tracks contents and the high-water size.
+class EvmMemory {
+ public:
+  /// Current size in bytes (always a multiple of 32).
+  uint64_t size() const { return data_.size(); }
+
+  /// Grows (never shrinks) to cover [offset, offset + len). No-op for len==0.
+  void expand(uint64_t offset, uint64_t len) {
+    if (len == 0) return;
+    const uint64_t end = offset + len;
+    const uint64_t words = (end + 31) / 32;
+    if (words * 32 > data_.size()) data_.resize(words * 32, 0);
+  }
+
+  u256 load_word(uint64_t offset) const {
+    return u256::from_be_bytes(BytesView{data_.data() + offset, 32});
+  }
+  void store_word(uint64_t offset, const u256& value) {
+    const auto be = value.to_be_bytes();
+    std::memcpy(data_.data() + offset, be.data(), 32);
+  }
+  void store_byte(uint64_t offset, uint8_t value) { data_[offset] = value; }
+
+  /// Reads `len` bytes; caller must have expanded first.
+  BytesView view(uint64_t offset, uint64_t len) const {
+    return BytesView{data_.data() + offset, len};
+  }
+  /// Copies `src` into memory at `offset`, zero-filling up to `len` when the
+  /// source is shorter (the semantics of CALLDATACOPY/CODECOPY).
+  void store_padded(uint64_t offset, BytesView src, uint64_t src_offset, uint64_t len) {
+    for (uint64_t i = 0; i < len; ++i) {
+      const uint64_t s = src_offset + i;
+      data_[offset + i] = s < src.size() ? src[s] : 0;
+    }
+  }
+  void copy_within(uint64_t dst, uint64_t src, uint64_t len) {
+    if (len == 0) return;
+    std::memmove(data_.data() + dst, data_.data() + src, len);
+  }
+
+  /// Number of 32-byte words needed to cover [0, end_byte).
+  static uint64_t word_count(uint64_t end_byte) { return (end_byte + 31) / 32; }
+
+ private:
+  Bytes data_;
+};
+
+}  // namespace hardtape::evm

@@ -1,0 +1,64 @@
+#include "evm/trace.hpp"
+
+#include <algorithm>
+
+namespace hardtape::evm {
+
+void FrameStatsCollector::on_frame_enter(const FrameInfo& f) {
+  LiveFrame frame;
+  frame.stats.input_size = f.input_size;
+  frame.stats.depth = f.depth;
+  frame.stats.code_size = pending_code_size_;
+  pending_code_size_ = 0;
+  max_depth_ = std::max(max_depth_, f.depth);
+  stack_.push_back(std::move(frame));
+}
+
+void FrameStatsCollector::on_frame_exit(const FrameExitInfo& f) {
+  if (stack_.empty()) return;
+  LiveFrame frame = std::move(stack_.back());
+  stack_.pop_back();
+  frame.stats.memory_size = std::max(frame.stats.memory_size, f.memory_size);
+  frame.stats.return_size = f.output_size;
+  frame.stats.storage_slots = frame.touched_slots.size();
+  finished_.push_back(frame.stats);
+}
+
+void FrameStatsCollector::on_code_load(const Address&, size_t n) {
+  // on_code_load fires just before on_frame_enter; remember the size for the
+  // frame about to start. Empty-code calls never enter a frame, so attribute
+  // to the *next* frame via a pending slot kept in the last live frame when
+  // nesting, or a standalone pending value at top level.
+  pending_code_size_ = n;
+}
+
+void FrameStatsCollector::on_storage_access(const Address&, const u256& key, bool, bool) {
+  if (stack_.empty()) return;
+  auto& slots = stack_.back().touched_slots;
+  if (std::find(slots.begin(), slots.end(), key) == slots.end()) slots.push_back(key);
+}
+
+void FrameStatsCollector::on_memory_access(MemoryLike m, uint64_t off, uint64_t size, bool) {
+  if (stack_.empty()) return;
+  FrameStats& stats = stack_.back().stats;
+  const uint64_t end = off + size;
+  switch (m) {
+    case MemoryLike::kMemory:
+      stats.memory_size = std::max(stats.memory_size, end);
+      break;
+    case MemoryLike::kReturnData:
+      stats.return_size = std::max(stats.return_size, end);
+      break;
+    default:
+      break;  // code size comes from on_code_load; input from on_frame_enter
+  }
+}
+
+void FrameStatsCollector::clear() {
+  stack_.clear();
+  finished_.clear();
+  max_depth_ = 0;
+  pending_code_size_ = 0;
+}
+
+}  // namespace hardtape::evm

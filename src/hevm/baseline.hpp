@@ -1,0 +1,83 @@
+// Software baselines sharing the semantic interpreter: the "Geth role"
+// (paper Figure 4 baseline) and the TSC-VEE comparator (Figure 5).
+//
+// Both execute the same evm::Interpreter as the HEVM — only the attached
+// cost model differs — which is exactly how the paper frames them: Geth is
+// the functional reference ("the HEVM should be functionally equivalent to
+// the interpreter module of Geth"), and trace equality between roles is the
+// §VI-B correctness methodology.
+#pragma once
+
+#include "evm/interpreter.hpp"
+#include "hevm/cycle_observer.hpp"
+#include "sim/clock.hpp"
+
+namespace hardtape::hevm {
+
+struct BaselineResult {
+  evm::TxResult tx;
+  uint64_t sim_time_ns = 0;
+  std::vector<evm::StepTracer::Step> steps;
+};
+
+/// Executes transactions with a software cost model. Template on the model
+/// so Geth and TSC-VEE share the implementation.
+template <typename CostModel>
+class SoftwareRole {
+ public:
+  SoftwareRole(const state::StateReader& base, evm::BlockContext block,
+               sim::SimClock& clock, const CostModel& model = {},
+               uint64_t tx_overhead_ns = 0, bool record_steps = false)
+      : overlay_(base),
+        interpreter_(overlay_, std::move(block)),
+        clock_(clock),
+        cycles_(clock, model),
+        tx_overhead_ns_(tx_overhead_ns),
+        record_steps_(record_steps) {
+    chain_.add(&cycles_);
+    if (record_steps_) chain_.add(&tracer_);
+    interpreter_.set_observer(&chain_);
+  }
+
+  BaselineResult execute(const evm::Transaction& tx) {
+    const sim::SimStopwatch watch(clock_);
+    tracer_.clear();
+    clock_.advance_ns(tx_overhead_ns_);
+    BaselineResult result;
+    result.tx = interpreter_.execute_transaction(tx);
+    if (record_steps_) result.steps = tracer_.steps();
+    result.sim_time_ns = watch.elapsed_ns();
+    return result;
+  }
+
+  state::OverlayState& overlay() { return overlay_; }
+  evm::Interpreter& interpreter() { return interpreter_; }
+
+ private:
+  state::OverlayState overlay_;
+  evm::Interpreter interpreter_;
+  sim::SimClock& clock_;
+  SoftwareCycleObserver<CostModel> cycles_;
+  evm::StepTracer tracer_;
+  evm::ObserverChain chain_;
+  uint64_t tx_overhead_ns_;
+  bool record_steps_;
+};
+
+class GethRole : public SoftwareRole<sim::GethCostModel> {
+ public:
+  GethRole(const state::StateReader& base, evm::BlockContext block, sim::SimClock& clock,
+           bool record_steps = false, sim::GethCostModel model = {})
+      : SoftwareRole(base, std::move(block), clock, model, model.ns_tx_overhead,
+                     record_steps) {}
+};
+
+class TscVeeRole : public SoftwareRole<sim::TscVeeCostModel> {
+ public:
+  TscVeeRole(const state::StateReader& base, evm::BlockContext block, sim::SimClock& clock,
+             bool record_steps = false)
+      : SoftwareRole(base, std::move(block), clock, sim::TscVeeCostModel{}, 0,
+                     record_steps) {}
+};
+
+}  // namespace hardtape::hevm

@@ -1,0 +1,64 @@
+// Cycle accounting for the 4-stage pipelined HEVM and for the software
+// baselines — the "timing skins" over the shared semantic interpreter
+// (DESIGN.md §6).
+#pragma once
+
+#include "evm/trace.hpp"
+#include "sim/clock.hpp"
+#include "sim/costs.hpp"
+
+namespace hardtape::hevm {
+
+/// Advances a SimClock by the HEVM pipeline cost of every retired
+/// instruction, plus stall cycles for L1 misses reported by the memlayer.
+class HevmCycleObserver : public evm::ExecutionObserver {
+ public:
+  HevmCycleObserver(sim::SimClock& clock, const sim::HevmCostModel& model)
+      : clock_(clock), model_(model) {}
+
+  void on_step(const StepInfo& info) override {
+    const auto& op = evm::opcode_info(info.opcode);
+    clock_.advance_ns(model_.op_ns(op.op_class, info.opcode));
+    ++instructions_;
+  }
+
+  void on_frame_enter(const FrameInfo&) override {
+    // Frame creation: dump layer-1 to layer-2, initialize the new context.
+    clock_.advance_ns(model_.cycles_call * model_.cycle_ns());
+  }
+
+  uint64_t instructions() const { return instructions_; }
+  void reset() { instructions_ = 0; }
+
+ private:
+  sim::SimClock& clock_;
+  sim::HevmCostModel model_;
+  uint64_t instructions_ = 0;
+};
+
+/// Same idea for the software roles (Geth baseline, TSC-VEE comparator):
+/// per-op nanosecond costs on their respective hosts.
+template <typename CostModel>
+class SoftwareCycleObserver : public evm::ExecutionObserver {
+ public:
+  SoftwareCycleObserver(sim::SimClock& clock, const CostModel& model)
+      : clock_(clock), model_(model) {}
+
+  void on_step(const StepInfo& info) override {
+    const auto& op = evm::opcode_info(info.opcode);
+    clock_.advance_ns(model_.op_ns(op.op_class, info.opcode));
+    ++instructions_;
+  }
+
+  uint64_t instructions() const { return instructions_; }
+
+ private:
+  sim::SimClock& clock_;
+  CostModel model_;
+  uint64_t instructions_ = 0;
+};
+
+using GethCycleObserver = SoftwareCycleObserver<sim::GethCostModel>;
+using TscVeeCycleObserver = SoftwareCycleObserver<sim::TscVeeCostModel>;
+
+}  // namespace hardtape::hevm

@@ -1,0 +1,92 @@
+#include "hevm/hevm_core.hpp"
+
+#include "common/errors.hpp"
+
+namespace hardtape::hevm {
+
+void HevmCore::assign(const state::StateReader& base, evm::BlockContext block,
+                      const crypto::AesKey128& session_key, uint64_t noise_seed) {
+  if (busy()) throw UsageError("hevm core busy: bundles must queue");
+  Session session;
+  session.overlay = std::make_unique<state::OverlayState>(base);
+  session.interpreter = std::make_unique<evm::Interpreter>(*session.overlay, std::move(block));
+  session.interpreter->set_frame_memory_limit(config_.l2.l2_bytes / 2);
+  session.cycles = std::make_unique<HevmCycleObserver>(clock_, config_.cost);
+  memlayer::MemLayerConfig l2 = config_.l2;
+  l2.rng_seed = noise_seed;
+  session.memory = std::make_unique<memlayer::MemLayerObserver>(config_.l1, l2, session_key);
+  session.tracer = std::make_unique<evm::StepTracer>();
+  session.chain = std::make_unique<evm::ObserverChain>();
+  session.chain->add(session.cycles.get());
+  session.chain->add(session.memory.get());
+  session.tracer->set_record_steps(config_.record_steps);
+  session.chain->add(session.tracer.get());
+  for (auto* obs : extra_observers_) session.chain->add(obs);
+  session.interpreter->set_observer(session.chain.get());
+  session_ = std::move(session);
+  clock_.advance_ns(config_.cost.reset_ns());  // clear all on-chip memories
+}
+
+state::OverlayState& HevmCore::overlay() {
+  if (!session_) throw UsageError("hevm core idle");
+  return *session_->overlay;
+}
+
+BundleReport HevmCore::execute_bundle(const std::vector<evm::Transaction>& txs) {
+  if (!session_) throw UsageError("hevm core idle: assign() first");
+  Session& s = *session_;
+
+  BundleReport report;
+  const sim::SimStopwatch bundle_watch(clock_);
+
+  for (const evm::Transaction& tx : txs) {
+    if (report.aborted) break;
+    sim::SimStopwatch tx_watch(clock_);
+    s.tracer->clear();
+
+    // Capture pre-tx write set size so per-tx storage writes can be diffed.
+    const auto writes_before = s.overlay->storage_writes();
+
+    const evm::TxResult result = s.interpreter->execute_transaction(tx);
+
+    TxTraceReport trace;
+    trace.status = result.status;
+    trace.return_data = result.output;
+    trace.gas_used = result.gas_used;
+    trace.create_address = result.create_address;
+    trace.logs = s.tracer->logs();
+    if (config_.record_steps) trace.steps = s.tracer->steps();
+    // Per-tx storage modifications: cumulative writes minus what was already
+    // there before this transaction.
+    for (const auto& write : s.overlay->storage_writes()) {
+      const bool pre_existing =
+          std::find_if(writes_before.begin(), writes_before.end(), [&](const auto& w) {
+            return w.addr == write.addr && w.key == write.key && w.value == write.value;
+          }) != writes_before.end();
+      if (!pre_existing) trace.storage_writes.push_back(write);
+    }
+    trace.sim_time_ns = tx_watch.elapsed_ns();
+
+    if (result.status == evm::VmStatus::kMemoryOverflow ||
+        s.memory->stats().memory_overflows > 0) {
+      report.aborted = true;  // §IV-B: the bundle is treated as an attack
+    }
+    report.transactions.push_back(std::move(trace));
+  }
+
+  report.final_balances = s.overlay->balance_changes();
+  report.sim_time_ns = bundle_watch.elapsed_ns();
+  report.instructions = s.cycles->instructions();
+  report.memory_stats = s.memory->stats();
+  report.swap_events = s.memory->pager().swap_events();
+  return report;
+}
+
+void HevmCore::release() {
+  // Hardware reset: all on-chip memories cleared, overlay (the temporary
+  // world-state modifications) discarded.
+  session_.reset();
+  extra_observers_.clear();
+}
+
+}  // namespace hardtape::hevm

@@ -1,0 +1,101 @@
+// HevmCore: one dedicated hardware EVM instance (paper Sections I, IV-B).
+//
+// "Dedicated" is the security design: each core owns an isolated layer-1/2
+// memory set and is exclusively assigned to at most one user's bundle per
+// session — no context switches, no shared-hardware side channels (threat
+// A2). The core bundles the semantic interpreter with the 3-layer memory
+// model, the pipeline cycle model, and the tracer; release() models the
+// hardware reset that clears all on-chip memories (Fig. 3 step 10).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "evm/interpreter.hpp"
+#include "evm/trace.hpp"
+#include "hevm/cycle_observer.hpp"
+#include "memlayer/observer.hpp"
+#include "sim/clock.hpp"
+
+namespace hardtape::hevm {
+
+/// Per-transaction trace returned to the user (Fig. 3 step 9: ReturnData,
+/// gas cost, balances transferred, storage modifications).
+struct TxTraceReport {
+  evm::VmStatus status = evm::VmStatus::kSuccess;
+  Bytes return_data;
+  uint64_t gas_used = 0;
+  Address create_address{};
+  std::vector<state::OverlayState::StorageWrite> storage_writes;
+  std::vector<evm::LogEntry> logs;
+  std::vector<evm::StepTracer::Step> steps;  ///< populated when record_steps
+  uint64_t sim_time_ns = 0;                  ///< HEVM time for this tx
+};
+
+struct BundleReport {
+  std::vector<TxTraceReport> transactions;
+  std::vector<std::pair<Address, u256>> final_balances;  ///< net changes
+  uint64_t sim_time_ns = 0;
+  uint64_t instructions = 0;
+  memlayer::MemLayerStats memory_stats;
+  std::vector<memlayer::SwapEvent> swap_events;
+  bool aborted = false;  ///< Memory Overflow Error ended the bundle early
+};
+
+class HevmCore {
+ public:
+  struct Config {
+    sim::HevmCostModel cost{};
+    memlayer::L1Config l1{};
+    memlayer::MemLayerConfig l2{};
+    bool record_steps = false;  ///< step-level traces (§VI-B comparisons)
+  };
+
+  HevmCore(int core_id, sim::SimClock& clock, Config config)
+      : core_id_(core_id), clock_(clock), config_(config) {}
+  HevmCore(int core_id, sim::SimClock& clock)
+      : HevmCore(core_id, clock, Config{}) {}
+
+  int core_id() const { return core_id_; }
+  bool busy() const { return session_.has_value(); }
+
+  /// Exclusively assigns this core to a user session. The session key seals
+  /// layer-3 pages. Throws UsageError when the core is busy (the Hypervisor
+  /// must queue instead — Fig. 3 step 3).
+  void assign(const state::StateReader& base, evm::BlockContext block,
+              const crypto::AesKey128& session_key, uint64_t noise_seed);
+
+  /// Runs a bundle start-to-finish. The core stalls on every off-chip
+  /// interaction (no context switch), so the returned sim time is the full
+  /// occupancy of the core.
+  BundleReport execute_bundle(const std::vector<evm::Transaction>& txs);
+
+  /// Extra observer spliced into the chain (e.g. the service layer's query
+  /// timing hook); set before execute_bundle.
+  void add_observer(evm::ExecutionObserver* observer) { extra_observers_.push_back(observer); }
+
+  /// Resets the core to idle and clears all on-chip state (step 10).
+  void release();
+
+  /// The overlay of the active session (for inspecting pre-execution
+  /// results in tests; never persisted).
+  state::OverlayState& overlay();
+
+ private:
+  struct Session {
+    std::unique_ptr<state::OverlayState> overlay;
+    std::unique_ptr<evm::Interpreter> interpreter;
+    std::unique_ptr<HevmCycleObserver> cycles;
+    std::unique_ptr<memlayer::MemLayerObserver> memory;
+    std::unique_ptr<evm::StepTracer> tracer;
+    std::unique_ptr<evm::ObserverChain> chain;
+  };
+
+  int core_id_;
+  sim::SimClock& clock_;
+  Config config_;
+  std::optional<Session> session_;
+  std::vector<evm::ExecutionObserver*> extra_observers_;
+};
+
+}  // namespace hardtape::hevm

@@ -1,0 +1,41 @@
+#include "hevm/resource_model.hpp"
+
+namespace hardtape::hevm {
+
+std::vector<SubBlockResources> ResourceModel::hevm_blocks() {
+  // Decomposition of the paper's totals (103388 LUTs / 37104 FFs / 509 KB
+  // BRAM) over the architecture of Section IV: the 256-bit datapath
+  // dominates LUTs; BRAM is layer-1 (109 KB: 32 stack + 64 code + 3x4
+  // memory-likes + 1 frame state) + layer-2 (384 KB of the 1 MB is BRAM,
+  // the rest UltraRAM) + tracer buffers.
+  return {
+      {"256-bit ALU + mul/div unit", 38420, 9120, 0},
+      {"instruction decode + pipeline ctrl", 12876, 6240, 0},
+      {"layer-1 caches (stack/code/memlikes)", 9240, 4560, 109},
+      {"layer-2 call-stack manager", 14850, 7410, 384},
+      {"Keccak-256 core", 10120, 3200, 8},
+      {"gas + frame-state unit", 6882, 2974, 4},
+      {"tracer", 5250, 1800, 4},
+      {"A.E.DMA interface + exception unit", 5750, 1800, 0},
+  };
+}
+
+ResourceModel::Totals ResourceModel::hevm_total() {
+  Totals totals;
+  for (const auto& block : hevm_blocks()) {
+    totals.luts += block.luts;
+    totals.ffs += block.ffs;
+    totals.bram_kb += block.bram_kb;
+  }
+  return totals;
+}
+
+int ResourceModel::max_hevms_per_chip(const Chip& chip) {
+  const Totals per_hevm = hevm_total();
+  const int by_luts = static_cast<int>(chip.luts / per_hevm.luts);
+  const int by_ffs = static_cast<int>(chip.ffs / per_hevm.ffs);
+  const int by_bram = static_cast<int>(chip.bram_kb / per_hevm.bram_kb);
+  return std::min(by_luts, std::min(by_ffs, by_bram));
+}
+
+}  // namespace hardtape::hevm

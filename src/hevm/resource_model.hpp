@@ -1,0 +1,57 @@
+// FPGA resource model of one HEVM instance (paper Section VI-A).
+//
+// The prototype's Vivado utilization report: 103388 LUTs, 37104 FFs and
+// 509 KB of BlockRAM per HEVM on an XCZU15EV, whose fabric offers 341k LUTs,
+// 682k FFs and ~26.2 Mb of BRAM — making LUTs the bottleneck and capping the
+// chip at three HEVMs. We model utilization per sub-block so the resource
+// bench can print the same table and the ablations can resize sub-blocks.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace hardtape::hevm {
+
+struct SubBlockResources {
+  std::string_view name;
+  uint32_t luts;
+  uint32_t ffs;
+  uint32_t bram_kb;
+};
+
+struct ResourceModel {
+  /// Per-sub-block breakdown summing to the paper's reported totals.
+  static std::vector<SubBlockResources> hevm_blocks();
+
+  struct Totals {
+    uint32_t luts = 0;
+    uint32_t ffs = 0;
+    uint32_t bram_kb = 0;
+  };
+  static Totals hevm_total();
+
+  /// XCZU15EV fabric capacity.
+  struct Chip {
+    uint32_t luts = 341280;
+    uint32_t ffs = 682560;
+    uint32_t bram_kb = 3276;  // ~26.2 Mb
+  };
+
+  /// HEVMs per chip given the bottleneck resource (paper: 3).
+  static int max_hevms_per_chip(const Chip& chip);
+  static int max_hevms_per_chip() { return max_hevms_per_chip(Chip{}); }
+
+  /// Hypervisor memory budget (paper: 156 KB binary + 92 KB stack = 248 KB
+  /// fitting the 256 KB on-chip memory). Measured values come from the
+  /// hypervisor module; these are the paper's reference numbers.
+  struct HypervisorMemory {
+    uint32_t binary_kb = 156;
+    uint32_t stack_kb = 92;
+    uint32_t budget_kb = 256;
+    uint32_t total_kb() const { return binary_kb + stack_kb; }
+    bool fits() const { return total_kb() <= budget_kb; }
+  };
+};
+
+}  // namespace hardtape::hevm

@@ -1,0 +1,70 @@
+#include "hypervisor/attestation.hpp"
+
+namespace hardtape::hypervisor {
+
+Manufacturer::Manufacturer(uint64_t seed)
+    : root_key_(crypto::PrivateKey::from_seed(u256{seed}.to_be_bytes_vec())),
+      root_public_(root_key_.public_key()) {}
+
+Manufacturer::DeviceCertificate Manufacturer::provision(
+    const crypto::Point& device_public) const {
+  DeviceCertificate cert;
+  cert.device_public = device_public;
+  cert.signature = root_key_.sign(crypto::keccak256(crypto::point_serialize(device_public)));
+  return cert;
+}
+
+bool Manufacturer::verify_certificate(const crypto::Point& root_public,
+                                      const DeviceCertificate& cert) {
+  return crypto::ecdsa_verify(
+      root_public, crypto::keccak256(crypto::point_serialize(cert.device_public)),
+      cert.signature);
+}
+
+H256 measure_firmware(BytesView secure_bootloader, BytesView hypervisor_binary,
+                      BytesView hevm_bitstream) {
+  Bytes all;
+  append(all, crypto::keccak256(secure_bootloader).view());
+  append(all, crypto::keccak256(hypervisor_binary).view());
+  append(all, crypto::keccak256(hevm_bitstream).view());
+  return crypto::keccak256(all);
+}
+
+H256 AttestationReport::body_hash() const {
+  Bytes body;
+  append(body, crypto::point_serialize(certificate.device_public));
+  append(body, firmware_measurement.view());
+  append(body, crypto::point_serialize(session_public));
+  append(body, user_nonce.view());
+  return crypto::keccak256(body);
+}
+
+DeviceIdentity::DeviceIdentity(BytesView puf_secret, const Manufacturer& manufacturer)
+    : device_key_(crypto::PrivateKey::from_seed(puf_secret)),
+      certificate_(manufacturer.provision(device_key_.public_key())) {}
+
+AttestationReport DeviceIdentity::attest(const H256& firmware_measurement,
+                                         const crypto::Point& session_public,
+                                         const H256& user_nonce) const {
+  AttestationReport report;
+  report.certificate = certificate_;
+  report.firmware_measurement = firmware_measurement;
+  report.session_public = session_public;
+  report.user_nonce = user_nonce;
+  report.signature = device_key_.sign(report.body_hash());
+  return report;
+}
+
+bool verify_attestation(const crypto::Point& manufacturer_root,
+                        const H256& expected_measurement, const H256& expected_nonce,
+                        const AttestationReport& report) {
+  if (!Manufacturer::verify_certificate(manufacturer_root, report.certificate)) {
+    return false;  // forged device certificate (A1)
+  }
+  if (report.firmware_measurement != expected_measurement) return false;
+  if (report.user_nonce != expected_nonce) return false;  // replay
+  return crypto::ecdsa_verify(report.certificate.device_public, report.body_hash(),
+                              report.signature);
+}
+
+}  // namespace hardtape::hypervisor

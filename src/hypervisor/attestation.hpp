@@ -1,0 +1,78 @@
+// Secure boot and remote attestation (paper Section IV-A, threat A1).
+//
+// Chain of trust, following the SHEF-style scheme the paper adopts [44]:
+//   Manufacturer root key
+//     -> signs the device certificate (device public key; the device private
+//        key is sealed by the PUF, which we model as a device-unique secret)
+//   Device key
+//     -> signs the boot measurement (hash of SBL + Hypervisor firmware +
+//        HEVM bitstream) and, per session, (session public key || user nonce)
+//        — binding the DHKE exchange to the attested device and defeating
+//        man-in-the-middle and replay.
+#pragma once
+
+#include "crypto/keccak.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace hardtape::hypervisor {
+
+/// The trusted chip vendor. Issues device certificates.
+class Manufacturer {
+ public:
+  explicit Manufacturer(uint64_t seed);
+
+  const crypto::Point& root_public_key() const { return root_public_; }
+
+  struct DeviceCertificate {
+    crypto::Point device_public;
+    crypto::Signature signature;  ///< root key over keccak(device_public)
+  };
+  /// Provisions a device: derives its key from the PUF secret and certifies.
+  DeviceCertificate provision(const crypto::Point& device_public) const;
+
+  static bool verify_certificate(const crypto::Point& root_public,
+                                 const DeviceCertificate& cert);
+
+ private:
+  crypto::PrivateKey root_key_;
+  crypto::Point root_public_;
+};
+
+/// Firmware measurement: hash of the boot chain contents.
+H256 measure_firmware(BytesView secure_bootloader, BytesView hypervisor_binary,
+                      BytesView hevm_bitstream);
+
+struct AttestationReport {
+  Manufacturer::DeviceCertificate certificate;
+  H256 firmware_measurement{};
+  crypto::Point session_public;    ///< hypervisor's ephemeral DHKE key
+  H256 user_nonce{};               ///< anti-replay, chosen by the user
+  crypto::Signature signature;     ///< device key over the report body
+
+  H256 body_hash() const;
+};
+
+/// Device side: holds the PUF-sealed device key, produces reports.
+class DeviceIdentity {
+ public:
+  /// `puf_secret` models the physically unclonable function output.
+  DeviceIdentity(BytesView puf_secret, const Manufacturer& manufacturer);
+
+  const Manufacturer::DeviceCertificate& certificate() const { return certificate_; }
+
+  AttestationReport attest(const H256& firmware_measurement,
+                           const crypto::Point& session_public,
+                           const H256& user_nonce) const;
+
+ private:
+  crypto::PrivateKey device_key_;
+  Manufacturer::DeviceCertificate certificate_;
+};
+
+/// User side: verifies the full chain. `expected_measurement` is the
+/// published good firmware hash.
+bool verify_attestation(const crypto::Point& manufacturer_root,
+                        const H256& expected_measurement, const H256& expected_nonce,
+                        const AttestationReport& report);
+
+}  // namespace hardtape::hypervisor

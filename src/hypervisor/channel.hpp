@@ -1,0 +1,86 @@
+// The secure channel and the A.E.DMA message layer (paper Sections IV-A,
+// IV-C; threats A3, A4).
+//
+// Wire format: a fixed 32-byte header — the ONLY thing the Hypervisor ever
+// parses (its runtime memory never holds message bodies; the A.E.DMA engine
+// moves payloads straight between the network buffer and HEVM memory). The
+// body is AES-GCM encrypted with the session key, with the header bound as
+// AAD and an anti-replay sequence number.
+//
+//   header := type(1) | flags(1) | reserved(2) | seq(4) | target_offset(8) |
+//             body_length(8) | magic(8)
+#pragma once
+
+#include <cstring>
+#include <optional>
+
+#include "common/errors.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hardtape::hypervisor {
+
+enum class MessageType : uint8_t {
+  kAttestRequest = 1,
+  kAttestReport = 2,
+  kBundleSubmit = 3,
+  kTraceReport = 4,
+  kOramKeyRequest = 5,
+  kOramKeyResponse = 6,
+};
+
+struct MessageHeader {
+  static constexpr size_t kSize = 32;
+  static constexpr uint64_t kMagic = 0x4841524454415045ull;  // "HARDTAPE"
+
+  MessageType type = MessageType::kBundleSubmit;
+  uint8_t flags = 0;
+  uint32_t sequence = 0;
+  uint64_t target_offset = 0;
+  uint64_t body_length = 0;
+
+  std::array<uint8_t, kSize> serialize() const;
+  /// Strict parse; nullopt on bad magic / unknown type / reserved bits.
+  static std::optional<MessageHeader> parse(BytesView raw);
+};
+
+struct SecureMessage {
+  std::array<uint8_t, MessageHeader::kSize> header{};
+  crypto::GcmNonce nonce{};
+  crypto::GcmTag tag{};
+  Bytes ciphertext;
+};
+
+/// One end of an established session. Both sides derive the same AES key
+/// from ECDH + HKDF; sequence numbers are per-direction.
+class SecureChannel {
+ public:
+  /// Derives the session key: HKDF(ECDH(my_key, peer_pub), info="hardtape").
+  SecureChannel(const crypto::PrivateKey& my_key, const crypto::Point& peer_public);
+  /// Directly from a pre-agreed key (e.g. tests).
+  explicit SecureChannel(const crypto::AesKey128& key) : key_(key) {}
+
+  const crypto::AesKey128& key() const { return key_; }
+
+  SecureMessage seal(MessageType type, uint64_t target_offset, BytesView body);
+
+  /// Full validation path, in the Hypervisor's order: parse header ->
+  /// length/type/offset checks -> AES-GCM open (header as AAD) -> sequence
+  /// check. Returns the body, or a Status explaining the rejection.
+  struct OpenResult {
+    Status status = Status::kOk;
+    MessageHeader header{};
+    Bytes body;
+  };
+  OpenResult open(const SecureMessage& message, uint64_t max_body_length,
+                  uint64_t max_target_offset);
+
+ private:
+  crypto::AesKey128 key_{};
+  uint32_t send_sequence_ = 0;
+  uint32_t recv_sequence_ = 0;
+  uint64_t nonce_counter_ = 0;
+};
+
+}  // namespace hardtape::hypervisor

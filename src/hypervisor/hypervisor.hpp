@@ -1,0 +1,75 @@
+// The Hypervisor firmware: boots, attests, manages sessions and the ORAM
+// key (paper Fig. 3 steps 1-2 and Section IV-D "ORAM key protection").
+//
+// Memory discipline per the paper's security analysis (A3): the Hypervisor
+// is heap-free, parses only fixed 32-byte headers, and its entire runtime
+// state must fit the 256 KB on-chip memory — we track a modeled stack
+// high-water so the resource bench can reproduce §VI-A's 248 KB figure.
+#pragma once
+
+#include <optional>
+
+#include "common/random.hpp"
+#include "hypervisor/attestation.hpp"
+#include "hypervisor/channel.hpp"
+
+namespace hardtape::hypervisor {
+
+class Hypervisor {
+ public:
+  /// Boots the device: verifies + measures the firmware images, derives the
+  /// device identity from the PUF secret.
+  Hypervisor(BytesView puf_secret, const Manufacturer& manufacturer,
+             BytesView secure_bootloader, BytesView hypervisor_binary,
+             BytesView hevm_bitstream, uint64_t rng_seed);
+
+  const H256& firmware_measurement() const { return measurement_; }
+
+  /// Step 2: responds to a user's attestation request. Generates ephemeral
+  /// session keys, signs (session_pub || nonce) with the device key, and
+  /// returns the report. The matching SecureChannel is created on-device.
+  struct SessionHandle {
+    uint32_t session_id;
+    AttestationReport report;
+  };
+  SessionHandle begin_session(const H256& user_nonce, const crypto::Point& user_public);
+
+  SecureChannel& channel(uint32_t session_id);
+  void end_session(uint32_t session_id);
+  size_t active_sessions() const { return sessions_.size(); }
+
+  // --- ORAM key management (shared across devices of one SP) ---
+  bool has_oram_key() const { return oram_key_.has_value(); }
+  /// First device: generates the key from the secure RNG.
+  const crypto::AesKey128& generate_oram_key();
+  const crypto::AesKey128& oram_key() const;
+  /// New device joining: obtains the key from `source` over a DHKE channel
+  /// between the two trusted Hypervisors (both must be attested devices of
+  /// the same manufacturer; the transfer is encrypted end-to-end).
+  static Status share_oram_key(Hypervisor& source, Hypervisor& target);
+
+  // --- §VI-A memory accounting ---
+  /// Modeled firmware binary size (KB) and observed peak stack usage (KB).
+  uint32_t binary_kb() const { return 156; }
+  uint32_t peak_stack_kb() const { return peak_stack_kb_; }
+  bool fits_onchip_memory() const { return binary_kb() + peak_stack_kb() <= 256; }
+
+ private:
+  void touch_stack(uint32_t kb) { peak_stack_kb_ = std::max(peak_stack_kb_, kb); }
+
+  struct Session {
+    uint32_t id;
+    crypto::PrivateKey session_key;
+    SecureChannel channel;
+  };
+
+  DeviceIdentity identity_;
+  H256 measurement_;
+  Random rng_;
+  std::vector<Session> sessions_;
+  uint32_t next_session_id_ = 1;
+  std::optional<crypto::AesKey128> oram_key_;
+  uint32_t peak_stack_kb_ = 24;  // boot-time baseline
+};
+
+}  // namespace hardtape::hypervisor

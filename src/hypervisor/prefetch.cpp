@@ -1,0 +1,65 @@
+#include "hypervisor/prefetch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+namespace hardtape::hypervisor {
+
+GapStats gap_stats(const std::vector<QueryEvent>& timeline) {
+  GapStats stats;
+  if (timeline.size() < 2) return stats;
+  std::vector<double> gaps;
+  gaps.reserve(timeline.size() - 1);
+  for (size_t i = 1; i < timeline.size(); ++i) {
+    gaps.push_back(static_cast<double>(timeline[i].time_ns - timeline[i - 1].time_ns));
+  }
+  double sum = 0;
+  for (double g : gaps) sum += g;
+  stats.mean_ns = sum / static_cast<double>(gaps.size());
+  double var = 0;
+  for (double g : gaps) var += (g - stats.mean_ns) * (g - stats.mean_ns);
+  stats.stddev_ns = std::sqrt(var / static_cast<double>(gaps.size()));
+  return stats;
+}
+
+std::vector<QueryEvent> CodePrefetcher::schedule(const std::vector<QueryEvent>& demand) {
+  std::vector<QueryEvent> out;
+  out.reserve(demand.size());
+  std::deque<QueryEvent> pending_code;
+  uint64_t last_emit_ns = 0;
+  bool have_emit = false;
+
+  auto emit = [&](QueryEvent event, uint64_t at_ns, bool prefetch) {
+    event.time_ns = at_ns;
+    event.is_prefetch = prefetch;
+    if (have_emit) observe_gap(at_ns - last_emit_ns);
+    last_emit_ns = at_ns;
+    have_emit = true;
+    out.push_back(event);
+  };
+
+  for (const QueryEvent& q : demand) {
+    if (q.type == oram::PageType::kCode) {
+      pending_code.push_back(q);  // decouple from demand instant
+      continue;
+    }
+    // Before this K-V query fires, timers may expire and emit code pages.
+    while (!pending_code.empty()) {
+      const uint64_t timer_at = (have_emit ? last_emit_ns : q.time_ns) + next_timer();
+      if (timer_at >= q.time_ns) break;
+      emit(pending_code.front(), timer_at, true);
+      pending_code.pop_front();
+    }
+    emit(q, std::max(q.time_ns, have_emit ? last_emit_ns : q.time_ns), false);
+  }
+  // Drain the tail on timers.
+  while (!pending_code.empty()) {
+    const uint64_t timer_at = last_emit_ns + next_timer();
+    emit(pending_code.front(), timer_at, true);
+    pending_code.pop_front();
+  }
+  return out;
+}
+
+}  // namespace hardtape::hypervisor

@@ -1,0 +1,97 @@
+// Layer 1: the per-HEVM cache partitions (paper Section IV-B, layer 1).
+//
+// Capacities follow the paper's Table-I-driven sizing: 64 KB for Code, 4 KB
+// for each other memory-like, 32 KB for the full runtime stack (always
+// resident, so never modeled as missing), 1 KB of frame state, and a 4 KB
+// world-state cache good for 64 records.
+//
+// This is a timing/statistics model: it tracks which 1 KB pages (or which
+// records, for the world-state partition) are resident and reports hits and
+// misses; the payload bytes live in the interpreter. Layer-1 misses are
+// served by layer 2 and are invisible off-chip; the counts feed the HEVM
+// cycle model.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+namespace hardtape::memlayer {
+
+/// LRU set of page indices with a fixed capacity.
+class LruPageCache {
+ public:
+  explicit LruPageCache(size_t capacity_pages) : capacity_(capacity_pages) {}
+
+  /// Touches a page; returns true on hit.
+  bool access(uint64_t page) {
+    const auto it = map_.find(page);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    lru_.push_front(page);
+    map_[page] = lru_.begin();
+    if (map_.size() > capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    return false;
+  }
+
+  void clear() {
+    lru_.clear();
+    map_.clear();
+  }
+  size_t size() const { return map_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+struct L1Config {
+  size_t page_size = 1024;
+  size_t code_bytes = 64 * 1024;
+  size_t memlike_bytes = 4 * 1024;      // Input / Memory / ReturnData each
+  size_t worldstate_records = 64;       // 4 KB / 64 B per cached record
+
+  size_t code_pages() const { return code_bytes / page_size; }
+  size_t memlike_pages() const { return memlike_bytes / page_size; }
+};
+
+/// The four memory-like partitions of one execution frame plus the
+/// world-state record cache. Reset on frame switches (each frame has its own
+/// working set; layer 2 holds the evicted contents).
+struct L1Caches {
+  explicit L1Caches(const L1Config& config = {})
+      : code(config.code_pages()),
+        input(config.memlike_pages()),
+        memory(config.memlike_pages()),
+        return_data(config.memlike_pages()),
+        world_state(config.worldstate_records) {}
+
+  void clear_frame_local() {
+    code.clear();
+    input.clear();
+    memory.clear();
+    return_data.clear();
+    // world_state persists across frames within a bundle (records are not
+    // frame-scoped).
+  }
+
+  LruPageCache code;
+  LruPageCache input;
+  LruPageCache memory;
+  LruPageCache return_data;
+  LruPageCache world_state;
+};
+
+}  // namespace hardtape::memlayer

@@ -1,0 +1,47 @@
+#include "memlayer/layer3.hpp"
+
+#include <cstring>
+
+namespace hardtape::memlayer {
+
+void Layer3Memory::store(uint64_t slot, BytesView page) {
+  Sealed sealed;
+  rng_.fill(sealed.nonce.data(), sealed.nonce.size());
+  // The slot number is authenticated as AAD so a sealed page cannot be
+  // replayed into a different slot.
+  uint8_t aad[8];
+  for (int i = 0; i < 8; ++i) aad[i] = static_cast<uint8_t>(slot >> (8 * i));
+  auto result = crypto::aes_gcm_encrypt(key_, sealed.nonce, page, BytesView{aad, 8});
+  sealed.ciphertext = std::move(result.ciphertext);
+  sealed.tag = result.tag;
+  slots_[slot] = std::move(sealed);
+}
+
+std::optional<Bytes> Layer3Memory::load(uint64_t slot) const {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end()) return std::nullopt;
+  uint8_t aad[8];
+  for (int i = 0; i < 8; ++i) aad[i] = static_cast<uint8_t>(slot >> (8 * i));
+  return crypto::aes_gcm_decrypt(key_, it->second.nonce, it->second.ciphertext,
+                                 BytesView{aad, 8}, it->second.tag);
+}
+
+bool Layer3Memory::tamper(uint64_t slot) {
+  const auto it = slots_.find(slot);
+  if (it == slots_.end()) return false;
+  if (it->second.ciphertext.empty()) {
+    it->second.tag[0] ^= 1;
+  } else {
+    it->second.ciphertext[0] ^= 1;
+  }
+  return true;
+}
+
+bool Layer3Memory::replay(uint64_t from_slot, uint64_t to_slot) {
+  const auto it = slots_.find(from_slot);
+  if (it == slots_.end()) return false;
+  slots_[to_slot] = it->second;
+  return true;
+}
+
+}  // namespace hardtape::memlayer

@@ -1,0 +1,119 @@
+#include "memlayer/pager.hpp"
+
+#include <algorithm>
+
+namespace hardtape::memlayer {
+
+namespace {
+// The pager tracks page *placement*; the page payloads live in the HEVM's
+// frame memories. For the layer-3 data path we seal a deterministic page
+// image per slot so the store/load/authenticate path is fully exercised.
+Bytes page_image(uint64_t slot, size_t page_size) {
+  Bytes page(page_size);
+  for (size_t i = 0; i < page_size; ++i) {
+    page[i] = static_cast<uint8_t>((slot * 131) + i);
+  }
+  return page;
+}
+}  // namespace
+
+CallStackPager::CallStackPager(const MemLayerConfig& config,
+                               const crypto::AesKey128& session_key)
+    : config_(config), rng_(config.rng_seed), layer3_(session_key, config.rng_seed ^ 0x5117) {
+  if (config_.l2_pages() < 2) throw UsageError("pager: layer 2 too small");
+}
+
+Status CallStackPager::push_frame(size_t pages) {
+  if (pages >= config_.frame_page_limit()) return Status::kMemoryOverflow;
+  frames_.push_back(pages);
+  total_pages_ += pages;
+  peak_total_pages_ = std::max(peak_total_pages_, total_pages_);
+  ensure_fits();
+  return Status::kOk;
+}
+
+Status CallStackPager::grow_frame(size_t total_pages) {
+  if (frames_.empty()) throw UsageError("pager: no frame to grow");
+  if (total_pages >= config_.frame_page_limit()) return Status::kMemoryOverflow;
+  if (total_pages <= frames_.back()) return Status::kOk;  // never shrinks
+  const size_t delta = total_pages - frames_.back();
+  frames_.back() = total_pages;
+  total_pages_ += delta;
+  peak_total_pages_ = std::max(peak_total_pages_, total_pages_);
+  ensure_fits();
+  return Status::kOk;
+}
+
+void CallStackPager::pop_frame() {
+  if (frames_.empty()) throw UsageError("pager: no frame to pop");
+  const size_t top = frames_.back();
+  frames_.pop_back();
+  total_pages_ -= top;  // the top frame was fully resident
+  if (frames_.empty()) return;
+  // Restore the invariant: the new top frame must be entirely on-chip.
+  const size_t max_swapped = total_pages_ - frames_.back();
+  if (swapped_pages_ > max_swapped) {
+    load(swapped_pages_ - max_swapped);
+  }
+}
+
+void CallStackPager::reset() {
+  frames_.clear();
+  total_pages_ = 0;
+  peak_total_pages_ = 0;
+  swapped_pages_ = 0;
+  next_slot_ = 0;
+  events_.clear();
+  total_evicted_ = 0;
+  total_loaded_ = 0;
+}
+
+void CallStackPager::ensure_fits() {
+  if (resident_pages() > config_.l2_pages()) {
+    evict(resident_pages() - config_.l2_pages());
+  }
+}
+
+void CallStackPager::evict(size_t required) {
+  // Noise: pre-evict extra pages, but never pages of the current frame
+  // (which must stay resident).
+  const size_t top = frames_.empty() ? 0 : frames_.back();
+  const size_t evictable = resident_pages() - top;
+  if (required > evictable) throw HardtapeError("pager: frame exceeds layer 2");
+  const size_t max_extra = std::min<size_t>(config_.max_noise_pages, evictable - required);
+  const size_t noise = rng_.swap_noise(max_extra);
+  const size_t count = required + noise;
+
+  for (size_t i = 0; i < count; ++i) {
+    layer3_.store(next_slot_, page_image(next_slot_, config_.page_size));
+    ++next_slot_;
+  }
+  swapped_pages_ += count;
+  total_evicted_ += count;
+  events_.push_back({SwapEvent::Kind::kEvict, count, noise});
+}
+
+void CallStackPager::load(size_t required) {
+  if (required > swapped_pages_) throw HardtapeError("pager: load underflow");
+  // Noise: pre-load extra swapped pages if both the swap area and the free
+  // layer-2 space allow it.
+  const size_t free_after = config_.l2_pages() - (resident_pages() + required);
+  const size_t max_extra = std::min({static_cast<size_t>(config_.max_noise_pages),
+                                     swapped_pages_ - required, free_after});
+  const size_t noise = rng_.swap_noise(max_extra);
+  const size_t count = required + noise;
+
+  for (size_t i = 0; i < count; ++i) {
+    --next_slot_;
+    const auto page = layer3_.load(next_slot_);
+    if (!page.has_value()) {
+      throw HardtapeError("pager: layer-3 page failed authentication");
+    }
+    layer3_.erase(next_slot_);
+  }
+  swapped_pages_ -= count;
+  total_loaded_ += count;
+  events_.push_back({SwapEvent::Kind::kLoad, count, noise});
+}
+
+}  // namespace hardtape::memlayer

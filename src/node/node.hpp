@@ -1,0 +1,79 @@
+// Ethereum full-node simulator (the "Node" party of paper Section III-A).
+//
+// The Node holds the authoritative world state, produces blocks, and serves
+// world-state queries with Merkle proofs. It is run BY the service provider
+// and therefore untrusted: HarDTAPE only accepts its data when the proofs
+// verify against a block hash the user trusts (threat A6). A dishonest mode
+// lets tests exercise exactly that attack.
+#pragma once
+
+#include "evm/interpreter.hpp"
+#include "state/world_state.hpp"
+#include "trie/mpt.hpp"
+
+namespace hardtape::node {
+
+struct BlockHeader {
+  uint64_t number = 0;
+  H256 parent_hash{};
+  H256 state_root{};
+  H256 tx_root{};
+  uint64_t timestamp = 0;
+  uint64_t gas_used = 0;
+
+  /// Block hash: keccak of the RLP-coded header.
+  H256 hash() const;
+  Bytes rlp_encode() const;
+};
+
+struct TxReceipt {
+  evm::VmStatus status;
+  uint64_t gas_used;
+};
+
+class NodeSimulator {
+ public:
+  explicit NodeSimulator(evm::BlockContext genesis_context = {});
+
+  state::WorldState& world() { return world_; }
+  const state::WorldState& world() const { return world_; }
+
+  /// Executes `txs` against the world state and appends a block.
+  /// Invalid transactions are included with their failure receipts (as a
+  /// real chain records reverted transactions).
+  BlockHeader produce_block(const std::vector<evm::Transaction>& txs);
+
+  const BlockHeader& head() const;
+  const std::vector<BlockHeader>& chain() const { return chain_; }
+  const std::vector<TxReceipt>& last_receipts() const { return last_receipts_; }
+  evm::BlockContext block_context() const;
+
+  // --- query API used during HarDTAPE block synchronization ---
+  struct AccountResponse {
+    Bytes account_rlp;        ///< empty when absent
+    trie::MerkleProof proof;  ///< against head().state_root
+  };
+  AccountResponse fetch_account(const Address& addr) const;
+
+  struct StorageResponse {
+    u256 value;
+    trie::MerkleProof proof;  ///< against the account's storage root
+  };
+  StorageResponse fetch_storage(const Address& addr, const u256& key) const;
+
+  /// Code is authenticated by the code hash inside the (proven) account.
+  Bytes fetch_code(const Address& addr) const;
+
+  /// Dishonest mode: the Node serves silently corrupted data. Used to show
+  /// that sync rejects it (A6).
+  void set_dishonest(bool dishonest) { dishonest_ = dishonest; }
+
+ private:
+  state::WorldState world_;
+  std::vector<BlockHeader> chain_;
+  std::vector<TxReceipt> last_receipts_;
+  evm::BlockContext context_;
+  bool dishonest_ = false;
+};
+
+}  // namespace hardtape::node

@@ -1,0 +1,99 @@
+#include "node/sync.hpp"
+
+#include "crypto/keccak.hpp"
+#include "trie/rlp.hpp"
+
+namespace hardtape::node {
+
+Status BlockSynchronizer::sync_account(const Address& addr,
+                                       const std::vector<u256>& keys,
+                                       oram::OramClient& client) {
+  using trie::MerklePatriciaTrie;
+
+  // 1. Fetch and verify the account against the trusted state root.
+  const auto account_response = node_.fetch_account(addr);
+  const H256 account_key = crypto::keccak256(addr.view());
+  const auto account_check = MerklePatriciaTrie::verify_proof(
+      state_root_, account_key.view(), account_response.proof);
+  if (!account_check.valid) return Status::kBadProof;
+
+  state::Account account;
+  if (account_check.value.has_value()) {
+    // The proof pins the account RLP exactly: reject a response that
+    // disagrees with its own proof.
+    if (*account_check.value != account_response.account_rlp) return Status::kBadProof;
+    account = state::Account::rlp_decode(*account_check.value);
+  } else {
+    // Proven absent: a non-empty claimed account is a lie.
+    if (!account_response.account_rlp.empty()) return Status::kBadProof;
+  }
+  ++verified_accounts_;
+
+  // 2. Fetch and verify the code against the proven code hash.
+  const Bytes code = node_.fetch_code(addr);
+  if (crypto::keccak256(code) != account.code_hash) return Status::kBadProof;
+
+  // 3. Fetch and verify each storage record against the storage root.
+  struct VerifiedSlot {
+    u256 key;
+    u256 value;
+  };
+  std::vector<VerifiedSlot> slots;
+  for (const u256& key : keys) {
+    const auto storage_response = node_.fetch_storage(addr, key);
+    const H256 slot_key = crypto::keccak256(key.to_be_bytes_vec());
+    const auto check = MerklePatriciaTrie::verify_proof(
+        account.storage_root, slot_key.view(), storage_response.proof);
+    if (!check.valid) return Status::kBadProof;
+    u256 proven_value{};
+    if (check.value.has_value()) {
+      const trie::RlpItem item = trie::rlp_decode(*check.value);
+      proven_value = u256::from_be_bytes(item.bytes());
+    }
+    if (proven_value != storage_response.value) return Status::kBadProof;
+    slots.push_back({key, proven_value});
+    ++verified_slots_;
+  }
+
+  // 4. Everything verified: build and install pages.
+  oram::AccountMetaPage meta;
+  meta.balance = account.balance;
+  meta.nonce = account.nonce;
+  meta.code_size = code.size();
+  meta.code_hash = account.code_hash;
+  client.write(oram::page_id(oram::PageType::kAccountMeta, addr, u256{}),
+               meta.serialize());
+  ++installed_pages_;
+
+  // Storage groups (keys grouped by key/32; absent records stay zero).
+  std::unordered_map<u256, oram::StorageGroupPage, U256Hasher> groups;
+  for (const VerifiedSlot& slot : slots) {
+    groups[slot.key >> 5].values[slot.key.as_u64() & 31] = slot.value;
+  }
+  for (const auto& [group_index, page] : groups) {
+    client.write(oram::page_id(oram::PageType::kStorageGroup, addr, group_index),
+                 page.serialize());
+    ++installed_pages_;
+  }
+
+  for (size_t off = 0; off < code.size(); off += oram::kPageSize) {
+    const size_t n = std::min(oram::kPageSize, code.size() - off);
+    Bytes page(code.begin() + static_cast<long>(off),
+               code.begin() + static_cast<long>(off + n));
+    page.resize(oram::kPageSize, 0);
+    client.write(oram::page_id(oram::PageType::kCode, addr, u256{off / oram::kPageSize}),
+                 page);
+    ++installed_pages_;
+  }
+  return Status::kOk;
+}
+
+Status BlockSynchronizer::sync_all(oram::OramClient& client) {
+  for (const Address& addr : node_.world().all_accounts()) {
+    const Status status = sync_account(addr, node_.world().storage_keys(addr), client);
+    if (status != Status::kOk) return status;
+  }
+  return Status::kOk;
+}
+
+}  // namespace hardtape::node

@@ -1,0 +1,46 @@
+// Block synchronization into the ORAM (paper Fig. 3 step 11 + §IV-C Remark).
+//
+// The Node is under the SP's control, so every datum fetched at sync time is
+// verified: accounts against the trusted block's state root, storage slots
+// against the (proven) account's storage root, and code against the
+// (proven) code hash. Once a page is inside the ORAM, AES-GCM protects its
+// integrity, so no Merkle proofs are ever fetched during pre-execution —
+// which is also what keeps pre-execution queries oblivious.
+#pragma once
+
+#include "node/node.hpp"
+#include "oram/paged_state.hpp"
+
+namespace hardtape::node {
+
+class BlockSynchronizer {
+ public:
+  /// `trusted_state_root` is the root the user's trusted block hash commits
+  /// to (in production, cross-checked with multiple nodes; here supplied by
+  /// the caller).
+  BlockSynchronizer(const NodeSimulator& node, const H256& trusted_state_root)
+      : node_(node), state_root_(trusted_state_root) {}
+
+  /// Verifies and installs one account: meta page, all its storage groups
+  /// (from `keys`), and its code pages. Returns kBadProof on any failure —
+  /// in which case nothing from this account is installed.
+  Status sync_account(const Address& addr, const std::vector<u256>& keys,
+                      oram::OramClient& client);
+
+  /// Full sync: every account and every storage key the node reports.
+  /// (A real deployment walks the state trie; the simulator enumerates.)
+  Status sync_all(oram::OramClient& client);
+
+  uint64_t verified_accounts() const { return verified_accounts_; }
+  uint64_t verified_slots() const { return verified_slots_; }
+  uint64_t installed_pages() const { return installed_pages_; }
+
+ private:
+  const NodeSimulator& node_;
+  H256 state_root_;
+  uint64_t verified_accounts_ = 0;
+  uint64_t verified_slots_ = 0;
+  uint64_t installed_pages_ = 0;
+};
+
+}  // namespace hardtape::node

@@ -1,0 +1,297 @@
+#include "oram/path_oram.hpp"
+
+#include <cstring>
+
+#include "crypto/sha256.hpp"
+
+namespace hardtape::oram {
+
+namespace {
+
+// Block ids are 32 bytes inside the sealed plaintext: id || data.
+// The all-ones id marks a dummy slot.
+const u256 kDummyId = ~u256{};
+
+Bytes make_plaintext(const u256& id, BytesView data, size_t block_size) {
+  Bytes pt;
+  pt.reserve(32 + block_size);
+  append(pt, id.to_be_bytes_vec());
+  append(pt, data);
+  pt.resize(32 + block_size, 0);
+  return pt;
+}
+
+}  // namespace
+
+SealedSlot seal_slot(SealMode mode, const crypto::AesKey128& key, Random& rng,
+                     BytesView plaintext) {
+  SealedSlot slot;
+  rng.fill(slot.nonce.data(), slot.nonce.size());
+  switch (mode) {
+    case SealMode::kAesGcm: {
+      crypto::GcmNonce nonce;
+      std::memcpy(nonce.data(), slot.nonce.data(), nonce.size());
+      auto result = crypto::aes_gcm_encrypt(key, nonce, plaintext, BytesView{});
+      slot.ciphertext = std::move(result.ciphertext);
+      std::memcpy(slot.tag.data(), result.tag.data(), slot.tag.size());
+      return slot;
+    }
+    case SealMode::kChaChaHmac: {
+      crypto::GcmNonce nonce;
+      std::memcpy(nonce.data(), slot.nonce.data(), nonce.size());
+      // ChaCha20 keystream XOR via the shared block function.
+      std::array<uint32_t, 8> chacha_key{};
+      std::memcpy(chacha_key.data(), key.data(), key.size());  // 128-bit key, rest zero
+      std::array<uint32_t, 3> chacha_nonce{};
+      std::memcpy(chacha_nonce.data(), nonce.data(), nonce.size());
+      slot.ciphertext.assign(plaintext.begin(), plaintext.end());
+      std::array<uint8_t, 64> keystream;
+      for (size_t off = 0, counter = 1; off < slot.ciphertext.size(); off += 64, ++counter) {
+        chacha20_block(chacha_key, static_cast<uint32_t>(counter), chacha_nonce, keystream);
+        const size_t n = std::min<size_t>(64, slot.ciphertext.size() - off);
+        for (size_t i = 0; i < n; ++i) slot.ciphertext[off + i] ^= keystream[i];
+      }
+      Bytes mac_input;
+      append(mac_input, BytesView{slot.nonce.data(), slot.nonce.size()});
+      append(mac_input, slot.ciphertext);
+      const H256 mac = crypto::hmac_sha256(BytesView{key.data(), key.size()}, mac_input);
+      std::memcpy(slot.tag.data(), mac.bytes.data(), slot.tag.size());
+      return slot;
+    }
+  }
+  throw UsageError("bad seal mode");
+}
+
+std::optional<Bytes> open_slot(SealMode mode, const crypto::AesKey128& key,
+                               const SealedSlot& slot) {
+  crypto::GcmNonce nonce;
+  std::memcpy(nonce.data(), slot.nonce.data(), nonce.size());
+  switch (mode) {
+    case SealMode::kAesGcm: {
+      crypto::GcmTag tag;
+      std::memcpy(tag.data(), slot.tag.data(), tag.size());
+      return crypto::aes_gcm_decrypt(key, nonce, slot.ciphertext, BytesView{}, tag);
+    }
+    case SealMode::kChaChaHmac: {
+      Bytes mac_input;
+      append(mac_input, BytesView{slot.nonce.data(), slot.nonce.size()});
+      append(mac_input, slot.ciphertext);
+      const H256 mac = crypto::hmac_sha256(BytesView{key.data(), key.size()}, mac_input);
+      if (!ct_equal(BytesView{mac.bytes.data(), 16},
+                    BytesView{slot.tag.data(), slot.tag.size()})) {
+        return std::nullopt;
+      }
+      std::array<uint32_t, 8> chacha_key{};
+      std::memcpy(chacha_key.data(), key.data(), key.size());
+      std::array<uint32_t, 3> chacha_nonce{};
+      std::memcpy(chacha_nonce.data(), nonce.data(), nonce.size());
+      Bytes plaintext = slot.ciphertext;
+      std::array<uint8_t, 64> keystream;
+      for (size_t off = 0, counter = 1; off < plaintext.size(); off += 64, ++counter) {
+        chacha20_block(chacha_key, static_cast<uint32_t>(counter), chacha_nonce, keystream);
+        const size_t n = std::min<size_t>(64, plaintext.size() - off);
+        for (size_t i = 0; i < n; ++i) plaintext[off + i] ^= keystream[i];
+      }
+      return plaintext;
+    }
+  }
+  throw UsageError("bad seal mode");
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+OramServer::OramServer(const OramConfig& config) : config_(config) {
+  if (config.capacity == 0) throw UsageError("oram: zero capacity");
+  // Leaves sized so the tree holds `capacity` blocks with Z-slot buckets and
+  // comfortable slack (standard Path ORAM: N leaves for N blocks suffices
+  // when Z >= 4; we round capacity up to a power of two).
+  leaf_count_ = 1;
+  depth_ = 0;
+  while (leaf_count_ < config.capacity) {
+    leaf_count_ <<= 1;
+    ++depth_;
+  }
+  slots_.resize(bucket_count() * config.bucket_capacity);
+}
+
+std::vector<SealedSlot> OramServer::read_path(uint64_t leaf) {
+  if (leaf >= leaf_count_) throw UsageError("oram: leaf out of range");
+  observed_leaves_.push_back(leaf);
+  ++access_count_;
+  std::vector<SealedSlot> out;
+  out.reserve((depth_ + 1) * config_.bucket_capacity);
+  for (size_t level = 0; level <= depth_; ++level) {
+    const size_t base = bucket_index(leaf, level) * config_.bucket_capacity;
+    for (size_t z = 0; z < config_.bucket_capacity; ++z) {
+      out.push_back(slots_[base + z]);
+    }
+  }
+  return out;
+}
+
+void OramServer::write_path(uint64_t leaf, std::vector<SealedSlot> slots) {
+  if (leaf >= leaf_count_) throw UsageError("oram: leaf out of range");
+  if (slots.size() != (depth_ + 1) * config_.bucket_capacity) {
+    throw UsageError("oram: path shape mismatch");
+  }
+  size_t i = 0;
+  for (size_t level = 0; level <= depth_; ++level) {
+    const size_t base = bucket_index(leaf, level) * config_.bucket_capacity;
+    for (size_t z = 0; z < config_.bucket_capacity; ++z) {
+      slots_[base + z] = std::move(slots[i++]);
+    }
+  }
+}
+
+uint64_t OramServer::bytes_per_access() const {
+  const uint64_t slot_bytes = 12 + 16 + 32 + config_.block_size;
+  return 2 * (depth_ + 1) * config_.bucket_capacity * slot_bytes;
+}
+
+uint64_t OramServer::storage_bytes() const {
+  return slots_.size() * (12 + 16 + 32 + config_.block_size);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+OramClient::OramClient(OramServer& server, const crypto::AesKey128& oram_key,
+                       uint64_t rng_seed, SealMode mode)
+    : server_(server), key_(oram_key), mode_(mode), rng_(rng_seed) {}
+
+std::optional<Bytes> OramClient::read(const BlockId& id) {
+  return access(id, nullptr);
+}
+
+void OramClient::write(const BlockId& id, BytesView data) {
+  if (data.size() > server_.config().block_size) {
+    throw UsageError("oram: block too large");
+  }
+  Bytes padded(data.begin(), data.end());
+  padded.resize(server_.config().block_size, 0);
+  access(id, &padded);
+}
+
+std::optional<Bytes> OramClient::read_modify_write(
+    const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate) {
+  return access(id, nullptr, &mutate);
+}
+
+std::optional<Bytes> OramClient::access(
+    const BlockId& id, const Bytes* new_data,
+    const std::function<Bytes(std::optional<Bytes>)>* mutate) {
+  if (access_hook_) access_hook_();
+
+  const auto pos_it = position_.find(id);
+  const bool known = pos_it != position_.end();
+  if (!known && new_data == nullptr && mutate == nullptr) {
+    // Reading an unknown id must still look like a normal access: fetch and
+    // rewrite a random path (a "dummy access"), otherwise absent keys would
+    // be distinguishable by the missing traffic.
+    const uint64_t leaf = rng_.uniform(server_.leaf_count());
+    const auto path = server_.read_path(leaf);
+    std::vector<SealedSlot> rewritten;
+    rewritten.reserve(path.size());
+    const size_t block_size = server_.config().block_size;
+    for (const SealedSlot& slot : path) {
+      if (slot.ciphertext.empty()) {  // never-written slot: seal a dummy
+        rewritten.push_back(
+            seal_slot(mode_, key_, rng_, make_plaintext(kDummyId, BytesView{}, block_size)));
+        continue;
+      }
+      const auto pt = open_slot(mode_, key_, slot);
+      if (!pt.has_value()) throw HardtapeError("oram: slot authentication failed");
+      rewritten.push_back(seal_slot(mode_, key_, rng_, *pt));
+    }
+    server_.write_path(leaf, std::move(rewritten));
+    return std::nullopt;
+  }
+
+  const uint64_t leaf = known ? pos_it->second : rng_.uniform(server_.leaf_count());
+
+  // 1. Read the path and pull every real block into the stash.
+  const auto path = server_.read_path(leaf);
+  for (const SealedSlot& slot : path) {
+    if (slot.ciphertext.empty()) continue;  // uninitialized slot
+    const auto pt = open_slot(mode_, key_, slot);
+    if (!pt.has_value()) throw HardtapeError("oram: slot authentication failed");
+    const u256 slot_id = u256::from_be_bytes(BytesView{pt->data(), 32});
+    if (slot_id == kDummyId) continue;
+    const auto slot_pos = position_.find(slot_id);
+    if (slot_pos == position_.end()) continue;  // stale copy of an id that moved
+    if (stash_.contains(slot_id)) continue;     // newer copy already stashed
+    StashEntry entry;
+    entry.data.assign(pt->begin() + 32, pt->end());
+    entry.leaf = slot_pos->second;
+    stash_.emplace(slot_id, std::move(entry));
+  }
+
+  // 2. Remap the requested block to a fresh uniformly random leaf.
+  const uint64_t new_leaf = rng_.uniform(server_.leaf_count());
+  position_[id] = new_leaf;
+
+  std::optional<Bytes> result;
+  auto stash_it = stash_.find(id);
+  if (stash_it != stash_.end()) {
+    result = stash_it->second.data;
+    stash_it->second.leaf = new_leaf;
+    if (new_data != nullptr) stash_it->second.data = *new_data;
+    if (mutate != nullptr) {
+      Bytes updated = (*mutate)(result);
+      updated.resize(server_.config().block_size, 0);
+      stash_it->second.data = std::move(updated);
+    }
+  } else if (new_data != nullptr) {
+    stash_.emplace(id, StashEntry{*new_data, new_leaf});
+  } else if (mutate != nullptr) {
+    Bytes created = (*mutate)(std::nullopt);
+    created.resize(server_.config().block_size, 0);
+    stash_.emplace(id, StashEntry{std::move(created), new_leaf});
+  } else {
+    // Known position but block not found on path or stash: data loss.
+    throw HardtapeError("oram: mapped block missing");
+  }
+
+  stash_high_water_ = std::max(stash_high_water_, stash_.size());
+  if (stash_.size() > server_.config().max_stash_blocks) stash_overflowed_ = true;
+
+  // 3. Evict: greedily push stash blocks as deep as possible along this path.
+  evict_along_path(leaf);
+  return result;
+}
+
+void OramClient::evict_along_path(uint64_t leaf) {
+  const size_t depth = server_.depth();
+  const size_t z = server_.config().bucket_capacity;
+  const size_t block_size = server_.config().block_size;
+  std::vector<SealedSlot> path((depth + 1) * z);
+
+  // Deepest level first.
+  for (size_t level_plus_1 = depth + 1; level_plus_1 > 0; --level_plus_1) {
+    const size_t level = level_plus_1 - 1;
+    size_t filled = 0;
+    const uint64_t path_prefix = (server_.leaf_count() + leaf) >> (depth - level);
+    for (auto it = stash_.begin(); it != stash_.end() && filled < z;) {
+      const uint64_t block_prefix =
+          (server_.leaf_count() + it->second.leaf) >> (depth - level);
+      if (block_prefix == path_prefix) {
+        const Bytes pt = make_plaintext(it->first, it->second.data, block_size);
+        path[level * z + filled] = seal_slot(mode_, key_, rng_, pt);
+        ++filled;
+        it = stash_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (; filled < z; ++filled) {
+      const Bytes pt = make_plaintext(kDummyId, BytesView{}, block_size);
+      path[level * z + filled] = seal_slot(mode_, key_, rng_, pt);
+    }
+  }
+  server_.write_path(leaf, std::move(path));
+}
+
+}  // namespace hardtape::oram

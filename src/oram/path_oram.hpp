@@ -1,0 +1,151 @@
+// Path ORAM (Stefanov & Shi) over fixed-size pages — the backbone of
+// HarDTAPE's world-state access-pattern protection (paper Section IV-D).
+//
+// Client/server split per the paper: the SP runs the OramServer (the bucket
+// tree, stored encrypted); the trusted Hypervisor embeds the OramClient
+// (stash + position map, kept on-chip). What the adversary observes is the
+// server side only: a sequence of uniformly random root-to-leaf paths, each
+// read and rewritten in full with freshly re-encrypted slots — independent
+// of which logical page was touched (threat A7). AES-GCM on every slot gives
+// integrity (threat A6), replacing per-query Merkle proofs.
+//
+// The block size is 1 KB (the paper's page size): large enough for the
+// O(log^2 n)-bit bound that makes the bandwidth overhead O(log n), and equal
+// for code pages and storage-record groups so response *types* are
+// indistinguishable.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/errors.hpp"
+#include "common/random.hpp"
+#include "common/u256.hpp"
+#include "crypto/aes.hpp"
+
+namespace hardtape::oram {
+
+using BlockId = u256;
+
+struct OramConfig {
+  size_t block_size = 1024;       ///< paper: 1 KB pages
+  size_t bucket_capacity = 4;     ///< Z
+  size_t capacity = 4096;         ///< logical blocks the tree must hold
+  size_t max_stash_blocks = 256;  ///< on-chip stash bound (~O(log n) pages)
+};
+
+/// Slot sealing: the paper's design encrypts with AES-GCM. kChaChaHmac is a
+/// drop-in stream-cipher + HMAC-tag seal with identical interface and
+/// security role, used by the large benches where software AES-GCM would
+/// dominate run time (the performance numbers come from the cost models, not
+/// from host crypto speed — DESIGN.md §1).
+enum class SealMode : uint8_t { kAesGcm, kChaChaHmac };
+
+struct SealedSlot {
+  std::array<uint8_t, 12> nonce{};
+  std::array<uint8_t, 16> tag{};
+  Bytes ciphertext;
+};
+
+SealedSlot seal_slot(SealMode mode, const crypto::AesKey128& key, Random& rng,
+                     BytesView plaintext);
+/// Returns nullopt when the tag fails to verify (tampered slot).
+std::optional<Bytes> open_slot(SealMode mode, const crypto::AesKey128& key,
+                               const SealedSlot& slot);
+
+/// The untrusted server: a complete binary tree of buckets holding opaque
+/// sealed slots. Records everything an adversary in the SP's position could
+/// observe (the leaf/path sequence and access count).
+class OramServer {
+ public:
+  explicit OramServer(const OramConfig& config);
+
+  size_t depth() const { return depth_; }            ///< levels - 1
+  size_t leaf_count() const { return leaf_count_; }
+  size_t bucket_count() const { return 2 * leaf_count_ - 1; }
+  const OramConfig& config() const { return config_; }
+
+  /// Reads all Z*(depth+1) slots on the path to `leaf`, root first.
+  std::vector<SealedSlot> read_path(uint64_t leaf);
+  /// Replaces the path with re-encrypted slots (same shape as read_path).
+  void write_path(uint64_t leaf, std::vector<SealedSlot> slots);
+
+  // --- the adversary's view / statistics ---
+  const std::vector<uint64_t>& observed_leaves() const { return observed_leaves_; }
+  uint64_t access_count() const { return access_count_; }
+  /// Total bytes moved over the link per access (both directions).
+  uint64_t bytes_per_access() const;
+  uint64_t storage_bytes() const;
+  void clear_observations() { observed_leaves_.clear(); }
+
+ private:
+  // Heap-style bucket index of the level-`level` ancestor of `leaf`.
+  size_t bucket_index(uint64_t leaf, size_t level) const {
+    return ((leaf_count_ + leaf) >> (depth_ - level)) - 1;
+  }
+
+  OramConfig config_;
+  size_t depth_;
+  size_t leaf_count_;
+  std::vector<SealedSlot> slots_;  // bucket_count * Z, flat
+  std::vector<uint64_t> observed_leaves_;
+  uint64_t access_count_ = 0;
+};
+
+/// The trusted client: stash and position map (on-chip in HarDTAPE, as part
+/// of the Hypervisor). Every read() and write() performs one full Path ORAM
+/// access: path read, remap, evict, path re-write.
+class OramClient {
+ public:
+  OramClient(OramServer& server, const crypto::AesKey128& oram_key,
+             uint64_t rng_seed, SealMode mode = SealMode::kAesGcm);
+
+  /// Reads a block; nullopt when the id was never written.
+  std::optional<Bytes> read(const BlockId& id);
+  /// Writes (installs or updates) a block. `data` must be <= block_size and
+  /// is zero-padded to it.
+  void write(const BlockId& id, BytesView data);
+  /// One ORAM access that reads the block and replaces it with
+  /// mutate(previous) — the read-modify-write the recursive position map
+  /// needs to stay at one access per level. `previous` is nullopt for a
+  /// never-written id; the returned bytes are padded to block_size.
+  std::optional<Bytes> read_modify_write(
+      const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate);
+  bool contains(const BlockId& id) const { return position_.contains(id); }
+
+  size_t block_count() const { return position_.size(); }
+  size_t stash_size() const { return stash_.size(); }
+  size_t stash_high_water() const { return stash_high_water_; }
+  /// Set when the stash ever exceeded max_stash_blocks (a real deployment
+  /// would halt; we record and continue so tests can measure the tail).
+  bool stash_overflowed() const { return stash_overflowed_; }
+
+  /// Callback fired once per ORAM access (for timing models / schedulers).
+  void set_access_hook(std::function<void()> hook) { access_hook_ = std::move(hook); }
+
+ private:
+  struct StashEntry {
+    Bytes data;
+    uint64_t leaf;
+  };
+
+  // One full access; returns the (pre-update) block data if present.
+  // When `mutate` is set it computes the new contents from the old.
+  std::optional<Bytes> access(const BlockId& id, const Bytes* new_data,
+                              const std::function<Bytes(std::optional<Bytes>)>* mutate = nullptr);
+  void evict_along_path(uint64_t leaf);
+
+  OramServer& server_;
+  crypto::AesKey128 key_;
+  SealMode mode_;
+  Random rng_;
+  std::unordered_map<BlockId, uint64_t, U256Hasher> position_;
+  std::unordered_map<BlockId, StashEntry, U256Hasher> stash_;
+  size_t stash_high_water_ = 0;
+  bool stash_overflowed_ = false;
+  std::function<void()> access_hook_;
+};
+
+}  // namespace hardtape::oram

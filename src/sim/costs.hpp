@@ -1,0 +1,173 @@
+// Cost-model parameter sets for every timed component of HarDTAPE
+// (paper Section VI "Implementation and experiment setup").
+//
+// The defaults mirror the paper's prototype:
+//  - HEVMs on FPGA fabric at 0.1 GHz (4-stage pipeline),
+//  - quad-core ARM Cortex-A53 Hypervisor at 1.4 GHz,
+//  - Ethernet to the SP's servers with 2 ms latency,
+//  - ORAM server requiring ~25 us of service time per query,
+//  - Geth on an i7-12700 at 4.35 GHz as the software baseline.
+//
+// Each struct is plain data so the ablation benches can sweep fields.
+#pragma once
+
+#include <cstdint>
+
+#include "evm/opcodes.hpp"
+
+namespace hardtape::sim {
+
+/// One-way link between the HarDTAPE chip and off-chip servers (Node, ORAM
+/// server, user frontend).
+struct LinkModel {
+  uint64_t latency_ns = 2'000'000;      ///< 2 ms one-way (paper §VI)
+  double bytes_per_ns = 0.125;          ///< 1 Gbps Ethernet payload rate
+
+  /// Time for one message of `bytes` in one direction.
+  uint64_t transfer_ns(uint64_t bytes) const {
+    return latency_ns + static_cast<uint64_t>(static_cast<double>(bytes) / bytes_per_ns);
+  }
+  /// Request/response round trip with the given payload sizes.
+  uint64_t round_trip_ns(uint64_t request_bytes, uint64_t response_bytes) const {
+    return transfer_ns(request_bytes) + transfer_ns(response_bytes);
+  }
+};
+
+/// Cycle model of the 4-stage pipelined HEVM (paper §IV-B "Contract
+/// instruction interpretation"). Cycles per instruction class; the pipeline
+/// overlaps fetch/decode with execute, so common ops retire in ~1 cycle and
+/// wide ops stall the EX stage.
+struct HevmCostModel {
+  double clock_hz = 0.1e9;  ///< 100 MHz FPGA fabric
+
+  uint32_t cycles_control = 1;
+  uint32_t cycles_arithmetic = 2;    ///< 256-bit ALU, 2-cycle EX
+  uint32_t cycles_mul_div = 12;      ///< iterative 256-bit multiplier
+  uint32_t cycles_keccak_per_block = 48;
+  uint32_t cycles_environment = 1;
+  uint32_t cycles_stack = 1;
+  uint32_t cycles_memory = 2;        ///< layer-1 BRAM, dual-port
+  uint32_t cycles_storage_hit = 4;   ///< world-state cache hit in layer 1
+  uint32_t cycles_log = 8;
+  uint32_t cycles_call = 400;        ///< frame dump/reload between layers 1-2
+  uint32_t exception_cycles = 200;   ///< raise + hypervisor handshake
+  /// Core reset at session assignment: clearing the ~1.1 MB of layer-1/2
+  /// BRAM at 32 B/cycle (Fig. 3 step 10 / new session setup).
+  uint64_t reset_ns() const {
+    return static_cast<uint64_t>((1'130'496.0 / 32.0) * 1e9 / clock_hz);
+  }
+
+  uint64_t cycle_ns() const { return static_cast<uint64_t>(1e9 / clock_hz); }
+
+  uint64_t op_ns(evm::OpClass cls, uint8_t opcode) const {
+    uint32_t cycles;
+    switch (cls) {
+      case evm::OpClass::kControl: cycles = cycles_control; break;
+      case evm::OpClass::kArithmetic:
+        // MUL/DIV family (0x02,0x04-0x09,0x0a) uses the iterative unit.
+        cycles = (opcode == 0x02 || (opcode >= 0x04 && opcode <= 0x0a))
+                     ? cycles_mul_div
+                     : cycles_arithmetic;
+        break;
+      case evm::OpClass::kKeccak: cycles = cycles_keccak_per_block; break;
+      case evm::OpClass::kEnvironment: cycles = cycles_environment; break;
+      case evm::OpClass::kStack: cycles = cycles_stack; break;
+      case evm::OpClass::kMemory: cycles = cycles_memory; break;
+      case evm::OpClass::kStorage: cycles = cycles_storage_hit; break;
+      case evm::OpClass::kLog: cycles = cycles_log; break;
+      case evm::OpClass::kCall: cycles = cycles_call; break;
+      default: cycles = 1;
+    }
+    return cycles * cycle_ns();
+  }
+};
+
+/// Software-node baseline ("Geth role"), i7-12700 at 4.35 GHz. Per-op costs
+/// in nanoseconds, calibrated so that typical mainnet transactions take on
+/// the order of a millisecond (paper Figure 4's Geth bar) and so that the
+/// Figure 5 per-op comparison shows no significant difference to the HEVM on
+/// arithmetic/storage but a slower contract call path.
+struct GethCostModel {
+  uint64_t ns_dispatch = 4;        ///< interpreter loop overhead per op
+  uint64_t ns_arithmetic = 8;
+  uint64_t ns_mul_div = 30;
+  uint64_t ns_keccak_per_block = 250;
+  uint64_t ns_memory = 10;
+  uint64_t ns_storage = 450;       ///< in-memory trie/journal lookup
+  uint64_t ns_log = 300;
+  uint64_t ns_call = 12'000;       ///< interpreter re-entry, scope setup
+  uint64_t ns_tx_overhead = 150'000;  ///< tx pre/post processing (sig, pool)
+
+  uint64_t op_ns(evm::OpClass cls, uint8_t opcode) const {
+    switch (cls) {
+      case evm::OpClass::kArithmetic:
+        return ns_dispatch + ((opcode == 0x02 || (opcode >= 0x04 && opcode <= 0x0a))
+                                  ? ns_mul_div
+                                  : ns_arithmetic);
+      case evm::OpClass::kKeccak: return ns_dispatch + ns_keccak_per_block;
+      case evm::OpClass::kMemory: return ns_dispatch + ns_memory;
+      case evm::OpClass::kStorage: return ns_dispatch + ns_storage;
+      case evm::OpClass::kLog: return ns_dispatch + ns_log;
+      case evm::OpClass::kCall: return ns_dispatch + ns_call;
+      default: return ns_dispatch + 2;
+    }
+  }
+};
+
+/// TSC-VEE comparator model (closed-source TrustZone EVM, paper Figure 5).
+/// Same order of per-op costs as a software EVM on an A53 plus a fixed
+/// TrustZone world-switch cost per contract call; all data prefetched into
+/// the secure world, so no storage/network security overheads.
+struct TscVeeCostModel {
+  uint64_t ns_dispatch = 10;       ///< A53 at 1.4 GHz, interpreted
+  uint64_t ns_arithmetic = 14;
+  uint64_t ns_mul_div = 55;
+  uint64_t ns_keccak_per_block = 600;
+  uint64_t ns_memory = 16;
+  uint64_t ns_storage = 380;       ///< secure-memory table lookup
+  uint64_t ns_log = 350;
+  uint64_t ns_call = 15'000;       ///< includes SMC world switch
+  uint64_t op_ns(evm::OpClass cls, uint8_t opcode) const {
+    switch (cls) {
+      case evm::OpClass::kArithmetic:
+        return ns_dispatch + ((opcode == 0x02 || (opcode >= 0x04 && opcode <= 0x0a))
+                                  ? ns_mul_div
+                                  : ns_arithmetic);
+      case evm::OpClass::kKeccak: return ns_dispatch + ns_keccak_per_block;
+      case evm::OpClass::kMemory: return ns_dispatch + ns_memory;
+      case evm::OpClass::kStorage: return ns_dispatch + ns_storage;
+      case evm::OpClass::kLog: return ns_dispatch + ns_log;
+      case evm::OpClass::kCall: return ns_dispatch + ns_call;
+      default: return ns_dispatch + 3;
+    }
+  }
+};
+
+/// ORAM server (paper §VI-D: ~25 us service time per query).
+struct OramServerModel {
+  uint64_t service_ns = 25'000;
+};
+
+/// Crypto costs on the Hypervisor's ARM core (paper §VI-C: ECDSA adds ~80 ms
+/// per bundle — one verify of the user's input signature plus one sign of
+/// the returned trace, ~40 ms each on the A53; AES-GCM runs on the A.E.DMA
+/// hardware at a modest streaming rate).
+struct CryptoCostModel {
+  uint64_t ecdsa_sign_ns = 40'000'000;
+  uint64_t ecdsa_verify_ns = 40'000'000;
+  double aes_gcm_bytes_per_ns = 0.005;  ///< ~5 MB/s user-channel AES-GCM stream
+  uint64_t aes_gcm_setup_ns = 5'000;
+
+  uint64_t aes_gcm_ns(uint64_t bytes) const {
+    return aes_gcm_setup_ns +
+           static_cast<uint64_t>(static_cast<double>(bytes) / aes_gcm_bytes_per_ns);
+  }
+};
+
+/// Hypervisor message-handling costs (header check + DMA programming).
+struct HypervisorCostModel {
+  uint64_t message_handle_ns = 100'000;  ///< non-preemptive interrupt + header validation on the A53
+  uint64_t dma_setup_ns = 3'000;
+};
+
+}  // namespace hardtape::sim

@@ -1,0 +1,28 @@
+#include "state/account.hpp"
+
+#include "common/errors.hpp"
+#include "trie/rlp.hpp"
+
+namespace hardtape::state {
+
+Bytes Account::rlp_encode() const {
+  using namespace trie;
+  return rlp_encode_list({rlp_encode_u256(u256{nonce}), rlp_encode_u256(balance),
+                          rlp_encode_bytes(storage_root.view()),
+                          rlp_encode_bytes(code_hash.view())});
+}
+
+Account Account::rlp_decode(BytesView data) {
+  const trie::RlpItem item = trie::rlp_decode(data);
+  if (!item.is_list() || item.list().size() != 4) {
+    throw DecodingError("account: bad rlp shape");
+  }
+  Account account;
+  account.nonce = u256::from_be_bytes(item.list()[0].bytes()).as_u64();
+  account.balance = u256::from_be_bytes(item.list()[1].bytes());
+  account.storage_root = H256::from(item.list()[2].bytes());
+  account.code_hash = H256::from(item.list()[3].bytes());
+  return account;
+}
+
+}  // namespace hardtape::state

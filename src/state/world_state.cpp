@@ -1,0 +1,124 @@
+#include "state/world_state.hpp"
+
+#include <algorithm>
+
+#include "trie/rlp.hpp"
+
+namespace hardtape::state {
+
+namespace {
+H256 account_trie_key(const Address& addr) { return crypto::keccak256(addr.view()); }
+H256 storage_trie_key(const u256& key) {
+  return crypto::keccak256(key.to_be_bytes_vec());
+}
+}  // namespace
+
+std::optional<Account> WorldState::account(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return std::nullopt;
+  return it->second.account;
+}
+
+u256 WorldState::storage(const Address& addr, const u256& key) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return u256{};
+  const auto vit = it->second.storage_plain.find(key);
+  return vit == it->second.storage_plain.end() ? u256{} : vit->second;
+}
+
+Bytes WorldState::code(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return Bytes{};
+  const auto cit = code_store_.find(it->second.account.code_hash);
+  return cit == code_store_.end() ? Bytes{} : cit->second;
+}
+
+WorldState::AccountRecord& WorldState::record_for(const Address& addr) {
+  trie_dirty_ = true;
+  return accounts_[addr];
+}
+
+void WorldState::set_balance(const Address& addr, const u256& balance) {
+  record_for(addr).account.balance = balance;
+}
+
+void WorldState::set_nonce(const Address& addr, uint64_t nonce) {
+  record_for(addr).account.nonce = nonce;
+}
+
+void WorldState::set_code(const Address& addr, BytesView code) {
+  AccountRecord& rec = record_for(addr);
+  rec.account.code_hash = crypto::keccak256(code);
+  code_store_[rec.account.code_hash] = Bytes(code.begin(), code.end());
+}
+
+void WorldState::set_storage(const Address& addr, const u256& key, const u256& value) {
+  AccountRecord& rec = record_for(addr);
+  const H256 tk = storage_trie_key(key);
+  if (value.is_zero()) {
+    rec.storage_plain.erase(key);
+    rec.storage_trie.erase(tk.view());
+  } else {
+    rec.storage_plain[key] = value;
+    rec.storage_trie.put(tk.view(), trie::rlp_encode_u256(value));
+  }
+  rec.account.storage_root = rec.storage_trie.root_hash();
+}
+
+void WorldState::delete_account(const Address& addr) {
+  trie_dirty_ = true;
+  accounts_.erase(addr);
+}
+
+void WorldState::rebuild_state_trie() const {
+  if (!trie_dirty_) return;
+  state_trie_ = trie::MerklePatriciaTrie{};
+  for (const auto& [addr, rec] : accounts_) {
+    Account account = rec.account;
+    account.storage_root = rec.storage_trie.root_hash();
+    state_trie_.put(account_trie_key(addr).view(), account.rlp_encode());
+  }
+  trie_dirty_ = false;
+}
+
+H256 WorldState::state_root() const {
+  rebuild_state_trie();
+  return state_trie_.root_hash();
+}
+
+trie::MerkleProof WorldState::prove_account(const Address& addr) const {
+  rebuild_state_trie();
+  return state_trie_.prove(account_trie_key(addr).view());
+}
+
+trie::MerkleProof WorldState::prove_storage(const Address& addr, const u256& key) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return {};
+  return it->second.storage_trie.prove(storage_trie_key(key).view());
+}
+
+H256 WorldState::storage_root(const Address& addr) const {
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return trie::MerklePatriciaTrie::empty_root_hash();
+  return it->second.storage_trie.root_hash();
+}
+
+std::vector<Address> WorldState::all_accounts() const {
+  std::vector<Address> out;
+  out.reserve(accounts_.size());
+  for (const auto& [addr, rec] : accounts_) out.push_back(addr);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<u256> WorldState::storage_keys(const Address& addr) const {
+  std::vector<u256> out;
+  const auto it = accounts_.find(addr);
+  if (it == accounts_.end()) return out;
+  out.reserve(it->second.storage_plain.size());
+  for (const auto& [key, value] : it->second.storage_plain) out.push_back(key);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hardtape::state

@@ -1,0 +1,85 @@
+// Merkle Patricia Trie.
+//
+// Ethereum authenticates its world state with MPTrees: the state trie maps
+// keccak(address) -> RLP(account), and each contract's storage trie maps
+// keccak(slot) -> RLP(value). HarDTAPE relies on Merkle proofs exactly once
+// per datum — when synchronizing freshly produced blocks from the (untrusted)
+// Node into the ORAM (paper Section IV-C "Remark"); after that, AES-GCM
+// protects integrity and no proofs are fetched during pre-execution, which is
+// also what keeps the sync path free of access-pattern requirements.
+//
+// Node model: leaf [encodedPath, value], extension [encodedPath, childHash],
+// branch [16 x childHash, value], with hex-prefix path encoding. Children are
+// always referenced by their Keccak-256 hash (no sub-32-byte inlining; the
+// trie is self-consistent, which is all the simulator requires — see
+// DESIGN.md §1).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::trie {
+
+/// A Merkle proof: the RLP encodings of the nodes on the path from the root
+/// to the key (inclusive), in root-first order.
+using MerkleProof = std::vector<Bytes>;
+
+class MerklePatriciaTrie {
+ public:
+  MerklePatriciaTrie() = default;
+
+  /// Inserts or updates. Empty `value` is not allowed (use erase).
+  void put(BytesView key, BytesView value);
+  std::optional<Bytes> get(BytesView key) const;
+  /// Removes the key; returns true if it was present.
+  bool erase(BytesView key);
+
+  /// Keccak-256 of the root node; the hash of an empty trie is
+  /// keccak256(rlp("")) as in Ethereum.
+  H256 root_hash() const;
+  static H256 empty_root_hash();
+
+  /// Generates a membership (or non-membership) proof for `key`.
+  MerkleProof prove(BytesView key) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Verifies `proof` against `root`. Returns the value if the proof shows
+  /// membership, an empty optional wrapped in Status-like semantics:
+  ///  - {true, value}  : proof valid, key present with `value`
+  ///  - {true, nullopt}: proof valid, key proven absent
+  ///  - {false, ...}   : proof invalid (hash mismatch / malformed)
+  struct VerifyResult {
+    bool valid = false;
+    std::optional<Bytes> value;
+  };
+  static VerifyResult verify_proof(const H256& root, BytesView key,
+                                   const MerkleProof& proof);
+
+ private:
+  // Node storage: node hash -> RLP encoding. Simple content-addressed store;
+  // stale nodes are left behind on update (garbage, but harmless for the
+  // simulator's lifetimes).
+  std::unordered_map<H256, Bytes, H256Hasher> nodes_;
+  H256 root_{};  // zero hash means "empty trie"
+  size_t size_ = 0;
+
+  using Nibbles = std::vector<uint8_t>;
+  static Nibbles to_nibbles(BytesView key);
+
+  // Recursive helpers operate on node hashes; zero hash = missing node.
+  H256 insert(const H256& node_hash, const Nibbles& path, size_t depth, BytesView value);
+  std::optional<Bytes> lookup(const H256& node_hash, const Nibbles& path, size_t depth) const;
+  // Returns the new child hash (zero = removed entirely).
+  H256 remove(const H256& node_hash, const Nibbles& path, size_t depth, bool& removed);
+  H256 store_node(const Bytes& encoded);
+  const Bytes& load_node(const H256& hash) const;
+  // Collapses a branch that may have become degenerate after removal.
+  H256 normalize(const H256& node_hash);
+};
+
+}  // namespace hardtape::trie

@@ -1,0 +1,119 @@
+#include "trie/rlp.hpp"
+
+#include "common/errors.hpp"
+
+namespace hardtape::trie {
+
+namespace {
+void encode_length(Bytes& out, size_t length, uint8_t offset) {
+  if (length < 56) {
+    out.push_back(static_cast<uint8_t>(offset + length));
+    return;
+  }
+  Bytes len_bytes;
+  for (size_t v = length; v > 0; v >>= 8) len_bytes.insert(len_bytes.begin(), static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(offset + 55 + len_bytes.size()));
+  append(out, len_bytes);
+}
+
+// Decodes the item starting at data[pos]; advances pos past it.
+RlpItem decode_item(BytesView data, size_t& pos) {
+  if (pos >= data.size()) throw DecodingError("rlp: truncated");
+  const uint8_t prefix = data[pos];
+
+  auto read_payload = [&](size_t length) -> BytesView {
+    if (data.size() - pos < length) throw DecodingError("rlp: truncated payload");
+    const BytesView payload = data.subspan(pos, length);
+    pos += length;
+    return payload;
+  };
+  auto read_length = [&](size_t length_of_length) -> size_t {
+    if (length_of_length == 0 || length_of_length > 8) throw DecodingError("rlp: bad length");
+    if (data.size() - pos < length_of_length) throw DecodingError("rlp: truncated length");
+    size_t length = 0;
+    if (data[pos] == 0) throw DecodingError("rlp: non-canonical length");
+    for (size_t i = 0; i < length_of_length; ++i) length = (length << 8) | data[pos + i];
+    pos += length_of_length;
+    if (length < 56) throw DecodingError("rlp: non-canonical length");
+    return length;
+  };
+
+  if (prefix <= 0x7f) {  // single byte
+    ++pos;
+    return RlpItem{Bytes{prefix}};
+  }
+  if (prefix <= 0xb7) {  // short string
+    ++pos;
+    const size_t length = prefix - 0x80;
+    const BytesView payload = read_payload(length);
+    if (length == 1 && payload[0] <= 0x7f) throw DecodingError("rlp: non-canonical byte");
+    return RlpItem{Bytes(payload.begin(), payload.end())};
+  }
+  if (prefix <= 0xbf) {  // long string
+    ++pos;
+    const size_t length = read_length(prefix - 0xb7);
+    const BytesView payload = read_payload(length);
+    return RlpItem{Bytes(payload.begin(), payload.end())};
+  }
+  // Lists.
+  ++pos;
+  size_t length;
+  if (prefix <= 0xf7) {
+    length = prefix - 0xc0;
+  } else {
+    length = read_length(prefix - 0xf7);
+  }
+  if (data.size() - pos < length) throw DecodingError("rlp: truncated list");
+  const size_t end = pos + length;
+  RlpList items;
+  while (pos < end) items.push_back(decode_item(data, pos));
+  if (pos != end) throw DecodingError("rlp: list payload overrun");
+  return RlpItem{std::move(items)};
+}
+}  // namespace
+
+Bytes rlp_encode_bytes(BytesView data) {
+  Bytes out;
+  if (data.size() == 1 && data[0] <= 0x7f) {
+    out.push_back(data[0]);
+    return out;
+  }
+  encode_length(out, data.size(), 0x80);
+  append(out, data);
+  return out;
+}
+
+Bytes rlp_encode_u256(const u256& v) {
+  if (v.is_zero()) return rlp_encode_bytes(BytesView{});
+  const auto be = v.to_be_bytes();
+  size_t first = 0;
+  while (first < 32 && be[first] == 0) ++first;
+  return rlp_encode_bytes(BytesView{be.data() + first, 32 - first});
+}
+
+Bytes rlp_encode_list(const std::vector<Bytes>& encoded_items) {
+  size_t total = 0;
+  for (const Bytes& item : encoded_items) total += item.size();
+  Bytes out;
+  out.reserve(total + 9);
+  encode_length(out, total, 0xc0);
+  for (const Bytes& item : encoded_items) append(out, item);
+  return out;
+}
+
+Bytes rlp_encode(const RlpItem& item) {
+  if (!item.is_list()) return rlp_encode_bytes(item.bytes());
+  std::vector<Bytes> parts;
+  parts.reserve(item.list().size());
+  for (const RlpItem& child : item.list()) parts.push_back(rlp_encode(child));
+  return rlp_encode_list(parts);
+}
+
+RlpItem rlp_decode(BytesView data) {
+  size_t pos = 0;
+  RlpItem item = decode_item(data, pos);
+  if (pos != data.size()) throw DecodingError("rlp: trailing bytes");
+  return item;
+}
+
+}  // namespace hardtape::trie

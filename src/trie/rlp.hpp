@@ -1,0 +1,46 @@
+// RLP (Recursive Length Prefix) — Ethereum's canonical serialization.
+//
+// Used by the Merkle Patricia Trie (node encoding feeds Keccak-256 to form
+// node hashes) and by block/transaction wire formats in the node simulator.
+#pragma once
+
+#include <variant>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::trie {
+
+/// An RLP item is either a byte string or a list of items.
+struct RlpItem;
+using RlpList = std::vector<RlpItem>;
+
+struct RlpItem {
+  std::variant<Bytes, RlpList> value;
+
+  RlpItem() : value(Bytes{}) {}
+  RlpItem(Bytes b) : value(std::move(b)) {}         // NOLINT: implicit by design
+  RlpItem(RlpList l) : value(std::move(l)) {}       // NOLINT: implicit by design
+
+  bool is_list() const { return std::holds_alternative<RlpList>(value); }
+  const Bytes& bytes() const { return std::get<Bytes>(value); }
+  const RlpList& list() const { return std::get<RlpList>(value); }
+};
+
+/// Encodes a raw byte string as an RLP string item.
+Bytes rlp_encode_bytes(BytesView data);
+
+/// Encodes a u256 as a minimal-length big-endian RLP string (Ethereum ints).
+Bytes rlp_encode_u256(const u256& v);
+
+/// Wraps already-encoded item payloads into an RLP list.
+Bytes rlp_encode_list(const std::vector<Bytes>& encoded_items);
+
+/// Encodes a structured item tree.
+Bytes rlp_encode(const RlpItem& item);
+
+/// Decodes one item, consuming the entire input. Throws DecodingError on
+/// malformed or trailing data.
+RlpItem rlp_decode(BytesView data);
+
+}  // namespace hardtape::trie

@@ -1,0 +1,298 @@
+#include "workload/contracts.hpp"
+
+#include "evm/assembler.hpp"
+
+namespace hardtape::workload {
+
+namespace {
+
+std::string hex32(uint32_t selector) {
+  char buf[11];
+  std::snprintf(buf, sizeof buf, "0x%08x", selector);
+  return buf;
+}
+
+std::string dispatch(std::initializer_list<std::pair<uint32_t, const char*>> entries) {
+  // Common prologue: load the selector, compare against each entry.
+  std::string out = "PUSH1 0x00 CALLDATALOAD PUSH1 224 SHR\n";
+  for (const auto& [selector, label] : entries) {
+    out += "DUP1 PUSH4 " + hex32(selector) + " EQ PUSH @" + label + " JUMPI\n";
+  }
+  out += "PUSH0 PUSH0 REVERT\n";
+  return out;
+}
+
+}  // namespace
+
+Bytes erc20_code() {
+  // Storage layout: slot 0 = totalSupply; balance of address A at slot A.
+  const std::string src = dispatch({{kSelTransfer, "transfer"},
+                                    {kSelBalanceOf, "balanceOf"},
+                                    {kSelMint, "mint"}}) +
+                          R"(
+transfer:
+  JUMPDEST
+  POP                          ; drop selector
+  PUSH1 0x24 CALLDATALOAD      ; amt
+  CALLER SLOAD                 ; [amt, fromBal]
+  DUP2 DUP2 LT                 ; fromBal < amt ?
+  PUSH @insufficient JUMPI
+  DUP2 SWAP1 SUB               ; [amt, fromBal - amt]
+  CALLER SSTORE                ; balances[caller] = fromBal - amt; [amt]
+  PUSH1 0x04 CALLDATALOAD      ; [amt, to]
+  DUP1 SLOAD                   ; [amt, to, toBal]
+  DUP3 ADD                     ; [amt, to, toBal + amt]
+  SWAP1 SSTORE                 ; balances[to] = toBal + amt; [amt]
+  ; emit Transfer(caller, to, amt)
+  PUSH1 0x00 MSTORE            ; mem[0] = amt; []
+  PUSH1 0x04 CALLDATALOAD      ; topic3 = to
+  CALLER                       ; topic2 = from
+  PUSH32 0xddf252ad1be2c89b69c2b068fc378daa952ba7f163c4a11628f55a4df523b3ef
+  PUSH1 0x20 PUSH1 0x00 LOG3
+  PUSH1 0x01 PUSH1 0x00 MSTORE
+  PUSH1 0x20 PUSH1 0x00 RETURN
+insufficient:
+  JUMPDEST
+  PUSH0 PUSH0 REVERT
+balanceOf:
+  JUMPDEST
+  POP
+  PUSH1 0x04 CALLDATALOAD SLOAD
+  PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+mint:
+  JUMPDEST
+  POP
+  PUSH1 0x24 CALLDATALOAD      ; amt
+  PUSH1 0x04 CALLDATALOAD      ; [amt, to]
+  DUP1 SLOAD                   ; [amt, to, bal]
+  DUP3 ADD                     ; [amt, to, bal + amt]
+  SWAP1 SSTORE                 ; [amt]
+  PUSH1 0x00 SLOAD ADD         ; [total + amt]
+  PUSH1 0x00 SSTORE            ; totalSupply += amt
+  STOP
+)";
+  return evm::assemble(src);
+}
+
+Bytes dex_pair_code() {
+  // Constant-product AMM over token1 (slot 3): out = r1*in / (r0+in).
+  const std::string src = dispatch({{kSelSwap, "swap"},
+                                    {kSelAddLiquidity, "addLiquidity"}}) +
+                          R"(
+swap:
+  JUMPDEST
+  POP
+  PUSH1 0x04 CALLDATALOAD      ; amtIn
+  PUSH1 0x00 SLOAD             ; [in, r0]
+  PUSH1 0x01 SLOAD             ; [in, r0, r1]
+  DUP3 DUP2 MUL                ; [in, r0, r1, r1*in]
+  DUP3 DUP5 ADD                ; [in, r0, r1, p, r0+in]
+  SWAP1 DIV                    ; [in, r0, r1, out]
+  DUP4 DUP4 ADD                ; [.., out, in+r0]
+  PUSH1 0x00 SSTORE            ; reserve0 = r0 + in
+  DUP1 DUP3 SUB                ; [.., out, r1-out]
+  PUSH1 0x01 SSTORE            ; reserve1 = r1 - out
+  ; fee and cumulative-price accounting (slots 4-8), as real AMM pairs do
+  PUSH1 0x04 SLOAD PUSH1 0x01 ADD PUSH1 0x04 SSTORE   ; swapCount
+  PUSH1 0x05 SLOAD DUP2 ADD    PUSH1 0x05 SSTORE      ; cumVolumeOut
+  PUSH1 0x06 SLOAD PUSH1 0x03 ADD PUSH1 0x06 SSTORE   ; feeAccum
+  PUSH1 0x07 SLOAD PUSH1 0x01 ADD PUSH1 0x07 SSTORE   ; priceCum0
+  PUSH1 0x08 SLOAD PUSH1 0x01 ADD PUSH1 0x08 SSTORE   ; kLast tick
+  ; token1.transfer(caller, out)
+  PUSH4 0xa9059cbb PUSH1 224 SHL PUSH1 0x00 MSTORE
+  CALLER PUSH1 0x04 MSTORE
+  DUP1 PUSH1 0x24 MSTORE
+  PUSH1 0x20                   ; retLen
+  PUSH1 0x00                   ; retOff
+  PUSH1 0x44                   ; argLen
+  PUSH1 0x00                   ; argOff
+  PUSH1 0x00                   ; value
+  PUSH1 0x03 SLOAD             ; token1
+  GAS
+  CALL
+  POP
+  PUSH1 0x00 MSTORE            ; mem[0] = out
+  PUSH1 0x20 PUSH1 0x00 RETURN
+addLiquidity:
+  JUMPDEST
+  POP
+  PUSH1 0x04 CALLDATALOAD PUSH1 0x00 SLOAD ADD PUSH1 0x00 SSTORE
+  PUSH1 0x24 CALLDATALOAD PUSH1 0x01 SLOAD ADD PUSH1 0x01 SSTORE
+  STOP
+)";
+  return evm::assemble(src);
+}
+
+Bytes ponzi_code() {
+  // invest(): forwards half the incoming value to the previous investor and
+  // records the caller as the next payout target (slot 0) plus their stake
+  // (slot keyed by caller address).
+  const std::string src = dispatch({{kSelInvest, "invest"}}) + R"(
+invest:
+  JUMPDEST
+  POP
+  PUSH1 0x00 SLOAD             ; prev investor
+  DUP1 ISZERO PUSH @first JUMPI
+  PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00   ; ret/arg regions
+  CALLVALUE PUSH1 0x01 SHR     ; value/2
+  DUP6                         ; prev address
+  GAS
+  CALL
+  POP
+first:
+  JUMPDEST
+  CALLER PUSH1 0x00 SSTORE     ; lastInvestor = caller
+  CALLER SLOAD CALLVALUE ADD
+  CALLER SSTORE                ; stakes[caller] += value
+  POP                          ; drop prev
+  STOP
+)";
+  return evm::assemble(src);
+}
+
+Bytes router_code() {
+  // route(depth, token, to, amt): self-recursive call chain of `depth`
+  // frames ending in token.transfer(to, amt).
+  const std::string src = dispatch({{kSelRoute, "route"}}) + R"(
+route:
+  JUMPDEST
+  POP
+  PUSH1 0x04 CALLDATALOAD      ; depth
+  DUP1 ISZERO PUSH @leaf JUMPI
+  PUSH1 0x01 SWAP1 SUB         ; depth-1
+  CALLDATASIZE PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+  PUSH1 0x04 MSTORE            ; overwrite depth word
+  PUSH1 0x00                   ; retLen
+  PUSH1 0x00                   ; retOff
+  CALLDATASIZE                 ; argLen
+  PUSH1 0x00                   ; argOff
+  PUSH1 0x00                   ; value
+  ADDRESS
+  GAS
+  CALL
+  POP
+  STOP
+leaf:
+  JUMPDEST
+  POP                          ; drop depth (=0)
+  PUSH4 0xa9059cbb PUSH1 224 SHL PUSH1 0x00 MSTORE
+  PUSH1 0x44 CALLDATALOAD PUSH1 0x04 MSTORE    ; to
+  PUSH1 0x64 CALLDATALOAD PUSH1 0x24 MSTORE    ; amt
+  PUSH1 0x00 PUSH1 0x00 PUSH1 0x44 PUSH1 0x00 PUSH1 0x00
+  PUSH1 0x24 CALLDATALOAD      ; token
+  GAS
+  CALL
+  POP
+  STOP
+)";
+  return evm::assemble(src);
+}
+
+Bytes rollup_batcher_code() {
+  // submit(base, count): stages the whole calldata in memory, then writes
+  // storage[base+i] = i+1 for i in [0, count). Consecutive keys exercise the
+  // ORAM's storage-group paging; huge calldata exercises the frame-memory
+  // limit (rollup transactions are the paper's Memory Overflow case).
+  const std::string src = dispatch({{kSelSubmitBatch, "submit"}}) + R"(
+submit:
+  JUMPDEST
+  POP
+  CALLDATASIZE PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+  PUSH1 0x04 CALLDATALOAD      ; base
+  PUSH1 0x24 CALLDATALOAD      ; [base, count]
+  PUSH0                        ; [base, count, i]
+loop:
+  JUMPDEST
+  DUP2 DUP2 LT ISZERO PUSH @done JUMPI
+  DUP1 PUSH1 0x01 ADD          ; [b, c, i, i+1]
+  DUP2 DUP5 ADD                ; [b, c, i, i+1, b+i]
+  SSTORE                       ; storage[b+i] = i+1
+  PUSH1 0x01 ADD               ; ++i
+  PUSH @loop JUMP
+done:
+  JUMPDEST
+  STOP
+)";
+  return evm::assemble(src);
+}
+
+Bytes honeypot_code() {
+  // deposit() accepts value; withdraw() only pays out when the hidden flag
+  // at slot 0x63 is set — which the scammer never sets.
+  const std::string src = dispatch({{kSelDeposit, "deposit"},
+                                    {kSelWithdraw, "withdraw"}}) +
+                          R"(
+deposit:
+  JUMPDEST
+  POP
+  CALLER SLOAD CALLVALUE ADD
+  CALLER SSTORE
+  STOP
+withdraw:
+  JUMPDEST
+  POP
+  PUSH1 0x63 SLOAD ISZERO PUSH @trap JUMPI
+  CALLER SLOAD                 ; bal
+  PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+  DUP5                         ; value = bal
+  CALLER
+  GAS
+  CALL
+  POP
+  PUSH0 CALLER SSTORE
+  STOP
+trap:
+  JUMPDEST
+  PUSH0 PUSH0 REVERT
+)";
+  return evm::assemble(src);
+}
+
+Bytes pad_code(Bytes code, size_t target_size) {
+  if (code.size() >= target_size) return code;
+  code.push_back(0x00);  // STOP guard before the padding
+  code.resize(target_size, 0x00);
+  return code;
+}
+
+Bytes calldata_selector(uint32_t selector) {
+  Bytes out(4);
+  out[0] = static_cast<uint8_t>(selector >> 24);
+  out[1] = static_cast<uint8_t>(selector >> 16);
+  out[2] = static_cast<uint8_t>(selector >> 8);
+  out[3] = static_cast<uint8_t>(selector);
+  return out;
+}
+
+namespace {
+Bytes with_args(uint32_t selector, std::initializer_list<u256> args) {
+  Bytes out = calldata_selector(selector);
+  for (const u256& arg : args) append(out, arg.to_be_bytes_vec());
+  return out;
+}
+}  // namespace
+
+Bytes erc20_transfer(const Address& to, const u256& amount) {
+  return with_args(kSelTransfer, {to.to_u256(), amount});
+}
+Bytes erc20_mint(const Address& to, const u256& amount) {
+  return with_args(kSelMint, {to.to_u256(), amount});
+}
+Bytes erc20_balance_of(const Address& owner) {
+  return with_args(kSelBalanceOf, {owner.to_u256()});
+}
+Bytes dex_swap(const u256& amount_in) { return with_args(kSelSwap, {amount_in}); }
+Bytes dex_add_liquidity(const u256& amount0, const u256& amount1) {
+  return with_args(kSelAddLiquidity, {amount0, amount1});
+}
+Bytes router_route(uint64_t depth, const Address& token, const Address& to,
+                   const u256& amount) {
+  return with_args(kSelRoute, {u256{depth}, token.to_u256(), to.to_u256(), amount});
+}
+Bytes rollup_submit(const u256& base_key, uint64_t count, size_t extra_payload) {
+  Bytes out = with_args(kSelSubmitBatch, {base_key, u256{count}});
+  out.resize(out.size() + extra_payload, 0xda);  // bulk rollup payload
+  return out;
+}
+
+}  // namespace hardtape::workload

@@ -1,0 +1,69 @@
+// Hand-assembled EVM contracts used by the synthetic Mainnet workload.
+//
+// The evaluation set of the paper is blocks #19145194-#19145293; we cannot
+// redistribute them, so the workload generator (workload/generator.hpp)
+// composes these contracts into blocks whose Table-I statistics match the
+// paper's. Each contract is written in the assembler dialect of
+// evm/assembler.hpp and exercises a distinct slice of the system:
+//
+//  - ERC-20: the canonical token (transfer/mint/balanceOf), storage-heavy;
+//  - DEX pair: constant-product swap calling the token (depth-2 calls, the
+//    MEV-sensitive workload from the paper's intro);
+//  - Ponzi: value-forwarding scheme (paper's scam-contract motivation);
+//  - Router: self-recursive call chains with parametrized depth (drives the
+//    Table-I call-depth distribution);
+//  - Rollup batcher: bulk sequential storage writes + large calldata (the
+//    §VI-B transactions that can trip the Memory Overflow Error);
+//  - Honeypot: deposits accepted, withdrawals secretly blocked (the
+//    scam-detector example's target).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::workload {
+
+// Runtime bytecode (deployed directly into world state; no constructors).
+Bytes erc20_code();
+Bytes dex_pair_code();
+Bytes ponzi_code();
+Bytes router_code();
+Bytes rollup_batcher_code();
+Bytes honeypot_code();
+
+/// Pads runtime code with a STOP followed by zero bytes to `target_size`,
+/// emulating the larger real-world contracts of the paper's Table I code
+/// size distribution without changing behavior.
+Bytes pad_code(Bytes code, size_t target_size);
+
+// Function selectors (first 4 bytes of the call data).
+inline constexpr uint32_t kSelTransfer = 0xa9059cbb;   // transfer(address,uint256)
+inline constexpr uint32_t kSelBalanceOf = 0x70a08231;  // balanceOf(address)
+inline constexpr uint32_t kSelMint = 0x40c10f19;       // mint(address,uint256)
+inline constexpr uint32_t kSelSwap = 0x51505ee3;       // swap(uint256)
+inline constexpr uint32_t kSelAddLiquidity = 0x9cd441da;  // addLiquidity(uint256,uint256)
+inline constexpr uint32_t kSelRoute = 0x7a7d2a7c;      // route(depth,token,to,amt)
+inline constexpr uint32_t kSelSubmitBatch = 0x8d0e5a2a; // submit(base,count)
+inline constexpr uint32_t kSelInvest = 0xe8b5e51f;     // invest()
+inline constexpr uint32_t kSelDeposit = 0xd0e30db0;    // deposit()
+inline constexpr uint32_t kSelWithdraw = 0x3ccfd60b;   // withdraw()
+
+// Calldata builders.
+Bytes calldata_selector(uint32_t selector);
+Bytes erc20_transfer(const Address& to, const u256& amount);
+Bytes erc20_mint(const Address& to, const u256& amount);
+Bytes erc20_balance_of(const Address& owner);
+Bytes dex_swap(const u256& amount_in);
+Bytes dex_add_liquidity(const u256& amount0, const u256& amount1);
+Bytes router_route(uint64_t depth, const Address& token, const Address& to,
+                   const u256& amount);
+Bytes rollup_submit(const u256& base_key, uint64_t count, size_t extra_payload = 0);
+
+// DEX storage layout: slot 0 = reserve0, 1 = reserve1, 2 = token0, 3 = token1.
+inline constexpr uint64_t kDexReserve0Slot = 0;
+inline constexpr uint64_t kDexReserve1Slot = 1;
+inline constexpr uint64_t kDexToken1Slot = 3;
+// Honeypot: the hidden withdrawal-enable flag lives at slot 0x63.
+inline constexpr uint64_t kHoneypotFlagSlot = 0x63;
+
+}  // namespace hardtape::workload

@@ -1,0 +1,310 @@
+// Known-answer and property tests for the crypto substrate.
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "common/random.hpp"
+#include "crypto/aes.hpp"
+#include "crypto/keccak.hpp"
+#include "crypto/secp256k1.hpp"
+#include "crypto/sha256.hpp"
+
+namespace hardtape::crypto {
+namespace {
+
+TEST(Keccak, KnownVectors) {
+  // Ethereum-style Keccak-256 (original padding), not SHA3-256.
+  EXPECT_EQ(keccak256("").hex(),
+            "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+  EXPECT_EQ(keccak256("abc").hex(),
+            "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+  EXPECT_EQ(keccak256("The quick brown fox jumps over the lazy dog").hex(),
+            "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15");
+}
+
+TEST(Keccak, MultiBlockInput) {
+  // > 136-byte input exercises the multi-block absorb path.
+  const std::string long_input(500, 'a');
+  const H256 h1 = keccak256(long_input);
+  const H256 h2 = keccak256(long_input);
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, keccak256(std::string(501, 'a')));
+  // Boundary: exactly one rate block.
+  EXPECT_NE(keccak256(std::string(136, 'x')), keccak256(std::string(135, 'x')));
+}
+
+TEST(Sha256, KnownVectors) {
+  EXPECT_EQ(sha256(Bytes{}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  const Bytes abc = {'a', 'b', 'c'};
+  EXPECT_EQ(sha256(abc).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // 56-byte input exercises the two-block padding path.
+  const std::string s56(56, 'a');
+  const Bytes b56(s56.begin(), s56.end());
+  EXPECT_EQ(sha256(b56).hex(),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256, HmacRfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Bytes msg(data.begin(), data.end());
+  EXPECT_EQ(hmac_sha256(key, msg).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Sha256, HmacRfc4231Case2) {
+  const std::string k = "Jefe";
+  const std::string d = "what do ya want for nothing?";
+  EXPECT_EQ(hmac_sha256(Bytes(k.begin(), k.end()), Bytes(d.begin(), d.end())).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Sha256, HkdfProducesRequestedLength) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes out = hkdf_sha256(ikm, Bytes{}, Bytes{}, 42);
+  EXPECT_EQ(out.size(), 42u);
+  // Deterministic.
+  EXPECT_EQ(out, hkdf_sha256(ikm, Bytes{}, Bytes{}, 42));
+  // Different info separates keys.
+  const Bytes info = {'x'};
+  EXPECT_NE(out, hkdf_sha256(ikm, Bytes{}, info, 42));
+}
+
+TEST(Aes128, Fips197Vector) {
+  const Bytes key_bytes = from_hex("000102030405060708090a0b0c0d0e0f");
+  AesKey128 key;
+  std::copy(key_bytes.begin(), key_bytes.end(), key.begin());
+  const Bytes pt = from_hex("00112233445566778899aabbccddeeff");
+  uint8_t out[16];
+  Aes128(key).encrypt_block(pt.data(), out);
+  EXPECT_EQ(to_hex(BytesView{out, 16}), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesGcm, NistTestCase1EmptyPlaintext) {
+  const AesKey128 key{};
+  const GcmNonce nonce{};
+  const auto result = aes_gcm_encrypt(key, nonce, Bytes{}, Bytes{});
+  EXPECT_TRUE(result.ciphertext.empty());
+  EXPECT_EQ(to_hex(BytesView{result.tag.data(), result.tag.size()}),
+            "58e2fccefa7e3061367f1d57a4e7455a");
+}
+
+TEST(AesGcm, NistTestCase2) {
+  const AesKey128 key{};
+  const GcmNonce nonce{};
+  const Bytes pt(16, 0);
+  const auto result = aes_gcm_encrypt(key, nonce, pt, Bytes{});
+  EXPECT_EQ(to_hex(result.ciphertext), "0388dace60b6a392f328c2b971b2fe78");
+  EXPECT_EQ(to_hex(BytesView{result.tag.data(), result.tag.size()}),
+            "ab6e47d42cec13bdf53a67b21257bddf");
+}
+
+TEST(AesGcm, RoundTripWithAad) {
+  AesKey128 key;
+  Random rng(11);
+  rng.fill(key.data(), key.size());
+  GcmNonce nonce;
+  rng.fill(nonce.data(), nonce.size());
+  const Bytes pt = rng.bytes(1000);
+  const Bytes aad = rng.bytes(37);
+
+  const auto enc = aes_gcm_encrypt(key, nonce, pt, aad);
+  const auto dec = aes_gcm_decrypt(key, nonce, enc.ciphertext, aad, enc.tag);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(*dec, pt);
+}
+
+TEST(AesGcm, TamperDetection) {
+  AesKey128 key{};
+  GcmNonce nonce{};
+  const Bytes pt = {1, 2, 3, 4, 5};
+  const Bytes aad = {9, 9};
+  const auto enc = aes_gcm_encrypt(key, nonce, pt, aad);
+
+  // Flip a ciphertext bit.
+  Bytes bad_ct = enc.ciphertext;
+  bad_ct[0] ^= 1;
+  EXPECT_FALSE(aes_gcm_decrypt(key, nonce, bad_ct, aad, enc.tag).has_value());
+
+  // Flip a tag bit.
+  GcmTag bad_tag = enc.tag;
+  bad_tag[0] ^= 1;
+  EXPECT_FALSE(aes_gcm_decrypt(key, nonce, enc.ciphertext, aad, bad_tag).has_value());
+
+  // Wrong AAD.
+  const Bytes bad_aad = {9, 8};
+  EXPECT_FALSE(aes_gcm_decrypt(key, nonce, enc.ciphertext, bad_aad, enc.tag).has_value());
+
+  // Wrong key.
+  AesKey128 other_key{};
+  other_key[0] = 1;
+  EXPECT_FALSE(aes_gcm_decrypt(other_key, nonce, enc.ciphertext, aad, enc.tag).has_value());
+}
+
+TEST(AesCtr, XorIsInvolution) {
+  AesKey128 key{};
+  key[5] = 0xaa;
+  GcmNonce nonce{};
+  nonce[0] = 7;
+  const Bytes data = Random(3).bytes(777);
+  const Bytes enc = aes_ctr_xor(key, nonce, data);
+  EXPECT_NE(enc, data);
+  EXPECT_EQ(aes_ctr_xor(key, nonce, enc), data);
+}
+
+// --- secp256k1 ---
+
+TEST(Secp256k1, GeneratorOnCurve) {
+  EXPECT_TRUE(secp256k1::is_on_curve(secp256k1::generator()));
+}
+
+TEST(Secp256k1, GroupLaws) {
+  const Point g = secp256k1::generator();
+  // 2G via add == 2G via double.
+  EXPECT_EQ(secp256k1::add(g, g), secp256k1::dbl(g));
+  // (G + 2G) == 3G.
+  const Point g2 = secp256k1::dbl(g);
+  const Point g3a = secp256k1::add(g, g2);
+  const Point g3b = secp256k1::mul(g, u256{3});
+  EXPECT_EQ(g3a, g3b);
+  EXPECT_TRUE(secp256k1::is_on_curve(g3a));
+  // n*G = infinity.
+  EXPECT_TRUE(secp256k1::mul(g, secp256k1::group_order()).is_infinity);
+  // (n-1)*G + G = infinity.
+  const Point gn1 = secp256k1::mul(g, secp256k1::group_order() - u256{1});
+  EXPECT_TRUE(secp256k1::add(gn1, g).is_infinity);
+  // P + infinity = P.
+  EXPECT_EQ(secp256k1::add(g, Point{.is_infinity = true}), g);
+}
+
+TEST(Secp256k1, ScalarMulDistributes) {
+  const Point g = secp256k1::generator();
+  // (a+b)G == aG + bG
+  const u256 a{123456789};
+  const u256 b = u256::from_string("0xfedcba9876543210");
+  EXPECT_EQ(secp256k1::mul(g, a + b),
+            secp256k1::add(secp256k1::mul(g, a), secp256k1::mul(g, b)));
+}
+
+TEST(Secp256k1, EthereumAddressOfKeyOne) {
+  // Well-known: the address of private key 1.
+  const PrivateKey key(u256{1});
+  EXPECT_EQ(pubkey_to_address(key.public_key()).hex(),
+            "0x7e5f4552091a69125d5dfcb7b8c2659029395bdf");
+  // And of private key 2.
+  const PrivateKey key2(u256{2});
+  EXPECT_EQ(pubkey_to_address(key2.public_key()).hex(),
+            "0x2b5ad5c4795c026514f8317c7a215e218dccd6cf");
+}
+
+TEST(Secp256k1, KeyValidation) {
+  EXPECT_THROW(PrivateKey(u256{}), UsageError);
+  EXPECT_THROW(PrivateKey(secp256k1::group_order()), UsageError);
+  EXPECT_NO_THROW(PrivateKey(secp256k1::group_order() - u256{1}));
+}
+
+TEST(Ecdsa, SignVerifyRoundTrip) {
+  const PrivateKey key = PrivateKey::from_seed(from_hex("aabbcc"));
+  const H256 msg = keccak256("hello hardtape");
+  const Signature sig = key.sign(msg);
+  EXPECT_TRUE(ecdsa_verify(key.public_key(), msg, sig));
+  // Wrong message fails.
+  EXPECT_FALSE(ecdsa_verify(key.public_key(), keccak256("other"), sig));
+  // Wrong key fails.
+  const PrivateKey other = PrivateKey::from_seed(from_hex("ddeeff"));
+  EXPECT_FALSE(ecdsa_verify(other.public_key(), msg, sig));
+  // Tampered signature fails.
+  Signature bad = sig;
+  bad.s += u256{1};
+  EXPECT_FALSE(ecdsa_verify(key.public_key(), msg, bad));
+}
+
+TEST(Ecdsa, DeterministicSignatures) {
+  const PrivateKey key(u256{42});
+  const H256 msg = keccak256("determinism");
+  const Signature s1 = key.sign(msg);
+  const Signature s2 = key.sign(msg);
+  EXPECT_EQ(s1.r, s2.r);
+  EXPECT_EQ(s1.s, s2.s);
+}
+
+TEST(Ecdsa, RecoveryMatchesPublicKey) {
+  Random rng(17);
+  for (int i = 0; i < 5; ++i) {
+    const PrivateKey key = PrivateKey::from_seed(rng.bytes(16));
+    const H256 msg = keccak256(rng.bytes(40));
+    const Signature sig = key.sign(msg);
+    const auto recovered = ecdsa_recover(msg, sig);
+    ASSERT_TRUE(recovered.has_value());
+    EXPECT_EQ(*recovered, key.public_key());
+  }
+}
+
+TEST(Ecdsa, RecoveryRejectsGarbage) {
+  Signature sig;
+  sig.r = u256{};  // r = 0 invalid
+  sig.s = u256{1};
+  EXPECT_FALSE(ecdsa_recover(keccak256("x"), sig).has_value());
+  sig.r = secp256k1::group_order();  // r >= n invalid
+  EXPECT_FALSE(ecdsa_recover(keccak256("x"), sig).has_value());
+}
+
+TEST(Ecdsa, SignatureSerializeRoundTrip) {
+  const PrivateKey key(u256{7});
+  const Signature sig = key.sign(keccak256("serialize"));
+  const Bytes wire = sig.serialize();
+  EXPECT_EQ(wire.size(), 65u);
+  const auto back = Signature::deserialize(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->r, sig.r);
+  EXPECT_EQ(back->s, sig.s);
+  EXPECT_EQ(back->recovery_id, sig.recovery_id);
+  EXPECT_FALSE(Signature::deserialize(Bytes(64, 0)).has_value());
+}
+
+TEST(Ecdh, SharedSecretAgreement) {
+  const PrivateKey alice = PrivateKey::from_seed(from_hex("01"));
+  const PrivateKey bob = PrivateKey::from_seed(from_hex("02"));
+  const H256 s1 = alice.ecdh(bob.public_key());
+  const H256 s2 = bob.ecdh(alice.public_key());
+  EXPECT_EQ(s1, s2);
+  const PrivateKey carol = PrivateKey::from_seed(from_hex("03"));
+  EXPECT_NE(s1, carol.ecdh(alice.public_key()));
+}
+
+TEST(Ecdh, RejectsInvalidPeer) {
+  const PrivateKey key(u256{5});
+  Point bogus{u256{1}, u256{1}, false};  // not on curve
+  EXPECT_THROW(key.ecdh(bogus), UsageError);
+  EXPECT_THROW(key.ecdh(Point{.is_infinity = true}), UsageError);
+}
+
+TEST(Secp256k1, LiftX) {
+  const Point g = secp256k1::generator();
+  const auto lifted = secp256k1::lift_x(g.x, g.y.bit(0));
+  ASSERT_TRUE(lifted.has_value());
+  EXPECT_EQ(*lifted, g);
+  // Opposite parity gives the mirrored point.
+  const auto mirrored = secp256k1::lift_x(g.x, !g.y.bit(0));
+  ASSERT_TRUE(mirrored.has_value());
+  EXPECT_EQ(mirrored->y, secp256k1::field_prime() - g.y);
+}
+
+TEST(Secp256k1, PointSerializeRoundTrip) {
+  const Point g = secp256k1::generator();
+  const auto back = point_deserialize(point_serialize(g));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, g);
+  // Infinity round-trips as zeros.
+  const auto inf = point_deserialize(point_serialize(Point{.is_infinity = true}));
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_TRUE(inf->is_infinity);
+  // Off-curve points rejected.
+  Bytes bad(64, 0);
+  bad[31] = 1;  // x=1, y=0 not on curve
+  EXPECT_FALSE(point_deserialize(bad).has_value());
+}
+
+}  // namespace
+}  // namespace hardtape::crypto

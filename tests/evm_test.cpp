@@ -1,0 +1,966 @@
+// EVM interpreter tests: opcode semantics, gas accounting, call/create
+// mechanics, precompiles, the assembler, and tracing.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/errors.hpp"
+#include "crypto/secp256k1.hpp"
+#include "evm/assembler.hpp"
+#include "evm/interpreter.hpp"
+#include "evm/trace.hpp"
+#include "state/overlay.hpp"
+
+namespace hardtape::evm {
+namespace {
+
+Address addr(uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+const Address kCaller = addr(0xAA);
+const Address kContract = addr(0xCC);
+
+// Test fixture: a funded caller, one deployable contract slot, an
+// interpreter over an overlay.
+class EvmTest : public ::testing::Test {
+ protected:
+  EvmTest() {
+    base_.put_account(kCaller, state::Account{.balance = u256::from_string("1000000000000000000")});
+    rebuild();
+  }
+
+  // The overlay caches code on first read (correct: code is immutable within
+  // a session), so each run() starts from a fresh overlay + interpreter to
+  // let tests re-deploy at kContract.
+  void rebuild() {
+    overlay_opt_.emplace(base_);
+    BlockContext block;
+    block.number = 19145194;
+    block.timestamp = 1706600000;
+    block.coinbase = addr(0xFE);
+    interp_opt_.emplace(*overlay_opt_, std::move(block));
+    interp_opt_->set_observer(observer_);
+    interp_opt_->set_frame_memory_limit(frame_memory_limit_);
+  }
+
+  state::OverlayState& overlay_get() { return *overlay_opt_; }
+  Interpreter& interp_get() { return *interp_opt_; }
+
+  void set_observer(ExecutionObserver* obs) {
+    observer_ = obs;
+    interp_opt_->set_observer(obs);
+  }
+  void set_frame_memory_limit(uint64_t bytes) {
+    frame_memory_limit_ = bytes;
+    interp_opt_->set_frame_memory_limit(bytes);
+  }
+
+  // Deploys `code` at kContract and calls it.
+  CallResult run(const Bytes& code, Bytes input = {}, u256 value = {},
+                 uint64_t gas = 10'000'000) {
+    base_.put_code(kContract, code);
+    rebuild();
+    Interpreter::Message msg;
+    msg.code_address = kContract;
+    msg.recipient = kContract;
+    msg.sender = kCaller;
+    msg.origin = kCaller;
+    msg.value = value;
+    msg.input = std::move(input);
+    msg.gas = gas;
+    msg.depth = 1;
+    if (!value.is_zero()) {
+      // Fund the transfer path like a real call would.
+      overlay_get().add_balance(kCaller, value);
+    }
+    return interp_get().call(msg);
+  }
+
+  CallResult run_asm(std::string_view source, Bytes input = {}) {
+    return run(assemble(source), std::move(input));
+  }
+
+  // Runs code that is expected to RETURN a 32-byte word; returns it.
+  u256 run_word(std::string_view source, Bytes input = {}) {
+    const CallResult r = run_asm(source, std::move(input));
+    EXPECT_EQ(r.status, VmStatus::kSuccess) << to_string(r.status);
+    EXPECT_EQ(r.output.size(), 32u);
+    return u256::from_be_bytes(r.output);
+  }
+
+  state::InMemoryState base_;
+  std::optional<state::OverlayState> overlay_opt_;
+  std::optional<Interpreter> interp_opt_;
+  ExecutionObserver* observer_ = nullptr;
+  uint64_t frame_memory_limit_ = 0;
+};
+
+// Source snippet: RETURN the top of stack as one word.
+constexpr std::string_view kReturnTop = R"(
+  PUSH1 0x00
+  MSTORE
+  PUSH1 0x20
+  PUSH1 0x00
+  RETURN
+)";
+
+std::string ret(std::string_view body) {
+  return std::string(body) + std::string(kReturnTop);
+}
+
+// --- assembler ---
+
+TEST_F(EvmTest, AssemblerBasics) {
+  const Bytes code = assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP");
+  EXPECT_EQ(code, (Bytes{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}));
+}
+
+TEST_F(EvmTest, AssemblerAutoPushAndLabels) {
+  const Bytes code = assemble(R"(
+    PUSH @end    ; forward reference
+    JUMP
+    INVALID
+  end:
+    JUMPDEST
+    STOP
+  )");
+  // PUSH2 0x0005 JUMP INVALID JUMPDEST STOP
+  EXPECT_EQ(code, (Bytes{0x61, 0x00, 0x05, 0x56, 0xfe, 0x5b, 0x00}));
+}
+
+TEST_F(EvmTest, AssemblerWidePush) {
+  const Bytes code = assemble("PUSH32 0xff PUSH 65536");
+  EXPECT_EQ(code.size(), 1 + 32 + 1 + 3u);
+  EXPECT_EQ(code[0], 0x7f);
+  EXPECT_EQ(code[32], 0xff);
+  EXPECT_EQ(code[33], 0x62);  // PUSH3
+}
+
+TEST_F(EvmTest, AssemblerErrors) {
+  EXPECT_THROW(assemble("BOGUS"), UsageError);
+  EXPECT_THROW(assemble("PUSH1"), UsageError);
+  EXPECT_THROW(assemble("PUSH @missing JUMP"), UsageError);
+  EXPECT_THROW(assemble("dup: dup:"), UsageError);  // duplicate label
+  EXPECT_THROW(assemble("PUSH1 0x0100"), UsageError);  // too wide
+}
+
+TEST_F(EvmTest, DisassemblerRoundTrip) {
+  const std::string text = disassemble(assemble("PUSH2 0x1234 MSTORE JUMPDEST STOP"));
+  EXPECT_NE(text.find("PUSH2 0x1234"), std::string::npos);
+  EXPECT_NE(text.find("JUMPDEST"), std::string::npos);
+}
+
+// --- arithmetic and logic ---
+
+TEST_F(EvmTest, Arithmetic) {
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 4 ADD")), u256{7});
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 4 MUL")), u256{12});
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 10 SUB")), u256{7});  // 10 - 3
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 10 DIV")), u256{3});
+  EXPECT_EQ(run_word(ret("PUSH1 0 PUSH1 10 DIV")), u256{});  // div by zero
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 10 MOD")), u256{1});
+  EXPECT_EQ(run_word(ret("PUSH1 5 PUSH1 7 PUSH1 9 ADDMOD")), u256{1});  // (9+7)%5
+  EXPECT_EQ(run_word(ret("PUSH1 5 PUSH1 7 PUSH1 9 MULMOD")), u256{3});  // (9*7)%5
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 2 EXP")), u256{8});  // 2^3
+}
+
+TEST_F(EvmTest, SignedArithmetic) {
+  // -8 / 2 = -4
+  EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 8 PUSH0 SUB SDIV")), u256{4}.neg());
+  // -8 % 3 = -2
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 8 PUSH0 SUB SMOD")), u256{2}.neg());
+  // SLT(-1, 0) = 1
+  EXPECT_EQ(run_word(ret("PUSH0 PUSH1 1 PUSH0 SUB SLT")), u256{1});
+  // SGT(1, -1) = 1
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH0 SUB PUSH1 1 SGT")), u256{1});
+  // SAR(-8, 1) = -4
+  EXPECT_EQ(run_word(ret("PUSH1 8 PUSH0 SUB PUSH1 1 SAR")), u256{4}.neg());
+  // SIGNEXTEND byte 0 of 0xff = -1
+  EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH1 0 SIGNEXTEND")), ~u256{});
+}
+
+TEST_F(EvmTest, ComparisonAndBitwise) {
+  EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 1 LT")), u256{1});
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH1 2 GT")), u256{1});
+  EXPECT_EQ(run_word(ret("PUSH1 5 PUSH1 5 EQ")), u256{1});
+  EXPECT_EQ(run_word(ret("PUSH0 ISZERO")), u256{1});
+  EXPECT_EQ(run_word(ret("PUSH1 0x0f PUSH1 0x3c AND")), u256{0x0c});
+  EXPECT_EQ(run_word(ret("PUSH1 0x0f PUSH1 0x30 OR")), u256{0x3f});
+  EXPECT_EQ(run_word(ret("PUSH1 0x0f PUSH1 0x3c XOR")), u256{0x33});
+  EXPECT_EQ(run_word(ret("PUSH0 NOT")), ~u256{});
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH1 4 SHL")), u256{16});  // 1 << 4
+  EXPECT_EQ(run_word(ret("PUSH1 16 PUSH1 4 SHR")), u256{1});
+  // BYTE 31 of 0x..ff is 0xff.
+  EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH1 31 BYTE")), u256{0xff});
+}
+
+TEST_F(EvmTest, Sha3Opcode) {
+  // keccak256 of one zero word, computed in-EVM vs. host-side.
+  const u256 expected = crypto::keccak256(Bytes(32, 0)).to_u256();
+  EXPECT_EQ(run_word(ret("PUSH1 0x20 PUSH1 0x00 SHA3")), expected);
+}
+
+// --- stack ops ---
+
+TEST_F(EvmTest, DupSwapPop) {
+  EXPECT_EQ(run_word(ret("PUSH1 7 DUP1 ADD")), u256{14});
+  EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 1 SWAP1 SUB")), u256{1});  // swap -> 2 - 1
+  EXPECT_EQ(run_word(ret("PUSH1 9 PUSH1 5 POP")), u256{9});
+  // DUP16 reaches deep.
+  std::string deep;
+  for (int i = 1; i <= 16; ++i) deep += "PUSH1 " + std::to_string(i) + " ";
+  deep += "DUP16";
+  EXPECT_EQ(run_word(ret(deep)), u256{1});
+}
+
+TEST_F(EvmTest, StackUnderflowAndOverflow) {
+  EXPECT_EQ(run_asm("ADD").status, VmStatus::kStackUnderflow);
+  std::string overflow = "begin: JUMPDEST PUSH1 1 PUSH @begin JUMP";
+  EXPECT_EQ(run_asm(overflow).status, VmStatus::kStackOverflow);
+}
+
+// --- control flow ---
+
+TEST_F(EvmTest, JumpAndJumpi) {
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 1
+    PUSH @skip
+    JUMPI
+    INVALID
+  skip:
+    JUMPDEST
+    PUSH1 42
+  )")), u256{42});
+  // Untaken JUMPI falls through.
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH0
+    PUSH @target
+    JUMPI
+    PUSH1 7
+    PUSH @end
+    JUMP
+  target:
+    JUMPDEST
+    PUSH1 9
+  end:
+    JUMPDEST
+  )")), u256{7});
+}
+
+TEST_F(EvmTest, InvalidJumpDestinations) {
+  EXPECT_EQ(run_asm("PUSH1 0x01 JUMP STOP").status, VmStatus::kBadJumpDestination);
+  // Jump into PUSH immediate data that happens to contain 0x5b.
+  EXPECT_EQ(run_asm("PUSH1 0x03 JUMP PUSH1 0x5b STOP").status,
+            VmStatus::kBadJumpDestination);
+  EXPECT_EQ(run_asm("PUSH2 0xffff JUMP").status, VmStatus::kBadJumpDestination);
+}
+
+TEST_F(EvmTest, RunningOffCodeEndIsStop) {
+  EXPECT_EQ(run_asm("PUSH1 1 PUSH1 2 ADD").status, VmStatus::kSuccess);
+}
+
+TEST_F(EvmTest, InvalidAndUndefinedOpcodes) {
+  const CallResult r1 = run(Bytes{0xfe});
+  EXPECT_EQ(r1.status, VmStatus::kInvalidInstruction);
+  EXPECT_EQ(r1.gas_left, 0u);  // consumes all gas
+  const CallResult r2 = run(Bytes{0x21});  // undefined opcode
+  EXPECT_EQ(r2.status, VmStatus::kUndefinedInstruction);
+}
+
+// --- memory ---
+
+TEST_F(EvmTest, MemoryOps) {
+  EXPECT_EQ(run_word(ret(
+                "PUSH1 0xab PUSH1 0x40 MSTORE8 PUSH1 0x40 MLOAD PUSH1 248 SHR")),
+            u256{0xab});
+  // MSIZE expands in words.
+  EXPECT_EQ(run_word(ret("PUSH1 0 PUSH1 0x21 MSTORE8 MSIZE")), u256{0x40});
+  // MCOPY.
+  EXPECT_EQ(run_word(R"(
+    PUSH1 0x99 PUSH1 0x00 MSTORE      ; mem[0..32] = 0x99
+    PUSH1 0x20 PUSH1 0x00 PUSH1 0x40 MCOPY  ; copy 32 bytes 0 -> 0x40
+    PUSH1 0x40 MLOAD
+    PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+  )"), u256{0x99});
+}
+
+TEST_F(EvmTest, MemoryExpansionGasCharged) {
+  // Same program, bigger memory touch -> more gas.
+  const CallResult small = run_asm("PUSH1 1 PUSH1 0x00 MSTORE STOP");
+  const CallResult big = run_asm("PUSH1 1 PUSH2 0x2000 MSTORE STOP");
+  EXPECT_EQ(small.status, VmStatus::kSuccess);
+  EXPECT_EQ(big.status, VmStatus::kSuccess);
+  EXPECT_GT(small.gas_left, big.gas_left);
+}
+
+TEST_F(EvmTest, AbsurdMemoryOffsetIsOutOfGas) {
+  EXPECT_EQ(run_asm("PUSH1 1 PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff MSTORE").status,
+            VmStatus::kOutOfGas);
+}
+
+// --- calldata / code / returndata ---
+
+TEST_F(EvmTest, CalldataOps) {
+  Bytes input = from_hex("00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff");
+  EXPECT_EQ(run_word(ret("PUSH1 0 CALLDATALOAD"), input),
+            u256::from_be_bytes(input));
+  EXPECT_EQ(run_word(ret("CALLDATASIZE"), input), u256{32});
+  // Out-of-range load zero-pads.
+  EXPECT_EQ(run_word(ret("PUSH1 0x30 CALLDATALOAD"), input), u256{});
+  // CALLDATACOPY.
+  EXPECT_EQ(run_word(R"(
+    PUSH1 0x20 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x00 MLOAD
+    PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+  )", input), u256::from_be_bytes(input));
+}
+
+TEST_F(EvmTest, CodeSizeAndCopy) {
+  const Bytes code = assemble(ret("CODESIZE"));
+  base_.put_code(kContract, code);
+  EXPECT_EQ(run(code).output, u256{code.size()}.to_be_bytes_vec());
+}
+
+// --- environment ---
+
+TEST_F(EvmTest, EnvironmentOpcodes) {
+  EXPECT_EQ(run_word(ret("ADDRESS")), kContract.to_u256());
+  EXPECT_EQ(run_word(ret("CALLER")), kCaller.to_u256());
+  EXPECT_EQ(run_word(ret("ORIGIN")), kCaller.to_u256());
+  EXPECT_EQ(run_word(ret("NUMBER")), u256{19145194});
+  EXPECT_EQ(run_word(ret("TIMESTAMP")), u256{1706600000});
+  EXPECT_EQ(run_word(ret("CHAINID")), u256{1});
+  EXPECT_EQ(run_word(ret("COINBASE")), addr(0xFE).to_u256());
+  EXPECT_EQ(run_word(ret("GASLIMIT")), u256{30'000'000});
+  EXPECT_EQ(run_word(ret("BASEFEE")), u256{7});
+}
+
+TEST_F(EvmTest, CallValueAndSelfBalance) {
+  const CallResult r = run(assemble(ret("CALLVALUE")), {}, u256{12345});
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{12345});
+  // The transferred value is visible via SELFBALANCE.
+  const CallResult r2 = run(assemble(ret("SELFBALANCE")), {}, u256{777});
+  EXPECT_EQ(u256::from_be_bytes(r2.output), u256{777});
+}
+
+TEST_F(EvmTest, BalanceOpcode) {
+  base_.put_account(addr(0x55), state::Account{.balance = u256{424242}});
+  const std::string src = "PUSH20 0x" + to_hex(addr(0x55).view()) + " BALANCE";
+  EXPECT_EQ(run_word(ret(src)), u256{424242});
+}
+
+TEST_F(EvmTest, ExtCodeOps) {
+  base_.put_code(addr(0x66), Bytes{0x60, 0x01, 0x00});
+  const std::string target = "PUSH20 0x" + to_hex(addr(0x66).view());
+  EXPECT_EQ(run_word(ret(target + " EXTCODESIZE")), u256{3});
+  EXPECT_EQ(run_word(ret(target + " EXTCODEHASH")),
+            crypto::keccak256(Bytes{0x60, 0x01, 0x00}).to_u256());
+  // Nonexistent account hashes to zero.
+  EXPECT_EQ(run_word(ret("PUSH20 0x00000000000000000000000000000000000000de EXTCODEHASH")),
+            u256{});
+}
+
+// --- storage ---
+
+TEST_F(EvmTest, SloadSstore) {
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x2a PUSH1 0x01 SSTORE
+    PUSH1 0x01 SLOAD
+  )")), u256{42});
+  EXPECT_EQ(overlay_get().storage(kContract, u256{1}), u256{42});
+}
+
+TEST_F(EvmTest, SstoreGasWarmVsCold) {
+  // Two stores to different cold slots vs. two stores to the same slot.
+  const CallResult two_cold = run_asm(
+      "PUSH1 1 PUSH1 0x01 SSTORE PUSH1 1 PUSH1 0x02 SSTORE STOP");
+  state::OverlayState fresh(base_);
+  Interpreter interp2(fresh, BlockContext{});
+  Interpreter::Message msg2;
+  msg2.code_address = kContract;
+  msg2.recipient = kContract;
+  msg2.sender = kCaller;
+  msg2.gas = 10'000'000;
+  msg2.depth = 1;
+  base_.put_code(kContract, assemble("PUSH1 1 PUSH1 0x01 SSTORE PUSH1 2 PUSH1 0x01 SSTORE STOP"));
+  const CallResult warm_second = interp2.call(msg2);
+  EXPECT_LT(two_cold.gas_left, warm_second.gas_left);
+}
+
+TEST_F(EvmTest, SstoreRefundOnClear) {
+  base_.put_storage(kContract, u256{5}, u256{99});
+  const CallResult r = run_asm("PUSH0 PUSH1 0x05 SSTORE STOP");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(overlay_get().refund(), 4800u);
+}
+
+TEST_F(EvmTest, SstoreSentryGas) {
+  // SSTORE with <= 2300 gas left must fail (EIP-2200 sentry).
+  const Bytes code = assemble("PUSH1 1 PUSH1 1 SSTORE STOP");
+  base_.put_code(kContract, code);
+  Interpreter::Message msg;
+  msg.code_address = kContract;
+  msg.recipient = kContract;
+  msg.sender = kCaller;
+  msg.gas = 2300 + 6;  // 2 pushes charged, then sentry trips
+  msg.depth = 1;
+  EXPECT_EQ(interp_get().call(msg).status, VmStatus::kOutOfGas);
+}
+
+TEST_F(EvmTest, TransientStorage) {
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x63 PUSH1 0x07 TSTORE
+    PUSH1 0x07 TLOAD
+  )")), u256{0x63});
+  // Not persisted to regular storage.
+  EXPECT_EQ(overlay_get().storage(kContract, u256{7}), u256{});
+}
+
+// --- return / revert ---
+
+TEST_F(EvmTest, RevertReturnsPayloadAndKeepsGas) {
+  const CallResult r = run_asm(R"(
+    PUSH1 0xee PUSH1 0x00 MSTORE
+    PUSH1 0x20 PUSH1 0x00 REVERT
+  )");
+  EXPECT_EQ(r.status, VmStatus::kRevert);
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{0xee});
+  EXPECT_GT(r.gas_left, 0u);
+}
+
+TEST_F(EvmTest, RevertRollsBackState) {
+  const CallResult r = run_asm("PUSH1 9 PUSH1 1 SSTORE PUSH1 0 PUSH1 0 REVERT");
+  EXPECT_EQ(r.status, VmStatus::kRevert);
+  EXPECT_EQ(overlay_get().storage(kContract, u256{1}), u256{});
+}
+
+// --- calls ---
+
+TEST_F(EvmTest, CallTransfersValueAndReturnsData) {
+  // Callee returns CALLVALUE.
+  base_.put_code(addr(0x77), assemble(ret("CALLVALUE")));
+  base_.put_account(kContract, state::Account{.balance = u256{100000}});
+  const std::string src = R"(
+    PUSH1 0x20   ; retLen
+    PUSH1 0x00   ; retOff
+    PUSH1 0x00   ; argLen
+    PUSH1 0x00   ; argOff
+    PUSH2 0x1234 ; value
+    PUSH20 0x0000000000000000000000000000000000000077
+    PUSH3 0xffffff
+    CALL
+    POP
+    PUSH1 0x20 PUSH1 0x00 RETURN
+  )";
+  const CallResult r = run_asm(src);
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{0x1234});
+  EXPECT_EQ(overlay_get().balance(addr(0x77)), u256{0x1234});
+}
+
+TEST_F(EvmTest, CallToEmptyAccountSucceeds) {
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x00000000000000000000000000000000000000e1
+    PUSH2 0xffff
+    CALL
+  )")), u256{1});
+}
+
+TEST_F(EvmTest, FailedCalleeRevertBubblesReturnData) {
+  base_.put_code(addr(0x78), assemble(R"(
+    PUSH1 0xbd PUSH1 0x00 MSTORE
+    PUSH1 0x20 PUSH1 0x00 REVERT
+  )"));
+  const CallResult r = run_asm(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x0000000000000000000000000000000000000078
+    PUSH3 0xffffff
+    CALL
+    PUSH1 0x00 MSTORE                     ; success flag (0)
+    RETURNDATASIZE PUSH1 0x00 PUSH1 0x20 RETURNDATACOPY
+    PUSH1 0x40 PUSH1 0x00 RETURN
+  )");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  ASSERT_EQ(r.output.size(), 64u);
+  EXPECT_EQ(u256::from_be_bytes(BytesView{r.output.data(), 32}), u256{});      // flag 0
+  EXPECT_EQ(u256::from_be_bytes(BytesView{r.output.data() + 32, 32}), u256{0xbd});
+}
+
+TEST_F(EvmTest, CalleeStateRevertedOnFailure) {
+  base_.put_code(addr(0x79), assemble("PUSH1 5 PUSH1 9 SSTORE INVALID"));
+  const CallResult r = run_asm(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x0000000000000000000000000000000000000079
+    PUSH3 0xffffff
+    CALL
+  )"));
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{});  // call failed
+  EXPECT_EQ(overlay_get().storage(addr(0x79), u256{9}), u256{});  // rolled back
+}
+
+TEST_F(EvmTest, DelegatecallRunsInCallerContext) {
+  // The library writes to slot 3; under DELEGATECALL the write lands in the
+  // caller's storage and CALLER is preserved.
+  base_.put_code(addr(0x7A), assemble("PUSH1 0x11 PUSH1 0x03 SSTORE CALLER PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN"));
+  const CallResult r = run_asm(R"(
+    PUSH1 0x20 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007a
+    PUSH3 0xffffff
+    DELEGATECALL
+    POP
+    PUSH1 0x20 PUSH1 0x00 RETURN
+  )");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(Address::from_u256(u256::from_be_bytes(r.output)), kCaller);
+  EXPECT_EQ(overlay_get().storage(kContract, u256{3}), u256{0x11});
+  EXPECT_EQ(overlay_get().storage(addr(0x7A), u256{3}), u256{});
+}
+
+TEST_F(EvmTest, StaticcallBlocksWrites) {
+  base_.put_code(addr(0x7B), assemble("PUSH1 1 PUSH1 1 SSTORE STOP"));
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007b
+    PUSH3 0xffffff
+    STATICCALL
+  )")), u256{});  // callee failed with static violation
+  EXPECT_EQ(overlay_get().storage(addr(0x7B), u256{1}), u256{});
+}
+
+TEST_F(EvmTest, StaticcallAllowsReads) {
+  base_.put_storage(addr(0x7C), u256{2}, u256{0x5a});
+  base_.put_code(addr(0x7C), assemble(ret("PUSH1 0x02 SLOAD")));
+  const CallResult r = run_asm(R"(
+    PUSH1 0x20 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007c
+    PUSH3 0xffffff
+    STATICCALL
+    POP
+    PUSH1 0x20 PUSH1 0x00 RETURN
+  )");
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{0x5a});
+}
+
+TEST_F(EvmTest, InsufficientBalanceCallPushesZero) {
+  // Contract has no balance; CALL with value must fail locally.
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH2 0xffff
+    PUSH20 0x00000000000000000000000000000000000000e2
+    PUSH2 0xffff
+    CALL
+  )")), u256{});
+}
+
+TEST_F(EvmTest, CallDepthLimit) {
+  // Self-recursive call; must bottom out at depth 1024 without crashing.
+  const std::string src = ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x00000000000000000000000000000000000000cc
+    GAS
+    CALL
+  )");
+  const CallResult r = run_asm(src);
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+}
+
+// --- create ---
+
+TEST_F(EvmTest, CreateDeploysRunnableCode) {
+  // Init code returns the runtime code `PUSH1 0x2a ...ret word` (returns 42).
+  const Bytes runtime = assemble(ret("PUSH1 0x2a"));
+  const std::string init_src = "PUSH32 0x" + to_hex(right_pad(runtime, 32)) +
+                               " PUSH1 0x00 MSTORE PUSH1 " +
+                               std::to_string(runtime.size()) +
+                               " PUSH1 0x00 RETURN";
+  const Bytes init = assemble(init_src);
+  ASSERT_LE(init.size(), 64u);
+  // Stage the init code into memory with two word stores, then CREATE.
+  const Bytes lo(init.begin(), init.begin() + std::min<size_t>(32, init.size()));
+  const Bytes hi(init.begin() + std::min<size_t>(32, init.size()), init.end());
+  const std::string src =
+      "PUSH32 0x" + to_hex(right_pad(lo, 32)) + " PUSH1 0x00 MSTORE " +
+      "PUSH32 0x" + to_hex(right_pad(hi, 32)) + " PUSH1 0x20 MSTORE " +
+      "PUSH1 " + std::to_string(init.size()) + " PUSH1 0x00 PUSH1 0x00 CREATE " +
+      "PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN";
+  const CallResult r = run_asm(src);
+  ASSERT_EQ(r.status, VmStatus::kSuccess);
+  const Address deployed = Address::from_u256(u256::from_be_bytes(r.output));
+  EXPECT_FALSE(deployed.is_zero());
+  EXPECT_EQ(overlay_get().code(deployed), runtime);
+  EXPECT_EQ(overlay_get().nonce(deployed), 1u);
+  // Deployer nonce bumped.
+  EXPECT_EQ(overlay_get().nonce(kContract), 1u);
+}
+
+TEST_F(EvmTest, CreateAddressKnownVector) {
+  // Well-known: the first contract of 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0
+  // (nonce 0) is the famous 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d.
+  state::InMemoryState base;
+  const Address sender = Address::from_hex("0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0");
+  base.put_account(sender, state::Account{.balance = u256{1} << 60});
+  state::OverlayState overlay(base);
+  Interpreter interp(overlay, BlockContext{});
+  Transaction tx;
+  tx.from = sender;
+  tx.to = std::nullopt;
+  tx.data = assemble("PUSH1 0x00 PUSH1 0x00 RETURN");  // deploy empty code
+  const TxResult r = interp.execute_transaction(tx);
+  ASSERT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(r.create_address.hex(), "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d");
+}
+
+TEST_F(EvmTest, Create2AddressDeterministic) {
+  const std::string create2 = R"(
+    PUSH1 0x00        ; empty init code -> empty contract
+    PUSH1 0x00
+    PUSH1 0x00
+    PUSH1 0x07        ; salt... wait: order is value, offset, len, salt
+  )";
+  // CREATE2 stack: value, offset, length, salt (salt popped last).
+  const std::string src = ret(R"(
+    PUSH1 0x07   ; salt
+    PUSH1 0x00   ; length
+    PUSH1 0x00   ; offset
+    PUSH1 0x00   ; value
+    CREATE2
+  )");
+  const u256 addr1 = run_word(src);
+  // Second create at the same salt collides.
+  const u256 addr2 = run_word(ret(R"(
+    PUSH1 0x07 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 CREATE2
+    POP
+    PUSH1 0x07 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 CREATE2
+  )"));
+  EXPECT_FALSE(addr1.is_zero());
+  EXPECT_TRUE(addr2.is_zero());  // collision pushes 0
+}
+
+TEST_F(EvmTest, CreateRevertedInitcodePushesZero) {
+  // Init code is the single byte 0xfd (REVERT with an empty stack ->
+  // failure), so CREATE must push zero.
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0xfd PUSH1 0x00 MSTORE8
+    PUSH1 0x01   ; length
+    PUSH1 0x00   ; offset
+    PUSH1 0x00   ; value (popped first)
+    CREATE
+  )")), u256{});
+}
+
+TEST_F(EvmTest, CreateRejectsEfPrefix) {
+  // Init code returning 0xEF-prefixed runtime must fail (EIP-3541).
+  const Bytes init = assemble("PUSH1 0xef PUSH1 0x00 MSTORE8 PUSH1 0x01 PUSH1 0x00 RETURN");
+  const std::string src = ret(
+      "PUSH32 0x" + to_hex(right_pad(init, 32)) + " PUSH1 0x00 MSTORE PUSH1 " +
+      std::to_string(init.size()) + " PUSH1 0x00 PUSH1 0x00 CREATE");
+  EXPECT_EQ(run_word(src), u256{});
+}
+
+// --- selfdestruct ---
+
+TEST_F(EvmTest, SelfdestructMovesBalance) {
+  base_.put_account(kContract, state::Account{.balance = u256{5000}});
+  const CallResult r = run_asm(
+      "PUSH20 0x00000000000000000000000000000000000000b1 SELFDESTRUCT");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(overlay_get().balance(addr(0xb1)), u256{5000});
+  EXPECT_EQ(overlay_get().balance(kContract), u256{});
+}
+
+// --- precompiles ---
+
+TEST_F(EvmTest, Sha256Precompile) {
+  const Bytes input = {'a', 'b', 'c'};
+  const CallResult r = run_asm(R"(
+    PUSH1 0x61 PUSH1 0x00 MSTORE8
+    PUSH1 0x62 PUSH1 0x01 MSTORE8
+    PUSH1 0x63 PUSH1 0x02 MSTORE8
+    PUSH1 0x20 PUSH1 0x40 PUSH1 0x03 PUSH1 0x00
+    PUSH1 0x02       ; sha256 precompile
+    PUSH2 0xffff
+    STATICCALL
+    POP
+    PUSH1 0x20 PUSH1 0x40 RETURN
+  )");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(to_hex(r.output),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST_F(EvmTest, IdentityPrecompile) {
+  Bytes input = from_hex("deadbeef");
+  const CallResult r = run_asm(R"(
+    PUSH1 0x04 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x04 PUSH1 0x20 PUSH1 0x04 PUSH1 0x00
+    PUSH1 0x04       ; identity precompile
+    PUSH2 0xffff
+    STATICCALL
+    POP
+    PUSH1 0x04 PUSH1 0x20 RETURN
+  )", input);
+  EXPECT_EQ(to_hex(r.output), "deadbeef");
+}
+
+TEST_F(EvmTest, EcrecoverPrecompile) {
+  // Host-side: sign a hash, then recover in-EVM.
+  const crypto::PrivateKey key(u256{0xbeef});
+  const H256 hash = crypto::keccak256("sign me");
+  const crypto::Signature sig = key.sign(hash);
+  Bytes input;
+  append(input, hash.view());
+  append(input, u256{uint64_t{27} + sig.recovery_id}.to_be_bytes_vec());
+  append(input, sig.r.to_be_bytes_vec());
+  append(input, sig.s.to_be_bytes_vec());
+  const CallResult r = run_asm(R"(
+    PUSH1 0x80 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x20 PUSH1 0x80 PUSH1 0x80 PUSH1 0x00
+    PUSH1 0x01       ; ecrecover
+    PUSH2 0xffff
+    STATICCALL
+    POP
+    PUSH1 0x20 PUSH1 0x80 RETURN
+  )", input);
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(Address::from_u256(u256::from_be_bytes(r.output)),
+            crypto::pubkey_to_address(key.public_key()));
+}
+
+TEST_F(EvmTest, ModexpPrecompile) {
+  // 3^5 mod 7 = 5, via the 0x05 precompile.
+  Bytes input;
+  append(input, u256{1}.to_be_bytes_vec());  // base_len
+  append(input, u256{1}.to_be_bytes_vec());  // exp_len
+  append(input, u256{1}.to_be_bytes_vec());  // mod_len
+  input.push_back(3);
+  input.push_back(5);
+  input.push_back(7);
+  const CallResult r = run_asm(R"(
+    PUSH1 0x63 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x01 PUSH1 0x80 PUSH1 0x63 PUSH1 0x00
+    PUSH1 0x05       ; modexp
+    PUSH2 0xffff
+    STATICCALL
+    POP
+    PUSH1 0x01 PUSH1 0x80 RETURN
+  )", input);
+  ASSERT_EQ(r.status, VmStatus::kSuccess);
+  ASSERT_EQ(r.output.size(), 1u);
+  EXPECT_EQ(r.output[0], 5);
+}
+
+TEST_F(EvmTest, ModexpWordSizedOperands) {
+  // Fermat: a^(p-1) mod p == 1 for prime p (secp256k1's field prime).
+  const u256 p = crypto::secp256k1::field_prime();
+  Bytes input;
+  append(input, u256{32}.to_be_bytes_vec());
+  append(input, u256{32}.to_be_bytes_vec());
+  append(input, u256{32}.to_be_bytes_vec());
+  append(input, u256{0xabcdef}.to_be_bytes_vec());      // base
+  append(input, (p - u256{1}).to_be_bytes_vec());       // exponent
+  append(input, p.to_be_bytes_vec());                   // modulus
+  const CallResult r = run_asm(R"(
+    PUSH2 0x00c0 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x20 PUSH2 0x0100 PUSH2 0x00c0 PUSH1 0x00
+    PUSH1 0x05
+    PUSH3 0xffffff
+    STATICCALL
+    POP
+    PUSH1 0x20 PUSH2 0x0100 RETURN
+  )", input);
+  ASSERT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(u256::from_be_bytes(r.output), u256{1});
+}
+
+TEST_F(EvmTest, ModexpZeroModulusYieldsZero) {
+  Bytes input;
+  append(input, u256{1}.to_be_bytes_vec());
+  append(input, u256{1}.to_be_bytes_vec());
+  append(input, u256{1}.to_be_bytes_vec());
+  input.push_back(3);
+  input.push_back(5);
+  input.push_back(0);  // modulus 0
+  const CallResult r = run_asm(R"(
+    PUSH1 0x63 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
+    PUSH1 0x01 PUSH1 0x80 PUSH1 0x63 PUSH1 0x00
+    PUSH1 0x05 PUSH2 0xffff STATICCALL
+    POP
+    PUSH1 0x01 PUSH1 0x80 RETURN
+  )", input);
+  ASSERT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(r.output[0], 0);
+}
+
+// --- transactions ---
+
+TEST_F(EvmTest, PlainTransferCosts21000) {
+  Transaction tx;
+  tx.from = kCaller;
+  tx.to = addr(0x99);
+  tx.value = u256{1000};
+  tx.gas_limit = 100000;
+  const TxResult r = interp_get().execute_transaction(tx);
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_EQ(r.gas_used, 21000u);
+  EXPECT_EQ(overlay_get().balance(addr(0x99)), u256{1000});
+  EXPECT_EQ(overlay_get().nonce(kCaller), 1u);
+}
+
+TEST_F(EvmTest, TransactionFeesSettle) {
+  Transaction tx;
+  tx.from = kCaller;
+  tx.to = addr(0x99);
+  tx.gas_limit = 50000;
+  tx.gas_price = u256{3};
+  const u256 before = overlay_get().balance(kCaller);
+  const TxResult r = interp_get().execute_transaction(tx);
+  EXPECT_EQ(overlay_get().balance(kCaller), before - u256{r.gas_used} * u256{3});
+  EXPECT_EQ(overlay_get().balance(addr(0xFE)), u256{r.gas_used} * u256{3});  // coinbase
+}
+
+TEST_F(EvmTest, TransactionNonceChecks) {
+  Transaction tx;
+  tx.from = kCaller;
+  tx.to = addr(0x99);
+  tx.nonce = 5;  // account nonce is 0
+  EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kNonceMismatch);
+  tx.nonce = 0;
+  EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kSuccess);
+  // Nonce advanced; replay fails.
+  EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kNonceMismatch);
+}
+
+TEST_F(EvmTest, TransactionInsufficientBalance) {
+  Transaction tx;
+  tx.from = addr(0x01);  // empty account
+  tx.to = addr(0x99);
+  tx.value = u256{1};
+  EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kInsufficientBalance);
+}
+
+TEST_F(EvmTest, TransactionIntrinsicGasTooLow) {
+  Transaction tx;
+  tx.from = kCaller;
+  tx.to = addr(0x99);
+  tx.gas_limit = 20000;
+  EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kOutOfGas);
+}
+
+TEST_F(EvmTest, IntrinsicGasCountsCalldata) {
+  Transaction tx;
+  tx.data = Bytes{0x00, 0x00, 0x01, 0x02};  // 2 zero + 2 nonzero
+  tx.to = addr(0x99);
+  EXPECT_EQ(tx.intrinsic_gas(), 21000u + 2 * 4 + 2 * 16);
+  tx.to = std::nullopt;
+  EXPECT_EQ(tx.intrinsic_gas(), 21000u + 2 * 4 + 2 * 16 + 32000 + 2);
+}
+
+TEST_F(EvmTest, RefundCappedAtFifth) {
+  // Clear two pre-existing slots: refund 9600, but cap = gas_used / 5.
+  base_.put_storage(kContract, u256{1}, u256{1});
+  base_.put_storage(kContract, u256{2}, u256{1});
+  base_.put_code(kContract, assemble("PUSH0 PUSH1 1 SSTORE PUSH0 PUSH1 2 SSTORE STOP"));
+  Transaction tx;
+  tx.from = kCaller;
+  tx.to = kContract;
+  tx.gas_limit = 200000;
+  const TxResult r = interp_get().execute_transaction(tx);
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+  EXPECT_GT(r.gas_refunded, 0u);
+  EXPECT_LE(r.gas_refunded, (r.gas_used + r.gas_refunded) / 5);
+}
+
+// --- HarDTAPE memory overflow ---
+
+TEST_F(EvmTest, FrameMemoryLimitTriggersMemoryOverflow) {
+  set_frame_memory_limit(512 * 1024);  // half of 1 MB layer 2 (§IV-B)
+  const CallResult r = run_asm("PUSH1 1 PUSH3 0x100000 MSTORE STOP");  // touch 1 MB
+  EXPECT_EQ(r.status, VmStatus::kMemoryOverflow);
+}
+
+TEST_F(EvmTest, MemoryOverflowCannotBeCaughtByCaller) {
+  set_frame_memory_limit(512 * 1024);
+  // Callee blows the limit; caller tries to swallow the failure.
+  base_.put_code(addr(0x7D), assemble("PUSH1 1 PUSH3 0x100000 MSTORE STOP"));
+  const CallResult r = run_asm(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007d
+    PUSH4 0xffffffff
+    CALL
+  )"));
+  EXPECT_EQ(r.status, VmStatus::kMemoryOverflow);
+}
+
+TEST_F(EvmTest, NoLimitWhenDisabled) {
+  const CallResult r = run_asm("PUSH1 1 PUSH3 0x100000 MSTORE STOP");
+  EXPECT_EQ(r.status, VmStatus::kSuccess);
+}
+
+// --- tracing ---
+
+TEST_F(EvmTest, StepTracerRecordsProgram) {
+  StepTracer tracer;
+  set_observer(&tracer);
+  run_asm("PUSH1 1 PUSH1 2 ADD STOP");
+  ASSERT_EQ(tracer.steps().size(), 4u);
+  EXPECT_EQ(tracer.steps()[0].opcode, 0x60);
+  EXPECT_EQ(tracer.steps()[2].opcode, 0x01);  // ADD
+  EXPECT_EQ(tracer.steps()[2].stack_size, 2u);
+  EXPECT_EQ(tracer.steps()[3].opcode, 0x00);  // STOP
+  // Gas decreases monotonically within a frame.
+  EXPECT_GT(tracer.steps()[0].gas_left, tracer.steps()[3].gas_left);
+}
+
+TEST_F(EvmTest, FrameStatsCollectorSeesNestedCalls) {
+  FrameStatsCollector stats;
+  set_observer(&stats);
+  base_.put_code(addr(0x7E), assemble(ret("PUSH1 0x05 SLOAD")));
+  run_asm(ret(R"(
+    PUSH1 0x20 PUSH1 0x00 PUSH1 0x04 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007e
+    PUSH3 0xffffff
+    CALL
+  )"));
+  ASSERT_EQ(stats.frames().size(), 2u);  // callee exits first
+  EXPECT_EQ(stats.max_depth(), 2);
+  const auto& callee = stats.frames()[0];
+  EXPECT_EQ(callee.depth, 2);
+  EXPECT_EQ(callee.input_size, 4u);
+  EXPECT_EQ(callee.storage_slots, 1u);
+  EXPECT_GT(callee.code_size, 0u);
+}
+
+TEST_F(EvmTest, LogsReachObserver) {
+  StepTracer tracer;
+  set_observer(&tracer);
+  run_asm(R"(
+    PUSH1 0xaa PUSH1 0x00 MSTORE
+    PUSH1 0x99             ; topic
+    PUSH1 0x20 PUSH1 0x00  ; data
+    LOG1
+    STOP
+  )");
+  ASSERT_EQ(tracer.logs().size(), 1u);
+  EXPECT_EQ(tracer.logs()[0].address, kContract);
+  ASSERT_EQ(tracer.logs()[0].topics.size(), 1u);
+  EXPECT_EQ(tracer.logs()[0].topics[0], u256{0x99});
+  EXPECT_EQ(u256::from_be_bytes(tracer.logs()[0].data), u256{0xaa});
+}
+
+TEST_F(EvmTest, StaticContextBlocksLogs) {
+  base_.put_code(addr(0x7F), assemble("PUSH1 0x00 PUSH1 0x00 LOG0 STOP"));
+  EXPECT_EQ(run_word(ret(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007f
+    PUSH3 0xffffff
+    STATICCALL
+  )")), u256{});
+}
+
+}  // namespace
+}  // namespace hardtape::evm

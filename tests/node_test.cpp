@@ -1,0 +1,166 @@
+// Node simulator and block-synchronization tests (threat A6: fake on-chain
+// data must be rejected at sync time).
+#include <gtest/gtest.h>
+
+#include "node/node.hpp"
+#include "node/sync.hpp"
+#include "workload/contracts.hpp"
+#include "workload/generator.hpp"
+
+namespace hardtape::node {
+namespace {
+
+Address addr(uint8_t tag) {
+  Address a;
+  a.bytes[19] = tag;
+  return a;
+}
+
+crypto::AesKey128 key() {
+  crypto::AesKey128 k{};
+  k[5] = 9;
+  return k;
+}
+
+TEST(Node, GenesisChain) {
+  NodeSimulator node;
+  EXPECT_EQ(node.chain().size(), 1u);
+  EXPECT_EQ(node.head().number, 0u);
+}
+
+TEST(Node, ProduceBlockAdvancesChainAndState) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1'000'000});
+  evm::Transaction tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = u256{500};
+  tx.gas_limit = 30'000;
+  tx.gas_price = u256{};
+
+  const H256 root_before = node.world().state_root();
+  const BlockHeader header = node.produce_block({tx});
+  EXPECT_EQ(header.number, 1u);
+  EXPECT_EQ(node.head().number, 1u);
+  EXPECT_NE(header.state_root, root_before);
+  EXPECT_EQ(header.parent_hash, node.chain()[0].hash());
+  EXPECT_EQ(node.world().account(addr(2))->balance, u256{500});
+  ASSERT_EQ(node.last_receipts().size(), 1u);
+  EXPECT_EQ(node.last_receipts()[0].status, evm::VmStatus::kSuccess);
+  // Mainnet cadence.
+  EXPECT_EQ(header.timestamp, node.chain()[0].timestamp + 12);
+}
+
+TEST(Node, BlockExecutionCommitsContractEffects) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1} << 64);
+  node.world().set_code(addr(0x10), workload::erc20_code());
+  node.world().set_storage(addr(0x10), addr(1).to_u256(), u256{1000});
+
+  evm::Transaction tx;
+  tx.from = addr(1);
+  tx.to = addr(0x10);
+  tx.data = workload::erc20_transfer(addr(2), u256{400});
+  tx.gas_limit = 500'000;
+  tx.gas_price = u256{};
+  node.produce_block({tx});
+  EXPECT_EQ(node.world().storage(addr(0x10), addr(2).to_u256()), u256{400});
+  EXPECT_EQ(node.world().storage(addr(0x10), addr(1).to_u256()), u256{600});
+}
+
+TEST(Node, HeaderHashCoversContents) {
+  BlockHeader a;
+  a.number = 5;
+  BlockHeader b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.gas_used = 1;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+class SyncTest : public ::testing::Test {
+ protected:
+  SyncTest()
+      : server_(oram::OramConfig{.block_size = oram::kPageSize, .capacity = 512}),
+        client_(server_, key(), 3, oram::SealMode::kChaChaHmac) {
+    node_.world().set_balance(addr(1), u256{777});
+    node_.world().set_code(addr(2), workload::erc20_code());
+    node_.world().set_storage(addr(2), u256{5}, u256{55});
+    node_.world().set_storage(addr(2), u256{37}, u256{3737});
+    node_.produce_block({});
+  }
+
+  NodeSimulator node_;
+  oram::OramServer server_;
+  oram::OramClient client_;
+};
+
+TEST_F(SyncTest, HonestNodeSyncsAndServes) {
+  BlockSynchronizer sync(node_, node_.head().state_root);
+  ASSERT_EQ(sync.sync_all(client_), Status::kOk);
+  EXPECT_EQ(sync.verified_accounts(), 2u);
+  EXPECT_EQ(sync.verified_slots(), 2u);
+  EXPECT_GT(sync.installed_pages(), 3u);
+
+  // The installed pages serve correct data through the ORAM.
+  oram::OramWorldState oram_state(client_);
+  EXPECT_EQ(oram_state.account(addr(1))->balance, u256{777});
+  EXPECT_EQ(oram_state.storage(addr(2), u256{5}), u256{55});
+  EXPECT_EQ(oram_state.storage(addr(2), u256{37}), u256{3737});
+  EXPECT_EQ(oram_state.code(addr(2)), node_.world().code(addr(2)));
+}
+
+TEST_F(SyncTest, DishonestNodeRejected) {
+  node_.set_dishonest(true);
+  BlockSynchronizer sync(node_, node_.head().state_root);
+  EXPECT_EQ(sync.sync_account(addr(1), {}, client_), Status::kBadProof);
+  // Nothing was installed.
+  oram::OramWorldState oram_state(client_);
+  EXPECT_FALSE(oram_state.account(addr(1)).has_value());
+}
+
+TEST_F(SyncTest, DishonestStorageRejected) {
+  node_.set_dishonest(true);
+  BlockSynchronizer sync(node_, node_.head().state_root);
+  EXPECT_EQ(sync.sync_account(addr(2), {u256{5}}, client_), Status::kBadProof);
+}
+
+TEST_F(SyncTest, WrongTrustedRootRejectsEverything) {
+  BlockSynchronizer sync(node_, crypto::keccak256("some other chain"));
+  EXPECT_EQ(sync.sync_account(addr(1), {}, client_), Status::kBadProof);
+}
+
+TEST_F(SyncTest, AbsentAccountSyncsAsAbsent) {
+  BlockSynchronizer sync(node_, node_.head().state_root);
+  EXPECT_EQ(sync.sync_account(addr(0x99), {}, client_), Status::kOk);
+  oram::OramWorldState oram_state(client_);
+  const auto account = oram_state.account(addr(0x99));
+  // Installed as an empty-meta page: balance zero, no code.
+  ASSERT_TRUE(account.has_value());
+  EXPECT_EQ(account->balance, u256{});
+}
+
+TEST(SyncIntegration, FullWorkloadWorldSyncs) {
+  // End-to-end: deploy the full workload population, produce a block, sync
+  // everything, and spot-check through the ORAM.
+  NodeSimulator node;
+  workload::WorkloadGenerator gen(workload::GeneratorConfig{
+      .user_accounts = 8, .erc20_contracts = 2, .dex_pairs = 1, .routers = 1});
+  gen.deploy(node.world());
+  node.produce_block({});
+
+  oram::OramServer server(
+      oram::OramConfig{.block_size = oram::kPageSize, .capacity = 2048});
+  oram::OramClient client(server, key(), 5, oram::SealMode::kChaChaHmac);
+  BlockSynchronizer sync(node, node.head().state_root);
+  ASSERT_EQ(sync.sync_all(client), Status::kOk);
+
+  oram::OramWorldState oram_state(client);
+  const Address& token = gen.tokens()[0];
+  const Address& user = gen.users()[0];
+  EXPECT_EQ(oram_state.storage(token, user.to_u256()),
+            node.world().storage(token, user.to_u256()));
+  EXPECT_EQ(oram_state.code(token), node.world().code(token));
+}
+
+}  // namespace
+}  // namespace hardtape::node

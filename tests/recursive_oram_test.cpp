@@ -1,0 +1,110 @@
+// Tests for the recursive position map ORAM (paper §II-C).
+#include <gtest/gtest.h>
+
+#include "common/errors.hpp"
+#include "oram/recursive.hpp"
+
+namespace hardtape::oram {
+namespace {
+
+crypto::AesKey128 key() {
+  crypto::AesKey128 k{};
+  k[7] = 0x55;
+  return k;
+}
+
+RecursiveOramConfig small_config() {
+  return RecursiveOramConfig{.block_size = 64,
+                             .capacity = 512,
+                             .bucket_capacity = 4,
+                             .max_stash_blocks = 256,
+                             .map_entries_per_block = 32};
+}
+
+TEST(RecursiveOram, WriteReadRoundTrip) {
+  RecursiveOramClient client(small_config(), key(), 11);
+  client.write(7, Bytes{1, 2, 3});
+  const auto back = client.read(7);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(std::equal(back->begin(), back->begin() + 3, Bytes{1, 2, 3}.begin()));
+  EXPECT_FALSE(client.read(8).has_value());
+}
+
+TEST(RecursiveOram, EveryOperationCostsOneMapPlusOneDataAccess) {
+  RecursiveOramClient client(small_config(), key(), 3);
+  const uint64_t d0 = client.data_accesses();
+  const uint64_t m0 = client.map_accesses();
+  client.write(1, Bytes{1});
+  EXPECT_EQ(client.data_accesses(), d0 + 1);
+  EXPECT_EQ(client.map_accesses(), m0 + 1);
+  client.read(1);
+  EXPECT_EQ(client.data_accesses(), d0 + 2);
+  EXPECT_EQ(client.map_accesses(), m0 + 2);
+  // Miss costs exactly the same as a hit (uniform by construction).
+  client.read(2);
+  EXPECT_EQ(client.data_accesses(), d0 + 3);
+  EXPECT_EQ(client.map_accesses(), m0 + 3);
+}
+
+TEST(RecursiveOram, OnchipStateIsSmall) {
+  // The whole point of recursion: the on-chip position map covers only the
+  // map ORAM's (capacity/entries_per_block) blocks, not all data blocks.
+  RecursiveOramClient client(small_config(), key(), 5);
+  for (uint64_t i = 0; i < 256; ++i) client.write(i, Bytes{static_cast<uint8_t>(i)});
+  EXPECT_LE(client.onchip_position_entries(), 512u / 32 + 1);
+  EXPECT_LT(client.stash_high_water(), 64u);
+}
+
+TEST(RecursiveOram, SurvivesChurn) {
+  RecursiveOramClient client(small_config(), key(), 17);
+  Random rng(8);
+  std::unordered_map<uint64_t, uint8_t> expected;
+  for (uint64_t i = 0; i < 128; ++i) {
+    const auto v = static_cast<uint8_t>(rng.next_u64());
+    client.write(i, Bytes{v});
+    expected[i] = v;
+  }
+  for (int round = 0; round < 400; ++round) {
+    const uint64_t i = rng.uniform(128);
+    if (rng.uniform(2) == 0) {
+      const auto v = static_cast<uint8_t>(rng.next_u64());
+      client.write(i, Bytes{v});
+      expected[i] = v;
+    } else {
+      const auto back = client.read(i);
+      ASSERT_TRUE(back.has_value()) << "lost block " << i << " at round " << round;
+      ASSERT_EQ((*back)[0], expected[i]) << "stale block " << i;
+    }
+  }
+  for (const auto& [i, v] : expected) {
+    const auto back = client.read(i);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ((*back)[0], v);
+  }
+}
+
+TEST(RecursiveOram, BothTreesObserveUniformPaths) {
+  RecursiveOramClient client(small_config(), key(), 23);
+  client.write(1, Bytes{1});
+  // Hammer one block; both the map tree and the data tree must show spread
+  // (not fixed) leaf sequences.
+  for (int i = 0; i < 300; ++i) client.read(1);
+  auto spread = [](const std::vector<uint64_t>& leaves) {
+    std::unordered_map<uint64_t, int> histogram;
+    for (uint64_t leaf : leaves) histogram[leaf]++;
+    return histogram.size();
+  };
+  EXPECT_GT(spread(client.data_server().observed_leaves()), 50u);
+  // The map block for index 1 is also remapped on every access.
+  EXPECT_GT(spread(client.map_server().observed_leaves()), 20u);
+}
+
+TEST(RecursiveOram, RejectsBadUsage) {
+  RecursiveOramClient client(small_config(), key(), 1);
+  EXPECT_THROW(client.read(512), UsageError);
+  EXPECT_THROW(client.write(512, Bytes{1}), UsageError);
+  EXPECT_THROW(client.write(1, Bytes(65, 0)), UsageError);
+}
+
+}  // namespace
+}  // namespace hardtape::oram
