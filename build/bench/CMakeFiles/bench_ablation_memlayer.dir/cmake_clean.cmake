@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memlayer.dir/bench_ablation_memlayer.cpp.o"
+  "CMakeFiles/bench_ablation_memlayer.dir/bench_ablation_memlayer.cpp.o.d"
+  "bench_ablation_memlayer"
+  "bench_ablation_memlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_scalability.cpp" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o" "gcc" "bench/CMakeFiles/bench_scalability.dir/bench_scalability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/hardtape_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/hevm/CMakeFiles/hardtape_hevm.dir/DependInfo.cmake"
+  "/root/repo/build/src/memlayer/CMakeFiles/hardtape_memlayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/hardtape_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/hardtape_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hardtape_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/hardtape_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/hardtape_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/hardtape_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hardtape_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hardtape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

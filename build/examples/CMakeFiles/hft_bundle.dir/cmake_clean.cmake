@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hft_bundle.dir/hft_bundle.cpp.o"
+  "CMakeFiles/hft_bundle.dir/hft_bundle.cpp.o.d"
+  "hft_bundle"
+  "hft_bundle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hft_bundle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oram_access_patterns.dir/oram_access_patterns.cpp.o"
+  "CMakeFiles/oram_access_patterns.dir/oram_access_patterns.cpp.o.d"
+  "oram_access_patterns"
+  "oram_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oram_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

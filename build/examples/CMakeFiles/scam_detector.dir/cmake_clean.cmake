@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scam_detector.dir/scam_detector.cpp.o"
+  "CMakeFiles/scam_detector.dir/scam_detector.cpp.o.d"
+  "scam_detector"
+  "scam_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scam_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("crypto")
+subdirs("trie")
+subdirs("state")
+subdirs("evm")
+subdirs("sim")
+subdirs("oram")
+subdirs("memlayer")
+subdirs("hevm")
+subdirs("node")
+subdirs("hypervisor")
+subdirs("service")
+subdirs("workload")

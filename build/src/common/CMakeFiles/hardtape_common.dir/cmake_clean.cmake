@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_common.dir/bytes.cpp.o"
+  "CMakeFiles/hardtape_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hardtape_common.dir/errors.cpp.o"
+  "CMakeFiles/hardtape_common.dir/errors.cpp.o.d"
+  "CMakeFiles/hardtape_common.dir/random.cpp.o"
+  "CMakeFiles/hardtape_common.dir/random.cpp.o.d"
+  "CMakeFiles/hardtape_common.dir/u256.cpp.o"
+  "CMakeFiles/hardtape_common.dir/u256.cpp.o.d"
+  "libhardtape_common.a"
+  "libhardtape_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

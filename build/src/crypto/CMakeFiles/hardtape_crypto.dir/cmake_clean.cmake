@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_crypto.dir/aes.cpp.o"
+  "CMakeFiles/hardtape_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/hardtape_crypto.dir/keccak.cpp.o"
+  "CMakeFiles/hardtape_crypto.dir/keccak.cpp.o.d"
+  "CMakeFiles/hardtape_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/hardtape_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/hardtape_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/hardtape_crypto.dir/sha256.cpp.o.d"
+  "libhardtape_crypto.a"
+  "libhardtape_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

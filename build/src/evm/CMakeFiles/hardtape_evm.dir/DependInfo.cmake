@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evm/assembler.cpp" "src/evm/CMakeFiles/hardtape_evm.dir/assembler.cpp.o" "gcc" "src/evm/CMakeFiles/hardtape_evm.dir/assembler.cpp.o.d"
+  "/root/repo/src/evm/interpreter.cpp" "src/evm/CMakeFiles/hardtape_evm.dir/interpreter.cpp.o" "gcc" "src/evm/CMakeFiles/hardtape_evm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/evm/opcodes.cpp" "src/evm/CMakeFiles/hardtape_evm.dir/opcodes.cpp.o" "gcc" "src/evm/CMakeFiles/hardtape_evm.dir/opcodes.cpp.o.d"
+  "/root/repo/src/evm/trace.cpp" "src/evm/CMakeFiles/hardtape_evm.dir/trace.cpp.o" "gcc" "src/evm/CMakeFiles/hardtape_evm.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hardtape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hardtape_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/hardtape_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/hardtape_trie.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_evm.dir/assembler.cpp.o"
+  "CMakeFiles/hardtape_evm.dir/assembler.cpp.o.d"
+  "CMakeFiles/hardtape_evm.dir/interpreter.cpp.o"
+  "CMakeFiles/hardtape_evm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/hardtape_evm.dir/opcodes.cpp.o"
+  "CMakeFiles/hardtape_evm.dir/opcodes.cpp.o.d"
+  "CMakeFiles/hardtape_evm.dir/trace.cpp.o"
+  "CMakeFiles/hardtape_evm.dir/trace.cpp.o.d"
+  "libhardtape_evm.a"
+  "libhardtape_evm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_evm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

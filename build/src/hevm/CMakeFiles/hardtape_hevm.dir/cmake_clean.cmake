@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_hevm.dir/hevm_core.cpp.o"
+  "CMakeFiles/hardtape_hevm.dir/hevm_core.cpp.o.d"
+  "CMakeFiles/hardtape_hevm.dir/resource_model.cpp.o"
+  "CMakeFiles/hardtape_hevm.dir/resource_model.cpp.o.d"
+  "libhardtape_hevm.a"
+  "libhardtape_hevm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_hevm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

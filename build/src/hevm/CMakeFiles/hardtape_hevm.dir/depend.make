@@ -1,0 +1,2 @@
+# Empty dependencies file for hardtape_hevm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypervisor/attestation.cpp" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/attestation.cpp.o" "gcc" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/attestation.cpp.o.d"
+  "/root/repo/src/hypervisor/channel.cpp" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/channel.cpp.o" "gcc" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/channel.cpp.o.d"
+  "/root/repo/src/hypervisor/hypervisor.cpp" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/hypervisor.cpp.o" "gcc" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/hypervisor.cpp.o.d"
+  "/root/repo/src/hypervisor/prefetch.cpp" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/prefetch.cpp.o" "gcc" "src/hypervisor/CMakeFiles/hardtape_hypervisor.dir/prefetch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/hardtape_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/oram/CMakeFiles/hardtape_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/evm/CMakeFiles/hardtape_evm.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/hardtape_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/hardtape_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hardtape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_hypervisor.dir/attestation.cpp.o"
+  "CMakeFiles/hardtape_hypervisor.dir/attestation.cpp.o.d"
+  "CMakeFiles/hardtape_hypervisor.dir/channel.cpp.o"
+  "CMakeFiles/hardtape_hypervisor.dir/channel.cpp.o.d"
+  "CMakeFiles/hardtape_hypervisor.dir/hypervisor.cpp.o"
+  "CMakeFiles/hardtape_hypervisor.dir/hypervisor.cpp.o.d"
+  "CMakeFiles/hardtape_hypervisor.dir/prefetch.cpp.o"
+  "CMakeFiles/hardtape_hypervisor.dir/prefetch.cpp.o.d"
+  "libhardtape_hypervisor.a"
+  "libhardtape_hypervisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_hypervisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hardtape_hypervisor.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_memlayer.dir/layer3.cpp.o"
+  "CMakeFiles/hardtape_memlayer.dir/layer3.cpp.o.d"
+  "CMakeFiles/hardtape_memlayer.dir/pager.cpp.o"
+  "CMakeFiles/hardtape_memlayer.dir/pager.cpp.o.d"
+  "libhardtape_memlayer.a"
+  "libhardtape_memlayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_memlayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

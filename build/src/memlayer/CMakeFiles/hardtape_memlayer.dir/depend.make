@@ -1,0 +1,2 @@
+# Empty dependencies file for hardtape_memlayer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_node.dir/node.cpp.o"
+  "CMakeFiles/hardtape_node.dir/node.cpp.o.d"
+  "CMakeFiles/hardtape_node.dir/sync.cpp.o"
+  "CMakeFiles/hardtape_node.dir/sync.cpp.o.d"
+  "libhardtape_node.a"
+  "libhardtape_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

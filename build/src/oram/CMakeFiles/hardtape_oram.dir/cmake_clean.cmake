@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_oram.dir/paged_state.cpp.o"
+  "CMakeFiles/hardtape_oram.dir/paged_state.cpp.o.d"
+  "CMakeFiles/hardtape_oram.dir/path_oram.cpp.o"
+  "CMakeFiles/hardtape_oram.dir/path_oram.cpp.o.d"
+  "CMakeFiles/hardtape_oram.dir/recursive.cpp.o"
+  "CMakeFiles/hardtape_oram.dir/recursive.cpp.o.d"
+  "libhardtape_oram.a"
+  "libhardtape_oram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_oram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

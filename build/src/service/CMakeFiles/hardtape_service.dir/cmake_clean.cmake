@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_service.dir/pre_execution.cpp.o"
+  "CMakeFiles/hardtape_service.dir/pre_execution.cpp.o.d"
+  "libhardtape_service.a"
+  "libhardtape_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhardtape_service.a"
+)

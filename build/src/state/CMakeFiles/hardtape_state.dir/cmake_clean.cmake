@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_state.dir/account.cpp.o"
+  "CMakeFiles/hardtape_state.dir/account.cpp.o.d"
+  "CMakeFiles/hardtape_state.dir/overlay.cpp.o"
+  "CMakeFiles/hardtape_state.dir/overlay.cpp.o.d"
+  "CMakeFiles/hardtape_state.dir/world_state.cpp.o"
+  "CMakeFiles/hardtape_state.dir/world_state.cpp.o.d"
+  "libhardtape_state.a"
+  "libhardtape_state.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

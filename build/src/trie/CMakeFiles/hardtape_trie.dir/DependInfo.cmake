@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trie/mpt.cpp" "src/trie/CMakeFiles/hardtape_trie.dir/mpt.cpp.o" "gcc" "src/trie/CMakeFiles/hardtape_trie.dir/mpt.cpp.o.d"
+  "/root/repo/src/trie/rlp.cpp" "src/trie/CMakeFiles/hardtape_trie.dir/rlp.cpp.o" "gcc" "src/trie/CMakeFiles/hardtape_trie.dir/rlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hardtape_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hardtape_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_trie.dir/mpt.cpp.o"
+  "CMakeFiles/hardtape_trie.dir/mpt.cpp.o.d"
+  "CMakeFiles/hardtape_trie.dir/rlp.cpp.o"
+  "CMakeFiles/hardtape_trie.dir/rlp.cpp.o.d"
+  "libhardtape_trie.a"
+  "libhardtape_trie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

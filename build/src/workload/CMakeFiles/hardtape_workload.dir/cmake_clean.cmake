@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardtape_workload.dir/contracts.cpp.o"
+  "CMakeFiles/hardtape_workload.dir/contracts.cpp.o.d"
+  "CMakeFiles/hardtape_workload.dir/generator.cpp.o"
+  "CMakeFiles/hardtape_workload.dir/generator.cpp.o.d"
+  "libhardtape_workload.a"
+  "libhardtape_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardtape_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

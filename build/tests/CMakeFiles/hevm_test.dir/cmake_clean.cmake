@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hevm_test.dir/hevm_test.cpp.o"
+  "CMakeFiles/hevm_test.dir/hevm_test.cpp.o.d"
+  "hevm_test"
+  "hevm_test.pdb"
+  "hevm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hevm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

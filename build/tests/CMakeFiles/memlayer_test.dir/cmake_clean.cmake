@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memlayer_test.dir/memlayer_test.cpp.o"
+  "CMakeFiles/memlayer_test.dir/memlayer_test.cpp.o.d"
+  "memlayer_test"
+  "memlayer_test.pdb"
+  "memlayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memlayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/oram_test.cpp" "tests/CMakeFiles/oram_test.dir/oram_test.cpp.o" "gcc" "tests/CMakeFiles/oram_test.dir/oram_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/oram/CMakeFiles/hardtape_oram.dir/DependInfo.cmake"
+  "/root/repo/build/src/state/CMakeFiles/hardtape_state.dir/DependInfo.cmake"
+  "/root/repo/build/src/trie/CMakeFiles/hardtape_trie.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/hardtape_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hardtape_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

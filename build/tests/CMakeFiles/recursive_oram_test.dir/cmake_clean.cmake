@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_oram_test.dir/recursive_oram_test.cpp.o"
+  "CMakeFiles/recursive_oram_test.dir/recursive_oram_test.cpp.o.d"
+  "recursive_oram_test"
+  "recursive_oram_test.pdb"
+  "recursive_oram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_oram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/trie_test[1]_include.cmake")
+include("/root/repo/build/tests/state_test[1]_include.cmake")
+include("/root/repo/build/tests/evm_test[1]_include.cmake")
+include("/root/repo/build/tests/oram_test[1]_include.cmake")
+include("/root/repo/build/tests/memlayer_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/hevm_test[1]_include.cmake")
+include("/root/repo/build/tests/node_test[1]_include.cmake")
+include("/root/repo/build/tests/hypervisor_test[1]_include.cmake")
+include("/root/repo/build/tests/service_test[1]_include.cmake")
+include("/root/repo/build/tests/recursive_oram_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/security_test[1]_include.cmake")
+include("/root/repo/build/tests/conformance_test[1]_include.cmake")
