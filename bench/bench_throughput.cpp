@@ -1,0 +1,132 @@
+// Multi-worker engine throughput sweep: 1/2/4/8 dedicated HEVMs over the
+// mixed evaluation workload, through the concurrent PreExecutionEngine.
+//
+// Reported throughput is the SIMULATED engine timeline (deterministic on any
+// host — see DESIGN.md §1); wall-clock figures are printed as diagnostics of
+// the real thread pool only. Every run is checked bit-identical against the
+// serial reference before its numbers count.
+//
+// Usage: bench_throughput [--bundles N] [--txs N] [--out FILE]
+// Writes BENCH_throughput.json (machine-readable, consumed by CI perf-smoke).
+// Exit 1 if any trace diverges from serial or 4 workers < 2x the 1-worker
+// simulated bundle rate.
+#include <cstring>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "service/engine.hpp"
+
+using namespace hardtape;
+
+namespace {
+
+struct SweepPoint {
+  int workers = 0;
+  service::EngineMetrics metrics;
+  bool identical_to_serial = false;
+};
+
+service::EngineConfig engine_config(int workers) {
+  service::EngineConfig config;
+  config.security = service::SecurityConfig::full();
+  config.num_hevms = workers;
+  config.queue_depth = 16;
+  config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 8192,
+                                 .max_stash_blocks = 512};
+  config.seal_mode = oram::SealMode::kChaChaHmac;
+  config.perform_channel_crypto = false;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t bundle_count = 48;
+  size_t txs_per_block = 24;
+  std::string out_path = "BENCH_throughput.json";
+  for (int i = 1; i < argc - 1; ++i) {
+    if (!std::strcmp(argv[i], "--bundles")) bundle_count = std::strtoull(argv[i + 1], nullptr, 10);
+    if (!std::strcmp(argv[i], "--txs")) txs_per_block = std::strtoull(argv[i + 1], nullptr, 10);
+    if (!std::strcmp(argv[i], "--out")) out_path = argv[i + 1];
+  }
+
+  bench::EvaluationSetup setup(/*block_count=*/1, txs_per_block);
+  const auto txs = setup.all_transactions();
+  std::vector<std::vector<evm::Transaction>> bundles;
+  for (size_t i = 0; i < bundle_count; ++i) bundles.push_back({txs[i % txs.size()]});
+
+  // Serial reference once; every sweep point is held to it bit-for-bit.
+  service::PreExecutionEngine reference_engine(setup.node, engine_config(1));
+  if (reference_engine.synchronize() != Status::kOk) return 1;
+  const auto reference = reference_engine.execute_serial(bundles);
+
+  std::vector<SweepPoint> sweep;
+  for (const int workers : {1, 2, 4, 8}) {
+    service::PreExecutionEngine engine(setup.node, engine_config(workers));
+    if (engine.synchronize() != Status::kOk) return 1;
+    engine.start();
+    for (const auto& bundle : bundles) engine.submit(bundle);
+    const auto outcomes = engine.drain();
+
+    SweepPoint point;
+    point.workers = workers;
+    point.identical_to_serial = outcomes.size() == reference.size();
+    for (size_t i = 0; point.identical_to_serial && i < outcomes.size(); ++i) {
+      point.identical_to_serial =
+          service::outcomes_bit_identical(outcomes[i], reference[i]);
+    }
+    point.metrics = engine.snapshot();
+    sweep.push_back(std::move(point));
+  }
+
+  const double base = sweep.front().metrics.sim_bundles_per_s;
+  bench::Table table({"HEVMs", "sim bundles/s", "speedup", "sim queue wait (ms)",
+                      "ORAM stall (ms)", "wall bundles/s", "identical"});
+  for (const auto& p : sweep) {
+    const auto& m = p.metrics;
+    table.add_row({std::to_string(p.workers), bench::fmt(m.sim_bundles_per_s, 2),
+                   bench::fmt(base > 0 ? m.sim_bundles_per_s / base : 0, 2) + "x",
+                   bench::fmt(double(m.sim_mean_queue_wait_ns) / 1e6, 2),
+                   bench::fmt(double(m.sim_oram_serialization_stall_ns) / 1e6, 2),
+                   bench::fmt(m.wall_bundles_per_s, 2),
+                   p.identical_to_serial ? "yes" : "NO"});
+  }
+  table.print("Engine throughput sweep (simulated timeline; wall = diagnostics)");
+
+  std::ofstream json(out_path);
+  json << "{\n  \"bench\": \"throughput\",\n  \"bundles\": " << bundle_count
+       << ",\n  \"sweep\": [\n";
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    const auto& m = sweep[i].metrics;
+    json << "    {\"workers\": " << sweep[i].workers
+         << ", \"sim_bundles_per_s\": " << m.sim_bundles_per_s
+         << ", \"sim_makespan_ns\": " << m.sim_makespan_ns
+         << ", \"sim_mean_queue_wait_ns\": " << m.sim_mean_queue_wait_ns
+         << ", \"sim_oram_serialization_stall_ns\": " << m.sim_oram_serialization_stall_ns
+         << ", \"wall_bundles_per_s\": " << m.wall_bundles_per_s
+         << ", \"wall_elapsed_ns\": " << m.wall_elapsed_ns
+         << ", \"oram_contention_stall_ns\": " << m.oram_contention_stall_ns
+         << ", \"bit_identical_to_serial\": "
+         << (sweep[i].identical_to_serial ? "true" : "false") << "}"
+         << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.flush();
+  if (!json) {
+    std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+
+  bool all_identical = true;
+  for (const auto& p : sweep) all_identical &= p.identical_to_serial;
+  double speedup4 = 0;
+  for (const auto& p : sweep) {
+    if (p.workers == 4 && base > 0) speedup4 = p.metrics.sim_bundles_per_s / base;
+  }
+  std::printf("shape checks: all sweeps bit-identical to serial: %s; "
+              "4-worker sim speedup %.2fx (need >= 2x): %s\n",
+              all_identical ? "yes" : "NO", speedup4,
+              speedup4 >= 2.0 ? "yes" : "NO");
+  return (all_identical && speedup4 >= 2.0) ? 0 : 1;
+}

@@ -13,6 +13,7 @@ Hypervisor::Hypervisor(BytesView puf_secret, const Manufacturer& manufacturer,
 
 Hypervisor::SessionHandle Hypervisor::begin_session(const H256& user_nonce,
                                                     const crypto::Point& user_public) {
+  std::lock_guard lock(mu_);
   touch_stack(92);  // session setup is the stack high-water mark (§VI-A)
   // Ephemeral session key for DHKE + report signing.
   crypto::PrivateKey session_key = crypto::PrivateKey::from_seed(rng_.bytes(32));
@@ -23,23 +24,26 @@ Hypervisor::SessionHandle Hypervisor::begin_session(const H256& user_nonce,
   handle.report = identity_.attest(measurement_, session_public, user_nonce);
 
   SecureChannel channel(session_key, user_public);
-  sessions_.push_back(
-      Session{handle.session_id, std::move(session_key), std::move(channel)});
+  sessions_.push_back(std::make_unique<Session>(
+      Session{handle.session_id, std::move(session_key), std::move(channel)}));
   return handle;
 }
 
 SecureChannel& Hypervisor::channel(uint32_t session_id) {
-  for (Session& session : sessions_) {
-    if (session.id == session_id) return session.channel;
+  std::lock_guard lock(mu_);
+  for (const auto& session : sessions_) {
+    if (session->id == session_id) return session->channel;
   }
   throw UsageError("hypervisor: unknown session");
 }
 
 void Hypervisor::end_session(uint32_t session_id) {
-  std::erase_if(sessions_, [&](const Session& s) { return s.id == session_id; });
+  std::lock_guard lock(mu_);
+  std::erase_if(sessions_, [&](const auto& s) { return s->id == session_id; });
 }
 
 const crypto::AesKey128& Hypervisor::generate_oram_key() {
+  std::lock_guard lock(mu_);
   if (!oram_key_.has_value()) {
     crypto::AesKey128 key;
     rng_.fill(key.data(), key.size());
@@ -49,6 +53,7 @@ const crypto::AesKey128& Hypervisor::generate_oram_key() {
 }
 
 const crypto::AesKey128& Hypervisor::oram_key() const {
+  std::lock_guard lock(mu_);
   if (!oram_key_.has_value()) throw UsageError("hypervisor: no ORAM key yet");
   return *oram_key_;
 }
@@ -57,8 +62,17 @@ Status Hypervisor::share_oram_key(Hypervisor& source, Hypervisor& target) {
   if (!source.has_oram_key()) return Status::kRejected;
   // Both Hypervisors are attested devices; they build a device-to-device
   // DHKE channel and move the key encrypted.
-  crypto::PrivateKey source_eph = crypto::PrivateKey::from_seed(source.rng_.bytes(32));
-  crypto::PrivateKey target_eph = crypto::PrivateKey::from_seed(target.rng_.bytes(32));
+  Bytes source_seed, target_seed;
+  {
+    std::lock_guard lock(source.mu_);
+    source_seed = source.rng_.bytes(32);
+  }
+  {
+    std::lock_guard lock(target.mu_);
+    target_seed = target.rng_.bytes(32);
+  }
+  crypto::PrivateKey source_eph = crypto::PrivateKey::from_seed(source_seed);
+  crypto::PrivateKey target_eph = crypto::PrivateKey::from_seed(target_seed);
   SecureChannel source_channel(source_eph, target_eph.public_key());
   SecureChannel target_channel(target_eph, source_eph.public_key());
 
@@ -72,7 +86,10 @@ Status Hypervisor::share_oram_key(Hypervisor& source, Hypervisor& target) {
   }
   crypto::AesKey128 received;
   std::copy(open.body.begin(), open.body.end(), received.begin());
-  target.oram_key_ = received;
+  {
+    std::lock_guard lock(target.mu_);
+    target.oram_key_ = received;
+  }
   return Status::kOk;
 }
 

@@ -7,6 +7,8 @@
 // high-water so the resource bench can reproduce §VI-A's 248 KB figure.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 
 #include "common/random.hpp"
@@ -34,12 +36,22 @@ class Hypervisor {
   };
   SessionHandle begin_session(const H256& user_nonce, const crypto::Point& user_public);
 
+  /// Channel of an active session. The returned reference stays valid until
+  /// end_session() on that id, even while other sessions begin/end
+  /// concurrently (sessions are heap-pinned). The channel object itself is
+  /// single-owner: only the session's worker may seal/open on it.
   SecureChannel& channel(uint32_t session_id);
   void end_session(uint32_t session_id);
-  size_t active_sessions() const { return sessions_.size(); }
+  size_t active_sessions() const {
+    std::lock_guard lock(mu_);
+    return sessions_.size();
+  }
 
   // --- ORAM key management (shared across devices of one SP) ---
-  bool has_oram_key() const { return oram_key_.has_value(); }
+  bool has_oram_key() const {
+    std::lock_guard lock(mu_);
+    return oram_key_.has_value();
+  }
   /// First device: generates the key from the secure RNG.
   const crypto::AesKey128& generate_oram_key();
   const crypto::AesKey128& oram_key() const;
@@ -51,7 +63,10 @@ class Hypervisor {
   // --- §VI-A memory accounting ---
   /// Modeled firmware binary size (KB) and observed peak stack usage (KB).
   uint32_t binary_kb() const { return 156; }
-  uint32_t peak_stack_kb() const { return peak_stack_kb_; }
+  uint32_t peak_stack_kb() const {
+    std::lock_guard lock(mu_);
+    return peak_stack_kb_;
+  }
   bool fits_onchip_memory() const { return binary_kb() + peak_stack_kb() <= 256; }
 
  private:
@@ -66,7 +81,12 @@ class Hypervisor {
   DeviceIdentity identity_;
   H256 measurement_;
   Random rng_;
-  std::vector<Session> sessions_;
+  /// Guards every mutable member below. One user session == one HEVM worker
+  /// in the concurrent engine, so session management must be callable from
+  /// many threads; sessions are unique_ptr so channel references survive
+  /// other sessions' churn.
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Session>> sessions_;
   uint32_t next_session_id_ = 1;
   std::optional<crypto::AesKey128> oram_key_;
   uint32_t peak_stack_kb_ = 24;  // boot-time baseline

@@ -1,0 +1,89 @@
+#include "oram/frontend.hpp"
+
+#include <chrono>
+
+namespace hardtape::oram {
+
+namespace {
+uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+}  // namespace
+
+void OramFrontend::enter_queue() {
+  std::lock_guard lock(state_mu_);
+  ++pending_;
+  stats_.max_pending = std::max(stats_.max_pending, pending_);
+}
+
+void OramFrontend::leave_queue(uint64_t stall_ns, bool was_read) {
+  std::lock_guard lock(state_mu_);
+  --pending_;
+  stats_.contention_stall_ns += stall_ns;
+  if (was_read) {
+    ++stats_.reads;
+  } else {
+    ++stats_.writes;
+  }
+}
+
+std::optional<Bytes> OramFrontend::serialized_read(const BlockId& id) {
+  enter_queue();
+  const auto start = std::chrono::steady_clock::now();
+  std::optional<Bytes> result;
+  uint64_t stall_ns = 0;
+  {
+    std::lock_guard lock(access_mu_);
+    stall_ns = wall_ns_since(start);
+    result = backend_.read(id);
+  }
+  leave_queue(stall_ns, /*was_read=*/true);
+  return result;
+}
+
+std::optional<Bytes> OramFrontend::read(const BlockId& id) {
+  if (!config_.coalesce_duplicate_reads) return serialized_read(id);
+
+  std::unique_lock lock(state_mu_);
+  if (auto it = inflight_.find(id); it != inflight_.end()) {
+    // An identical read is already walking the tree — ride it.
+    const std::shared_ptr<Inflight> entry = it->second;
+    ++stats_.coalesced_reads;
+    entry->cv.wait(lock, [&] { return entry->done; });
+    return entry->result;
+  }
+  const auto entry = std::make_shared<Inflight>();
+  inflight_.emplace(id, entry);
+  lock.unlock();
+
+  std::optional<Bytes> result = serialized_read(id);
+
+  lock.lock();
+  entry->result = result;
+  entry->done = true;
+  inflight_.erase(id);
+  entry->cv.notify_all();
+  return result;
+}
+
+void OramFrontend::write(const BlockId& id, BytesView data) {
+  // Writes (block synchronization) are never coalesced: each must land.
+  enter_queue();
+  const auto start = std::chrono::steady_clock::now();
+  uint64_t stall_ns = 0;
+  {
+    std::lock_guard lock(access_mu_);
+    stall_ns = wall_ns_since(start);
+    backend_.write(id, data);
+  }
+  leave_queue(stall_ns, /*was_read=*/false);
+}
+
+OramFrontend::Stats OramFrontend::snapshot() const {
+  std::lock_guard lock(state_mu_);
+  return stats_;
+}
+
+}  // namespace hardtape::oram

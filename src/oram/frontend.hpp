@@ -1,0 +1,82 @@
+// OramFrontend: the chip-side arbitration point in front of the shared ORAM
+// client, enabling concurrent multi-session pre-execution.
+//
+// HarDTAPE dedicates one HEVM per user session (paper §IV-B), but the whole
+// chip shares ONE position map + stash (inside the Hypervisor) and one ORAM
+// server. The stash/position map are a single state machine, so concurrent
+// sessions must not touch the client simultaneously. This frontend
+// serializes every path access behind a mutex-guarded request queue: the
+// adversary-visible server trace remains a strictly sequential stream of
+// uniformly random root-to-leaf paths — exactly the shape serial execution
+// produces — while the HEVMs overlap everything else (interpretation,
+// channel crypto, layer-2 traffic).
+//
+// Optional read coalescing: when two sessions demand the SAME page while a
+// fetch for it is already in flight (typical for hot contract code pages),
+// the second session can ride the first access instead of issuing its own.
+// This trades a small amount of access-count leakage (two sessions running
+// the same contract at once issue one fewer query) for server bandwidth, so
+// it is off by default and gated by config — mirroring the paper's stance
+// that every relaxation of the oblivious stream must be opt-in.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "oram/path_oram.hpp"
+
+namespace hardtape::oram {
+
+struct FrontendConfig {
+  /// Merge a read with an identical in-flight read instead of issuing a
+  /// second ORAM access. Off by default (see file comment).
+  bool coalesce_duplicate_reads = false;
+};
+
+class OramFrontend : public OramAccessor {
+ public:
+  using Config = FrontendConfig;
+
+  /// Counters over the frontend's lifetime. All wall-clock figures are host
+  /// measurements of real lock contention (NOT simulated time — the
+  /// simulated timeline lives in the engine's metrics).
+  struct Stats {
+    uint64_t reads = 0;             ///< accesses issued to the backend
+    uint64_t writes = 0;
+    uint64_t coalesced_reads = 0;   ///< reads served by an in-flight twin
+    uint64_t contention_stall_ns = 0;  ///< wall ns spent waiting for the lock
+    uint64_t max_pending = 0;       ///< deepest observed request queue
+  };
+
+  explicit OramFrontend(OramAccessor& backend, Config config = {})
+      : backend_(backend), config_(config) {}
+
+  std::optional<Bytes> read(const BlockId& id) override;
+  void write(const BlockId& id, BytesView data) override;
+
+  Stats snapshot() const;
+  const Config& config() const { return config_; }
+
+ private:
+  struct Inflight {
+    bool done = false;
+    std::optional<Bytes> result;
+    std::condition_variable cv;  // waits on state_mu_
+  };
+
+  std::optional<Bytes> serialized_read(const BlockId& id);
+  void enter_queue();
+  void leave_queue(uint64_t stall_ns, bool was_read);
+
+  OramAccessor& backend_;
+  Config config_;
+  std::mutex access_mu_;  ///< serializes backend path accesses (the queue)
+  mutable std::mutex state_mu_;  ///< guards stats_, pending_, inflight_
+  Stats stats_;
+  uint64_t pending_ = 0;
+  std::unordered_map<BlockId, std::shared_ptr<Inflight>, U256Hasher> inflight_;
+};
+
+}  // namespace hardtape::oram

@@ -132,7 +132,7 @@ PageCensus census(const state::WorldState& world) {
 
 std::optional<Bytes> OramWorldState::query(PageType type, const Address& addr,
                                            const u256& index) const {
-  ++query_count_;
+  query_count_.fetch_add(1, std::memory_order_relaxed);
   if (hook_) hook_(type, addr, index);
   return client_.read(page_id(type, addr, index));
 }
@@ -184,7 +184,7 @@ std::optional<Bytes> OramWorldState::storage_page(const Address& addr,
   return query(PageType::kStorageGroup, addr, group);
 }
 
-void sync_world_state(const state::WorldState& world, OramClient& client) {
+void sync_world_state(const state::WorldState& world, OramAccessor& client) {
   for (const auto& [id, page] : build_pages(world)) {
     client.write(id, page);
   }

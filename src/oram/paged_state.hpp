@@ -20,6 +20,7 @@
 // scheduler in src/hypervisor.
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "oram/path_oram.hpp"
@@ -76,9 +77,14 @@ PageCensus census(const state::WorldState& world);
 /// this is what the HEVM's world-state misses hit. Each call maps to one or
 /// more uniform 1 KB page queries; a hook reports them for timing models,
 /// prefetch scheduling and the Table/Figure benches.
+///
+/// Thread safety: this object holds no per-query mutable state beyond an
+/// atomic counter, so many sessions may share one instance as long as the
+/// underlying accessor is itself thread-safe (an OramFrontend) and the hook
+/// is set before the sessions start.
 class OramWorldState : public state::StateReader {
  public:
-  explicit OramWorldState(OramClient& client) : client_(client) {}
+  explicit OramWorldState(OramAccessor& client) : client_(client) {}
 
   /// Hook fired once per page query, before the ORAM access.
   using QueryHook = std::function<void(PageType, const Address&, const u256& index)>;
@@ -96,17 +102,17 @@ class OramWorldState : public state::StateReader {
   std::optional<Bytes> account_page(const Address& addr) const;
   std::optional<Bytes> storage_page(const Address& addr, const u256& group) const;
 
-  uint64_t query_count() const { return query_count_; }
+  uint64_t query_count() const { return query_count_.load(std::memory_order_relaxed); }
 
  private:
   std::optional<Bytes> query(PageType type, const Address& addr, const u256& index) const;
 
-  OramClient& client_;
+  OramAccessor& client_;
   QueryHook hook_;
-  mutable uint64_t query_count_ = 0;
+  mutable std::atomic<uint64_t> query_count_{0};
 };
 
 /// Installs the pages of `world` into the ORAM (block synchronization).
-void sync_world_state(const state::WorldState& world, OramClient& client);
+void sync_world_state(const state::WorldState& world, OramAccessor& client);
 
 }  // namespace hardtape::oram

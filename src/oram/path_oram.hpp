@@ -94,19 +94,36 @@ class OramServer {
   uint64_t access_count_ = 0;
 };
 
+/// Block-level access interface shared by the OramClient and anything that
+/// wraps it (the concurrency frontend in oram/frontend.hpp). Callers that
+/// only need read/write — the paged world state, block synchronization —
+/// take this instead of a concrete OramClient so the same code runs both
+/// single-threaded (straight to the client) and under the multi-session
+/// engine (serialized through the frontend).
+class OramAccessor {
+ public:
+  virtual ~OramAccessor() = default;
+  /// Reads a block; nullopt when the id was never written.
+  virtual std::optional<Bytes> read(const BlockId& id) = 0;
+  /// Writes (installs or updates) a block.
+  virtual void write(const BlockId& id, BytesView data) = 0;
+};
+
 /// The trusted client: stash and position map (on-chip in HarDTAPE, as part
 /// of the Hypervisor). Every read() and write() performs one full Path ORAM
-/// access: path read, remap, evict, path re-write.
-class OramClient {
+/// access: path read, remap, evict, path re-write. NOT thread-safe: the
+/// stash and position map are single state machines — concurrent sessions
+/// must go through an OramFrontend.
+class OramClient : public OramAccessor {
  public:
   OramClient(OramServer& server, const crypto::AesKey128& oram_key,
              uint64_t rng_seed, SealMode mode = SealMode::kAesGcm);
 
   /// Reads a block; nullopt when the id was never written.
-  std::optional<Bytes> read(const BlockId& id);
+  std::optional<Bytes> read(const BlockId& id) override;
   /// Writes (installs or updates) a block. `data` must be <= block_size and
   /// is zero-padded to it.
-  void write(const BlockId& id, BytesView data);
+  void write(const BlockId& id, BytesView data) override;
   /// One ORAM access that reads the block and replaces it with
   /// mutate(previous) — the read-modify-write the recursive position map
   /// needs to stay at one access per level. `previous` is nullopt for a

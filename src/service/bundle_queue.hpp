@@ -1,0 +1,102 @@
+// Bounded MPMC queue feeding the concurrent pre-execution engine — the
+// paper's Fig. 3 step 3 ("bundle queued until an HEVM is idle") made real.
+//
+// Backpressure by blocking, never by dropping: when all queue slots are
+// occupied, push() blocks the submitting frontend thread until a worker
+// drains a slot. A bundle a user paid to pre-execute must either run or be
+// rejected explicitly at admission (queue closed) — silent drops would make
+// the service's answer stream unsound.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hardtape::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  struct Stats {
+    uint64_t pushed = 0;
+    uint64_t popped = 0;
+    uint64_t max_depth = 0;          ///< deepest the queue ever got
+    uint64_t backpressured_pushes = 0;  ///< pushes that had to block
+    uint64_t backpressure_wall_ns = 0;  ///< total wall time producers blocked
+  };
+
+  /// Blocks while the queue is full. Returns false iff the queue was closed
+  /// (the item is not enqueued).
+  bool push(T item) {
+    const auto start = std::chrono::steady_clock::now();
+    std::unique_lock lock(mu_);
+    const bool blocked = queue_.size() >= capacity_ && !closed_;
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    ++stats_.pushed;
+    stats_.max_depth = std::max<uint64_t>(stats_.max_depth, queue_.size());
+    if (blocked) {
+      ++stats_.backpressured_pushes;
+      stats_.backpressure_wall_ns += static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks while the queue is empty. Returns nullopt once the queue is
+  /// closed AND drained (workers exit on that).
+  std::optional<T> pop() {
+    std::unique_lock lock(mu_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    ++stats_.popped;
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Idempotent. Wakes all blocked producers (push fails) and consumers
+  /// (pop drains the remainder, then returns nullopt).
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+  size_t depth() const {
+    std::lock_guard lock(mu_);
+    return queue_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  Stats stats() const {
+    std::lock_guard lock(mu_);
+    return stats_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  Stats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace hardtape::service

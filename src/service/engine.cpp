@@ -1,0 +1,397 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+
+#include "node/sync.hpp"
+
+namespace hardtape::service {
+
+namespace {
+constexpr const char* kSbl = "hardtape-sbl-v1";
+constexpr const char* kFirmware = "hardtape-hypervisor-v1";
+constexpr const char* kBitstream = "hardtape-hevm-bitstream-v1";
+
+BytesView sv(const char* s) {
+  return BytesView{reinterpret_cast<const uint8_t*>(s), std::strlen(s)};
+}
+
+/// Per-bundle RNG: depends only on (engine seed, bundle id), never on the
+/// worker or interleaving — the root of the engine's determinism contract.
+Random session_rng(uint64_t engine_seed, uint64_t bundle_id) {
+  return Random(engine_seed ^ (0x9e3779b97f4a7c15ull * (bundle_id + 1)));
+}
+
+uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count());
+}
+}  // namespace
+
+bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b) {
+  if (a.bundle_id != b.bundle_id || a.status != b.status) return false;
+  if (a.end_to_end_ns != b.end_to_end_ns || a.hevm_time_ns != b.hevm_time_ns ||
+      a.crypto_time_ns != b.crypto_time_ns || a.message_time_ns != b.message_time_ns) {
+    return false;
+  }
+
+  const hevm::BundleReport& ra = a.report;
+  const hevm::BundleReport& rb = b.report;
+  if (ra.sim_time_ns != rb.sim_time_ns || ra.instructions != rb.instructions ||
+      ra.aborted != rb.aborted) {
+    return false;
+  }
+  if (ra.memory_stats.l1_hits != rb.memory_stats.l1_hits ||
+      ra.memory_stats.l1_misses != rb.memory_stats.l1_misses ||
+      ra.memory_stats.frames_entered != rb.memory_stats.frames_entered ||
+      ra.memory_stats.memory_overflows != rb.memory_stats.memory_overflows) {
+    return false;
+  }
+  if (ra.swap_events.size() != rb.swap_events.size()) return false;
+  for (size_t i = 0; i < ra.swap_events.size(); ++i) {
+    if (ra.swap_events[i].kind != rb.swap_events[i].kind ||
+        ra.swap_events[i].pages != rb.swap_events[i].pages ||
+        ra.swap_events[i].noise_pages != rb.swap_events[i].noise_pages) {
+      return false;
+    }
+  }
+  if (ra.final_balances.size() != rb.final_balances.size()) return false;
+  for (size_t i = 0; i < ra.final_balances.size(); ++i) {
+    if (ra.final_balances[i].first != rb.final_balances[i].first ||
+        ra.final_balances[i].second != rb.final_balances[i].second) {
+      return false;
+    }
+  }
+  if (ra.transactions.size() != rb.transactions.size()) return false;
+  for (size_t i = 0; i < ra.transactions.size(); ++i) {
+    const hevm::TxTraceReport& ta = ra.transactions[i];
+    const hevm::TxTraceReport& tb = rb.transactions[i];
+    if (ta.status != tb.status || ta.gas_used != tb.gas_used ||
+        ta.sim_time_ns != tb.sim_time_ns || ta.return_data != tb.return_data ||
+        ta.create_address != tb.create_address) {
+      return false;
+    }
+    if (ta.storage_writes.size() != tb.storage_writes.size()) return false;
+    for (size_t j = 0; j < ta.storage_writes.size(); ++j) {
+      if (ta.storage_writes[j].addr != tb.storage_writes[j].addr ||
+          ta.storage_writes[j].key != tb.storage_writes[j].key ||
+          ta.storage_writes[j].value != tb.storage_writes[j].value) {
+        return false;
+      }
+    }
+    if (ta.logs.size() != tb.logs.size()) return false;
+    for (size_t j = 0; j < ta.logs.size(); ++j) {
+      if (ta.logs[j].address != tb.logs[j].address ||
+          ta.logs[j].topics != tb.logs[j].topics || ta.logs[j].data != tb.logs[j].data) {
+        return false;
+      }
+    }
+    if (ta.steps.size() != tb.steps.size()) return false;
+  }
+
+  const RoutedStateReader::Stats& qa = a.query_stats;
+  const RoutedStateReader::Stats& qb = b.query_stats;
+  if (qa.oram_queries != qb.oram_queries || qa.kv_queries != qb.kv_queries ||
+      qa.code_queries != qb.code_queries || qa.local_reads != qb.local_reads ||
+      qa.oram_time_ns != qb.oram_time_ns) {
+    return false;
+  }
+  auto same_events = [](const std::vector<hypervisor::QueryEvent>& ea,
+                        const std::vector<hypervisor::QueryEvent>& eb) {
+    if (ea.size() != eb.size()) return false;
+    for (size_t i = 0; i < ea.size(); ++i) {
+      if (ea[i].time_ns != eb[i].time_ns || ea[i].type != eb[i].type ||
+          ea[i].is_prefetch != eb[i].is_prefetch) {
+        return false;
+      }
+    }
+    return true;
+  };
+  return same_events(qa.demand_timeline, qb.demand_timeline) &&
+         same_events(a.observed_timeline, b.observed_timeline);
+}
+
+PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig config)
+    : node_(node),
+      config_(config),
+      setup_rng_(config.seed),
+      manufacturer_(config.seed ^ 0xfab),
+      hypervisor_(setup_rng_.bytes(32), manufacturer_, sv(kSbl), sv(kFirmware),
+                  sv(kBitstream), config.seed ^ 0xb007),
+      oram_server_(config.oram),
+      oram_client_(oram_server_, hypervisor_.generate_oram_key(), config.seed ^ 0x02a3,
+                   config.seal_mode),
+      frontend_(oram_client_,
+                oram::OramFrontend::Config{.coalesce_duplicate_reads =
+                                               config.coalesce_duplicate_reads}),
+      oram_state_(frontend_),
+      queue_(config.queue_depth) {
+  if (config_.num_hevms <= 0) throw UsageError("engine: need at least one HEVM");
+  if (config_.timing.clock != nullptr) {
+    throw UsageError("engine: timing.clock is per-session; leave it null");
+  }
+}
+
+PreExecutionEngine::~PreExecutionEngine() {
+  queue_.close();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+Status PreExecutionEngine::synchronize() {
+  if (!oram_enabled()) return Status::kOk;
+  node::BlockSynchronizer sync(node_, node_.head().state_root);
+  return sync.sync_all(oram_client_);
+}
+
+void PreExecutionEngine::start() {
+  if (started_) throw UsageError("engine: already started");
+  started_ = true;
+  wall_timer_.restart();
+  for (int i = 0; i < config_.num_hevms; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = i;
+    worker->core = std::make_unique<hevm::HevmCore>(i, worker->clock, config_.core);
+    // One hypervisor session — one secure channel — per worker: the engine's
+    // concrete form of the paper's per-session hardware isolation.
+    const crypto::PrivateKey user_key = crypto::PrivateKey::from_seed(setup_rng_.bytes(16));
+    H256 nonce;
+    setup_rng_.fill(nonce.bytes.data(), nonce.bytes.size());
+    const auto session = hypervisor_.begin_session(nonce, user_key.public_key());
+    worker->session_id = session.session_id;
+    worker->channel = &hypervisor_.channel(session.session_id);
+    workers_.push_back(std::move(worker));
+  }
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { worker_loop(*w); });
+  }
+}
+
+uint64_t PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
+  if (!started_) throw UsageError("engine: start() before submit()");
+  if (drained_) throw UsageError("engine: already drained");
+  const uint64_t id = next_bundle_id_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.push(QueueItem{id, std::move(bundle), std::chrono::steady_clock::now()})) {
+    throw UsageError("engine: queue closed");
+  }
+  return id;
+}
+
+std::vector<SessionOutcome> PreExecutionEngine::drain() {
+  if (started_ && !drained_) {
+    queue_.close();
+    for (auto& worker : workers_) {
+      if (worker->thread.joinable()) worker->thread.join();
+    }
+    for (auto& worker : workers_) hypervisor_.end_session(worker->session_id);
+    {
+      std::lock_guard lock(results_mu_);
+      wall_elapsed_ns_ = wall_timer_.elapsed_ns();
+    }
+    drained_ = true;
+  }
+  std::lock_guard lock(results_mu_);
+  std::vector<SessionOutcome> out = results_;
+  std::sort(out.begin(), out.end(),
+            [](const SessionOutcome& a, const SessionOutcome& b) {
+              return a.bundle_id < b.bundle_id;
+            });
+  return out;
+}
+
+void PreExecutionEngine::worker_loop(Worker& worker) {
+  while (auto item = queue_.pop()) {
+    const uint64_t queued_ns = wall_ns_since(item->enqueued);
+    SessionOutcome outcome = execute_session(item->bundle_id, item->txs, worker);
+    std::lock_guard lock(results_mu_);
+    wall_queue_wait_ns_ += queued_ns;
+    ++worker.bundles;
+    worker.busy_sim_ns += outcome.end_to_end_ns;
+    results_.push_back(std::move(outcome));
+  }
+}
+
+SessionOutcome PreExecutionEngine::execute_session(
+    uint64_t bundle_id, const std::vector<evm::Transaction>& bundle, Worker& worker) {
+  SessionOutcome outcome;
+  outcome.bundle_id = bundle_id;
+  outcome.worker_id = worker.id;
+
+  // Fresh per-session time and randomness (see determinism contract above).
+  worker.clock.reset();
+  sim::SimClock& clock = worker.clock;
+  Random rng = session_rng(config_.seed, bundle_id);
+  const sim::SimStopwatch end_to_end(clock);
+
+  // --- input message handling (Fig. 3 steps 3, 6) ---
+  const uint64_t input_bytes = wire::bundle_bytes(bundle);
+  {
+    const sim::SimStopwatch messages(clock);
+    clock.advance_ns(config_.hypervisor_costs.message_handle_ns +
+                     config_.hypervisor_costs.dma_setup_ns);
+    outcome.message_time_ns += messages.elapsed_ns();
+  }
+
+  uint64_t crypto_ns = 0;
+  if (config_.security.encryption) {
+    crypto_ns += config_.crypto_costs.aes_gcm_ns(input_bytes);
+    if (config_.perform_channel_crypto && worker.channel != nullptr) {
+      // Exercise the real channel path once per session for realism; the
+      // sequence state lives on the worker's dedicated channel.
+      hypervisor::SecureChannel user_side(worker.channel->key());
+      const Bytes body = Bytes(std::min<uint64_t>(input_bytes, 4096), 0x42);
+      const auto sealed = user_side.seal(hypervisor::MessageType::kBundleSubmit, 0, body);
+      (void)worker.channel->open(sealed, /*max_body_length=*/1 << 24,
+                                 /*max_target_offset=*/1 << 20);
+    }
+  }
+  if (config_.security.signatures) {
+    crypto_ns += config_.crypto_costs.ecdsa_verify_ns;
+    if (config_.perform_channel_crypto) {
+      const crypto::PrivateKey user_key = crypto::PrivateKey::from_seed(rng.bytes(16));
+      const H256 digest = crypto::keccak256(u256{bundle_id + 1}.to_be_bytes_vec());
+      const crypto::Signature sig = user_key.sign(digest);
+      if (!crypto::ecdsa_verify(user_key.public_key(), digest, sig)) {
+        outcome.status = Status::kAuthFailed;
+        return outcome;
+      }
+    }
+  }
+  clock.advance_ns(crypto_ns);
+
+  // --- execute on the worker's dedicated HEVM (steps 4-8) ---
+  RoutedStateReader::Timing timing = config_.timing;
+  timing.clock = &clock;
+  RoutedStateReader routed(node_.world(), oram_enabled() ? &oram_state_ : nullptr,
+                           config_.security, timing);
+  crypto::AesKey128 session_key;
+  rng.fill(session_key.data(), session_key.size());
+  worker.core->assign(routed, node_.block_context(), session_key, rng.next_u64());
+
+  const sim::SimStopwatch exec(clock);
+  outcome.report = worker.core->execute_bundle(bundle);
+  outcome.hevm_time_ns = exec.elapsed_ns();
+  if (outcome.report.aborted) outcome.status = Status::kMemoryOverflow;
+
+  // --- return the traces (step 9) ---
+  const uint64_t trace_bytes = wire::trace_bytes(outcome.report);
+  uint64_t out_crypto_ns = 0;
+  if (config_.security.encryption) {
+    out_crypto_ns += config_.crypto_costs.aes_gcm_ns(trace_bytes);
+  }
+  if (config_.security.signatures) {
+    out_crypto_ns += config_.crypto_costs.ecdsa_sign_ns;
+  }
+  clock.advance_ns(out_crypto_ns);
+  crypto_ns += out_crypto_ns;
+  {
+    const sim::SimStopwatch messages(clock);
+    clock.advance_ns(config_.hypervisor_costs.message_handle_ns +
+                     config_.hypervisor_costs.dma_setup_ns);
+    outcome.message_time_ns += messages.elapsed_ns();
+  }
+  outcome.crypto_time_ns = crypto_ns;
+  outcome.query_stats = routed.stats();
+
+  hypervisor::CodePrefetcher prefetcher(rng.next_u64());
+  outcome.observed_timeline = prefetcher.schedule(routed.stats().demand_timeline);
+
+  // --- release (step 10) ---
+  worker.core->release();
+  outcome.end_to_end_ns = end_to_end.elapsed_ns();
+  return outcome;
+}
+
+std::vector<SessionOutcome> PreExecutionEngine::execute_serial(
+    const std::vector<std::vector<evm::Transaction>>& bundles) {
+  Worker serial;
+  serial.id = -1;
+  serial.core = std::make_unique<hevm::HevmCore>(-1, serial.clock, config_.core);
+  const crypto::PrivateKey user_key = crypto::PrivateKey::from_seed(setup_rng_.bytes(16));
+  H256 nonce;
+  setup_rng_.fill(nonce.bytes.data(), nonce.bytes.size());
+  const auto session = hypervisor_.begin_session(nonce, user_key.public_key());
+  serial.session_id = session.session_id;
+  serial.channel = &hypervisor_.channel(session.session_id);
+
+  std::vector<SessionOutcome> out;
+  out.reserve(bundles.size());
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    out.push_back(execute_session(i, bundles[i], serial));
+  }
+  hypervisor_.end_session(serial.session_id);
+  return out;
+}
+
+EngineMetrics PreExecutionEngine::snapshot() const {
+  EngineMetrics m;
+  const auto queue_stats = queue_.stats();
+  const auto frontend_stats = frontend_.snapshot();
+  m.bundles_submitted = next_bundle_id_.load(std::memory_order_relaxed);
+  m.wall_backpressure_ns = queue_stats.backpressure_wall_ns;
+  m.backpressured_submits = queue_stats.backpressured_pushes;
+  m.queue_max_depth = queue_stats.max_depth;
+  m.oram_contention_stall_ns = frontend_stats.contention_stall_ns;
+  m.oram_reads = frontend_stats.reads;
+  m.oram_coalesced_reads = frontend_stats.coalesced_reads;
+
+  std::lock_guard lock(results_mu_);
+  m.bundles_completed = results_.size();
+  m.wall_queue_wait_ns = wall_queue_wait_ns_;
+  m.wall_elapsed_ns = drained_ ? wall_elapsed_ns_ : wall_timer_.elapsed_ns();
+  if (m.wall_elapsed_ns > 0) {
+    m.wall_bundles_per_s = static_cast<double>(m.bundles_completed) * 1e9 /
+                           static_cast<double>(m.wall_elapsed_ns);
+  }
+
+  // Deterministic engine timeline: the per-session durations replayed
+  // through the earliest-free-HEVM schedule (Fig. 3 step 3), clamped by the
+  // serialized ORAM server — the shared contention point.
+  std::vector<const SessionOutcome*> done;
+  done.reserve(results_.size());
+  for (const auto& outcome : results_) done.push_back(&outcome);
+  std::sort(done.begin(), done.end(), [](const SessionOutcome* a, const SessionOutcome* b) {
+    return a->bundle_id < b->bundle_id;
+  });
+  std::vector<uint64_t> durations;
+  durations.reserve(done.size());
+  uint64_t oram_queries = 0;
+  for (const SessionOutcome* outcome : done) {
+    durations.push_back(outcome->end_to_end_ns);
+    oram_queries += outcome->query_stats.oram_queries;
+  }
+  if (!durations.empty()) {
+    const auto schedule = PreExecutionService::schedule_bundles(
+        durations, config_.num_hevms, config_.arrival_gap_ns);
+    m.sim_oram_server_busy_ns = oram_queries * config_.timing.server.service_ns;
+    m.sim_makespan_ns = std::max(schedule.makespan_ns, m.sim_oram_server_busy_ns);
+    m.sim_oram_serialization_stall_ns = m.sim_makespan_ns - schedule.makespan_ns;
+    m.sim_mean_queue_wait_ns = schedule.mean_wait_ns;
+    m.sim_max_queue_depth = schedule.max_queue_depth;
+    m.sim_bundles_per_s = static_cast<double>(durations.size()) * 1e9 /
+                          static_cast<double>(m.sim_makespan_ns);
+  }
+  // The pool's actual bundle->worker assignment can be more imbalanced than
+  // the deterministic schedule, so normalize by the busier of the two to
+  // keep utilization in [0, 1].
+  uint64_t busiest_ns = m.sim_makespan_ns;
+  for (const auto& worker : workers_) {
+    busiest_ns = std::max(busiest_ns, worker->busy_sim_ns);
+  }
+  m.workers.reserve(workers_.size());
+  for (const auto& worker : workers_) {
+    EngineMetrics::WorkerStats ws;
+    ws.worker_id = worker->id;
+    ws.bundles = worker->bundles;
+    ws.busy_sim_ns = worker->busy_sim_ns;
+    ws.utilization = busiest_ns > 0 ? static_cast<double>(worker->busy_sim_ns) /
+                                          static_cast<double>(busiest_ns)
+                                    : 0.0;
+    m.workers.push_back(ws);
+  }
+  return m;
+}
+
+}  // namespace hardtape::service

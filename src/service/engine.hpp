@@ -1,0 +1,214 @@
+// Concurrent multi-session pre-execution engine.
+//
+// PreExecutionService drives ONE session at a time; this engine models the
+// deployment the paper actually argues for — many users, each with a
+// dedicated HEVM (§IV-B "no context switches, no shared-hardware side
+// channels") — with a real worker pool:
+//
+//   submit() ──► BoundedQueue (backpressure, Fig. 3 step 3) ──► N workers
+//                                                                 │
+//        each worker owns: one HevmCore, one hypervisor session   │
+//        + secure channel, one per-session SimClock               ▼
+//                                     shared OramFrontend ──► OramClient
+//                                     (mutex-serialized)        └► OramServer
+//
+// Determinism contract: a bundle's outcome (traces, gas, storage writes,
+// simulated timings) depends only on (engine seed, bundle id, world state) —
+// never on which worker ran it or how sessions interleaved. Each session
+// gets a fresh SimClock starting at 0 and a bundle-id-derived RNG, and ORAM
+// page contents are order-independent, so concurrent outcomes are
+// bit-identical to serial execution (execute_serial() is the reference).
+//
+// Two timelines are reported, and they must never be conflated:
+//  - simulated: per-session costs from the sim cost models, aggregated into
+//    an engine-level schedule (earliest-free-HEVM, like the paper's Fig. 3
+//    step 3 queue). All reproduced numbers — bundles/s, queue wait — come
+//    from here, deterministic on any host.
+//  - wall: host measurements of the real thread pool (lock contention on
+//    the ORAM frontend, producer backpressure). Diagnostics only.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "oram/frontend.hpp"
+#include "service/bundle_queue.hpp"
+#include "service/pre_execution.hpp"
+
+namespace hardtape::service {
+
+struct EngineConfig {
+  int num_hevms = 3;       ///< worker pool width (paper §VI-A: 3 per chip)
+  size_t queue_depth = 16; ///< bundle-queue slots before backpressure
+  /// Simulated inter-arrival gap between submitted bundles (the engine-level
+  /// schedule assumes bundle i arrives at i * arrival_gap_ns).
+  uint64_t arrival_gap_ns = 0;
+  /// OramFrontend option: merge concurrent duplicate page reads.
+  bool coalesce_duplicate_reads = false;
+
+  SecurityConfig security = SecurityConfig::full();
+  hevm::HevmCore::Config core{};
+  oram::OramConfig oram{};
+  oram::SealMode seal_mode = oram::SealMode::kChaChaHmac;
+  RoutedStateReader::Timing timing{};
+  sim::HypervisorCostModel hypervisor_costs{};
+  sim::CryptoCostModel crypto_costs{};
+  uint64_t seed = 1;
+  /// When false, user-channel AES/ECDSA are modeled in time only (the ORAM's
+  /// crypto is always real) — same switch as PreExecutionService.
+  bool perform_channel_crypto = false;
+};
+
+/// Outcome of one session (= one bundle on one dedicated HEVM). All *_ns
+/// fields are simulated time on the session's own clock (starting at 0).
+struct SessionOutcome {
+  uint64_t bundle_id = 0;
+  int worker_id = -1;  ///< which worker executed it (NOT part of determinism)
+  Status status = Status::kOk;
+  hevm::BundleReport report;
+  uint64_t end_to_end_ns = 0;
+  uint64_t hevm_time_ns = 0;
+  uint64_t crypto_time_ns = 0;
+  uint64_t message_time_ns = 0;
+  RoutedStateReader::Stats query_stats;
+  std::vector<hypervisor::QueryEvent> observed_timeline;
+};
+
+/// True iff the two outcomes are bit-identical in every deterministic field
+/// (everything except worker_id). Used by tests and bench_throughput to hold
+/// the engine to the serial reference.
+bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b);
+
+struct EngineMetrics {
+  uint64_t bundles_submitted = 0;
+  uint64_t bundles_completed = 0;
+
+  // --- simulated engine timeline (deterministic, from completed bundles) ---
+  uint64_t sim_makespan_ns = 0;       ///< first arrival -> last completion
+  double sim_bundles_per_s = 0;       ///< completed / makespan
+  uint64_t sim_mean_queue_wait_ns = 0;
+  uint64_t sim_max_queue_depth = 0;
+  /// Serialized ORAM-server service time across all sessions — the shared
+  /// contention point. When this exceeds the schedule's makespan the server
+  /// is the bottleneck and the makespan is clamped to it.
+  uint64_t sim_oram_server_busy_ns = 0;
+  uint64_t sim_oram_serialization_stall_ns = 0;  ///< clamp amount
+
+  // --- wall-clock (host diagnostics; never reproduced paper numbers) ---
+  uint64_t wall_elapsed_ns = 0;
+  double wall_bundles_per_s = 0;
+  uint64_t wall_queue_wait_ns = 0;       ///< submit -> worker pickup, summed
+  uint64_t wall_backpressure_ns = 0;     ///< producers blocked on full queue
+  uint64_t backpressured_submits = 0;
+  uint64_t queue_max_depth = 0;
+  uint64_t oram_contention_stall_ns = 0; ///< frontend lock waits, summed
+  uint64_t oram_reads = 0;
+  uint64_t oram_coalesced_reads = 0;
+
+  struct WorkerStats {
+    int worker_id = 0;
+    uint64_t bundles = 0;
+    uint64_t busy_sim_ns = 0;  ///< sum of this worker's session times
+    /// busy_sim_ns relative to the busiest of {sim_makespan_ns, any
+    /// worker's busy_sim_ns} — always in [0, 1] even when the pool's real
+    /// assignment is more imbalanced than the deterministic schedule.
+    double utilization = 0;
+  };
+  std::vector<WorkerStats> workers;
+};
+
+class PreExecutionEngine {
+ public:
+  PreExecutionEngine(node::NodeSimulator& node, EngineConfig config);
+  ~PreExecutionEngine();
+
+  PreExecutionEngine(const PreExecutionEngine&) = delete;
+  PreExecutionEngine& operator=(const PreExecutionEngine&) = delete;
+
+  /// Step 11: verify the node's state and install it into the ORAM.
+  Status synchronize();
+
+  /// Spawns the worker pool: per worker, one hypervisor session (secure
+  /// channel) and one dedicated HevmCore. Call once, before submit().
+  void start();
+
+  /// Enqueues one bundle; blocks when the queue is full (backpressure).
+  /// Returns the bundle id (== submission index). Throws UsageError before
+  /// start() or after drain().
+  uint64_t submit(std::vector<evm::Transaction> bundle);
+
+  /// Closes the queue, waits for every queued bundle to finish, joins the
+  /// pool and ends the hypervisor sessions. Returns all outcomes sorted by
+  /// bundle id. Idempotent.
+  std::vector<SessionOutcome> drain();
+
+  /// Thread-safe at any time (during execution it reports completed-so-far).
+  EngineMetrics snapshot() const;
+
+  /// Serial reference: executes the bundles one at a time on this thread
+  /// through the exact per-session path the workers run (bundle ids are the
+  /// vector indices, matching a submit() of the same bundles in order).
+  /// Does not touch the queue, pool or metrics.
+  std::vector<SessionOutcome> execute_serial(
+      const std::vector<std::vector<evm::Transaction>>& bundles);
+
+  const EngineConfig& config() const { return config_; }
+  oram::OramFrontend& oram_frontend() { return frontend_; }
+  oram::OramServer& oram_server() { return oram_server_; }
+  hypervisor::Hypervisor& hypervisor() { return hypervisor_; }
+
+ private:
+  struct QueueItem {
+    uint64_t bundle_id;
+    std::vector<evm::Transaction> txs;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  /// Per-worker state. The clock, core and channel are owned by exactly one
+  /// worker thread between start() and drain(); bundles/busy_sim_ns are
+  /// written under results_mu_.
+  struct Worker {
+    int id = 0;
+    sim::SimClock clock;  ///< reset at each session start (per-session time)
+    std::unique_ptr<hevm::HevmCore> core;
+    uint32_t session_id = 0;
+    hypervisor::SecureChannel* channel = nullptr;
+    std::thread thread;
+    uint64_t bundles = 0;
+    uint64_t busy_sim_ns = 0;
+  };
+
+  void worker_loop(Worker& worker);
+  SessionOutcome execute_session(uint64_t bundle_id,
+                                 const std::vector<evm::Transaction>& bundle,
+                                 Worker& worker);
+  bool oram_enabled() const {
+    return config_.security.oram_storage || config_.security.oram_code;
+  }
+
+  node::NodeSimulator& node_;
+  EngineConfig config_;
+  Random setup_rng_;
+  hypervisor::Manufacturer manufacturer_;
+  hypervisor::Hypervisor hypervisor_;
+  oram::OramServer oram_server_;
+  oram::OramClient oram_client_;
+  oram::OramFrontend frontend_;
+  oram::OramWorldState oram_state_;
+
+  BoundedQueue<QueueItem> queue_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_bundle_id_{0};
+  bool started_ = false;
+  bool drained_ = false;
+
+  mutable std::mutex results_mu_;  ///< guards everything below
+  std::vector<SessionOutcome> results_;
+  uint64_t wall_queue_wait_ns_ = 0;
+  sim::WallTimer wall_timer_;      ///< restarted at start()
+  uint64_t wall_elapsed_ns_ = 0;   ///< frozen at drain()
+};
+
+}  // namespace hardtape::service

@@ -100,22 +100,15 @@ Bytes RoutedStateReader::code(const Address& addr) const {
 // PreExecutionService
 // ---------------------------------------------------------------------------
 
-namespace {
-constexpr const char* kSbl = "hardtape-sbl-v1";
-constexpr const char* kFirmware = "hardtape-hypervisor-v1";
-constexpr const char* kBitstream = "hardtape-hevm-bitstream-v1";
+namespace wire {
 
-BytesView sv(const char* s) {
-  return BytesView{reinterpret_cast<const uint8_t*>(s), std::strlen(s)};
-}
-
-uint64_t bundle_wire_size(const std::vector<evm::Transaction>& bundle) {
+uint64_t bundle_bytes(const std::vector<evm::Transaction>& bundle) {
   uint64_t bytes = 0;
   for (const auto& tx : bundle) bytes += 120 + tx.data.size();
   return bytes;
 }
 
-uint64_t trace_wire_size(const hevm::BundleReport& report) {
+uint64_t trace_bytes(const hevm::BundleReport& report) {
   // Step-level trace (PC/op/gas per instruction) dominates the report size —
   // this is what makes the paper's -E tier cost ~2.9 ms on the A.E.DMA.
   uint64_t bytes = report.instructions * 32;
@@ -125,6 +118,17 @@ uint64_t trace_wire_size(const hevm::BundleReport& report) {
   }
   bytes += report.final_balances.size() * 52;
   return bytes;
+}
+
+}  // namespace wire
+
+namespace {
+constexpr const char* kSbl = "hardtape-sbl-v1";
+constexpr const char* kFirmware = "hardtape-hypervisor-v1";
+constexpr const char* kBitstream = "hardtape-hevm-bitstream-v1";
+
+BytesView sv(const char* s) {
+  return BytesView{reinterpret_cast<const uint8_t*>(s), std::strlen(s)};
 }
 }  // namespace
 
@@ -165,7 +169,7 @@ PreExecutionService::BundleOutcome PreExecutionService::pre_execute(
   rng_.fill(nonce.bytes.data(), nonce.bytes.size());
   const auto session = hypervisor_.begin_session(nonce, user_key.public_key());
 
-  const uint64_t input_bytes = bundle_wire_size(bundle);
+  const uint64_t input_bytes = wire::bundle_bytes(bundle);
   {
     const sim::SimStopwatch messages(clock_);
     clock_.advance_ns(config_.hypervisor_costs.message_handle_ns +
@@ -227,7 +231,7 @@ PreExecutionService::BundleOutcome PreExecutionService::pre_execute(
   if (outcome.report.aborted) outcome.status = Status::kMemoryOverflow;
 
   // --- return the traces (step 9) ---
-  const uint64_t trace_bytes = trace_wire_size(outcome.report);
+  const uint64_t trace_bytes = wire::trace_bytes(outcome.report);
   uint64_t out_crypto_ns = 0;
   if (config_.security.encryption) {
     out_crypto_ns += config_.crypto_costs.aes_gcm_ns(trace_bytes);

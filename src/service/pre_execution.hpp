@@ -27,6 +27,15 @@
 
 namespace hardtape::service {
 
+/// Wire-size models of the user channel, shared by the serial service and
+/// the concurrent engine so both charge identical channel-crypto time.
+namespace wire {
+/// Serialized size of a bundle-submit message body.
+uint64_t bundle_bytes(const std::vector<evm::Transaction>& bundle);
+/// Serialized size of the returned trace report (step-level trace dominates).
+uint64_t trace_bytes(const hevm::BundleReport& report);
+}  // namespace wire
+
 /// state::StateReader routing each query to the ORAM or to locally
 /// prefetched (untrusted) memory according to the security configuration,
 /// charging simulated time either way.

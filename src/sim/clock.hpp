@@ -7,6 +7,7 @@
 // cycles / frequency, and we model the cycles.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 
 namespace hardtape::sim {
@@ -44,6 +45,27 @@ class SimStopwatch {
  private:
   const SimClock& clock_;
   uint64_t start_ns_;
+};
+
+/// Host wall-clock probe for the concurrency metrics (queue wait, lock
+/// contention, engine wall throughput). Wall figures are host measurements
+/// and must never feed the reproduced paper numbers — those always come from
+/// SimClock. Each engine session threads its own SimClock; WallTimer is what
+/// the engine uses to observe the real thread pool around those sessions.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  uint64_t elapsed_ns() const {
+    return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     std::chrono::steady_clock::now() - start_)
+                                     .count());
+  }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+  void restart() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace hardtape::sim

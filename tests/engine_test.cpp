@@ -1,0 +1,372 @@
+// Concurrency tests of the multi-session pre-execution engine: determinism
+// against the serial reference, bounded-queue backpressure, ORAM frontend
+// serialization/coalescing, and the engine metrics. This binary is the
+// target of the CI TSan job — every assertion here must also be data-race
+// free under -DHARDTAPE_SANITIZE=thread.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "service/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace hardtape::service {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    gen_.deploy(node_.world());
+    node_.produce_block({});
+  }
+
+  EngineConfig make_config(SecurityConfig security, int workers, size_t queue_depth = 16) {
+    EngineConfig config;
+    config.security = security;
+    config.num_hevms = workers;
+    config.queue_depth = queue_depth;
+    config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 4096};
+    config.seal_mode = oram::SealMode::kChaChaHmac;
+    config.perform_channel_crypto = false;
+    return config;
+  }
+
+  /// A mixed bundle: ERC-20 transfer + a deeper router chain, varied by id
+  /// so bundles are not all identical.
+  std::vector<evm::Transaction> mixed_bundle(uint64_t id) {
+    const auto& users = gen_.users();
+    evm::Transaction transfer;
+    transfer.from = users[id % users.size()];
+    transfer.to = gen_.tokens()[id % gen_.tokens().size()];
+    transfer.data = workload::erc20_transfer(users[(id + 1) % users.size()],
+                                             u256{10 + id % 7});
+    transfer.gas_limit = 500'000;
+    if (id % 3 != 0) return {transfer};
+    evm::Transaction route;
+    route.from = users[(id + 2) % users.size()];
+    route.to = gen_.routers()[id % gen_.routers().size()];
+    route.data = workload::router_route(2 + id % 3, gen_.tokens()[0],
+                                        users[(id + 3) % users.size()], u256{5});
+    route.gas_limit = 5'000'000;
+    return {transfer, route};
+  }
+
+  std::vector<std::vector<evm::Transaction>> make_bundles(size_t count) {
+    std::vector<std::vector<evm::Transaction>> bundles;
+    bundles.reserve(count);
+    for (size_t i = 0; i < count; ++i) bundles.push_back(mixed_bundle(i));
+    return bundles;
+  }
+
+  node::NodeSimulator node_;
+  workload::WorkloadGenerator gen_{workload::GeneratorConfig{
+      .user_accounts = 8, .erc20_contracts = 2, .dex_pairs = 1, .routers = 2}};
+};
+
+// The tentpole stress test: 8 workers x 64 bundles through the full security
+// configuration (real ORAM crypto), with every outcome bit-identical to the
+// serial reference — concurrency must never change what a session computes.
+TEST_F(EngineTest, EightWorkersSixtyFourBundlesBitIdenticalToSerial) {
+  const auto bundles = make_bundles(64);
+
+  PreExecutionEngine serial(node_, make_config(SecurityConfig::full(), 1));
+  ASSERT_EQ(serial.synchronize(), Status::kOk);
+  const auto reference = serial.execute_serial(bundles);
+  ASSERT_EQ(reference.size(), bundles.size());
+
+  PreExecutionEngine engine(node_, make_config(SecurityConfig::full(), 8));
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  for (const auto& bundle : bundles) engine.submit(bundle);
+  const auto outcomes = engine.drain();
+
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes_bit_identical(outcomes[i], reference[i]))
+        << "bundle " << i << " diverged from serial execution";
+    EXPECT_EQ(outcomes[i].status, Status::kOk);
+  }
+  // The work actually spread across the pool.
+  const auto metrics = engine.snapshot();
+  ASSERT_EQ(metrics.workers.size(), 8u);
+  uint64_t total = 0;
+  int workers_used = 0;
+  for (const auto& w : metrics.workers) {
+    total += w.bundles;
+    if (w.bundles > 0) ++workers_used;
+  }
+  EXPECT_EQ(total, bundles.size());
+  EXPECT_GT(workers_used, 1);
+}
+
+// Determinism must also hold with read coalescing enabled: merging duplicate
+// in-flight fetches changes the access stream, never the data.
+TEST_F(EngineTest, CoalescingKeepsOutcomesBitIdentical) {
+  const auto bundles = make_bundles(24);
+
+  PreExecutionEngine serial(node_, make_config(SecurityConfig::full(), 1));
+  ASSERT_EQ(serial.synchronize(), Status::kOk);
+  const auto reference = serial.execute_serial(bundles);
+
+  auto config = make_config(SecurityConfig::full(), 8);
+  config.coalesce_duplicate_reads = true;
+  PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  for (const auto& bundle : bundles) engine.submit(bundle);
+  const auto outcomes = engine.drain();
+
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes_bit_identical(outcomes[i], reference[i])) << "bundle " << i;
+  }
+}
+
+// Backpressure: 8 producer threads race 64 bundles into a 2-slot queue
+// consumed by 2 workers. Nothing may be dropped; producers must block.
+TEST_F(EngineTest, BoundedQueueAppliesBackpressureWithoutDropping) {
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 8;
+  PreExecutionEngine engine(node_, make_config(SecurityConfig::raw(), 2,
+                                               /*queue_depth=*/2));
+  engine.start();
+
+  std::vector<std::thread> producers;
+  std::atomic<uint64_t> submitted{0};
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        engine.submit(mixed_bundle(p * kPerProducer + i));
+        submitted.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  const auto outcomes = engine.drain();
+
+  EXPECT_EQ(submitted.load(), kProducers * kPerProducer);
+  EXPECT_EQ(outcomes.size(), kProducers * kPerProducer);  // no drops
+  // Every submitted id came back exactly once.
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_EQ(outcomes[i].bundle_id, i);
+  }
+  const auto metrics = engine.snapshot();
+  EXPECT_LE(metrics.queue_max_depth, 2u);          // bound held
+  EXPECT_GT(metrics.backpressured_submits, 0u);    // producers did block
+  EXPECT_GT(metrics.wall_backpressure_ns, 0u);
+}
+
+TEST_F(EngineTest, SubmitBeforeStartThrows) {
+  PreExecutionEngine engine(node_, make_config(SecurityConfig::raw(), 2));
+  EXPECT_THROW(engine.submit(mixed_bundle(0)), UsageError);
+}
+
+TEST_F(EngineTest, PerSessionTimingClockRejected) {
+  auto config = make_config(SecurityConfig::raw(), 1);
+  sim::SimClock clock;
+  config.timing.clock = &clock;
+  EXPECT_THROW(PreExecutionEngine(node_, config), UsageError);
+}
+
+// The deterministic engine timeline: 4 HEVMs must clear the mixed workload
+// at >= 2x the single-HEVM bundle rate (acceptance criterion; the ORAM
+// serialization point costs ~1% per access, far from the bottleneck here).
+TEST_F(EngineTest, FourWorkersAtLeastTwiceSerialSimThroughput) {
+  const auto bundles = make_bundles(16);
+
+  auto run = [&](int workers) {
+    PreExecutionEngine engine(node_, make_config(SecurityConfig::full(), workers));
+    EXPECT_EQ(engine.synchronize(), Status::kOk);
+    engine.start();
+    for (const auto& bundle : bundles) engine.submit(bundle);
+    engine.drain();
+    return engine.snapshot();
+  };
+  const auto one = run(1);
+  const auto four = run(4);
+  ASSERT_GT(one.sim_bundles_per_s, 0.0);
+  EXPECT_GE(four.sim_bundles_per_s, 2.0 * one.sim_bundles_per_s)
+      << "4 workers: " << four.sim_bundles_per_s
+      << " bundles/s vs 1 worker: " << one.sim_bundles_per_s;
+  // With equal work and zero arrival gap, 1 worker serializes everything.
+  EXPECT_GT(one.sim_mean_queue_wait_ns, four.sim_mean_queue_wait_ns);
+}
+
+TEST_F(EngineTest, MetricsSnapshotIsCoherent) {
+  const auto bundles = make_bundles(12);
+  PreExecutionEngine engine(node_, make_config(SecurityConfig::full(), 4));
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  for (const auto& bundle : bundles) engine.submit(bundle);
+  engine.drain();
+
+  const auto m = engine.snapshot();
+  EXPECT_EQ(m.bundles_submitted, bundles.size());
+  EXPECT_EQ(m.bundles_completed, bundles.size());
+  EXPECT_GT(m.sim_makespan_ns, 0u);
+  EXPECT_GT(m.sim_bundles_per_s, 0.0);
+  EXPECT_GT(m.wall_elapsed_ns, 0u);
+  EXPECT_GT(m.oram_reads, 0u);  // -full routes queries through the frontend
+  EXPECT_EQ(m.sim_oram_server_busy_ns,
+            25'000u * [&] {
+              uint64_t queries = 0;
+              for (const auto& o : engine.drain()) queries += o.query_stats.oram_queries;
+              return queries;
+            }());
+  ASSERT_EQ(m.workers.size(), 4u);
+  uint64_t busy = 0;
+  for (const auto& w : m.workers) {
+    EXPECT_LE(w.utilization, 1.0 + 1e-9);
+    busy += w.busy_sim_ns;
+  }
+  EXPECT_GT(busy, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OramFrontend unit tests (against a controllable fake backend)
+// ---------------------------------------------------------------------------
+
+/// Fake backend that records concurrent entries (serialization check) and
+/// can be slowed to force read overlap (coalescing check).
+class ProbeStore : public oram::OramAccessor {
+ public:
+  explicit ProbeStore(std::chrono::milliseconds delay = {}) : delay_(delay) {}
+
+  std::optional<Bytes> read(const oram::BlockId& id) override {
+    if (in_backend_.exchange(true)) overlap_detected_ = true;
+    if (delay_.count() > 0) std::this_thread::sleep_for(delay_);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    in_backend_.store(false);
+    return Bytes{static_cast<uint8_t>(id.as_u64() & 0xff), 0x5a};
+  }
+  void write(const oram::BlockId&, BytesView) override {
+    if (in_backend_.exchange(true)) overlap_detected_ = true;
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    in_backend_.store(false);
+  }
+
+  uint64_t reads() const { return reads_.load(); }
+  uint64_t writes() const { return writes_.load(); }
+  bool overlap_detected() const { return overlap_detected_.load(); }
+
+ private:
+  std::chrono::milliseconds delay_;
+  std::atomic<bool> in_backend_{false};
+  std::atomic<bool> overlap_detected_{false};
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+TEST(OramFrontendTest, SerializesBackendAccesses) {
+  ProbeStore store;
+  oram::OramFrontend frontend(store);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        frontend.read(oram::BlockId{static_cast<uint64_t>(t * 1000 + i)});
+        frontend.write(oram::BlockId{static_cast<uint64_t>(t * 1000 + i)}, Bytes{1});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(store.overlap_detected());  // strictly sequential server trace
+  EXPECT_EQ(store.reads(), 8u * 50u);
+  EXPECT_EQ(store.writes(), 8u * 50u);
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.reads, 8u * 50u);
+  EXPECT_EQ(stats.writes, 8u * 50u);
+  EXPECT_EQ(stats.coalesced_reads, 0u);  // coalescing off by default
+}
+
+TEST(OramFrontendTest, CoalescesConcurrentDuplicateReads) {
+  ProbeStore store(std::chrono::milliseconds(20));
+  oram::OramFrontend frontend(store, {.coalesce_duplicate_reads = true});
+  const oram::BlockId hot{42};
+
+  std::vector<std::thread> threads;
+  std::vector<std::optional<Bytes>> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] { results[t] = frontend.read(hot); });
+  }
+  for (auto& t : threads) t.join();
+
+  // All readers see the same page, and at least some rode an in-flight twin.
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, *results[0]);
+  }
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.reads + stats.coalesced_reads, 8u);
+  EXPECT_GT(stats.coalesced_reads, 0u);
+  EXPECT_LT(store.reads(), 8u);
+}
+
+TEST(OramFrontendTest, DistinctReadsAreNeverCoalesced) {
+  ProbeStore store;
+  oram::OramFrontend frontend(store, {.coalesce_duplicate_reads = true});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 20; ++i) {
+        frontend.read(oram::BlockId{static_cast<uint64_t>(t * 100 + i)});
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(store.reads(), 4u * 20u);
+  EXPECT_EQ(frontend.snapshot().coalesced_reads, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue unit tests
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, MpmcDeliversEverythingExactlyOnce) {
+  BoundedQueue<int> queue(4);
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 250;
+  std::atomic<int> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (auto item = queue.pop()) {
+        sum.fetch_add(*item, std::memory_order_relaxed);
+        count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  queue.close();
+  for (size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+  EXPECT_LE(queue.stats().max_depth, 4u);
+}
+
+TEST(BoundedQueueTest, CloseUnblocksProducersAndDrainsConsumers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(7));
+  std::thread blocked([&] {
+    EXPECT_FALSE(queue.push(8));  // full; must return false once closed
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.close();
+  blocked.join();
+  EXPECT_EQ(queue.pop(), std::optional<int>{7});  // drain after close
+  EXPECT_EQ(queue.pop(), std::nullopt);
+  EXPECT_FALSE(queue.push(9));
+}
+
+}  // namespace
+}  // namespace hardtape::service
