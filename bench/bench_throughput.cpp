@@ -6,14 +6,23 @@
 // the real thread pool only. Every run is checked bit-identical against the
 // serial reference before its numbers count.
 //
-// Usage: bench_throughput [--bundles N] [--txs N] [--out FILE]
+// Usage: bench_throughput [--bundles N] [--txs N] [--out FILE] [--fault-rate R]
 // Writes BENCH_throughput.json (machine-readable, consumed by CI perf-smoke).
 // Exit 1 if any trace diverges from serial or 4 workers < 2x the 1-worker
 // simulated bundle rate.
+//
+// --fault-rate R > 0 appends a robustness smoke pass (PR 2): the same
+// workload through a seeded FaultPlan dropping/delaying/tampering ORAM
+// responses at rate R. The pass must resolve EVERY bundle (recovered or
+// terminal status — no hangs, no drops) and reports recovered/aborted
+// counts plus p99 bundle latency into the JSON. The fault-free sweep and
+// its bit-identical-to-serial gate are unaffected.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 
 #include "bench_common.hpp"
+#include "faults/fault_plan.hpp"
 #include "service/engine.hpp"
 
 using namespace hardtape;
@@ -43,11 +52,13 @@ service::EngineConfig engine_config(int workers) {
 int main(int argc, char** argv) {
   size_t bundle_count = 48;
   size_t txs_per_block = 24;
+  double fault_rate = 0.0;
   std::string out_path = "BENCH_throughput.json";
   for (int i = 1; i < argc - 1; ++i) {
     if (!std::strcmp(argv[i], "--bundles")) bundle_count = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--txs")) txs_per_block = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--out")) out_path = argv[i + 1];
+    if (!std::strcmp(argv[i], "--fault-rate")) fault_rate = std::strtod(argv[i + 1], nullptr);
   }
 
   bench::EvaluationSetup setup(/*block_count=*/1, txs_per_block);
@@ -93,6 +104,54 @@ int main(int argc, char** argv) {
   }
   table.print("Engine throughput sweep (simulated timeline; wall = diagnostics)");
 
+  // Optional robustness smoke pass against a seeded adversary.
+  bool faulted_ok = true;
+  uint64_t faulted_resolved = 0, faulted_recovered = 0, faulted_aborted = 0;
+  uint64_t faulted_unavailable = 0, faulted_injected = 0, faulted_p99_ns = 0;
+  if (fault_rate > 0) {
+    faults::FaultPlanConfig fault_config;
+    fault_config.seed = 0xfa17;
+    fault_config.fault_rate = fault_rate;
+    fault_config.weight_stale_proof = 0;  // keep the sync pass clean
+    faults::FaultPlan plan(fault_config);
+    auto config = engine_config(4);
+    config.fault_plan = &plan;
+    service::PreExecutionEngine engine(setup.node, config);
+    if (engine.synchronize() != Status::kOk) return 1;
+    engine.start();
+    for (const auto& bundle : bundles) engine.submit(bundle);
+    const auto outcomes = engine.drain();  // must terminate: no deadlocks
+    const auto metrics = engine.snapshot();
+
+    faulted_resolved = outcomes.size();
+    faulted_recovered = metrics.bundles_recovered;
+    faulted_aborted = metrics.bundles_aborted;
+    faulted_unavailable = metrics.bundles_unavailable;
+    faulted_injected = metrics.faults_injected;
+    std::vector<uint64_t> latencies;
+    latencies.reserve(outcomes.size());
+    for (const auto& o : outcomes) latencies.push_back(o.end_to_end_ns);
+    std::sort(latencies.begin(), latencies.end());
+    if (!latencies.empty()) {
+      faulted_p99_ns = latencies[(latencies.size() * 99) / 100 == latencies.size()
+                                     ? latencies.size() - 1
+                                     : (latencies.size() * 99) / 100];
+    }
+    // Every faulted bundle must resolve — recovered or explicit terminal
+    // status. Silent drops/hangs are the robustness failure mode.
+    faulted_ok = faulted_resolved == bundle_count;
+
+    bench::Table fault_table({"fault rate", "injected", "resolved", "recovered",
+                              "aborted", "unavailable", "p99 latency (ms)"});
+    fault_table.add_row({bench::fmt(fault_rate, 3), std::to_string(faulted_injected),
+                         std::to_string(faulted_resolved),
+                         std::to_string(faulted_recovered),
+                         std::to_string(faulted_aborted),
+                         std::to_string(faulted_unavailable),
+                         bench::fmt(double(faulted_p99_ns) / 1e6, 2)});
+    fault_table.print("Robustness smoke (seeded adversary, 4 HEVMs)");
+  }
+
   std::ofstream json(out_path);
   json << "{\n  \"bench\": \"throughput\",\n  \"bundles\": " << bundle_count
        << ",\n  \"sweep\": [\n";
@@ -110,7 +169,18 @@ int main(int argc, char** argv) {
          << (sweep[i].identical_to_serial ? "true" : "false") << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ]";
+  if (fault_rate > 0) {
+    json << ",\n  \"faulted\": {\"fault_rate\": " << fault_rate
+         << ", \"faults_injected\": " << faulted_injected
+         << ", \"bundles_resolved\": " << faulted_resolved
+         << ", \"bundles_recovered\": " << faulted_recovered
+         << ", \"bundles_aborted\": " << faulted_aborted
+         << ", \"bundles_unavailable\": " << faulted_unavailable
+         << ", \"p99_bundle_latency_ns\": " << faulted_p99_ns
+         << ", \"all_resolved\": " << (faulted_ok ? "true" : "false") << "}";
+  }
+  json << "\n}\n";
   json.flush();
   if (!json) {
     std::fprintf(stderr, "error: could not write %s\n", out_path.c_str());
@@ -125,8 +195,14 @@ int main(int argc, char** argv) {
     if (p.workers == 4 && base > 0) speedup4 = p.metrics.sim_bundles_per_s / base;
   }
   std::printf("shape checks: all sweeps bit-identical to serial: %s; "
-              "4-worker sim speedup %.2fx (need >= 2x): %s\n",
+              "4-worker sim speedup %.2fx (need >= 2x): %s",
               all_identical ? "yes" : "NO", speedup4,
               speedup4 >= 2.0 ? "yes" : "NO");
-  return (all_identical && speedup4 >= 2.0) ? 0 : 1;
+  if (fault_rate > 0) {
+    std::printf("; faulted pass resolved %llu/%zu bundles: %s",
+                static_cast<unsigned long long>(faulted_resolved), bundle_count,
+                faulted_ok ? "yes" : "NO");
+  }
+  std::printf("\n");
+  return (all_identical && speedup4 >= 2.0 && faulted_ok) ? 0 : 1;
 }

@@ -49,7 +49,7 @@ bool ct_equal(BytesView a, BytesView b) {
 Bytes right_pad(BytesView data, size_t size) {
   Bytes out(size, 0);
   const size_t n = std::min(size, data.size());
-  std::memcpy(out.data(), data.data(), n);
+  if (n > 0) std::memcpy(out.data(), data.data(), n);
   return out;
 }
 

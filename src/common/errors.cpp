@@ -13,6 +13,10 @@ const char* to_string(Status s) {
     case Status::kStashOverflow: return "stash-overflow";
     case Status::kMalformedMessage: return "malformed-message";
     case Status::kRejected: return "rejected";
+    case Status::kTimeout: return "timeout";
+    case Status::kUnavailable: return "unavailable";
+    case Status::kRetryExhausted: return "retry-exhausted";
+    case Status::kStatusCount_: break;  // sentinel, not a real status
   }
   return "unknown";
 }

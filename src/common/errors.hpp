@@ -31,6 +31,17 @@ class UsageError : public HardtapeError {
   using HardtapeError::HardtapeError;
 };
 
+/// Thrown when data under the chip's own integrity protection fails to
+/// verify (a sealed ORAM slot with a bad tag, a mapped block the server no
+/// longer returns). Distinct from UsageError/DecodingError so fault-tolerant
+/// layers can convert exactly these — and only these — into Status values
+/// (the untrusted backend misbehaving is an expected outcome under the
+/// paper's threat model, not a programming error).
+class IntegrityError : public HardtapeError {
+ public:
+  using HardtapeError::HardtapeError;
+};
+
 /// Protocol-level status for operations whose failure is an expected outcome.
 enum class Status {
   kOk,
@@ -42,8 +53,29 @@ enum class Status {
   kStashOverflow,     ///< Path ORAM stash exceeded its on-chip bound
   kMalformedMessage,  ///< hypervisor rejected a message header
   kRejected,          ///< attestation or policy rejection
+  kTimeout,           ///< untrusted backend gave no response within the request timeout
+  kUnavailable,       ///< circuit breaker open: backend quarantined, request not attempted
+  kRetryExhausted,    ///< bounded retries + backoff used up without a good response
+  // Sentinel — keep last. Lets tests iterate every value and prove that
+  // to_string never silently degrades to "unknown" for a real status.
+  kStatusCount_,
 };
 
 const char* to_string(Status s);
+
+/// Carrier for an unrecoverable backend fault detected beneath a
+/// value-returning interface (state::StateReader cannot return a Status).
+/// Caught at the session boundary and converted to the carried Status —
+/// it never escapes the pre-execution engine.
+class BackendFault : public HardtapeError {
+ public:
+  explicit BackendFault(Status status)
+      : HardtapeError(std::string("backend fault: ") + to_string(status)),
+        status_(status) {}
+  Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
 
 }  // namespace hardtape

@@ -69,7 +69,7 @@ H256 keccak256(BytesView data) {
   // Final block with Keccak (pre-FIPS) padding: 0x01 ... 0x80.
   uint8_t block[kRate] = {};
   const size_t remaining = data.size() - offset;
-  std::memcpy(block, data.data() + offset, remaining);
+  if (remaining > 0) std::memcpy(block, data.data() + offset, remaining);
   block[remaining] = 0x01;
   block[kRate - 1] |= 0x80;
   for (size_t i = 0; i < kRate / 8; ++i) {

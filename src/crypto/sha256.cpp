@@ -59,7 +59,7 @@ H256 sha256(BytesView data) {
   }
   uint8_t block[64] = {};
   const size_t remaining = data.size() - offset;
-  std::memcpy(block, data.data() + offset, remaining);
+  if (remaining > 0) std::memcpy(block, data.data() + offset, remaining);
   block[remaining] = 0x80;
   if (remaining >= 56) {
     compress(h, block);

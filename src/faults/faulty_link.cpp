@@ -1,0 +1,56 @@
+#include "faults/faulty_link.hpp"
+
+namespace hardtape::faults {
+
+std::vector<hypervisor::SecureMessage> FaultyLink::transmit(
+    hypervisor::SecureMessage frame) {
+  std::vector<hypervisor::SecureMessage> delivered;
+  const FaultDecision decision =
+      plan_.decide(FaultSite::kChannelFrame, stream_, op_++);
+
+  // A frame held back for reordering rides out with the NEXT frame, after it.
+  switch (decision.kind) {
+    case FaultKind::kDrop:
+      break;  // lost in flight
+    case FaultKind::kTamper:
+      if (!frame.ciphertext.empty()) {
+        frame.ciphertext[0] ^= 0x01;
+      } else {
+        frame.tag[0] ^= 0x01;  // empty body: break the tag instead
+      }
+      delivered.push_back(std::move(frame));
+      break;
+    case FaultKind::kDuplicateFrame:
+      delivered.push_back(frame);
+      delivered.push_back(std::move(frame));
+      break;
+    case FaultKind::kReorderFrame:
+      if (held_.has_value()) {
+        // Already holding one: release it now, hold the new frame.
+        delivered.push_back(std::move(*held_));
+        held_ = std::move(frame);
+      } else {
+        held_ = std::move(frame);
+      }
+      return delivered;  // nothing (or only the prior frame) comes out yet
+    default:
+      delivered.push_back(std::move(frame));
+      break;
+  }
+  if (held_.has_value()) {
+    delivered.push_back(std::move(*held_));
+    held_.reset();
+  }
+  return delivered;
+}
+
+std::vector<hypervisor::SecureMessage> FaultyLink::flush() {
+  std::vector<hypervisor::SecureMessage> out;
+  if (held_.has_value()) {
+    out.push_back(std::move(*held_));
+    held_.reset();
+  }
+  return out;
+}
+
+}  // namespace hardtape::faults

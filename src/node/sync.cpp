@@ -11,7 +11,17 @@ Status BlockSynchronizer::sync_account(const Address& addr,
   using trie::MerklePatriciaTrie;
 
   // 1. Fetch and verify the account against the trusted state root.
-  const auto account_response = node_.fetch_account(addr);
+  auto account_response = node_.fetch_account(addr);
+  if (proof_tamper_ && proof_tamper_(addr)) {
+    // Injected stale/tampered node response: corrupt one proof byte and let
+    // the genuine Merkle verification below reject it.
+    for (Bytes& node : account_response.proof) {
+      if (!node.empty()) {
+        node[0] ^= 0x01;
+        break;
+      }
+    }
+  }
   const H256 account_key = crypto::keccak256(addr.view());
   const auto account_check = MerklePatriciaTrie::verify_proof(
       state_root_, account_key.view(), account_response.proof);

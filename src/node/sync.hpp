@@ -8,6 +8,8 @@
 // which is also what keeps pre-execution queries oblivious.
 #pragma once
 
+#include <functional>
+
 #include "node/node.hpp"
 #include "oram/paged_state.hpp"
 
@@ -35,9 +37,19 @@ class BlockSynchronizer {
   uint64_t verified_slots() const { return verified_slots_; }
   uint64_t installed_pages() const { return installed_pages_; }
 
+  /// Fault-injection hook (the node feed is SP-controlled): when the hook
+  /// returns true for an account, a byte of its fetched Merkle proof is
+  /// flipped before verification — a stale/tampered node response — which
+  /// the real proof check then rejects with kBadProof. Nothing from the
+  /// affected account is installed (fail closed).
+  void set_proof_tamper(std::function<bool(const Address&)> hook) {
+    proof_tamper_ = std::move(hook);
+  }
+
  private:
   const NodeSimulator& node_;
   H256 state_root_;
+  std::function<bool(const Address&)> proof_tamper_;
   uint64_t verified_accounts_ = 0;
   uint64_t verified_slots_ = 0;
   uint64_t installed_pages_ = 0;

@@ -10,7 +10,17 @@ uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
                                    std::chrono::steady_clock::now() - start)
                                    .count());
 }
+
+thread_local RecoveryTally* g_active_tally = nullptr;
 }  // namespace
+
+ScopedRecoveryTally::ScopedRecoveryTally(RecoveryTally& tally) : prev_(g_active_tally) {
+  g_active_tally = &tally;
+}
+
+ScopedRecoveryTally::~ScopedRecoveryTally() { g_active_tally = prev_; }
+
+RecoveryTally* ScopedRecoveryTally::active() { return g_active_tally; }
 
 void OramFrontend::enter_queue() {
   std::lock_guard lock(state_mu_);
@@ -29,36 +39,91 @@ void OramFrontend::leave_queue(uint64_t stall_ns, bool was_read) {
   }
 }
 
-std::optional<Bytes> OramFrontend::serialized_read(const BlockId& id) {
+AccessAttempt OramFrontend::recovered_access(const BlockId& id,
+                                             const BytesView* write_data) {
   enter_queue();
   const auto start = std::chrono::steady_clock::now();
-  std::optional<Bytes> result;
+  const sim::BackoffPolicy& policy = config_.recovery;
+  // De-synchronizes the jitter of distinct requests; deterministic in the id.
+  const uint64_t stream_tag = U256Hasher{}(id);
+
+  AccessAttempt result;
   uint64_t stall_ns = 0;
+  uint64_t recovery_ns = 0;
+  uint32_t retries = 0;
+  uint32_t faults = 0;
+  uint64_t timeouts = 0, auth_failures = 0, bad_proofs = 0, exhausted = 0;
   {
     std::lock_guard lock(access_mu_);
     stall_ns = wall_ns_since(start);
-    result = backend_.read(id);
+    for (int attempt = 1;; ++attempt) {
+      AccessAttempt a = write_data != nullptr ? backend_.try_write(id, *write_data)
+                                              : backend_.try_read(id);
+      if (a.status == Status::kOk && a.sim_delay_ns <= policy.request_timeout_ns) {
+        recovery_ns += a.sim_delay_ns;  // slower than usual, but it arrived
+        result = std::move(a);
+        break;
+      }
+      ++faults;
+      if (a.status == Status::kAuthFailed || a.status == Status::kBadProof) {
+        // Fail closed: an integrity failure is an attack indicator, not
+        // transient loss. Retrying would hand a tampering server an oracle,
+        // so the request terminates here and the session aborts.
+        (a.status == Status::kAuthFailed ? auth_failures : bad_proofs) += 1;
+        result = AccessAttempt{a.status, std::nullopt, 0};
+        break;
+      }
+      // Dropped or over-delayed response: the session waited out the full
+      // request timeout before concluding the answer is not coming.
+      ++timeouts;
+      recovery_ns += policy.request_timeout_ns;
+      if (attempt >= policy.max_attempts) {
+        ++exhausted;
+        result = AccessAttempt{Status::kRetryExhausted, std::nullopt, 0};
+        break;
+      }
+      recovery_ns += sim::backoff_delay_ns(policy, attempt, stream_tag);
+      ++retries;
+    }
   }
-  leave_queue(stall_ns, /*was_read=*/true);
+  result.sim_delay_ns = recovery_ns;
+  if (RecoveryTally* tally = ScopedRecoveryTally::active()) {
+    tally->sim_ns += recovery_ns;
+    tally->retries += retries;
+    tally->faults += faults;
+  }
+  leave_queue(stall_ns, /*was_read=*/write_data == nullptr);
+  {
+    std::lock_guard lock(state_mu_);
+    stats_.timeouts += timeouts;
+    stats_.retries += retries;
+    stats_.auth_failures += auth_failures;
+    stats_.bad_proofs += bad_proofs;
+    stats_.retry_exhausted += exhausted;
+  }
   return result;
 }
 
-std::optional<Bytes> OramFrontend::read(const BlockId& id) {
-  if (!config_.coalesce_duplicate_reads) return serialized_read(id);
+AccessAttempt OramFrontend::try_read(const BlockId& id) {
+  if (!config_.coalesce_duplicate_reads) return recovered_access(id, nullptr);
 
   std::unique_lock lock(state_mu_);
   if (auto it = inflight_.find(id); it != inflight_.end()) {
-    // An identical read is already walking the tree — ride it.
+    // An identical read is already walking the tree — ride it. The rider
+    // inherits the winner's data and status but none of its recovery time
+    // (the winner's session already paid for the retries).
     const std::shared_ptr<Inflight> entry = it->second;
     ++stats_.coalesced_reads;
     entry->cv.wait(lock, [&] { return entry->done; });
-    return entry->result;
+    AccessAttempt result = entry->result;
+    result.sim_delay_ns = 0;
+    return result;
   }
   const auto entry = std::make_shared<Inflight>();
   inflight_.emplace(id, entry);
   lock.unlock();
 
-  std::optional<Bytes> result = serialized_read(id);
+  AccessAttempt result = recovered_access(id, nullptr);
 
   lock.lock();
   entry->result = result;
@@ -68,17 +133,20 @@ std::optional<Bytes> OramFrontend::read(const BlockId& id) {
   return result;
 }
 
-void OramFrontend::write(const BlockId& id, BytesView data) {
+AccessAttempt OramFrontend::try_write(const BlockId& id, BytesView data) {
   // Writes (block synchronization) are never coalesced: each must land.
-  enter_queue();
-  const auto start = std::chrono::steady_clock::now();
-  uint64_t stall_ns = 0;
-  {
-    std::lock_guard lock(access_mu_);
-    stall_ns = wall_ns_since(start);
-    backend_.write(id, data);
-  }
-  leave_queue(stall_ns, /*was_read=*/false);
+  return recovered_access(id, &data);
+}
+
+std::optional<Bytes> OramFrontend::read(const BlockId& id) {
+  AccessAttempt result = try_read(id);
+  if (result.status != Status::kOk) throw BackendFault(result.status);
+  return std::move(result.data);
+}
+
+void OramFrontend::write(const BlockId& id, BytesView data) {
+  const AccessAttempt result = try_write(id, data);
+  if (result.status != Status::kOk) throw BackendFault(result.status);
 }
 
 OramFrontend::Stats OramFrontend::snapshot() const {

@@ -11,6 +11,20 @@
 // produces — while the HEVMs overlap everything else (interpretation,
 // channel crypto, layer-2 traffic).
 //
+// Recovery (PR 2): the server and the link belong to the malicious SP
+// (paper §III), so a response may never arrive, arrive late, or arrive
+// tampered. Every fault-aware access (try_read/try_write) runs a bounded
+// retry loop in SIMULATED time: a per-request timeout, exponential backoff
+// with deterministic jitter (sim/backoff.hpp), and a hard attempt budget.
+//  - timeouts (drops, over-delayed responses) are retried;
+//  - integrity failures (kAuthFailed, kBadProof) fail CLOSED immediately —
+//    a bad tag is an attack indicator, and retrying would hand a tampering
+//    server an oracle;
+//  - an exhausted budget surfaces as kRetryExhausted.
+// All waiting is simulated (charged to the calling session via the active
+// RecoveryTally), so the fault-free timeline stays bit-identical to serial
+// execution and faulted runs replay exactly under a fixed seed.
+//
 // Optional read coalescing: when two sessions demand the SAME page while a
 // fetch for it is already in flight (typical for hot contract code pages),
 // the second session can ride the first access instead of issuing its own.
@@ -26,13 +40,44 @@
 #include <unordered_map>
 
 #include "oram/path_oram.hpp"
+#include "sim/backoff.hpp"
 
 namespace hardtape::oram {
+
+/// Per-session accumulator of recovery work (simulated retry time, fault
+/// counts) for layers above a value-only interface (state::StateReader has
+/// no Status channel). The engine installs one per session on the executing
+/// thread; the frontend adds to whichever tally is active whenever it
+/// recovers from — or gives up on — a backend fault.
+struct RecoveryTally {
+  uint64_t sim_ns = 0;    ///< timeouts + backoff + residual delays, simulated
+  uint32_t retries = 0;   ///< re-issued requests
+  uint32_t faults = 0;    ///< faulty attempts observed (recovered or not)
+};
+
+/// RAII: makes `tally` the calling thread's active tally; restores the
+/// previous one on destruction (scopes nest).
+class ScopedRecoveryTally {
+ public:
+  explicit ScopedRecoveryTally(RecoveryTally& tally);
+  ~ScopedRecoveryTally();
+  ScopedRecoveryTally(const ScopedRecoveryTally&) = delete;
+  ScopedRecoveryTally& operator=(const ScopedRecoveryTally&) = delete;
+
+  /// The calling thread's active tally, or nullptr outside any scope.
+  static RecoveryTally* active();
+
+ private:
+  RecoveryTally* prev_;
+};
 
 struct FrontendConfig {
   /// Merge a read with an identical in-flight read instead of issuing a
   /// second ORAM access. Off by default (see file comment).
   bool coalesce_duplicate_reads = false;
+  /// Retry/backoff policy for the fault-aware access path. With a reliable
+  /// backend the policy is dormant: attempt 1 succeeds, zero time charged.
+  sim::BackoffPolicy recovery{};
 };
 
 class OramFrontend : public OramAccessor {
@@ -43,18 +88,32 @@ class OramFrontend : public OramAccessor {
   /// measurements of real lock contention (NOT simulated time — the
   /// simulated timeline lives in the engine's metrics).
   struct Stats {
-    uint64_t reads = 0;             ///< accesses issued to the backend
+    uint64_t reads = 0;             ///< read requests issued to the backend
     uint64_t writes = 0;
     uint64_t coalesced_reads = 0;   ///< reads served by an in-flight twin
     uint64_t contention_stall_ns = 0;  ///< wall ns spent waiting for the lock
     uint64_t max_pending = 0;       ///< deepest observed request queue
+    // --- recovery layer ---
+    uint64_t timeouts = 0;          ///< attempts that timed out (drop/late)
+    uint64_t retries = 0;           ///< requests re-issued after a timeout
+    uint64_t auth_failures = 0;     ///< tampered responses (fail-closed)
+    uint64_t bad_proofs = 0;        ///< stale-proof responses (fail-closed)
+    uint64_t retry_exhausted = 0;   ///< requests that ran out of attempts
   };
 
   explicit OramFrontend(OramAccessor& backend, Config config = {})
       : backend_(backend), config_(config) {}
 
+  /// Throws BackendFault when the fault-aware path ends in a non-kOk status
+  /// (never happens over a reliable backend).
   std::optional<Bytes> read(const BlockId& id) override;
   void write(const BlockId& id, BytesView data) override;
+
+  /// Fault-aware access: runs the full timeout/backoff/fail-closed loop and
+  /// returns the terminal status. sim_delay_ns of the result carries the
+  /// total simulated recovery time (also added to the active RecoveryTally).
+  AccessAttempt try_read(const BlockId& id) override;
+  AccessAttempt try_write(const BlockId& id, BytesView data) override;
 
   Stats snapshot() const;
   const Config& config() const { return config_; }
@@ -62,11 +121,12 @@ class OramFrontend : public OramAccessor {
  private:
   struct Inflight {
     bool done = false;
-    std::optional<Bytes> result;
+    AccessAttempt result;
     std::condition_variable cv;  // waits on state_mu_
   };
 
-  std::optional<Bytes> serialized_read(const BlockId& id);
+  /// One serialized request with recovery: write_data == nullptr for reads.
+  AccessAttempt recovered_access(const BlockId& id, const BytesView* write_data);
   void enter_queue();
   void leave_queue(uint64_t stall_ns, bool was_read);
 

@@ -134,7 +134,14 @@ std::optional<Bytes> OramWorldState::query(PageType type, const Address& addr,
                                            const u256& index) const {
   query_count_.fetch_add(1, std::memory_order_relaxed);
   if (hook_) hook_(type, addr, index);
-  return client_.read(page_id(type, addr, index));
+  // Fault-aware read: recovered faults already charged their simulated time
+  // to the session's RecoveryTally; a terminal fault has no value-typed path
+  // through StateReader, so it travels as BackendFault up to the session
+  // boundary (service::PreExecutionEngine converts it into the outcome's
+  // Status — fail closed, never a hang).
+  AccessAttempt attempt = client_.try_read(page_id(type, addr, index));
+  if (attempt.status != Status::kOk) throw BackendFault(attempt.status);
+  return std::move(attempt.data);
 }
 
 std::optional<state::Account> OramWorldState::account(const Address& addr) const {

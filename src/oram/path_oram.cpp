@@ -175,6 +175,23 @@ void OramClient::write(const BlockId& id, BytesView data) {
   access(id, &padded);
 }
 
+AccessAttempt OramClient::try_read(const BlockId& id) {
+  try {
+    return AccessAttempt{Status::kOk, read(id), 0};
+  } catch (const IntegrityError&) {
+    return AccessAttempt{Status::kAuthFailed, std::nullopt, 0};
+  }
+}
+
+AccessAttempt OramClient::try_write(const BlockId& id, BytesView data) {
+  try {
+    write(id, data);
+    return AccessAttempt{};
+  } catch (const IntegrityError&) {
+    return AccessAttempt{Status::kAuthFailed, std::nullopt, 0};
+  }
+}
+
 std::optional<Bytes> OramClient::read_modify_write(
     const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate) {
   return access(id, nullptr, &mutate);
@@ -203,7 +220,7 @@ std::optional<Bytes> OramClient::access(
         continue;
       }
       const auto pt = open_slot(mode_, key_, slot);
-      if (!pt.has_value()) throw HardtapeError("oram: slot authentication failed");
+      if (!pt.has_value()) throw IntegrityError("oram: slot authentication failed");
       rewritten.push_back(seal_slot(mode_, key_, rng_, *pt));
     }
     server_.write_path(leaf, std::move(rewritten));
@@ -217,7 +234,7 @@ std::optional<Bytes> OramClient::access(
   for (const SealedSlot& slot : path) {
     if (slot.ciphertext.empty()) continue;  // uninitialized slot
     const auto pt = open_slot(mode_, key_, slot);
-    if (!pt.has_value()) throw HardtapeError("oram: slot authentication failed");
+    if (!pt.has_value()) throw IntegrityError("oram: slot authentication failed");
     const u256 slot_id = u256::from_be_bytes(BytesView{pt->data(), 32});
     if (slot_id == kDummyId) continue;
     const auto slot_pos = position_.find(slot_id);
@@ -252,7 +269,7 @@ std::optional<Bytes> OramClient::access(
     stash_.emplace(id, StashEntry{std::move(created), new_leaf});
   } else {
     // Known position but block not found on path or stash: data loss.
-    throw HardtapeError("oram: mapped block missing");
+    throw IntegrityError("oram: mapped block missing");
   }
 
   stash_high_water_ = std::max(stash_high_water_, stash_.size());

@@ -94,6 +94,21 @@ class OramServer {
   uint64_t access_count_ = 0;
 };
 
+/// One attempt against the untrusted backend, as the recovery layer above
+/// sees it. The untrusted boundary (paper §III: the SP owns the server and
+/// the link) means an attempt can fail in ways distinct from "not found":
+///  - kTimeout: no response arrived within the request timeout (dropped or
+///    over-delayed frame),
+///  - kAuthFailed: a response arrived but its AES-GCM/HMAC tag rejected it
+///    (tampered page),
+///  - kBadProof: a response carried a stale/inconsistent proof.
+/// kOk with nullopt data is a proven-absent block (dummy access completed).
+struct AccessAttempt {
+  Status status = Status::kOk;
+  std::optional<Bytes> data;    ///< meaningful only when status == kOk
+  uint64_t sim_delay_ns = 0;    ///< extra simulated latency this attempt cost
+};
+
 /// Block-level access interface shared by the OramClient and anything that
 /// wraps it (the concurrency frontend in oram/frontend.hpp). Callers that
 /// only need read/write — the paged world state, block synchronization —
@@ -107,6 +122,17 @@ class OramAccessor {
   virtual std::optional<Bytes> read(const BlockId& id) = 0;
   /// Writes (installs or updates) a block.
   virtual void write(const BlockId& id, BytesView data) = 0;
+
+  /// Fault-aware single attempt. The defaults treat the backend as reliable;
+  /// wrappers that model (FaultyOram) or experience (OramClient, which maps
+  /// IntegrityError to kAuthFailed) an unreliable backend override these.
+  virtual AccessAttempt try_read(const BlockId& id) {
+    return AccessAttempt{Status::kOk, read(id), 0};
+  }
+  virtual AccessAttempt try_write(const BlockId& id, BytesView data) {
+    write(id, data);
+    return AccessAttempt{};
+  }
 };
 
 /// The trusted client: stash and position map (on-chip in HarDTAPE, as part
@@ -119,11 +145,17 @@ class OramClient : public OramAccessor {
   OramClient(OramServer& server, const crypto::AesKey128& oram_key,
              uint64_t rng_seed, SealMode mode = SealMode::kAesGcm);
 
-  /// Reads a block; nullopt when the id was never written.
+  /// Reads a block; nullopt when the id was never written. Throws
+  /// IntegrityError when the server returned a tampered slot or lost a
+  /// mapped block.
   std::optional<Bytes> read(const BlockId& id) override;
   /// Writes (installs or updates) a block. `data` must be <= block_size and
   /// is zero-padded to it.
   void write(const BlockId& id, BytesView data) override;
+  /// Value-typed variants for the recovery layer: integrity failures come
+  /// back as kAuthFailed instead of a thrown IntegrityError.
+  AccessAttempt try_read(const BlockId& id) override;
+  AccessAttempt try_write(const BlockId& id, BytesView data) override;
   /// One ORAM access that reads the block and replaces it with
   /// mutate(previous) — the read-modify-write the recursive position map
   /// needs to stay at one access per level. `previous` is nullopt for a

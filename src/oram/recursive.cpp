@@ -94,7 +94,7 @@ std::optional<Bytes> RecursiveOramClient::data_access(uint64_t index, uint64_t l
   for (const SealedSlot& slot : path) {
     if (slot.ciphertext.empty()) continue;
     const auto pt = open_slot(mode_, key_, slot);
-    if (!pt.has_value()) throw HardtapeError("recursive oram: authentication failed");
+    if (!pt.has_value()) throw IntegrityError("recursive oram: authentication failed");
     const u256 slot_id = u256::from_be_bytes(BytesView{pt->data(), 32});
     if (slot_id == kDummyId) continue;
     const uint64_t id = slot_id.as_u64();

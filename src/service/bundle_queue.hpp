@@ -64,6 +64,22 @@ class BoundedQueue {
     return item;
   }
 
+  /// Re-admits an item that already consumed a slot once (a bundle retry
+  /// after a fail-closed session abort). Bypasses the capacity bound — a
+  /// worker must never block on its own queue, or retries under full load
+  /// would deadlock the pool — and works even after close(), so bundles
+  /// retried during drain still resolve. Front insertion keeps retried
+  /// bundles ahead of new work (their user has already waited longest).
+  void requeue(T item) {
+    {
+      std::lock_guard lock(mu_);
+      queue_.push_front(std::move(item));
+      ++stats_.pushed;
+      stats_.max_depth = std::max<uint64_t>(stats_.max_depth, queue_.size());
+    }
+    not_empty_.notify_one();
+  }
+
   /// Idempotent. Wakes all blocked producers (push fails) and consumers
   /// (pop drains the remainder, then returns nullopt).
   void close() {

@@ -30,6 +30,11 @@ uint64_t wall_ns_since(std::chrono::steady_clock::time_point start) {
 
 bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b) {
   if (a.bundle_id != b.bundle_id || a.status != b.status) return false;
+  if (a.attempt != b.attempt || a.backend_fault != b.backend_fault ||
+      a.recovery_sim_ns != b.recovery_sim_ns || a.oram_retries != b.oram_retries ||
+      a.faults_seen != b.faults_seen) {
+    return false;
+  }
   if (a.end_to_end_ns != b.end_to_end_ns || a.hevm_time_ns != b.hevm_time_ns ||
       a.crypto_time_ns != b.crypto_time_ns || a.message_time_ns != b.message_time_ns) {
     return false;
@@ -121,18 +126,29 @@ PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig c
       oram_server_(config.oram),
       oram_client_(oram_server_, hypervisor_.generate_oram_key(), config.seed ^ 0x02a3,
                    config.seal_mode),
-      frontend_(oram_client_,
-                oram::OramFrontend::Config{.coalesce_duplicate_reads =
-                                               config.coalesce_duplicate_reads}),
+      fault_layer_(config.fault_plan != nullptr
+                       ? std::make_unique<faults::FaultyOram>(oram_client_,
+                                                              *config.fault_plan)
+                       : nullptr),
+      frontend_(fault_layer_ != nullptr
+                    ? static_cast<oram::OramAccessor&>(*fault_layer_)
+                    : static_cast<oram::OramAccessor&>(oram_client_),
+                oram::OramFrontend::Config{
+                    .coalesce_duplicate_reads = config.coalesce_duplicate_reads,
+                    .recovery = config.oram_recovery}),
       oram_state_(frontend_),
       queue_(config.queue_depth) {
   if (config_.num_hevms <= 0) throw UsageError("engine: need at least one HEVM");
   if (config_.timing.clock != nullptr) {
     throw UsageError("engine: timing.clock is per-session; leave it null");
   }
+  if (config_.max_bundle_attempts < 1) {
+    throw UsageError("engine: max_bundle_attempts must be >= 1");
+  }
 }
 
 PreExecutionEngine::~PreExecutionEngine() {
+  if (watchdog_ != nullptr) watchdog_->stop();
   queue_.close();
   for (auto& worker : workers_) {
     if (worker->thread.joinable()) worker->thread.join();
@@ -142,6 +158,18 @@ PreExecutionEngine::~PreExecutionEngine() {
 Status PreExecutionEngine::synchronize() {
   if (!oram_enabled()) return Status::kOk;
   node::BlockSynchronizer sync(node_, node_.head().state_root);
+  if (config_.fault_plan != nullptr) {
+    // The node feed is SP-controlled too (paper §III): let the plan corrupt
+    // account responses at sync time; the real Merkle verification rejects
+    // them with kBadProof and nothing is installed. Stream 0 = the single
+    // synchronize pass; the op index counts accounts in enumeration order.
+    faults::FaultPlan* plan = config_.fault_plan;
+    auto op = std::make_shared<uint64_t>(0);
+    sync.set_proof_tamper([plan, op](const Address&) {
+      return plan->decide(faults::FaultSite::kNodeFetch, 0, (*op)++).kind ==
+             faults::FaultKind::kStaleProof;
+    });
+  }
   return sync.sync_all(oram_client_);
 }
 
@@ -167,16 +195,36 @@ void PreExecutionEngine::start() {
     Worker* w = worker.get();
     w->thread = std::thread([this, w] { worker_loop(*w); });
   }
+  if (config_.watchdog_enabled) {
+    std::vector<Heartbeat*> beats;
+    beats.reserve(workers_.size());
+    for (auto& worker : workers_) beats.push_back(&worker->heartbeat);
+    watchdog_ = std::make_unique<Watchdog>(
+        std::move(beats),
+        Watchdog::Config{.poll_interval_ms = 50,
+                         .stall_threshold_ms = config_.watchdog_stall_ms});
+    watchdog_->start();
+  }
 }
 
-uint64_t PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
+Admission PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
   if (!started_) throw UsageError("engine: start() before submit()");
   if (drained_) throw UsageError("engine: already drained");
   const uint64_t id = next_bundle_id_.fetch_add(1, std::memory_order_relaxed);
-  if (!queue_.push(QueueItem{id, std::move(bundle), std::chrono::steady_clock::now()})) {
+  if (breaker_open()) {
+    // Quarantined backend: refuse at admission. The bundle still gets its
+    // one outcome (kUnavailable) so callers that only look at drain() see
+    // every submission resolved.
+    SessionOutcome refused;
+    refused.bundle_id = id;
+    refused.status = Status::kUnavailable;
+    record_outcome(std::move(refused), 0, nullptr);
+    return {id, Status::kUnavailable};
+  }
+  if (!queue_.push(QueueItem{id, std::move(bundle), std::chrono::steady_clock::now(), 0})) {
     throw UsageError("engine: queue closed");
   }
-  return id;
+  return {id, Status::kOk};
 }
 
 std::vector<SessionOutcome> PreExecutionEngine::drain() {
@@ -185,6 +233,7 @@ std::vector<SessionOutcome> PreExecutionEngine::drain() {
     for (auto& worker : workers_) {
       if (worker->thread.joinable()) worker->thread.join();
     }
+    if (watchdog_ != nullptr) watchdog_->stop();
     for (auto& worker : workers_) hypervisor_.end_session(worker->session_id);
     {
       std::lock_guard lock(results_mu_);
@@ -203,27 +252,87 @@ std::vector<SessionOutcome> PreExecutionEngine::drain() {
 
 void PreExecutionEngine::worker_loop(Worker& worker) {
   while (auto item = queue_.pop()) {
+    worker.heartbeat.busy.store(true, std::memory_order_relaxed);
     const uint64_t queued_ns = wall_ns_since(item->enqueued);
-    SessionOutcome outcome = execute_session(item->bundle_id, item->txs, worker);
-    std::lock_guard lock(results_mu_);
-    wall_queue_wait_ns_ += queued_ns;
-    ++worker.bundles;
-    worker.busy_sim_ns += outcome.end_to_end_ns;
-    results_.push_back(std::move(outcome));
+    if (breaker_open()) {
+      // Quarantined backend: drain the queue with explicit refusals instead
+      // of burning retry budgets against a dead server.
+      SessionOutcome refused;
+      refused.bundle_id = item->bundle_id;
+      refused.worker_id = worker.id;
+      refused.attempt = item->attempt;
+      refused.status = Status::kUnavailable;
+      record_outcome(std::move(refused), queued_ns, &worker);
+    } else {
+      SessionOutcome outcome =
+          execute_session(item->bundle_id, item->attempt, item->txs, worker);
+      register_attempt(outcome);
+      // Recoverable backend aborts go back around (front of queue, fresh
+      // fault stream); integrity failures are terminal — fail closed.
+      const bool recoverable = outcome.backend_fault &&
+                               (outcome.status == Status::kTimeout ||
+                                outcome.status == Status::kRetryExhausted);
+      if (recoverable &&
+          static_cast<int>(item->attempt) + 1 < config_.max_bundle_attempts &&
+          !breaker_open()) {
+        bundle_requeues_.fetch_add(1, std::memory_order_relaxed);
+        queue_.requeue(QueueItem{item->bundle_id, std::move(item->txs),
+                                 std::chrono::steady_clock::now(), item->attempt + 1});
+      } else {
+        record_outcome(std::move(outcome), queued_ns, &worker);
+      }
+    }
+    worker.heartbeat.beats.fetch_add(1, std::memory_order_relaxed);
+    worker.heartbeat.busy.store(false, std::memory_order_relaxed);
   }
 }
 
+void PreExecutionEngine::register_attempt(const SessionOutcome& outcome) {
+  if (outcome.backend_fault) {
+    const int streak =
+        consecutive_backend_faults_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    if (config_.breaker_threshold > 0 && streak >= config_.breaker_threshold) {
+      breaker_open_.store(true, std::memory_order_release);
+    }
+  } else if (outcome.status == Status::kOk) {
+    consecutive_backend_faults_.store(0, std::memory_order_release);
+  }
+}
+
+void PreExecutionEngine::record_outcome(SessionOutcome outcome, uint64_t queued_wall_ns,
+                                        Worker* worker) {
+  std::lock_guard lock(results_mu_);
+  wall_queue_wait_ns_ += queued_wall_ns;
+  if (worker != nullptr) {
+    ++worker->bundles;
+    worker->busy_sim_ns += outcome.end_to_end_ns;
+  }
+  results_.push_back(std::move(outcome));
+}
+
 SessionOutcome PreExecutionEngine::execute_session(
-    uint64_t bundle_id, const std::vector<evm::Transaction>& bundle, Worker& worker) {
+    uint64_t bundle_id, uint32_t attempt, const std::vector<evm::Transaction>& bundle,
+    Worker& worker) {
   SessionOutcome outcome;
   outcome.bundle_id = bundle_id;
   outcome.worker_id = worker.id;
+  outcome.attempt = attempt;
 
   // Fresh per-session time and randomness (see determinism contract above).
   worker.clock.reset();
   sim::SimClock& clock = worker.clock;
   Random rng = session_rng(config_.seed, bundle_id);
   const sim::SimStopwatch end_to_end(clock);
+
+  // Recovery instrumentation: the ORAM frontend charges retry/backoff time
+  // and fault counts to this thread's tally; fault decisions come from the
+  // (bundle, attempt) stream, so outcomes stay interleaving-independent.
+  oram::RecoveryTally tally;
+  const oram::ScopedRecoveryTally tally_scope(tally);
+  std::optional<faults::FaultScope> fault_scope;
+  if (config_.fault_plan != nullptr) {
+    fault_scope.emplace(faults::fault_stream(bundle_id, attempt));
+  }
 
   // --- input message handling (Fig. 3 steps 3, 6) ---
   const uint64_t input_bytes = wire::bundle_bytes(bundle);
@@ -271,35 +380,51 @@ SessionOutcome PreExecutionEngine::execute_session(
   worker.core->assign(routed, node_.block_context(), session_key, rng.next_u64());
 
   const sim::SimStopwatch exec(clock);
-  outcome.report = worker.core->execute_bundle(bundle);
-  outcome.hevm_time_ns = exec.elapsed_ns();
-  if (outcome.report.aborted) outcome.status = Status::kMemoryOverflow;
+  try {
+    outcome.report = worker.core->execute_bundle(bundle);
+    outcome.hevm_time_ns = exec.elapsed_ns();
+    if (outcome.report.aborted) outcome.status = Status::kMemoryOverflow;
+  } catch (const BackendFault& fault) {
+    // Fail closed: the untrusted backend dropped, stalled out, or tampered
+    // with this session's state mid-bundle. No traces leave the session.
+    outcome.hevm_time_ns = exec.elapsed_ns();
+    outcome.status = fault.status();
+    outcome.backend_fault = true;
+  }
 
-  // --- return the traces (step 9) ---
-  const uint64_t trace_bytes = wire::trace_bytes(outcome.report);
-  uint64_t out_crypto_ns = 0;
-  if (config_.security.encryption) {
-    out_crypto_ns += config_.crypto_costs.aes_gcm_ns(trace_bytes);
-  }
-  if (config_.security.signatures) {
-    out_crypto_ns += config_.crypto_costs.ecdsa_sign_ns;
-  }
-  clock.advance_ns(out_crypto_ns);
-  crypto_ns += out_crypto_ns;
-  {
-    const sim::SimStopwatch messages(clock);
-    clock.advance_ns(config_.hypervisor_costs.message_handle_ns +
-                     config_.hypervisor_costs.dma_setup_ns);
-    outcome.message_time_ns += messages.elapsed_ns();
+  if (!outcome.backend_fault) {
+    // --- return the traces (step 9) ---
+    const uint64_t trace_bytes = wire::trace_bytes(outcome.report);
+    uint64_t out_crypto_ns = 0;
+    if (config_.security.encryption) {
+      out_crypto_ns += config_.crypto_costs.aes_gcm_ns(trace_bytes);
+    }
+    if (config_.security.signatures) {
+      out_crypto_ns += config_.crypto_costs.ecdsa_sign_ns;
+    }
+    clock.advance_ns(out_crypto_ns);
+    crypto_ns += out_crypto_ns;
+    {
+      const sim::SimStopwatch messages(clock);
+      clock.advance_ns(config_.hypervisor_costs.message_handle_ns +
+                       config_.hypervisor_costs.dma_setup_ns);
+      outcome.message_time_ns += messages.elapsed_ns();
+    }
+    hypervisor::CodePrefetcher prefetcher(rng.next_u64());
+    outcome.observed_timeline = prefetcher.schedule(routed.stats().demand_timeline);
   }
   outcome.crypto_time_ns = crypto_ns;
   outcome.query_stats = routed.stats();
 
-  hypervisor::CodePrefetcher prefetcher(rng.next_u64());
-  outcome.observed_timeline = prefetcher.schedule(routed.stats().demand_timeline);
-
-  // --- release (step 10) ---
+  // --- release (step 10); an aborted session's HEVM is scrubbed the same ---
   worker.core->release();
+  // Simulated recovery time the ORAM layer spent on this session's behalf,
+  // charged once at the end of the timeline (zero on a fault-free run, so
+  // the bit-identical-to-serial gate is untouched).
+  clock.advance_ns(tally.sim_ns);
+  outcome.recovery_sim_ns = tally.sim_ns;
+  outcome.oram_retries = tally.retries;
+  outcome.faults_seen = tally.faults;
   outcome.end_to_end_ns = end_to_end.elapsed_ns();
   return outcome;
 }
@@ -319,7 +444,7 @@ std::vector<SessionOutcome> PreExecutionEngine::execute_serial(
   std::vector<SessionOutcome> out;
   out.reserve(bundles.size());
   for (size_t i = 0; i < bundles.size(); ++i) {
-    out.push_back(execute_session(i, bundles[i], serial));
+    out.push_back(execute_session(i, /*attempt=*/0, bundles[i], serial));
   }
   hypervisor_.end_session(serial.session_id);
   return out;
@@ -337,8 +462,25 @@ EngineMetrics PreExecutionEngine::snapshot() const {
   m.oram_reads = frontend_stats.reads;
   m.oram_coalesced_reads = frontend_stats.coalesced_reads;
 
+  if (config_.fault_plan != nullptr) m.faults_injected = config_.fault_plan->injected();
+  m.oram_timeouts = frontend_stats.timeouts;
+  m.oram_retries = frontend_stats.retries;
+  m.oram_retry_exhausted = frontend_stats.retry_exhausted;
+  m.bundle_requeues = bundle_requeues_.load(std::memory_order_relaxed);
+  m.watchdog_stalls = watchdog_ != nullptr ? watchdog_->stalls_detected() : 0;
+  m.circuit_open = breaker_open();
+
   std::lock_guard lock(results_mu_);
   m.bundles_completed = results_.size();
+  for (const auto& outcome : results_) {
+    if (outcome.status == Status::kOk) {
+      if (outcome.faults_seen > 0 || outcome.attempt > 0) ++m.bundles_recovered;
+    } else if (outcome.status == Status::kUnavailable) {
+      ++m.bundles_unavailable;
+    } else {
+      ++m.bundles_aborted;
+    }
+  }
   m.wall_queue_wait_ns = wall_queue_wait_ns_;
   m.wall_elapsed_ns = drained_ ? wall_elapsed_ns_ : wall_timer_.elapsed_ns();
   if (m.wall_elapsed_ns > 0) {

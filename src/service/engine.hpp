@@ -26,6 +26,22 @@
 //    from here, deterministic on any host.
 //  - wall: host measurements of the real thread pool (lock contention on
 //    the ORAM frontend, producer backpressure). Diagnostics only.
+//
+// Failure model (PR 2): with a FaultPlan installed the SP's interfaces
+// misbehave, and the engine fails CLOSED at three nested layers:
+//  1. per-request: the OramFrontend retries timeouts with simulated
+//     backoff and aborts on integrity failures (see oram/frontend.hpp);
+//  2. per-session: an unrecoverable backend fault aborts the session
+//     (BackendFault), and recoverable aborts requeue the bundle — front of
+//     queue, fresh fault stream — up to max_bundle_attempts times before the
+//     outcome resolves as a terminal Status;
+//  3. per-engine: breaker_threshold consecutive backend-faulted attempts
+//     open a circuit breaker that quarantines the ORAM backend — queued and
+//     newly submitted bundles resolve immediately as kUnavailable instead of
+//     burning retry budgets against a dead server, so drain() always
+//     terminates in bounded simulated time.
+// A wall-clock Watchdog (service/watchdog.hpp) additionally flags worker
+// threads that stop making host progress; it is diagnostics-only.
 #pragma once
 
 #include <atomic>
@@ -33,9 +49,12 @@
 #include <thread>
 #include <vector>
 
+#include "faults/fault_plan.hpp"
+#include "faults/faulty_oram.hpp"
 #include "oram/frontend.hpp"
 #include "service/bundle_queue.hpp"
 #include "service/pre_execution.hpp"
+#include "service/watchdog.hpp"
 
 namespace hardtape::service {
 
@@ -59,6 +78,24 @@ struct EngineConfig {
   /// When false, user-channel AES/ECDSA are modeled in time only (the ORAM's
   /// crypto is always real) — same switch as PreExecutionService.
   bool perform_channel_crypto = false;
+
+  // --- failure model & recovery (PR 2) ---
+  /// Optional adversarial fault injection on the SP-controlled interfaces.
+  /// Must outlive the engine. nullptr = reliable backends (the default), in
+  /// which case the whole recovery stack is dormant and outcomes are
+  /// bit-identical to PR 1.
+  faults::FaultPlan* fault_plan = nullptr;
+  /// Per-request timeout/backoff policy the ORAM frontend runs (sim time).
+  sim::BackoffPolicy oram_recovery{};
+  /// Total executions one bundle may consume (first try + requeues) before
+  /// a recoverable fault resolves as a terminal status. 1 = never requeue.
+  int max_bundle_attempts = 3;
+  /// Consecutive backend-faulted attempts that open the circuit breaker;
+  /// <= 0 disables the breaker.
+  int breaker_threshold = 4;
+  /// Wall-clock worker liveness monitor (diagnostics only).
+  bool watchdog_enabled = true;
+  uint64_t watchdog_stall_ms = 2'000;
 };
 
 /// Outcome of one session (= one bundle on one dedicated HEVM). All *_ns
@@ -67,6 +104,15 @@ struct SessionOutcome {
   uint64_t bundle_id = 0;
   int worker_id = -1;  ///< which worker executed it (NOT part of determinism)
   Status status = Status::kOk;
+  /// Which execution this outcome is (0 = first try; >0 = after requeue).
+  /// Deterministic: faults are keyed on (bundle, attempt), not interleaving.
+  uint32_t attempt = 0;
+  /// True when `status` came from the untrusted backend (feeds the circuit
+  /// breaker) as opposed to the session's own execution (e.g. overflow).
+  bool backend_fault = false;
+  uint64_t recovery_sim_ns = 0;  ///< simulated time spent in retry/backoff
+  uint32_t oram_retries = 0;     ///< ORAM requests re-issued after timeouts
+  uint32_t faults_seen = 0;      ///< faulty backend attempts observed
   hevm::BundleReport report;
   uint64_t end_to_end_ns = 0;
   uint64_t hevm_time_ns = 0;
@@ -107,6 +153,18 @@ struct EngineMetrics {
   uint64_t oram_reads = 0;
   uint64_t oram_coalesced_reads = 0;
 
+  // --- failure model & recovery (PR 2; all zero without a FaultPlan) ---
+  uint64_t faults_injected = 0;      ///< from the FaultPlan
+  uint64_t oram_timeouts = 0;        ///< frontend attempts that timed out
+  uint64_t oram_retries = 0;         ///< frontend requests re-issued
+  uint64_t oram_retry_exhausted = 0; ///< requests that ran out of attempts
+  uint64_t bundles_recovered = 0;    ///< kOk outcomes that needed recovery
+  uint64_t bundles_aborted = 0;      ///< terminal non-kOk, non-kUnavailable
+  uint64_t bundles_unavailable = 0;  ///< resolved kUnavailable by the breaker
+  uint64_t bundle_requeues = 0;      ///< fail-closed aborts sent back around
+  uint64_t watchdog_stalls = 0;      ///< wall-clock stall episodes flagged
+  bool circuit_open = false;
+
   struct WorkerStats {
     int worker_id = 0;
     uint64_t bundles = 0;
@@ -117,6 +175,14 @@ struct EngineMetrics {
     double utilization = 0;
   };
   std::vector<WorkerStats> workers;
+};
+
+/// What submit() did with a bundle. With the circuit breaker open the bundle
+/// is not queued: it resolves immediately as a kUnavailable outcome (still
+/// returned by drain(), so every submitted bundle gets exactly one answer).
+struct Admission {
+  uint64_t bundle_id = 0;
+  Status status = Status::kOk;  ///< kOk = queued, kUnavailable = breaker open
 };
 
 class PreExecutionEngine {
@@ -135,9 +201,11 @@ class PreExecutionEngine {
   void start();
 
   /// Enqueues one bundle; blocks when the queue is full (backpressure).
-  /// Returns the bundle id (== submission index). Throws UsageError before
-  /// start() or after drain().
-  uint64_t submit(std::vector<evm::Transaction> bundle);
+  /// Bundle ids are submission indices. Never blocks indefinitely on a dead
+  /// backend: with the circuit breaker open the bundle resolves immediately
+  /// as kUnavailable (see Admission). Throws UsageError before start() or
+  /// after drain().
+  Admission submit(std::vector<evm::Transaction> bundle);
 
   /// Closes the queue, waits for every queued bundle to finish, joins the
   /// pool and ends the hypervisor sessions. Returns all outcomes sorted by
@@ -159,11 +227,19 @@ class PreExecutionEngine {
   oram::OramServer& oram_server() { return oram_server_; }
   hypervisor::Hypervisor& hypervisor() { return hypervisor_; }
 
+  /// True once breaker_threshold consecutive attempts died on the backend.
+  /// Sticky for the engine's lifetime (quarantine; a real deployment would
+  /// re-probe, the model keeps the terminal state observable).
+  bool breaker_open() const {
+    return breaker_open_.load(std::memory_order_acquire);
+  }
+
  private:
   struct QueueItem {
     uint64_t bundle_id;
     std::vector<evm::Transaction> txs;
     std::chrono::steady_clock::time_point enqueued;
+    uint32_t attempt = 0;
   };
 
   /// Per-worker state. The clock, core and channel are owned by exactly one
@@ -178,12 +254,17 @@ class PreExecutionEngine {
     std::thread thread;
     uint64_t bundles = 0;
     uint64_t busy_sim_ns = 0;
+    Heartbeat heartbeat;  ///< sampled by the watchdog
   };
 
   void worker_loop(Worker& worker);
-  SessionOutcome execute_session(uint64_t bundle_id,
+  SessionOutcome execute_session(uint64_t bundle_id, uint32_t attempt,
                                  const std::vector<evm::Transaction>& bundle,
                                  Worker& worker);
+  /// Feeds the circuit breaker: backend faults count consecutively, a clean
+  /// kOk resets the streak.
+  void register_attempt(const SessionOutcome& outcome);
+  void record_outcome(SessionOutcome outcome, uint64_t queued_wall_ns, Worker* worker);
   bool oram_enabled() const {
     return config_.security.oram_storage || config_.security.oram_code;
   }
@@ -195,14 +276,22 @@ class PreExecutionEngine {
   hypervisor::Hypervisor hypervisor_;
   oram::OramServer oram_server_;
   oram::OramClient oram_client_;
+  /// The adversary between client and frontend; null without a fault plan.
+  /// Declared before frontend_ so the frontend can take it as its backend.
+  std::unique_ptr<faults::FaultyOram> fault_layer_;
   oram::OramFrontend frontend_;
   oram::OramWorldState oram_state_;
 
   BoundedQueue<QueueItem> queue_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Watchdog> watchdog_;
   std::atomic<uint64_t> next_bundle_id_{0};
   bool started_ = false;
   bool drained_ = false;
+
+  std::atomic<int> consecutive_backend_faults_{0};
+  std::atomic<bool> breaker_open_{false};
+  std::atomic<uint64_t> bundle_requeues_{0};
 
   mutable std::mutex results_mu_;  ///< guards everything below
   std::vector<SessionOutcome> results_;

@@ -299,6 +299,28 @@ TEST(Errors, StatusToString) {
   EXPECT_STREQ(to_string(Status::kOk), "ok");
   EXPECT_STREQ(to_string(Status::kMemoryOverflow), "memory-overflow");
   EXPECT_STREQ(to_string(Status::kStashOverflow), "stash-overflow");
+  EXPECT_STREQ(to_string(Status::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(Status::kUnavailable), "unavailable");
+  EXPECT_STREQ(to_string(Status::kRetryExhausted), "retry-exhausted");
+}
+
+// Every Status value must round-trip to a unique human-readable name — a
+// new code that falls through to "unknown" would make fault reports
+// undebuggable. kStatusCount_ is the keep-last sentinel this test iterates
+// to, so extending the enum without extending to_string fails here.
+TEST(Errors, StatusToStringIsExhaustiveAndDistinct) {
+  const int count = static_cast<int>(Status::kStatusCount_);
+  EXPECT_GT(count, 0);
+  for (int v = 0; v < count; ++v) {
+    const char* name = to_string(static_cast<Status>(v));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "unknown") << "Status value " << v << " has no name";
+    for (int w = 0; w < v; ++w) {
+      EXPECT_STRNE(name, to_string(static_cast<Status>(w)))
+          << "Status values " << w << " and " << v << " share a name";
+    }
+  }
+  EXPECT_STREQ(to_string(Status::kStatusCount_), "unknown");
 }
 
 }  // namespace

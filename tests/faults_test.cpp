@@ -1,0 +1,703 @@
+// Adversarial fault injection + fail-closed recovery (PR 2).
+//
+// Covers, bottom-up: the FaultPlan's reproducibility contract, the
+// per-interface fault wrappers (FaultyOram, FaultyLink), the OramFrontend's
+// timeout/backoff/fail-closed retry loop, the watchdog, and the engine-level
+// recovery policies (session abort, bundle requeue, circuit breaker). Like
+// engine_test, this binary runs under TSan in CI — every path here must be
+// data-race free.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <thread>
+
+#include "faults/fault_plan.hpp"
+#include "faults/faulty_link.hpp"
+#include "faults/faulty_oram.hpp"
+#include "service/engine.hpp"
+#include "service/watchdog.hpp"
+#include "workload/generator.hpp"
+
+namespace hardtape {
+namespace {
+
+using faults::FaultDecision;
+using faults::FaultEvent;
+using faults::FaultKind;
+using faults::FaultPlan;
+using faults::FaultPlanConfig;
+using faults::FaultScope;
+using faults::FaultSite;
+
+// ---------------------------------------------------------------------------
+// FaultPlan: the reproducibility contract
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, DecisionsArePureInSeedSiteStreamOp) {
+  FaultPlanConfig config;
+  config.seed = 42;
+  config.fault_rate = 0.5;
+  FaultPlan a(config);
+  FaultPlan b(config);
+
+  // Query b in a scrambled order; every decision must still match a's.
+  for (uint64_t stream = 0; stream < 4; ++stream) {
+    for (uint64_t op = 0; op < 32; ++op) {
+      const FaultDecision da = a.decide(FaultSite::kOramRead, stream, op);
+      const FaultDecision db =
+          b.decide(FaultSite::kOramRead, 3 - stream, 31 - op);
+      const FaultDecision db_same = b.decide(FaultSite::kOramRead, stream, op);
+      EXPECT_EQ(da.kind, db_same.kind);
+      EXPECT_EQ(da.delay_ns, db_same.delay_ns);
+      (void)db;
+    }
+  }
+}
+
+TEST(FaultPlanTest, SameSeedSameSortedTrace) {
+  FaultPlanConfig config;
+  config.seed = 7;
+  config.fault_rate = 0.3;
+  FaultPlan a(config);
+  FaultPlan b(config);
+  // a in forward order, b in reverse order — the sorted traces must agree.
+  for (uint64_t op = 0; op < 64; ++op) a.decide(FaultSite::kOramRead, 1, op);
+  for (uint64_t op = 64; op-- > 0;) b.decide(FaultSite::kOramRead, 1, op);
+  const std::vector<FaultEvent> ta = a.trace();
+  const std::vector<FaultEvent> tb = b.trace();
+  ASSERT_FALSE(ta.empty());  // rate 0.3 over 64 ops: statistically certain
+  EXPECT_EQ(ta, tb);
+  EXPECT_EQ(a.injected(), b.injected());
+}
+
+TEST(FaultPlanTest, DifferentSeedsDiverge) {
+  FaultPlanConfig config;
+  config.fault_rate = 0.5;
+  config.seed = 1;
+  FaultPlan a(config);
+  config.seed = 2;
+  FaultPlan b(config);
+  for (uint64_t op = 0; op < 128; ++op) {
+    a.decide(FaultSite::kOramRead, 0, op);
+    b.decide(FaultSite::kOramRead, 0, op);
+  }
+  EXPECT_NE(a.trace(), b.trace());
+}
+
+TEST(FaultPlanTest, ZeroRateInjectsNothing) {
+  FaultPlan plan(FaultPlanConfig{});  // fault_rate = 0
+  for (uint64_t op = 0; op < 100; ++op) {
+    EXPECT_EQ(plan.decide(FaultSite::kOramRead, 0, op).kind, FaultKind::kNone);
+  }
+  EXPECT_EQ(plan.injected(), 0u);
+  EXPECT_TRUE(plan.trace().empty());
+}
+
+TEST(FaultPlanTest, ForcePinsOneOperation) {
+  FaultPlan plan(FaultPlanConfig{});  // rate 0: only the forced op fires
+  plan.force(FaultSite::kOramRead, 5, 2, {FaultKind::kTamper, 0});
+  EXPECT_EQ(plan.decide(FaultSite::kOramRead, 5, 1).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.decide(FaultSite::kOramRead, 5, 2).kind, FaultKind::kTamper);
+  EXPECT_EQ(plan.decide(FaultSite::kOramRead, 5, 3).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.decide(FaultSite::kOramWrite, 5, 2).kind, FaultKind::kNone);
+  EXPECT_EQ(plan.injected(), 1u);
+}
+
+TEST(FaultScopeTest, CountsOpsPerSiteAndNests) {
+  EXPECT_FALSE(FaultScope::active());
+  {
+    FaultScope outer(11);
+    EXPECT_TRUE(FaultScope::active());
+    EXPECT_EQ(FaultScope::stream(), 11u);
+    EXPECT_EQ(FaultScope::next_op(FaultSite::kOramRead), 0u);
+    EXPECT_EQ(FaultScope::next_op(FaultSite::kOramRead), 1u);
+    EXPECT_EQ(FaultScope::next_op(FaultSite::kOramWrite), 0u);  // per-site
+    {
+      FaultScope inner(12);
+      EXPECT_EQ(FaultScope::stream(), 12u);
+      EXPECT_EQ(FaultScope::next_op(FaultSite::kOramRead), 0u);  // fresh
+    }
+    EXPECT_EQ(FaultScope::stream(), 11u);
+    EXPECT_EQ(FaultScope::next_op(FaultSite::kOramRead), 2u);  // resumed
+  }
+  EXPECT_FALSE(FaultScope::active());
+}
+
+// ---------------------------------------------------------------------------
+// FaultyOram: the wrapper's per-kind semantics
+// ---------------------------------------------------------------------------
+
+/// Trivial reliable backing store: read always finds a page, writes count.
+class MemBackend : public oram::OramAccessor {
+ public:
+  std::optional<Bytes> read(const oram::BlockId& id) override {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return Bytes{static_cast<uint8_t>(id.as_u64() & 0xff), 0x5a};
+  }
+  void write(const oram::BlockId&, BytesView) override {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t reads() const { return reads_.load(); }
+  uint64_t writes() const { return writes_.load(); }
+
+ private:
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+TEST(FaultyOramTest, PassthroughOutsideFaultScope) {
+  FaultPlanConfig config;
+  config.fault_rate = 1.0;  // everything faults... inside a scope
+  FaultPlan plan(config);
+  MemBackend backend;
+  faults::FaultyOram faulty(backend, plan);
+
+  const auto attempt = faulty.try_read(oram::BlockId{1});
+  EXPECT_EQ(attempt.status, Status::kOk);
+  ASSERT_TRUE(attempt.data.has_value());
+  EXPECT_EQ(plan.injected(), 0u);  // setup paths are fault-free by design
+}
+
+TEST(FaultyOramTest, DropSurfacesTimeoutWithoutTouchingBackend) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kOramRead, 9, 0, {FaultKind::kDrop, 0});
+  MemBackend backend;
+  faults::FaultyOram faulty(backend, plan);
+
+  FaultScope scope(9);
+  const auto dropped = faulty.try_read(oram::BlockId{1});
+  EXPECT_EQ(dropped.status, Status::kTimeout);
+  EXPECT_FALSE(dropped.data.has_value());
+  EXPECT_EQ(backend.reads(), 0u);  // lost in flight, state stays consistent
+  const auto retry = faulty.try_read(oram::BlockId{1});  // op 1: no fault
+  EXPECT_EQ(retry.status, Status::kOk);
+  EXPECT_EQ(backend.reads(), 1u);
+}
+
+TEST(FaultyOramTest, TamperSurfacesAuthFailed) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kOramRead, 9, 0, {FaultKind::kTamper, 0});
+  MemBackend backend;
+  faults::FaultyOram faulty(backend, plan);
+
+  FaultScope scope(9);
+  const auto tampered = faulty.try_read(oram::BlockId{1});
+  EXPECT_EQ(tampered.status, Status::kAuthFailed);
+  EXPECT_FALSE(tampered.data.has_value());
+}
+
+TEST(FaultyOramTest, DelayAddsSimLatencyButDelivers) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kOramRead, 9, 0, {FaultKind::kDelay, 7'000'000});
+  MemBackend backend;
+  faults::FaultyOram faulty(backend, plan);
+
+  FaultScope scope(9);
+  const auto late = faulty.try_read(oram::BlockId{1});
+  EXPECT_EQ(late.status, Status::kOk);
+  ASSERT_TRUE(late.data.has_value());
+  EXPECT_EQ(late.sim_delay_ns, 7'000'000u);
+  EXPECT_EQ(backend.reads(), 1u);  // the access did happen, just late
+}
+
+TEST(FaultyOramTest, WriteDropSurfacesTimeout) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kOramWrite, 9, 0, {FaultKind::kDrop, 0});
+  MemBackend backend;
+  faults::FaultyOram faulty(backend, plan);
+
+  FaultScope scope(9);
+  const Bytes data{1, 2, 3};
+  const auto lost = faulty.try_write(oram::BlockId{2}, data);
+  EXPECT_EQ(lost.status, Status::kTimeout);
+  EXPECT_EQ(backend.writes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OramFrontend: timeout/backoff/fail-closed retry loop
+// ---------------------------------------------------------------------------
+
+/// Backend whose next try_* results are scripted; after the script runs out
+/// every access succeeds immediately.
+class ScriptedBackend : public oram::OramAccessor {
+ public:
+  std::optional<Bytes> read(const oram::BlockId&) override { return Bytes{0x5a}; }
+  void write(const oram::BlockId&, BytesView) override {}
+  oram::AccessAttempt try_read(const oram::BlockId&) override { return next(); }
+  oram::AccessAttempt try_write(const oram::BlockId&, BytesView) override {
+    return next();
+  }
+
+  void script(oram::AccessAttempt attempt) { script_.push_back(std::move(attempt)); }
+  uint64_t calls = 0;
+
+ private:
+  oram::AccessAttempt next() {
+    ++calls;
+    if (script_.empty()) return {Status::kOk, Bytes{0x5a}, 0};
+    const oram::AccessAttempt a = script_.front();
+    script_.pop_front();
+    return a;
+  }
+  std::deque<oram::AccessAttempt> script_;
+};
+
+TEST(FrontendRecoveryTest, TimeoutsAreRetriedThenRecovered) {
+  ScriptedBackend backend;
+  backend.script({Status::kTimeout, std::nullopt, 0});
+  backend.script({Status::kTimeout, std::nullopt, 0});
+  oram::OramFrontend frontend(backend);
+  const sim::BackoffPolicy policy;  // defaults: 10 ms timeout, 4 attempts
+
+  oram::RecoveryTally tally;
+  const oram::BlockId id{77};
+  oram::AccessAttempt result;
+  {
+    const oram::ScopedRecoveryTally scope(tally);
+    result = frontend.try_read(id);
+  }
+  EXPECT_EQ(result.status, Status::kOk);
+  ASSERT_TRUE(result.data.has_value());
+  EXPECT_EQ(backend.calls, 3u);  // 2 failures + the success
+
+  // Exactly 2 timeouts waited out + 2 deterministic backoff delays.
+  const uint64_t tag = U256Hasher{}(id);
+  const uint64_t expected = 2 * policy.request_timeout_ns +
+                            sim::backoff_delay_ns(policy, 1, tag) +
+                            sim::backoff_delay_ns(policy, 2, tag);
+  EXPECT_EQ(result.sim_delay_ns, expected);
+  EXPECT_EQ(tally.sim_ns, expected);
+  EXPECT_EQ(tally.retries, 2u);
+  EXPECT_EQ(tally.faults, 2u);
+
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.timeouts, 2u);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.retry_exhausted, 0u);
+}
+
+TEST(FrontendRecoveryTest, ExhaustedBudgetSurfacesRetryExhausted) {
+  ScriptedBackend backend;
+  sim::BackoffPolicy policy;
+  policy.max_attempts = 3;
+  for (int i = 0; i < 3; ++i) backend.script({Status::kTimeout, std::nullopt, 0});
+  oram::OramFrontend frontend(backend, {.recovery = policy});
+
+  const auto result = frontend.try_read(oram::BlockId{1});
+  EXPECT_EQ(result.status, Status::kRetryExhausted);
+  EXPECT_EQ(backend.calls, 3u);  // the attempt budget is a hard bound
+  EXPECT_EQ(frontend.snapshot().retry_exhausted, 1u);
+  EXPECT_GT(result.sim_delay_ns, 0u);  // the time wasted is still charged
+}
+
+TEST(FrontendRecoveryTest, IntegrityFailureFailsClosedImmediately) {
+  ScriptedBackend backend;
+  backend.script({Status::kAuthFailed, std::nullopt, 0});
+  oram::OramFrontend frontend(backend);
+
+  const auto result = frontend.try_read(oram::BlockId{1});
+  EXPECT_EQ(result.status, Status::kAuthFailed);
+  // No retry: a bad tag is an attack indicator, and retrying would hand a
+  // tampering server an oracle.
+  EXPECT_EQ(backend.calls, 1u);
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.auth_failures, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+TEST(FrontendRecoveryTest, OverDelayedResponseCountsAsTimeout) {
+  ScriptedBackend backend;
+  const sim::BackoffPolicy policy;
+  backend.script({Status::kOk, Bytes{1}, policy.request_timeout_ns + 1});
+  oram::OramFrontend frontend(backend);
+
+  const auto result = frontend.try_read(oram::BlockId{3});
+  EXPECT_EQ(result.status, Status::kOk);  // the retry succeeded
+  EXPECT_EQ(backend.calls, 2u);
+  EXPECT_EQ(frontend.snapshot().timeouts, 1u);
+}
+
+TEST(FrontendRecoveryTest, ResidualDelayWithinTimeoutIsCharged) {
+  ScriptedBackend backend;
+  backend.script({Status::kOk, Bytes{1}, 3'000'000});
+  oram::OramFrontend frontend(backend);
+
+  const auto result = frontend.try_read(oram::BlockId{3});
+  EXPECT_EQ(result.status, Status::kOk);
+  EXPECT_EQ(result.sim_delay_ns, 3'000'000u);  // late but within budget
+  EXPECT_EQ(frontend.snapshot().timeouts, 0u);
+}
+
+TEST(FrontendRecoveryTest, PlainReadThrowsBackendFaultOnTerminalStatus) {
+  ScriptedBackend backend;
+  backend.script({Status::kAuthFailed, std::nullopt, 0});
+  oram::OramFrontend frontend(backend);
+  try {
+    frontend.read(oram::BlockId{1});
+    FAIL() << "expected BackendFault";
+  } catch (const BackendFault& fault) {
+    EXPECT_EQ(fault.status(), Status::kAuthFailed);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FaultyLink + SecureChannel: the Ethernet is the SP's too
+// ---------------------------------------------------------------------------
+
+class LinkTest : public ::testing::Test {
+ protected:
+  static crypto::AesKey128 key() {
+    crypto::AesKey128 k{};
+    k[0] = 0x33;
+    return k;
+  }
+  hypervisor::SecureChannel sender_{key()};
+  hypervisor::SecureChannel receiver_{key()};
+};
+
+TEST_F(LinkTest, TamperedFrameFailsClosedAndRetransmitLands) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kChannelFrame, 1, 0, {FaultKind::kTamper, 0});
+  faults::FaultyLink link(plan, 1);
+
+  const auto genuine =
+      sender_.seal(hypervisor::MessageType::kBundleSubmit, 0, Bytes{1, 2, 3});
+  auto delivered = link.transmit(genuine);
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(receiver_.open(delivered[0], 1024, 1024).status, Status::kAuthFailed);
+
+  // The receive sequence did not advance on the failed frame, so the
+  // sender's retransmission of the SAME frame still authenticates.
+  delivered = link.transmit(genuine);  // op 1: no fault
+  ASSERT_EQ(delivered.size(), 1u);
+  const auto open = receiver_.open(delivered[0], 1024, 1024);
+  EXPECT_EQ(open.status, Status::kOk);
+  EXPECT_EQ(open.body, (Bytes{1, 2, 3}));
+}
+
+TEST_F(LinkTest, DuplicateFrameRejectedByAntiReplay) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kChannelFrame, 1, 0, {FaultKind::kDuplicateFrame, 0});
+  faults::FaultyLink link(plan, 1);
+
+  const auto frame = sender_.seal(hypervisor::MessageType::kBundleSubmit, 0, Bytes{7});
+  const auto delivered = link.transmit(frame);
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(receiver_.open(delivered[0], 1024, 1024).status, Status::kOk);
+  EXPECT_EQ(receiver_.open(delivered[1], 1024, 1024).status, Status::kRejected);
+}
+
+TEST_F(LinkTest, ReorderedFrameRejectedBySequence) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kChannelFrame, 1, 0, {FaultKind::kReorderFrame, 0});
+  faults::FaultyLink link(plan, 1);
+
+  const auto f0 = sender_.seal(hypervisor::MessageType::kBundleSubmit, 0, Bytes{0});
+  const auto f1 = sender_.seal(hypervisor::MessageType::kBundleSubmit, 0, Bytes{1});
+  EXPECT_TRUE(link.transmit(f0).empty());  // held back
+  const auto delivered = link.transmit(f1);
+  ASSERT_EQ(delivered.size(), 2u);  // f1 first, then the held f0
+  // Strict sequence: the out-of-order successor is refused outright (fail
+  // closed — the channel never buffers/reorders on the adversary's behalf),
+  // then the in-order frame lands.
+  EXPECT_EQ(receiver_.open(delivered[0], 1024, 1024).status, Status::kRejected);
+  EXPECT_EQ(receiver_.open(delivered[1], 1024, 1024).status, Status::kOk);
+  EXPECT_TRUE(link.flush().empty());
+}
+
+TEST_F(LinkTest, DroppedFrameNeverArrives) {
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kChannelFrame, 1, 0, {FaultKind::kDrop, 0});
+  faults::FaultyLink link(plan, 1);
+  const auto frame = sender_.seal(hypervisor::MessageType::kBundleSubmit, 0, Bytes{9});
+  EXPECT_TRUE(link.transmit(frame).empty());
+  EXPECT_TRUE(link.flush().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, FlagsBusyWorkerWithoutProgress) {
+  service::Heartbeat alive;
+  service::Heartbeat stuck;
+  service::Watchdog dog({&alive, &stuck},
+                        {.poll_interval_ms = 1, .stall_threshold_ms = 0});
+
+  // `alive` makes progress before every poll; `stuck` never does.
+  alive.busy.store(true);
+  stuck.busy.store(true);
+  alive.beats.store(1);
+  dog.poll_once();  // baseline for alive; stuck is already stalled
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+
+  alive.beats.store(2);
+  dog.poll_once();  // same stuck episode: no double counting
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+
+  stuck.beats.store(1);  // progress re-arms the tracker...
+  alive.beats.store(3);
+  dog.poll_once();
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+  alive.beats.store(4);
+  dog.poll_once();  // ...and a new stall is a new episode
+  EXPECT_EQ(dog.stalls_detected(), 2u);
+}
+
+TEST(WatchdogTest, IdleWorkersAreNeverStalled) {
+  service::Heartbeat idle;  // busy = false
+  service::Watchdog dog({&idle}, {.poll_interval_ms = 1, .stall_threshold_ms = 0});
+  for (int i = 0; i < 5; ++i) dog.poll_once();
+  EXPECT_EQ(dog.stalls_detected(), 0u);
+}
+
+TEST(WatchdogTest, OnStallCallbackFiresPerEpisode) {
+  service::Heartbeat stuck;
+  std::atomic<int> fired{0};
+  service::Watchdog dog({&stuck}, {.poll_interval_ms = 1, .stall_threshold_ms = 0},
+                        [&](size_t index) {
+                          EXPECT_EQ(index, 0u);
+                          fired.fetch_add(1);
+                        });
+  stuck.busy.store(true);
+  dog.poll_once();
+  dog.poll_once();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue::requeue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueueTest, RequeueBypassesCapacityAndGoesToFront) {
+  service::BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.push(1));  // full
+  queue.requeue(2);            // must not block
+  EXPECT_EQ(queue.pop(), std::optional<int>{2});  // retries go first
+  EXPECT_EQ(queue.pop(), std::optional<int>{1});
+}
+
+TEST(BoundedQueueTest, RequeueWorksAfterClose) {
+  service::BoundedQueue<int> queue(2);
+  queue.close();
+  EXPECT_FALSE(queue.push(1));  // admission is closed...
+  queue.requeue(5);             // ...but an in-flight retry still resolves
+  EXPECT_EQ(queue.pop(), std::optional<int>{5});
+  EXPECT_EQ(queue.pop(), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level recovery: session abort, requeue, circuit breaker
+// ---------------------------------------------------------------------------
+
+class EngineFaultTest : public ::testing::Test {
+ protected:
+  EngineFaultTest() {
+    gen_.deploy(node_.world());
+    node_.produce_block({});
+  }
+
+  service::EngineConfig make_config(FaultPlan* plan, int workers = 4) {
+    service::EngineConfig config;
+    config.security = service::SecurityConfig::full();
+    config.num_hevms = workers;
+    config.queue_depth = 16;
+    config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 4096};
+    config.seal_mode = oram::SealMode::kChaChaHmac;
+    config.perform_channel_crypto = false;
+    config.fault_plan = plan;
+    return config;
+  }
+
+  std::vector<evm::Transaction> bundle_for(uint64_t id) {
+    const auto& users = gen_.users();
+    evm::Transaction transfer;
+    transfer.from = users[id % users.size()];
+    transfer.to = gen_.tokens()[id % gen_.tokens().size()];
+    transfer.data = workload::erc20_transfer(users[(id + 1) % users.size()],
+                                             u256{10 + id % 7});
+    transfer.gas_limit = 500'000;
+    return {transfer};
+  }
+
+  std::vector<service::SessionOutcome> run_engine(service::EngineConfig config,
+                                                  size_t bundles) {
+    service::PreExecutionEngine engine(node_, config);
+    EXPECT_EQ(engine.synchronize(), Status::kOk);
+    engine.start();
+    for (size_t i = 0; i < bundles; ++i) engine.submit(bundle_for(i));
+    return engine.drain();
+  }
+
+  node::NodeSimulator node_;
+  workload::WorkloadGenerator gen_{workload::GeneratorConfig{
+      .user_accounts = 8, .erc20_contracts = 2, .dex_pairs = 1, .routers = 2}};
+};
+
+// A fault-free plan (rate 0) must leave every outcome bit-identical to the
+// plan-less engine: the entire recovery stack is dormant without faults.
+TEST_F(EngineFaultTest, DormantFaultPlanChangesNothing) {
+  const size_t kBundles = 12;
+  const auto baseline = run_engine(make_config(nullptr), kBundles);
+
+  FaultPlan plan(FaultPlanConfig{});  // rate 0
+  const auto with_plan = run_engine(make_config(&plan), kBundles);
+
+  ASSERT_EQ(baseline.size(), with_plan.size());
+  for (size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_TRUE(service::outcomes_bit_identical(baseline[i], with_plan[i]))
+        << "bundle " << i;
+    EXPECT_EQ(with_plan[i].faults_seen, 0u);
+    EXPECT_EQ(with_plan[i].recovery_sim_ns, 0u);
+  }
+  EXPECT_EQ(plan.injected(), 0u);
+}
+
+// The acceptance criterion: same fault seed => same injected-fault schedule
+// and the same outcome set, independent of worker interleaving.
+TEST_F(EngineFaultTest, FaultedRunReplaysBitIdentically) {
+  FaultPlanConfig fconfig;
+  fconfig.seed = 99;
+  fconfig.fault_rate = 0.02;
+  fconfig.weight_tamper = 0;  // keep this run to recoverable faults only
+  fconfig.weight_stale_proof = 0;  // and keep the sync pass clean
+  fconfig.max_delay_ns = 5'000'000;
+
+  auto run_once = [&](int workers) {
+    FaultPlan plan(fconfig);
+    auto config = make_config(&plan, workers);
+    config.breaker_threshold = 0;  // isolate determinism from quarantining
+    auto outcomes = run_engine(config, 24);
+    return std::make_pair(std::move(outcomes), plan.trace());
+  };
+  const auto [first, trace_first] = run_once(2);
+  const auto [second, trace_second] = run_once(6);  // different interleaving
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(service::outcomes_bit_identical(first[i], second[i]))
+        << "bundle " << i << " diverged across worker counts";
+  }
+  EXPECT_EQ(trace_first, trace_second);
+}
+
+// One tampered ORAM page aborts exactly that session with kAuthFailed —
+// fail closed, no retry (retrying integrity failures would give the
+// tampering server an oracle) — and no other session is disturbed.
+TEST_F(EngineFaultTest, TamperedPageAbortsOnlyThatSession) {
+  const uint64_t kVictim = 3;
+  FaultPlan plan(FaultPlanConfig{});  // rate 0 + one forced strike
+  plan.force(FaultSite::kOramRead, faults::fault_stream(kVictim, 0), 0,
+             {FaultKind::kTamper, 0});
+
+  service::PreExecutionEngine engine(node_, make_config(&plan));
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  const size_t kBundles = 8;
+  for (size_t i = 0; i < kBundles; ++i) engine.submit(bundle_for(i));
+  const auto outcomes = engine.drain();
+
+  ASSERT_EQ(outcomes.size(), kBundles);
+  for (const auto& outcome : outcomes) {
+    if (outcome.bundle_id == kVictim) {
+      EXPECT_EQ(outcome.status, Status::kAuthFailed);
+      EXPECT_TRUE(outcome.backend_fault);
+      EXPECT_EQ(outcome.attempt, 0u);  // integrity failures never requeue
+      EXPECT_TRUE(outcome.report.transactions.empty());  // no traces leak
+    } else {
+      EXPECT_EQ(outcome.status, Status::kOk) << "bundle " << outcome.bundle_id;
+      EXPECT_EQ(outcome.faults_seen, 0u);
+    }
+  }
+  const auto metrics = engine.snapshot();
+  EXPECT_EQ(metrics.bundles_aborted, 1u);
+  EXPECT_FALSE(metrics.circuit_open);  // one strike is not an outage
+}
+
+// A single dropped response recovers invisibly: the frontend retries inside
+// the session and the bundle still completes kOk (with the retry time on
+// its simulated clock).
+TEST_F(EngineFaultTest, SingleDropRecoversWithinTheSession) {
+  const uint64_t kVictim = 2;
+  FaultPlan plan(FaultPlanConfig{});
+  plan.force(FaultSite::kOramRead, faults::fault_stream(kVictim, 0), 0,
+             {FaultKind::kDrop, 0});
+
+  const auto outcomes = run_engine(make_config(&plan), 6);
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.status, Status::kOk) << "bundle " << outcome.bundle_id;
+    if (outcome.bundle_id == kVictim) {
+      EXPECT_EQ(outcome.oram_retries, 1u);
+      EXPECT_EQ(outcome.faults_seen, 1u);
+      EXPECT_GT(outcome.recovery_sim_ns, 0u);
+    } else {
+      EXPECT_EQ(outcome.recovery_sim_ns, 0u);
+    }
+  }
+}
+
+// 100% response loss: the breaker must open after breaker_threshold
+// consecutive failed attempts, the queue must drain as kUnavailable, a
+// subsequent submit must be refused at admission, and nothing deadlocks.
+TEST_F(EngineFaultTest, TotalOramLossOpensCircuitBreaker) {
+  FaultPlanConfig fconfig;
+  fconfig.fault_rate = 1.0;
+  fconfig.weight_drop = 1.0;  // only drops
+  fconfig.weight_delay = 0;
+  fconfig.weight_tamper = 0;
+  fconfig.weight_stale_proof = 0;  // the sync pass must succeed
+  FaultPlan plan(fconfig);
+
+  auto config = make_config(&plan, 2);
+  config.breaker_threshold = 4;
+  config.max_bundle_attempts = 3;
+  service::PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);  // install is outside scopes
+  engine.start();
+
+  const size_t kBundles = 12;
+  for (size_t i = 0; i < kBundles; ++i) engine.submit(bundle_for(i));
+
+  // The breaker must open in bounded time (every attempt fails fast in
+  // simulated time; wall time here is just thread scheduling).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (!engine.snapshot().circuit_open) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "breaker never opened";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Post-open admissions are refused immediately — no queueing, no blocking.
+  const auto refused = engine.submit(bundle_for(kBundles));
+  EXPECT_EQ(refused.status, Status::kUnavailable);
+
+  const auto outcomes = engine.drain();  // must terminate: no deadlock
+  ASSERT_EQ(outcomes.size(), kBundles + 1);
+  for (const auto& outcome : outcomes) {
+    EXPECT_NE(outcome.status, Status::kOk);
+    EXPECT_TRUE(outcome.status == Status::kRetryExhausted ||
+                outcome.status == Status::kUnavailable)
+        << "bundle " << outcome.bundle_id << ": " << to_string(outcome.status);
+  }
+  const auto metrics = engine.snapshot();
+  EXPECT_TRUE(metrics.circuit_open);
+  EXPECT_GT(metrics.bundles_unavailable, 0u);
+  EXPECT_GT(metrics.oram_retry_exhausted, 0u);
+  EXPECT_EQ(metrics.bundles_completed, kBundles + 1);  // every bundle resolved
+}
+
+// The SP's node feed is covered too: with stale-proof faults forced on, the
+// genuine Merkle verification rejects the sync fail-closed with kBadProof.
+TEST_F(EngineFaultTest, SyncRejectsTamperedProofs) {
+  FaultPlanConfig fconfig;
+  fconfig.fault_rate = 1.0;
+  fconfig.weight_stale_proof = 1.0;
+  FaultPlan plan(fconfig);
+  service::PreExecutionEngine engine(node_, make_config(&plan));
+  EXPECT_EQ(engine.synchronize(), Status::kBadProof);
+}
+
+}  // namespace
+}  // namespace hardtape

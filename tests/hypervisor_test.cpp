@@ -178,6 +178,31 @@ TEST_F(ChannelTest, HeaderIsAuthenticated) {
   EXPECT_EQ(bob_.open(msg, 1024, 1024).status, Status::kAuthFailed);
 }
 
+// Regression: a frame that fails authentication must NOT advance the
+// receive sequence. If it did, an attacker who injects one garbage frame
+// would desynchronize the channel and censor the next genuine message —
+// a denial of service the sequence check exists to prevent, not enable.
+TEST_F(ChannelTest, AuthFailureDoesNotAdvanceSequence) {
+  const SecureMessage genuine = alice_.seal(MessageType::kBundleSubmit, 0, Bytes{1, 2, 3});
+  SecureMessage tampered = genuine;
+  tampered.ciphertext[0] ^= 1;
+  EXPECT_EQ(bob_.open(tampered, 1024, 1024).status, Status::kAuthFailed);
+  // The genuine frame carries the same sequence number and must still land.
+  const auto open = bob_.open(genuine, 1024, 1024);
+  EXPECT_EQ(open.status, Status::kOk);
+  EXPECT_EQ(open.body, (Bytes{1, 2, 3}));
+}
+
+// Same property for a frame rejected before decryption (oversized body):
+// pre-crypto rejections must not consume sequence numbers either.
+TEST_F(ChannelTest, MalformedFrameDoesNotAdvanceSequence) {
+  const SecureMessage genuine = alice_.seal(MessageType::kBundleSubmit, 0, Bytes{7});
+  const SecureMessage oversized = alice_.seal(MessageType::kBundleSubmit, 0, Bytes(4096, 0xab));
+  EXPECT_EQ(bob_.open(oversized, /*max_body_length=*/1024, 1024).status,
+            Status::kMalformedMessage);
+  EXPECT_EQ(bob_.open(genuine, 1024, 1024).status, Status::kOk);
+}
+
 TEST_F(ChannelTest, ReplayRejectedBySequence) {
   const SecureMessage msg = alice_.seal(MessageType::kBundleSubmit, 0, Bytes{1});
   EXPECT_EQ(bob_.open(msg, 1024, 1024).status, Status::kOk);
