@@ -128,15 +128,10 @@ int main(int argc, char** argv) {
     faulted_aborted = metrics.bundles_aborted;
     faulted_unavailable = metrics.bundles_unavailable;
     faulted_injected = metrics.faults_injected;
-    std::vector<uint64_t> latencies;
-    latencies.reserve(outcomes.size());
-    for (const auto& o : outcomes) latencies.push_back(o.end_to_end_ns);
-    std::sort(latencies.begin(), latencies.end());
-    if (!latencies.empty()) {
-      faulted_p99_ns = latencies[(latencies.size() * 99) / 100 == latencies.size()
-                                     ? latencies.size() - 1
-                                     : (latencies.size() * 99) / 100];
-    }
+    // Nearest-rank p99 from the engine's obs::Registry histogram — the
+    // hand-rolled index arithmetic this replaced picked the max (rank n)
+    // instead of rank ceil(0.99 n) whenever n was a multiple of 100.
+    faulted_p99_ns = metrics.sim_p99_bundle_latency_ns;
     // Every faulted bundle must resolve — recovered or explicit terminal
     // status. Silent drops/hangs are the robustness failure mode.
     faulted_ok = faulted_resolved == bundle_count;

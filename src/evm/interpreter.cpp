@@ -43,7 +43,15 @@ constexpr int kMaxCallDepth = 1024;
 // the quadratic-cost arithmetic (the cost would exceed any block gas limit).
 constexpr uint64_t kMemoryHardCap = uint64_t{1} << 41;
 
-uint64_t memory_gas(uint64_t words) { return 3 * words + words * words / 512; }
+uint64_t memory_gas(uint64_t words) {
+  // kMemoryHardCap admits up to 2^36 words, but words*words wraps uint64 from
+  // 2^32 words on — an unchecked product would charge ~0 gas for a petabyte
+  // expansion. Saturate: any sane gas limit fails long before this.
+  if (words >= (uint64_t{1} << 32)) return UINT64_MAX;
+  const uint64_t quadratic = words * words / 512;
+  const uint64_t linear = 3 * words;
+  return quadratic > UINT64_MAX - linear ? UINT64_MAX : linear + quadratic;
+}
 
 std::vector<bool> analyze_jumpdests(BytesView code) {
   std::vector<bool> valid(code.size(), false);

@@ -4,6 +4,28 @@
 
 namespace hardtape::hevm {
 
+namespace {
+
+/// Emits one kOpcode trace event per retired instruction, stamped with the
+/// core's simulated clock. Placed after the cycle observer in the chain so
+/// sim_ns reflects retire time, not issue time.
+class OpcodeTraceObserver : public evm::ExecutionObserver {
+ public:
+  OpcodeTraceObserver(obs::TraceRing& ring, const sim::SimClock& clock)
+      : ring_(ring), clock_(clock) {}
+
+  void on_step(const StepInfo& info) override {
+    ring_.append(obs::TraceCategory::kOpcode, info.opcode, clock_.now_ns(), info.pc,
+                 info.gas_left, static_cast<uint64_t>(info.depth));
+  }
+
+ private:
+  obs::TraceRing& ring_;
+  const sim::SimClock& clock_;
+};
+
+}  // namespace
+
 void HevmCore::assign(const state::StateReader& base, evm::BlockContext block,
                       const crypto::AesKey128& session_key, uint64_t noise_seed) {
   if (busy()) throw UsageError("hevm core busy: bundles must queue");
@@ -14,6 +36,10 @@ void HevmCore::assign(const state::StateReader& base, evm::BlockContext block,
   session.cycles = std::make_unique<HevmCycleObserver>(clock_, config_.cost);
   memlayer::MemLayerConfig l2 = config_.l2;
   l2.rng_seed = noise_seed;
+  if (config_.trace != nullptr) {
+    l2.trace = config_.trace;  // pager swap events share this core's ring
+    l2.clock = &clock_;
+  }
   session.memory = std::make_unique<memlayer::MemLayerObserver>(config_.l1, l2, session_key);
   session.tracer = std::make_unique<evm::StepTracer>();
   session.chain = std::make_unique<evm::ObserverChain>();
@@ -21,6 +47,10 @@ void HevmCore::assign(const state::StateReader& base, evm::BlockContext block,
   session.chain->add(session.memory.get());
   session.tracer->set_record_steps(config_.record_steps);
   session.chain->add(session.tracer.get());
+  if (config_.trace != nullptr) {
+    session.opcode_trace = std::make_unique<OpcodeTraceObserver>(*config_.trace, clock_);
+    session.chain->add(session.opcode_trace.get());
+  }
   for (auto* obs : extra_observers_) session.chain->add(obs);
   session.interpreter->set_observer(session.chain.get());
   session_ = std::move(session);

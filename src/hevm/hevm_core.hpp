@@ -49,6 +49,10 @@ class HevmCore {
     memlayer::L1Config l1{};
     memlayer::MemLayerConfig l2{};
     bool record_steps = false;  ///< step-level traces (§VI-B comparisons)
+    /// Optional obs tracing: per-opcode retire events from this core, plus
+    /// the layer-2 pager's swap events (the ring is threaded into the
+    /// MemLayerConfig at assign()). Null = tracing off, zero overhead.
+    obs::TraceRing* trace = nullptr;
   };
 
   HevmCore(int core_id, sim::SimClock& clock, Config config)
@@ -88,6 +92,7 @@ class HevmCore {
     std::unique_ptr<HevmCycleObserver> cycles;
     std::unique_ptr<memlayer::MemLayerObserver> memory;
     std::unique_ptr<evm::StepTracer> tracer;
+    std::unique_ptr<evm::ExecutionObserver> opcode_trace;  ///< set when tracing
     std::unique_ptr<evm::ObserverChain> chain;
   };
 

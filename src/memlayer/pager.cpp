@@ -91,6 +91,12 @@ void CallStackPager::evict(size_t required) {
   swapped_pages_ += count;
   total_evicted_ += count;
   events_.push_back({SwapEvent::Kind::kEvict, count, noise});
+  if (config_.trace != nullptr) {
+    config_.trace->append(obs::TraceCategory::kSwap,
+                          static_cast<uint16_t>(obs::TraceCode::kSwapEvict),
+                          config_.clock != nullptr ? config_.clock->now_ns() : 0, count, noise,
+                          frames_.size());
+  }
 }
 
 void CallStackPager::load(size_t required) {
@@ -114,6 +120,12 @@ void CallStackPager::load(size_t required) {
   swapped_pages_ -= count;
   total_loaded_ += count;
   events_.push_back({SwapEvent::Kind::kLoad, count, noise});
+  if (config_.trace != nullptr) {
+    config_.trace->append(obs::TraceCategory::kSwap,
+                          static_cast<uint16_t>(obs::TraceCode::kSwapLoad),
+                          config_.clock != nullptr ? config_.clock->now_ns() : 0, count, noise,
+                          frames_.size());
+  }
 }
 
 }  // namespace hardtape::memlayer

@@ -24,6 +24,8 @@
 #include "common/errors.hpp"
 #include "common/random.hpp"
 #include "memlayer/layer3.hpp"
+#include "obs/trace.hpp"
+#include "sim/clock.hpp"
 
 namespace hardtape::memlayer {
 
@@ -32,11 +34,26 @@ struct MemLayerConfig {
   size_t l2_bytes = 1024 * 1024;    ///< 1 MB layer-2 per HEVM (paper §IV-B)
   size_t max_noise_pages = 8;       ///< upper bound on pre-evict/load noise
   uint64_t rng_seed = 0;
+  /// Optional swap-event tracing (obs). Emission is observation-only: it
+  /// never draws from the RNG or advances the clock, so traced and untraced
+  /// runs produce identical swap schedules.
+  obs::TraceRing* trace = nullptr;
+  const sim::SimClock* clock = nullptr;  ///< sim timestamps for trace events
 
   size_t l2_pages() const { return l2_bytes / page_size; }
   /// Memory Overflow threshold: half the layer-2 size (paper rule).
   size_t frame_page_limit() const { return l2_pages() / 2; }
 };
+
+/// Noise-RNG stream id for (engine seed, bundle, attempt) — the seed to put
+/// in MemLayerConfig::rng_seed. Mirrors faults::fault_stream(): the swap
+/// padding drawn for a bundle must depend only on these three values, never
+/// on worker count, submission interleaving, or a shared RNG's call order,
+/// so a 1-worker and an 8-worker run of the same workload produce identical
+/// swap schedules, while a retried bundle still draws fresh padding.
+inline uint64_t noise_stream(uint64_t seed, uint64_t bundle_id, uint32_t attempt) {
+  return seed ^ ((bundle_id + 1) * 0x9e3779b97f4a7c15ull + attempt);
+}
 
 /// One observable swap operation: what the adversary sees on the memory bus.
 struct SwapEvent {

@@ -1,0 +1,135 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace hardtape::obs {
+
+namespace {
+
+/// Doubles in exposition output: integers print without a trailing ".0"
+/// so counters read naturally; everything else keeps full precision.
+std::string format_double(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v)) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Registry::Entry& Registry::entry(std::string_view name, std::string_view help, Kind kind) {
+  std::lock_guard lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry e;
+    e.kind = kind;
+    e.help = std::string(help);
+    switch (kind) {
+      case Kind::kCounter: e.counter = std::make_unique<Counter>(); break;
+      case Kind::kGauge: e.gauge = std::make_unique<Gauge>(); break;
+      case Kind::kHistogram: e.histogram = std::make_unique<Histogram>(); break;
+    }
+    it = entries_.emplace(std::string(name), std::move(e)).first;
+  } else if (it->second.kind != kind) {
+    throw UsageError("metrics registry: '" + std::string(name) +
+                     "' already registered with a different kind");
+  }
+  return it->second;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  return *entry(name, help, Kind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  return *entry(name, help, Kind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  return *entry(name, help, Kind::kHistogram).histogram;
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) out << "# HELP " << name << " " << e.help << "\n";
+    switch (e.kind) {
+      case Kind::kCounter:
+        out << "# TYPE " << name << " counter\n";
+        out << name << " " << e.counter->value() << "\n";
+        break;
+      case Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n";
+        out << name << " " << format_double(e.gauge->value()) << "\n";
+        break;
+      case Kind::kHistogram: {
+        out << "# TYPE " << name << " summary\n";
+        out << name << "_count " << e.histogram->count() << "\n";
+        out << name << "_sum " << e.histogram->sum() << "\n";
+        for (const double q : {50.0, 95.0, 99.0}) {
+          out << name << "{quantile=\"" << format_double(q / 100.0) << "\"} "
+              << e.histogram->percentile(q) << "\n";
+        }
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::json() const {
+  std::lock_guard lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [name, e] : entries_) {
+    if (!first) out << ", ";
+    first = false;
+    out << "\"" << json_escape(name) << "\": ";
+    switch (e.kind) {
+      case Kind::kCounter: out << e.counter->value(); break;
+      case Kind::kGauge: out << format_double(e.gauge->value()); break;
+      case Kind::kHistogram:
+        out << "{\"count\": " << e.histogram->count() << ", \"sum\": " << e.histogram->sum()
+            << ", \"mean\": " << format_double(e.histogram->mean())
+            << ", \"p50\": " << e.histogram->percentile(50)
+            << ", \"p95\": " << e.histogram->percentile(95)
+            << ", \"p99\": " << e.histogram->percentile(99) << "}";
+        break;
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace hardtape::obs

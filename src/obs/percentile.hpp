@@ -1,0 +1,46 @@
+// Shared nearest-rank percentile helper (obs subsystem).
+//
+// Every latency summary in the repo — engine metrics, bench tables, the
+// leakage auditor's gap statistics — must agree on what "p99" means, or two
+// reports of the same run disagree. We standardize on the nearest-rank
+// definition: for n samples, the p-th percentile is the value at 1-based rank
+// ceil(p/100 * n) of the sorted sample. Properties the callers rely on:
+//   - p=100 is the maximum, p->0+ is the minimum;
+//   - for n=100, p99 is the 99th smallest sample (NOT the max — the
+//     off-by-one this helper replaced in bench_throughput);
+//   - the result is always an actual sample (no interpolation), so integer
+//     nanosecond inputs yield integer nanosecond outputs.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/errors.hpp"
+
+namespace hardtape::obs {
+
+/// 1-based nearest rank of percentile p in n samples: ceil(p/100 * n),
+/// clamped to [1, n]. Throws UsageError when n == 0 or p outside (0, 100].
+inline size_t percentile_rank(size_t n, double p) {
+  if (n == 0) throw UsageError("percentile: empty sample");
+  if (!(p > 0.0 && p <= 100.0)) throw UsageError("percentile: p outside (0, 100]");
+  const auto rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  return std::min(std::max<size_t>(rank, 1), n);
+}
+
+/// Nearest-rank percentile of `sorted` (ascending). Throws on empty input.
+template <typename T>
+T percentile_sorted(const std::vector<T>& sorted, double p) {
+  return sorted[percentile_rank(sorted.size(), p) - 1];
+}
+
+/// Nearest-rank percentile of an unsorted sample (copies and sorts).
+template <typename T>
+T percentile(std::vector<T> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  return percentile_sorted(samples, p);
+}
+
+}  // namespace hardtape::obs

@@ -1,0 +1,139 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+namespace hardtape::obs {
+
+const char* to_string(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kOpcode: return "opcode";
+    case TraceCategory::kSwap: return "swap";
+    case TraceCategory::kOram: return "oram";
+    case TraceCategory::kBundle: return "bundle";
+  }
+  return "unknown";
+}
+
+const char* to_string(TraceCode code) {
+  switch (code) {
+    case TraceCode::kSwapEvict: return "swap_evict";
+    case TraceCode::kSwapLoad: return "swap_load";
+    case TraceCode::kOramIssue: return "oram_issue";
+    case TraceCode::kOramRetry: return "oram_retry";
+    case TraceCode::kOramComplete: return "oram_complete";
+    case TraceCode::kBundleSubmit: return "bundle_submit";
+    case TraceCode::kBundleStart: return "bundle_start";
+    case TraceCode::kBundleComplete: return "bundle_complete";
+    case TraceCode::kBundleRequeue: return "bundle_requeue";
+  }
+  return "unknown";
+}
+
+TraceRing::TraceRing(TraceSink& sink, int32_t worker, size_t capacity)
+    : sink_(sink), worker_(worker), capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::append(TraceCategory category, uint16_t code, uint64_t sim_ns, uint64_t a,
+                       uint64_t b, uint64_t c) {
+  // Stamp wall time outside the lock; it is diagnostics-only so a reordering
+  // relative to another writer's stamp is acceptable.
+  const uint64_t wall_ns = sink_.config().capture_wall_time ? sink_.wall_now_ns() : 0;
+  std::lock_guard lock(mu_);
+  TraceEvent e;
+  e.seq = next_seq_++;
+  e.sim_ns = sim_ns;
+  e.wall_ns = wall_ns;
+  e.category = category;
+  e.code = code;
+  e.worker = worker_;
+  e.a = a;
+  e.b = b;
+  e.c = c;
+  if (buffer_.size() == capacity_) {
+    buffer_.pop_front();
+    ++dropped_;
+  }
+  buffer_.push_back(e);
+}
+
+std::vector<TraceEvent> TraceRing::events() const {
+  std::lock_guard lock(mu_);
+  return {buffer_.begin(), buffer_.end()};
+}
+
+uint64_t TraceRing::emitted() const {
+  std::lock_guard lock(mu_);
+  return next_seq_;
+}
+
+uint64_t TraceRing::dropped() const {
+  std::lock_guard lock(mu_);
+  return dropped_;
+}
+
+TraceSink::TraceSink() : TraceSink(Config{}) {}
+
+TraceSink::TraceSink(Config config)
+    : config_(config), epoch_(std::chrono::steady_clock::now()) {}
+
+uint64_t TraceSink::wall_now_ns() const {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now() - epoch_)
+                                   .count());
+}
+
+TraceRing& TraceSink::ring(int32_t worker) {
+  std::lock_guard lock(mu_);
+  for (auto& [id, ring] : rings_) {
+    if (id == worker) return *ring;
+  }
+  rings_.emplace_back(worker, std::make_unique<TraceRing>(*this, worker, config_.ring_capacity));
+  return *rings_.back().second;
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  std::vector<const TraceRing*> ordered;
+  {
+    std::lock_guard lock(mu_);
+    ordered.reserve(rings_.size());
+    for (const auto& [id, ring] : rings_) ordered.push_back(ring.get());
+  }
+  std::sort(ordered.begin(), ordered.end(),
+            [](const TraceRing* a, const TraceRing* b) { return a->worker() < b->worker(); });
+  for (const TraceRing* ring : ordered) {
+    for (const TraceEvent& e : ring->events()) {
+      out << "{\"worker\":" << e.worker << ",\"seq\":" << e.seq << ",\"sim_ns\":" << e.sim_ns
+          << ",\"wall_ns\":" << e.wall_ns << ",\"cat\":\"" << to_string(e.category)
+          << "\",\"code\":" << e.code;
+      if (e.category == TraceCategory::kOpcode) {
+        out << ",\"op\":" << e.code;
+      } else {
+        out << ",\"name\":\"" << to_string(static_cast<TraceCode>(e.code)) << "\"";
+      }
+      out << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"c\":" << e.c << "}\n";
+    }
+  }
+}
+
+uint64_t TraceSink::total_emitted() const {
+  std::vector<const TraceRing*> rings;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, ring] : rings_) rings.push_back(ring.get());
+  }
+  uint64_t total = 0;
+  for (const TraceRing* ring : rings) total += ring->emitted();
+  return total;
+}
+
+uint64_t TraceSink::total_dropped() const {
+  std::vector<const TraceRing*> rings;
+  {
+    std::lock_guard lock(mu_);
+    for (const auto& [id, ring] : rings_) rings.push_back(ring.get());
+  }
+  uint64_t total = 0;
+  for (const TraceRing* ring : rings) total += ring->dropped();
+  return total;
+}
+
+}  // namespace hardtape::obs

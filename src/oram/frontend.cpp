@@ -53,6 +53,11 @@ AccessAttempt OramFrontend::recovered_access(const BlockId& id,
   uint32_t retries = 0;
   uint32_t faults = 0;
   uint64_t timeouts = 0, auth_failures = 0, bad_proofs = 0, exhausted = 0;
+  if (config_.trace != nullptr) {
+    config_.trace->append(obs::TraceCategory::kOram,
+                          static_cast<uint16_t>(obs::TraceCode::kOramIssue), /*sim_ns=*/0,
+                          write_data != nullptr ? 1 : 0, stream_tag);
+  }
   {
     std::lock_guard lock(access_mu_);
     stall_ns = wall_ns_since(start);
@@ -82,11 +87,22 @@ AccessAttempt OramFrontend::recovered_access(const BlockId& id,
         result = AccessAttempt{Status::kRetryExhausted, std::nullopt, 0};
         break;
       }
-      recovery_ns += sim::backoff_delay_ns(policy, attempt, stream_tag);
+      const uint64_t backoff_ns = sim::backoff_delay_ns(policy, attempt, stream_tag);
+      recovery_ns += backoff_ns;
       ++retries;
+      if (config_.trace != nullptr) {
+        config_.trace->append(obs::TraceCategory::kOram,
+                              static_cast<uint16_t>(obs::TraceCode::kOramRetry), /*sim_ns=*/0,
+                              static_cast<uint64_t>(attempt), backoff_ns);
+      }
     }
   }
   result.sim_delay_ns = recovery_ns;
+  if (config_.trace != nullptr) {
+    config_.trace->append(obs::TraceCategory::kOram,
+                          static_cast<uint16_t>(obs::TraceCode::kOramComplete), /*sim_ns=*/0,
+                          static_cast<uint64_t>(result.status), recovery_ns);
+  }
   if (RecoveryTally* tally = ScopedRecoveryTally::active()) {
     tally->sim_ns += recovery_ns;
     tally->retries += retries;

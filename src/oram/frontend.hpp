@@ -39,6 +39,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "obs/trace.hpp"
 #include "oram/path_oram.hpp"
 #include "sim/backoff.hpp"
 
@@ -78,6 +79,11 @@ struct FrontendConfig {
   /// Retry/backoff policy for the fault-aware access path. With a reliable
   /// backend the policy is dormant: attempt 1 succeeds, zero time charged.
   sim::BackoffPolicy recovery{};
+  /// Optional request-lifecycle tracing (issue/retry/complete). The frontend
+  /// is shared by all workers, so the ring is the sink's shared ring; events
+  /// carry wall time for ordering and per-request sim recovery time — the
+  /// frontend has no session clock.
+  obs::TraceRing* trace = nullptr;
 };
 
 class OramFrontend : public OramAccessor {

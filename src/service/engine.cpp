@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "memlayer/pager.hpp"
 #include "node/sync.hpp"
 
 namespace hardtape::service {
@@ -135,9 +136,12 @@ PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig c
                     : static_cast<oram::OramAccessor&>(oram_client_),
                 oram::OramFrontend::Config{
                     .coalesce_duplicate_reads = config.coalesce_duplicate_reads,
-                    .recovery = config.oram_recovery}),
+                    .recovery = config.oram_recovery,
+                    .trace = config.trace != nullptr ? &config.trace->ring(-2) : nullptr}),
       oram_state_(frontend_),
-      queue_(config.queue_depth) {
+      queue_(config.queue_depth),
+      latency_hist_(&registry_.histogram("hardtape_engine_bundle_latency_sim_ns",
+                                         "per-bundle end-to-end simulated latency")) {
   if (config_.num_hevms <= 0) throw UsageError("engine: need at least one HEVM");
   if (config_.timing.clock != nullptr) {
     throw UsageError("engine: timing.clock is per-session; leave it null");
@@ -180,7 +184,12 @@ void PreExecutionEngine::start() {
   for (int i = 0; i < config_.num_hevms; ++i) {
     auto worker = std::make_unique<Worker>();
     worker->id = i;
-    worker->core = std::make_unique<hevm::HevmCore>(i, worker->clock, config_.core);
+    hevm::HevmCore::Config core_config = config_.core;
+    if (config_.trace != nullptr) {
+      worker->trace = &config_.trace->ring(i);
+      core_config.trace = worker->trace;  // opcode + swap events share it
+    }
+    worker->core = std::make_unique<hevm::HevmCore>(i, worker->clock, core_config);
     // One hypervisor session — one secure channel — per worker: the engine's
     // concrete form of the paper's per-session hardware isolation.
     const crypto::PrivateKey user_key = crypto::PrivateKey::from_seed(setup_rng_.bytes(16));
@@ -211,6 +220,11 @@ Admission PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
   if (!started_) throw UsageError("engine: start() before submit()");
   if (drained_) throw UsageError("engine: already drained");
   const uint64_t id = next_bundle_id_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.trace != nullptr) {
+    config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
+                                   static_cast<uint16_t>(obs::TraceCode::kBundleSubmit),
+                                   /*sim_ns=*/id * config_.arrival_gap_ns, id);
+  }
   if (breaker_open()) {
     // Quarantined backend: refuse at admission. The bundle still gets its
     // one outcome (kUnavailable) so callers that only look at drain() see
@@ -276,6 +290,11 @@ void PreExecutionEngine::worker_loop(Worker& worker) {
           static_cast<int>(item->attempt) + 1 < config_.max_bundle_attempts &&
           !breaker_open()) {
         bundle_requeues_.fetch_add(1, std::memory_order_relaxed);
+        if (worker.trace != nullptr) {
+          worker.trace->append(obs::TraceCategory::kBundle,
+                               static_cast<uint16_t>(obs::TraceCode::kBundleRequeue),
+                               worker.clock.now_ns(), item->bundle_id, item->attempt);
+        }
         queue_.requeue(QueueItem{item->bundle_id, std::move(item->txs),
                                  std::chrono::steady_clock::now(), item->attempt + 1});
       } else {
@@ -301,6 +320,7 @@ void PreExecutionEngine::register_attempt(const SessionOutcome& outcome) {
 
 void PreExecutionEngine::record_outcome(SessionOutcome outcome, uint64_t queued_wall_ns,
                                         Worker* worker) {
+  latency_hist_->observe(outcome.end_to_end_ns);
   std::lock_guard lock(results_mu_);
   wall_queue_wait_ns_ += queued_wall_ns;
   if (worker != nullptr) {
@@ -323,6 +343,11 @@ SessionOutcome PreExecutionEngine::execute_session(
   sim::SimClock& clock = worker.clock;
   Random rng = session_rng(config_.seed, bundle_id);
   const sim::SimStopwatch end_to_end(clock);
+  if (worker.trace != nullptr) {
+    worker.trace->append(obs::TraceCategory::kBundle,
+                         static_cast<uint16_t>(obs::TraceCode::kBundleStart), clock.now_ns(),
+                         bundle_id, attempt);
+  }
 
   // Recovery instrumentation: the ORAM frontend charges retry/backoff time
   // and fault counts to this thread's tally; fault decisions come from the
@@ -377,7 +402,12 @@ SessionOutcome PreExecutionEngine::execute_session(
                            config_.security, timing);
   crypto::AesKey128 session_key;
   rng.fill(session_key.data(), session_key.size());
-  worker.core->assign(routed, node_.block_context(), session_key, rng.next_u64());
+  // The layer-2 noise-padding seed derives from (seed, bundle, attempt)
+  // directly — like the fault schedule, never from a shared RNG's call order
+  // — so swap traces are identical at any worker count and a retried bundle
+  // still re-rolls its padding.
+  worker.core->assign(routed, node_.block_context(), session_key,
+                      memlayer::noise_stream(config_.seed, bundle_id, attempt));
 
   const sim::SimStopwatch exec(clock);
   try {
@@ -410,8 +440,19 @@ SessionOutcome PreExecutionEngine::execute_session(
                        config_.hypervisor_costs.dma_setup_ns);
       outcome.message_time_ns += messages.elapsed_ns();
     }
-    hypervisor::CodePrefetcher prefetcher(rng.next_u64());
+    hypervisor::CodePrefetcher prefetcher(
+        memlayer::noise_stream(config_.seed ^ 0x70f7, bundle_id, attempt));
     outcome.observed_timeline = prefetcher.schedule(routed.stats().demand_timeline);
+    if (worker.trace != nullptr) {
+      // The SP-observed query stream is the POST-prefetch timeline — what
+      // actually crosses the untrusted boundary. This is what the leakage
+      // auditor projects (demand-time events would leak shaping internals).
+      for (const hypervisor::QueryEvent& q : outcome.observed_timeline) {
+        worker.trace->append(obs::TraceCategory::kOram,
+                             static_cast<uint16_t>(obs::TraceCode::kOramIssue), q.time_ns,
+                             static_cast<uint64_t>(q.type), q.is_prefetch ? 1 : 0);
+      }
+    }
   }
   outcome.crypto_time_ns = crypto_ns;
   outcome.query_stats = routed.stats();
@@ -426,6 +467,12 @@ SessionOutcome PreExecutionEngine::execute_session(
   outcome.oram_retries = tally.retries;
   outcome.faults_seen = tally.faults;
   outcome.end_to_end_ns = end_to_end.elapsed_ns();
+  if (worker.trace != nullptr) {
+    worker.trace->append(obs::TraceCategory::kBundle,
+                         static_cast<uint16_t>(obs::TraceCode::kBundleComplete),
+                         clock.now_ns(), bundle_id, attempt,
+                         static_cast<uint64_t>(outcome.status));
+  }
   return outcome;
 }
 
@@ -433,7 +480,12 @@ std::vector<SessionOutcome> PreExecutionEngine::execute_serial(
     const std::vector<std::vector<evm::Transaction>>& bundles) {
   Worker serial;
   serial.id = -1;
-  serial.core = std::make_unique<hevm::HevmCore>(-1, serial.clock, config_.core);
+  hevm::HevmCore::Config core_config = config_.core;
+  if (config_.trace != nullptr) {
+    serial.trace = &config_.trace->ring(-1);
+    core_config.trace = serial.trace;
+  }
+  serial.core = std::make_unique<hevm::HevmCore>(-1, serial.clock, core_config);
   const crypto::PrivateKey user_key = crypto::PrivateKey::from_seed(setup_rng_.bytes(16));
   H256 nonce;
   setup_rng_.fill(nonce.bytes.data(), nonce.bytes.size());
@@ -514,6 +566,8 @@ EngineMetrics PreExecutionEngine::snapshot() const {
     m.sim_max_queue_depth = schedule.max_queue_depth;
     m.sim_bundles_per_s = static_cast<double>(durations.size()) * 1e9 /
                           static_cast<double>(m.sim_makespan_ns);
+    m.sim_p50_bundle_latency_ns = obs::percentile(durations, 50);
+    m.sim_p99_bundle_latency_ns = obs::percentile(durations, 99);
   }
   // The pool's actual bundle->worker assignment can be more imbalanced than
   // the deterministic schedule, so normalize by the busier of the two to
@@ -533,7 +587,57 @@ EngineMetrics PreExecutionEngine::snapshot() const {
                                     : 0.0;
     m.workers.push_back(ws);
   }
+  publish_metrics(m);
   return m;
+}
+
+void PreExecutionEngine::publish_metrics(const EngineMetrics& m) const {
+  obs::Registry& r = registry_;
+  const auto set = [&r](std::string_view name, double v) { r.gauge(name).set(v); };
+  set("hardtape_engine_bundles_submitted", static_cast<double>(m.bundles_submitted));
+  set("hardtape_engine_bundles_completed", static_cast<double>(m.bundles_completed));
+  set("hardtape_engine_sim_makespan_ns", static_cast<double>(m.sim_makespan_ns));
+  set("hardtape_engine_sim_bundles_per_s", m.sim_bundles_per_s);
+  set("hardtape_engine_sim_mean_queue_wait_ns", static_cast<double>(m.sim_mean_queue_wait_ns));
+  set("hardtape_engine_sim_max_queue_depth", static_cast<double>(m.sim_max_queue_depth));
+  set("hardtape_engine_sim_oram_server_busy_ns",
+      static_cast<double>(m.sim_oram_server_busy_ns));
+  set("hardtape_engine_sim_oram_serialization_stall_ns",
+      static_cast<double>(m.sim_oram_serialization_stall_ns));
+  set("hardtape_engine_wall_elapsed_ns", static_cast<double>(m.wall_elapsed_ns));
+  set("hardtape_engine_wall_bundles_per_s", m.wall_bundles_per_s);
+  set("hardtape_engine_wall_queue_wait_ns", static_cast<double>(m.wall_queue_wait_ns));
+  set("hardtape_engine_wall_backpressure_ns", static_cast<double>(m.wall_backpressure_ns));
+  set("hardtape_engine_backpressured_submits", static_cast<double>(m.backpressured_submits));
+  set("hardtape_engine_queue_max_depth", static_cast<double>(m.queue_max_depth));
+  set("hardtape_engine_oram_contention_stall_ns",
+      static_cast<double>(m.oram_contention_stall_ns));
+  set("hardtape_engine_oram_reads", static_cast<double>(m.oram_reads));
+  set("hardtape_engine_oram_coalesced_reads", static_cast<double>(m.oram_coalesced_reads));
+  set("hardtape_engine_faults_injected", static_cast<double>(m.faults_injected));
+  set("hardtape_engine_oram_timeouts", static_cast<double>(m.oram_timeouts));
+  set("hardtape_engine_oram_retries", static_cast<double>(m.oram_retries));
+  set("hardtape_engine_oram_retry_exhausted", static_cast<double>(m.oram_retry_exhausted));
+  set("hardtape_engine_bundles_recovered", static_cast<double>(m.bundles_recovered));
+  set("hardtape_engine_bundles_aborted", static_cast<double>(m.bundles_aborted));
+  set("hardtape_engine_bundles_unavailable", static_cast<double>(m.bundles_unavailable));
+  set("hardtape_engine_bundle_requeues", static_cast<double>(m.bundle_requeues));
+  set("hardtape_engine_watchdog_stalls", static_cast<double>(m.watchdog_stalls));
+  set("hardtape_engine_circuit_open", m.circuit_open ? 1.0 : 0.0);
+  for (const auto& ws : m.workers) {
+    set("hardtape_engine_worker" + std::to_string(ws.worker_id) + "_utilization",
+        ws.utilization);
+  }
+}
+
+std::string PreExecutionEngine::metrics_prometheus() const {
+  (void)snapshot();  // publishes into registry_
+  return registry_.prometheus_text();
+}
+
+std::string PreExecutionEngine::metrics_json() const {
+  (void)snapshot();
+  return registry_.json();
 }
 
 }  // namespace hardtape::service

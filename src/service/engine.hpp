@@ -51,6 +51,7 @@
 
 #include "faults/fault_plan.hpp"
 #include "faults/faulty_oram.hpp"
+#include "obs/metrics.hpp"
 #include "oram/frontend.hpp"
 #include "service/bundle_queue.hpp"
 #include "service/pre_execution.hpp"
@@ -96,6 +97,15 @@ struct EngineConfig {
   /// Wall-clock worker liveness monitor (diagnostics only).
   bool watchdog_enabled = true;
   uint64_t watchdog_stall_ms = 2'000;
+
+  // --- observability (PR 3) ---
+  /// Optional trace sink (must outlive the engine). When set, each worker's
+  /// HEVM/pager emits into the sink's ring for that worker id, the shared
+  /// ORAM frontend into ring -2, and the engine emits bundle lifecycle plus
+  /// the SP-observed (post-prefetch) query timeline. Null = tracing off:
+  /// zero allocations, one pointer test per would-be event, and the
+  /// fault-free sweep stays bit-identical to the untraced build.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Outcome of one session (= one bundle on one dedicated HEVM). All *_ns
@@ -136,6 +146,10 @@ struct EngineMetrics {
   double sim_bundles_per_s = 0;       ///< completed / makespan
   uint64_t sim_mean_queue_wait_ns = 0;
   uint64_t sim_max_queue_depth = 0;
+  /// Per-bundle end-to-end latency percentiles (nearest-rank, from the
+  /// engine's obs::Histogram — the single percentile definition repo-wide).
+  uint64_t sim_p50_bundle_latency_ns = 0;
+  uint64_t sim_p99_bundle_latency_ns = 0;
   /// Serialized ORAM-server service time across all sessions — the shared
   /// contention point. When this exceeds the schedule's makespan the server
   /// is the bottleneck and the makespan is clamped to it.
@@ -213,7 +227,18 @@ class PreExecutionEngine {
   std::vector<SessionOutcome> drain();
 
   /// Thread-safe at any time (during execution it reports completed-so-far).
+  /// Also publishes the snapshot into the engine's obs::Registry, so the
+  /// exposition methods below always reflect the latest snapshot taken.
   EngineMetrics snapshot() const;
+
+  /// The engine's unified metrics registry (live instruments plus the last
+  /// published snapshot). EngineMetrics is the typed view; this is the
+  /// machine-readable surface.
+  obs::Registry& metrics_registry() const { return registry_; }
+  /// snapshot() + Prometheus text exposition of the registry.
+  std::string metrics_prometheus() const;
+  /// snapshot() + JSON dump of the registry (for bench/CI artifacts).
+  std::string metrics_json() const;
 
   /// Serial reference: executes the bundles one at a time on this thread
   /// through the exact per-session path the workers run (bundle ids are the
@@ -254,7 +279,8 @@ class PreExecutionEngine {
     std::thread thread;
     uint64_t bundles = 0;
     uint64_t busy_sim_ns = 0;
-    Heartbeat heartbeat;  ///< sampled by the watchdog
+    Heartbeat heartbeat;           ///< sampled by the watchdog
+    obs::TraceRing* trace = nullptr;  ///< this worker's ring (null = off)
   };
 
   void worker_loop(Worker& worker);
@@ -265,6 +291,9 @@ class PreExecutionEngine {
   /// kOk resets the streak.
   void register_attempt(const SessionOutcome& outcome);
   void record_outcome(SessionOutcome outcome, uint64_t queued_wall_ns, Worker* worker);
+  /// Maps an EngineMetrics snapshot onto the registry — the one place where
+  /// metric names are bound, so the struct and the exposition cannot drift.
+  void publish_metrics(const EngineMetrics& m) const;
   bool oram_enabled() const {
     return config_.security.oram_storage || config_.security.oram_code;
   }
@@ -292,6 +321,11 @@ class PreExecutionEngine {
   std::atomic<int> consecutive_backend_faults_{0};
   std::atomic<bool> breaker_open_{false};
   std::atomic<uint64_t> bundle_requeues_{0};
+
+  /// Unified metrics (obs). The latency histogram is a live instrument fed
+  /// by record_outcome; scalar snapshot values are published on snapshot().
+  mutable obs::Registry registry_;
+  obs::Histogram* latency_hist_;  ///< owned by registry_, stable reference
 
   mutable std::mutex results_mu_;  ///< guards everything below
   std::vector<SessionOutcome> results_;

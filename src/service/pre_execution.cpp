@@ -1,5 +1,7 @@
 #include "service/pre_execution.hpp"
 
+#include "memlayer/pager.hpp"
+
 namespace hardtape::service {
 
 RoutedStateReader::RoutedStateReader(const state::WorldState& local,
@@ -223,7 +225,10 @@ PreExecutionService::BundleOutcome PreExecutionService::pre_execute(
                            config_.security, config_.timing);
   crypto::AesKey128 session_key;
   rng_.fill(session_key.data(), session_key.size());
-  core->assign(routed, node_.block_context(), session_key, rng_.next_u64());
+  // Same (seed, bundle, attempt) noise-stream derivation as the concurrent
+  // engine: the serial service never retries, so attempt is always 0.
+  core->assign(routed, node_.block_context(), session_key,
+               memlayer::noise_stream(config_.seed, bundles_served_ - 1, /*attempt=*/0));
 
   const sim::SimStopwatch exec(clock_);
   outcome.report = core->execute_bundle(bundle);
@@ -252,7 +257,8 @@ PreExecutionService::BundleOutcome PreExecutionService::pre_execute(
 
   // The adversary-visible timeline: pagewise prefetching re-spaces the code
   // queries between the K-V queries (paper §IV-D problem (3)).
-  hypervisor::CodePrefetcher prefetcher(rng_.next_u64());
+  hypervisor::CodePrefetcher prefetcher(
+      memlayer::noise_stream(config_.seed ^ 0x70f7, bundles_served_ - 1, /*attempt=*/0));
   outcome.observed_timeline = prefetcher.schedule(routed.stats().demand_timeline);
 
   // --- release (step 10) ---

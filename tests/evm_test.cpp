@@ -301,6 +301,64 @@ TEST_F(EvmTest, AbsurdMemoryOffsetIsOutOfGas) {
             VmStatus::kOutOfGas);
 }
 
+TEST_F(EvmTest, TerabyteMemoryOffsetIsOutOfGasBeforeExpansion) {
+  // Regression for the memory_gas uint64 overflow: a 2^40-byte offset needs
+  // ~2^35 words, so the unchecked quadratic term words*words wrapped uint64
+  // and charged only the linear ~1.03e11 gas. Under a gas limit that can
+  // afford the linear term, the wrapped cost would have admitted a ~1 TiB
+  // expansion (the 2^41 hard cap does not catch 2^40). The saturated
+  // memory_gas must fail with out-of-gas before any expansion happens.
+  const CallResult r = run(assemble("PUSH1 1 PUSH 0x10000000000 MSTORE STOP"),
+                           {}, {}, /*gas=*/200'000'000'000ull);
+  EXPECT_EQ(r.status, VmStatus::kOutOfGas);
+}
+
+// --- signed arithmetic / shift edge cases ---
+
+TEST_F(EvmTest, SdivIntMinByMinusOne) {
+  // INT256_MIN / -1 overflows two's complement; EVM defines the result as
+  // INT256_MIN itself.
+  const u256 int_min = u256{1} << 255;
+  EXPECT_EQ(run_word(ret("PUSH0 NOT PUSH1 1 PUSH1 255 SHL SDIV")), int_min);
+  // And the matching SMOD is 0.
+  EXPECT_EQ(run_word(ret("PUSH0 NOT PUSH1 1 PUSH1 255 SHL SMOD")), u256{});
+}
+
+TEST_F(EvmTest, SmodTakesSignOfDividend) {
+  //  8 smod -3 = 2 (sign follows the dividend, not the divisor)
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH0 SUB PUSH1 8 SMOD")), u256{2});
+  // -8 smod -3 = -2
+  EXPECT_EQ(run_word(ret("PUSH1 3 PUSH0 SUB PUSH1 8 PUSH0 SUB SMOD")),
+            u256{2}.neg());
+}
+
+TEST_F(EvmTest, SignExtendHighIndices) {
+  // Index 31 treats the full word as already sign-extended: identity.
+  const u256 neg = u256{5}.neg();
+  EXPECT_EQ(run_word(ret("PUSH1 5 PUSH0 SUB PUSH1 31 SIGNEXTEND")), neg);
+  EXPECT_EQ(run_word(ret("PUSH1 0x7f PUSH1 31 SIGNEXTEND")), u256{0x7f});
+  // Index >= 32 is out of range: identity, NOT sign extension from byte 0.
+  EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH1 32 SIGNEXTEND")), u256{0xff});
+  EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH2 0x0100 SIGNEXTEND")), u256{0xff});
+}
+
+TEST_F(EvmTest, SarShiftOfWordSizeOrMore) {
+  // Arithmetic shift >= 256 of a negative value saturates to -1 (all ones),
+  // of a non-negative value to 0.
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH0 SUB PUSH2 0x0100 SAR")), ~u256{});
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH0 SUB PUSH2 0xffff SAR")), ~u256{});
+  EXPECT_EQ(run_word(ret("PUSH1 5 PUSH2 0x0100 SAR")), u256{});
+}
+
+TEST_F(EvmTest, ExpFullWidthExponent) {
+  // Exponent with bit length 256 (top bit set). 2^(2^255) mod 2^256 = 0.
+  EXPECT_EQ(run_word(ret("PUSH1 1 PUSH1 255 SHL PUSH1 2 EXP")), u256{});
+  // (-1)^(2^256 - 1): odd exponent, so the result stays -1.
+  EXPECT_EQ(run_word(ret("PUSH0 NOT PUSH0 NOT EXP")), ~u256{});
+  // 1^(anything) = 1 even when the exponent metering walks all 32 bytes.
+  EXPECT_EQ(run_word(ret("PUSH0 NOT PUSH1 1 EXP")), u256{1});
+}
+
 // --- calldata / code / returndata ---
 
 TEST_F(EvmTest, CalldataOps) {
