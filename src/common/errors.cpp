@@ -16,6 +16,7 @@ const char* to_string(Status s) {
     case Status::kTimeout: return "timeout";
     case Status::kUnavailable: return "unavailable";
     case Status::kRetryExhausted: return "retry-exhausted";
+    case Status::kStale: return "stale";
     case Status::kStatusCount_: break;  // sentinel, not a real status
   }
   return "unknown";

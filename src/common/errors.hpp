@@ -56,6 +56,13 @@ enum class Status {
   kTimeout,           ///< untrusted backend gave no response within the request timeout
   kUnavailable,       ///< circuit breaker open: backend quarantined, request not attempted
   kRetryExhausted,    ///< bounded retries + backoff used up without a good response
+  /// The chain outran this result: the bundle's pinned snapshot fell behind
+  /// the head by more than the staleness budget (or its pinned root was
+  /// orphaned by a reorg) and the bounded re-sync/re-execute attempts were
+  /// used up. Like kUnavailable/kRetryExhausted this is a fail-closed
+  /// refusal, not a wrong answer: the engine never reports traces produced
+  /// against a state the canonical chain no longer contains.
+  kStale,
   // Sentinel — keep last. Lets tests iterate every value and prove that
   // to_string never silently degrades to "unknown" for a real status.
   kStatusCount_,

@@ -26,21 +26,165 @@ NodeSimulator::NodeSimulator(evm::BlockContext genesis_context)
   genesis.timestamp = context_.timestamp;
   genesis.state_root = world_.state_root();
   chain_.push_back(genesis);
+  snapshot_head_locked();
 }
 
-const BlockHeader& NodeSimulator::head() const { return chain_.back(); }
+void NodeSimulator::refresh_genesis_locked() {
+  // Test/bench setup mutates world() directly before the first block; the
+  // genesis header and snapshot taken at construction would then pin the
+  // pre-setup (empty) state. Re-pin genesis to the current world until a
+  // block exists — afterwards the chain is append-only.
+  if (chain_.size() != 1) return;
+  const H256 root = world_.state_root();
+  if (root == chain_[0].state_root) return;
+  const H256 old_root = chain_[0].state_root;
+  if (auto it = canonical_roots_.find(old_root); it != canonical_roots_.end()) {
+    if (--it->second == 0) canonical_roots_.erase(it);
+  }
+  snapshots_.erase(old_root);
+  chain_[0].state_root = root;
+  snapshot_head_locked();
+}
+
+void NodeSimulator::snapshot_head_locked() {
+  auto snap = std::make_shared<state::WorldState>(world_);
+  // Pre-build the lazily rebuilt tries so concurrent pinned reads of the
+  // (otherwise immutable) snapshot never race on a first rebuild.
+  (void)snap->state_root();
+  snapshots_[chain_.back().state_root] = std::move(snap);
+  ++canonical_roots_[chain_.back().state_root];
+}
+
+BlockHeader NodeSimulator::head() const {
+  std::shared_lock lock(mu_);
+  return chain_.back();
+}
+
+uint64_t NodeSimulator::head_number() const {
+  std::shared_lock lock(mu_);
+  return chain_.back().number;
+}
+
+std::vector<BlockHeader> NodeSimulator::chain() const {
+  std::shared_lock lock(mu_);
+  return chain_;
+}
+
+std::vector<TxReceipt> NodeSimulator::last_receipts() const {
+  std::shared_lock lock(mu_);
+  return last_receipts_;
+}
 
 evm::BlockContext NodeSimulator::block_context() const {
+  std::shared_lock lock(mu_);
   evm::BlockContext ctx = context_;
-  ctx.number = head().number;
-  ctx.timestamp = head().timestamp;
+  ctx.number = chain_.back().number;
+  ctx.timestamp = chain_.back().timestamp;
   return ctx;
 }
 
-BlockHeader NodeSimulator::produce_block(const std::vector<evm::Transaction>& txs) {
+evm::BlockContext NodeSimulator::block_context_at(const BlockHeader& header) const {
   evm::BlockContext ctx = context_;
-  ctx.number = head().number + 1;
-  ctx.timestamp = head().timestamp + 12;  // mainnet cadence (paper §II-A)
+  ctx.number = header.number;
+  ctx.timestamp = header.timestamp;
+  return ctx;
+}
+
+PinnedBlock NodeSimulator::pinned_head() {
+  std::unique_lock lock(mu_);
+  refresh_genesis_locked();  // may re-pin genesis, hence non-const
+  return {chain_.back(), snapshots_.at(chain_.back().state_root)};
+}
+
+std::shared_ptr<const state::WorldState> NodeSimulator::world_at(
+    const H256& state_root) const {
+  std::shared_lock lock(mu_);
+  const auto it = snapshots_.find(state_root);
+  return it == snapshots_.end() ? nullptr : it->second;
+}
+
+bool NodeSimulator::is_canonical_root(const H256& state_root) const {
+  std::shared_lock lock(mu_);
+  return canonical_roots_.find(state_root) != canonical_roots_.end();
+}
+
+uint64_t NodeSimulator::orphaned_blocks() const {
+  std::shared_lock lock(mu_);
+  return orphaned_blocks_;
+}
+
+uint64_t NodeSimulator::reorgs() const {
+  std::shared_lock lock(mu_);
+  return reorgs_;
+}
+
+void NodeSimulator::set_schedule(ChainSchedule schedule) {
+  std::unique_lock lock(mu_);
+  schedule_ = schedule;
+  schedule_rng_ = std::make_unique<Random>(schedule.seed);
+}
+
+BlockHeader NodeSimulator::produce_block(const std::vector<evm::Transaction>& txs) {
+  std::unique_lock lock(mu_);
+  refresh_genesis_locked();
+  return produce_locked(txs, 12);  // mainnet cadence (paper §II-A)
+}
+
+NodeSimulator::TickResult NodeSimulator::tick(const std::vector<evm::Transaction>& txs) {
+  std::unique_lock lock(mu_);
+  if (schedule_rng_ == nullptr) throw UsageError("node: set_schedule() before tick()");
+  refresh_genesis_locked();
+  TickResult result;
+  // Always draw, so the decision stream depends only on the tick index —
+  // not on how deep the chain happened to be when the draw was made.
+  const double draw = schedule_rng_->uniform_double();
+  const bool can_reorg = chain_.size() >= 2 && schedule_.max_reorg_depth >= 1;
+  if (can_reorg && draw < schedule_.reorg_rate) {
+    const uint64_t max_depth = std::min<uint64_t>(
+        static_cast<uint64_t>(schedule_.max_reorg_depth), chain_.size() - 1);
+    result.reorged = true;
+    result.depth = static_cast<int>(schedule_rng_->uniform_range(1, max_depth));
+    reorg_locked(result.depth, txs);
+  } else {
+    produce_locked(txs, 12);
+  }
+  result.head = chain_.back();
+  return result;
+}
+
+void NodeSimulator::reorg_locked(int depth, const std::vector<evm::Transaction>& txs) {
+  // Orphan the last `depth` canonical blocks. Their snapshots stay behind so
+  // pinned queries remain answerable — the trusted side must be able to
+  // *discover* the orphaning (is_canonical_root), not lose the data.
+  for (int i = 0; i < depth; ++i) {
+    const BlockHeader orphan = chain_.back();
+    chain_.pop_back();
+    if (auto it = canonical_roots_.find(orphan.state_root); it != canonical_roots_.end()) {
+      if (--it->second == 0) canonical_roots_.erase(it);
+    }
+    ++orphaned_blocks_;
+  }
+  ++reorgs_;
+  // Rewind the live world to the fork point...
+  world_ = *snapshots_.at(chain_.back().state_root);
+  // ...and build the sibling fork: depth+1 blocks, so the fork overtakes the
+  // orphaned branch and the head number still advances by one per tick. The
+  // first fork block executes a seeded shuffle of the tick's transactions
+  // and runs off-cadence (+13 s), so both its state and its header diverge
+  // from the block it replaces.
+  std::vector<evm::Transaction> fork_txs = txs;
+  for (size_t i = fork_txs.size(); i > 1; --i) {
+    std::swap(fork_txs[i - 1], fork_txs[schedule_rng_->uniform(i)]);
+  }
+  produce_locked(fork_txs, 13);
+  for (int i = 0; i < depth; ++i) produce_locked({}, 12);
+}
+
+BlockHeader NodeSimulator::produce_locked(const std::vector<evm::Transaction>& txs,
+                                          uint64_t timestamp_gap) {
+  evm::BlockContext ctx = context_;
+  ctx.number = chain_.back().number + 1;
+  ctx.timestamp = chain_.back().timestamp + timestamp_gap;
 
   // Execute against an overlay, then commit the net effects to the world.
   state::OverlayState overlay(world_);
@@ -86,45 +230,98 @@ BlockHeader NodeSimulator::produce_block(const std::vector<evm::Transaction>& tx
 
   BlockHeader header;
   header.number = ctx.number;
-  header.parent_hash = head().hash();
+  header.parent_hash = chain_.back().hash();
   header.state_root = world_.state_root();
   header.tx_root = crypto::keccak256(tx_digest_input);
   header.timestamp = ctx.timestamp;
   header.gas_used = gas_used;
   chain_.push_back(header);
+  snapshot_head_locked();
   return header;
 }
 
-NodeSimulator::AccountResponse NodeSimulator::fetch_account(const Address& addr) const {
-  AccountResponse response;
-  if (const auto account = world_.account(addr)) {
+namespace {
+
+NodeSimulator::AccountResponse account_response_for(const state::WorldState& world,
+                                                    const Address& addr,
+                                                    bool dishonest) {
+  NodeSimulator::AccountResponse response;
+  if (const auto account = world.account(addr)) {
     state::Account fixed = *account;
-    fixed.storage_root = world_.storage_root(addr);
+    fixed.storage_root = world.storage_root(addr);
     response.account_rlp = fixed.rlp_encode();
-    if (dishonest_) {
+    if (dishonest) {
       // Inflate the balance by one wei — must be caught by proof checking.
       state::Account lie = fixed;
       lie.balance += u256{1};
       response.account_rlp = lie.rlp_encode();
     }
   }
-  response.proof = world_.prove_account(addr);
+  response.proof = world.prove_account(addr);
   return response;
+}
+
+NodeSimulator::StorageResponse storage_response_for(const state::WorldState& world,
+                                                    const Address& addr, const u256& key,
+                                                    bool dishonest) {
+  NodeSimulator::StorageResponse response;
+  response.value = world.storage(addr, key);
+  if (dishonest) response.value += u256{1};
+  response.proof = world.prove_storage(addr, key);
+  return response;
+}
+
+Bytes code_for(const state::WorldState& world, const Address& addr, bool dishonest) {
+  Bytes code = world.code(addr);
+  if (dishonest && !code.empty()) code[0] ^= 0x01;
+  return code;
+}
+
+}  // namespace
+
+const state::WorldState* NodeSimulator::world_for_root_locked(
+    const H256& state_root) const {
+  const auto it = snapshots_.find(state_root);
+  return it == snapshots_.end() ? nullptr : it->second.get();
+}
+
+NodeSimulator::AccountResponse NodeSimulator::fetch_account(const Address& addr) const {
+  std::shared_lock lock(mu_);
+  return account_response_for(world_, addr, dishonest_);
+}
+
+NodeSimulator::AccountResponse NodeSimulator::fetch_account(
+    const Address& addr, const H256& state_root) const {
+  std::shared_lock lock(mu_);
+  const state::WorldState* world = world_for_root_locked(state_root);
+  if (world == nullptr) return {};  // empty proof -> verification rejects it
+  return account_response_for(*world, addr, dishonest_);
 }
 
 NodeSimulator::StorageResponse NodeSimulator::fetch_storage(const Address& addr,
                                                             const u256& key) const {
-  StorageResponse response;
-  response.value = world_.storage(addr, key);
-  if (dishonest_) response.value += u256{1};
-  response.proof = world_.prove_storage(addr, key);
-  return response;
+  std::shared_lock lock(mu_);
+  return storage_response_for(world_, addr, key, dishonest_);
+}
+
+NodeSimulator::StorageResponse NodeSimulator::fetch_storage(
+    const Address& addr, const u256& key, const H256& state_root) const {
+  std::shared_lock lock(mu_);
+  const state::WorldState* world = world_for_root_locked(state_root);
+  if (world == nullptr) return {};
+  return storage_response_for(*world, addr, key, dishonest_);
 }
 
 Bytes NodeSimulator::fetch_code(const Address& addr) const {
-  Bytes code = world_.code(addr);
-  if (dishonest_ && !code.empty()) code[0] ^= 0x01;
-  return code;
+  std::shared_lock lock(mu_);
+  return code_for(world_, addr, dishonest_);
+}
+
+Bytes NodeSimulator::fetch_code(const Address& addr, const H256& state_root) const {
+  std::shared_lock lock(mu_);
+  const state::WorldState* world = world_for_root_locked(state_root);
+  if (world == nullptr) return {};
+  return code_for(*world, addr, dishonest_);
 }
 
 }  // namespace hardtape::node

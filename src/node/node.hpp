@@ -5,8 +5,35 @@
 // and therefore untrusted: HarDTAPE only accepts its data when the proofs
 // verify against a block hash the user trusts (threat A6). A dishonest mode
 // lets tests exercise exactly that attack.
+//
+// Live-chain model (PR 4): a real node keeps producing blocks — and
+// occasionally reorgs — while pre-execution bundles sit in the queue, so a
+// result computed "against the chain" is only meaningful relative to a
+// specific block. This simulator therefore:
+//  - retains an immutable world-state snapshot for every block it has ever
+//    produced (canonical or orphaned), so every query API is answerable at a
+//    pinned state root, not just at head();
+//  - advances on a seeded, deterministic schedule (tick()): each tick either
+//    extends the chain or reorgs it by replacing the last `depth` blocks
+//    with a sibling fork of depth+1 whose state diverges (seeded shuffle of
+//    the tick's transactions, off-cadence timestamp);
+//  - tracks which state roots are canonical, so the trusted side can detect
+//    that a root it pinned has been orphaned.
+//
+// Thread safety: chain mutation (produce_block/tick) and the query/pinning
+// APIs are mutually safe — mutation takes the writer lock, queries the
+// reader lock, and returned snapshots are immutable shared_ptrs with their
+// tries pre-built (concurrent reads never touch lazy rebuild paths). The
+// mutable world() reference is for single-threaded test/bench setup only,
+// before the first block is produced.
 #pragma once
 
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/errors.hpp"
+#include "common/random.hpp"
 #include "evm/interpreter.hpp"
 #include "state/world_state.hpp"
 #include "trie/mpt.hpp"
@@ -31,10 +58,31 @@ struct TxReceipt {
   uint64_t gas_used;
 };
 
+/// Deterministic live-chain schedule: each tick() draws from a seeded RNG
+/// whether to extend the chain or reorg it. Every decision (and every fork's
+/// divergent transaction order) depends only on the seed and the tick
+/// sequence, so a chaos run replays bit-identically.
+struct ChainSchedule {
+  uint64_t seed = 1;
+  /// Probability that a tick reorgs instead of extending (0 = never).
+  double reorg_rate = 0.0;
+  /// Reorg depths are drawn uniform in [1, max_reorg_depth] (clamped to the
+  /// blocks actually available above genesis).
+  int max_reorg_depth = 2;
+};
+
+/// A block pinned together with the immutable world snapshot it committed.
+struct PinnedBlock {
+  BlockHeader header;
+  std::shared_ptr<const state::WorldState> world;
+};
+
 class NodeSimulator {
  public:
   explicit NodeSimulator(evm::BlockContext genesis_context = {});
 
+  /// Mutable world access for test/bench setup ONLY: call before the first
+  /// produce_block()/tick(), never concurrently with chain advancement.
   state::WorldState& world() { return world_; }
   const state::WorldState& world() const { return world_; }
 
@@ -43,37 +91,98 @@ class NodeSimulator {
   /// real chain records reverted transactions).
   BlockHeader produce_block(const std::vector<evm::Transaction>& txs);
 
-  const BlockHeader& head() const;
-  const std::vector<BlockHeader>& chain() const { return chain_; }
-  const std::vector<TxReceipt>& last_receipts() const { return last_receipts_; }
+  // --- live-chain schedule ---
+  void set_schedule(ChainSchedule schedule);
+  struct TickResult {
+    bool reorged = false;
+    int depth = 0;       ///< canonical blocks orphaned by this tick
+    BlockHeader head;    ///< the new head after the tick
+  };
+  /// One scheduled chain step: extends by one block, or (with probability
+  /// reorg_rate) orphans the last `depth` blocks and installs a sibling
+  /// fork of depth+1 divergent blocks — so head number always advances by
+  /// one. Requires set_schedule() first.
+  TickResult tick(const std::vector<evm::Transaction>& txs);
+
+  BlockHeader head() const;
+  uint64_t head_number() const;
+  /// The canonical header chain (a copy — safe against concurrent ticks).
+  std::vector<BlockHeader> chain() const;
+  std::vector<TxReceipt> last_receipts() const;
   evm::BlockContext block_context() const;
+  /// The execution context a given (possibly historical) block ran under.
+  evm::BlockContext block_context_at(const BlockHeader& header) const;
+
+  // --- pinning API (PR 4) ---
+  /// Head header + the immutable snapshot of its committed world state.
+  /// Non-const: it re-pins genesis when setup mutated world() (see above).
+  PinnedBlock pinned_head();
+  /// The snapshot committed by the block with this state root — canonical or
+  /// orphaned — or nullptr if no such block was ever produced.
+  std::shared_ptr<const state::WorldState> world_at(const H256& state_root) const;
+  /// True while at least one canonical block commits this state root.
+  bool is_canonical_root(const H256& state_root) const;
+  uint64_t orphaned_blocks() const;
+  uint64_t reorgs() const;
 
   // --- query API used during HarDTAPE block synchronization ---
   struct AccountResponse {
     Bytes account_rlp;        ///< empty when absent
-    trie::MerkleProof proof;  ///< against head().state_root
+    trie::MerkleProof proof;  ///< against the queried block's state_root
   };
+  /// Head-pinned and root-pinned variants. A root-pinned query against a
+  /// root the node never committed returns an empty response whose (empty)
+  /// proof the caller's verification then rejects — fail closed.
   AccountResponse fetch_account(const Address& addr) const;
+  AccountResponse fetch_account(const Address& addr, const H256& state_root) const;
 
   struct StorageResponse {
     u256 value;
     trie::MerkleProof proof;  ///< against the account's storage root
   };
   StorageResponse fetch_storage(const Address& addr, const u256& key) const;
+  StorageResponse fetch_storage(const Address& addr, const u256& key,
+                                const H256& state_root) const;
 
   /// Code is authenticated by the code hash inside the (proven) account.
   Bytes fetch_code(const Address& addr) const;
+  Bytes fetch_code(const Address& addr, const H256& state_root) const;
 
   /// Dishonest mode: the Node serves silently corrupted data. Used to show
   /// that sync rejects it (A6).
   void set_dishonest(bool dishonest) { dishonest_ = dishonest; }
 
  private:
+  /// Executes txs, commits, appends the header and snapshots the new state.
+  /// `timestamp_gap` lets a fork block diverge from the block it replaces
+  /// even when the transaction effects happen to coincide.
+  BlockHeader produce_locked(const std::vector<evm::Transaction>& txs,
+                             uint64_t timestamp_gap);
+  void reorg_locked(int depth, const std::vector<evm::Transaction>& txs);
+  /// Re-snapshots genesis if the world was mutated by test setup after
+  /// construction (only possible while no block has been produced).
+  void refresh_genesis_locked();
+  void snapshot_head_locked();
+  const state::WorldState* world_for_root_locked(const H256& state_root) const;
+
+  mutable std::shared_mutex mu_;
   state::WorldState world_;
-  std::vector<BlockHeader> chain_;
+  std::vector<BlockHeader> chain_;  ///< canonical headers, genesis first
+  /// Immutable snapshot of the world committed by each state root ever
+  /// produced (canonical and orphaned blocks alike — pinned queries stay
+  /// answerable across reorgs).
+  std::unordered_map<H256, std::shared_ptr<const state::WorldState>, H256Hasher>
+      snapshots_;
+  /// state root -> number of canonical blocks committing it (empty blocks
+  /// repeat their parent's root, hence a count instead of a set).
+  std::unordered_map<H256, uint64_t, H256Hasher> canonical_roots_;
   std::vector<TxReceipt> last_receipts_;
   evm::BlockContext context_;
   bool dishonest_ = false;
+  ChainSchedule schedule_;
+  std::unique_ptr<Random> schedule_rng_;
+  uint64_t orphaned_blocks_ = 0;
+  uint64_t reorgs_ = 0;
 };
 
 }  // namespace hardtape::node

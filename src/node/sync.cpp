@@ -1,26 +1,37 @@
 #include "node/sync.hpp"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "crypto/keccak.hpp"
 #include "trie/rlp.hpp"
 
 namespace hardtape::node {
 
-Status BlockSynchronizer::sync_account(const Address& addr,
-                                       const std::vector<u256>& keys,
-                                       oram::OramClient& client) {
-  using trie::MerklePatriciaTrie;
-
-  // 1. Fetch and verify the account against the trusted state root.
-  auto account_response = node_.fetch_account(addr);
-  if (proof_tamper_ && proof_tamper_(addr)) {
-    // Injected stale/tampered node response: corrupt one proof byte and let
-    // the genuine Merkle verification below reject it.
-    for (Bytes& node : account_response.proof) {
-      if (!node.empty()) {
-        node[0] ^= 0x01;
-        break;
-      }
+namespace {
+void tamper_proof(trie::MerkleProof& proof) {
+  // Corrupt one proof byte and let the genuine Merkle verification reject it.
+  for (Bytes& node : proof) {
+    if (!node.empty()) {
+      node[0] ^= 0x01;
+      break;
     }
+  }
+}
+}  // namespace
+
+Status BlockSynchronizer::verify_account_task(const AccountTask& task,
+                                              std::vector<PendingPage>& out) {
+  using trie::MerklePatriciaTrie;
+  const Address& addr = task.addr;
+
+  // 1. Fetch and verify the account against the trusted state root. Always
+  // pinned: the node's head may have moved (or reorged) since the root was
+  // trusted, and a head-pinned proof would not verify against it.
+  auto account_response = node_.fetch_account(addr, state_root_);
+  if (proof_tamper_ && proof_tamper_(addr)) {
+    // Injected stale/tampered node response.
+    tamper_proof(account_response.proof);
   }
   const H256 account_key = crypto::keccak256(addr.view());
   const auto account_check = MerklePatriciaTrie::verify_proof(
@@ -39,8 +50,10 @@ Status BlockSynchronizer::sync_account(const Address& addr,
   }
   ++verified_accounts_;
 
-  // 2. Fetch and verify the code against the proven code hash.
-  const Bytes code = node_.fetch_code(addr);
+  // 2. Fetch and verify the code against the proven code hash. (An absent
+  // account's default code hash is keccak(""), so the node's empty answer
+  // verifies too.)
+  const Bytes code = node_.fetch_code(addr, state_root_);
   if (crypto::keccak256(code) != account.code_hash) return Status::kBadProof;
 
   // 3. Fetch and verify each storage record against the storage root.
@@ -49,8 +62,11 @@ Status BlockSynchronizer::sync_account(const Address& addr,
     u256 value;
   };
   std::vector<VerifiedSlot> slots;
-  for (const u256& key : keys) {
-    const auto storage_response = node_.fetch_storage(addr, key);
+  for (const u256& key : task.verify_keys) {
+    auto storage_response = node_.fetch_storage(addr, key, state_root_);
+    if (storage_proof_tamper_ && storage_proof_tamper_(addr, key)) {
+      tamper_proof(storage_response.proof);
+    }
     const H256 slot_key = crypto::keccak256(key.to_be_bytes_vec());
     const auto check = MerklePatriciaTrie::verify_proof(
         account.storage_root, slot_key.view(), storage_response.proof);
@@ -65,43 +81,136 @@ Status BlockSynchronizer::sync_account(const Address& addr,
     ++verified_slots_;
   }
 
-  // 4. Everything verified: build and install pages.
-  oram::AccountMetaPage meta;
-  meta.balance = account.balance;
-  meta.nonce = account.nonce;
-  meta.code_size = code.size();
-  meta.code_hash = account.code_hash;
-  client.write(oram::page_id(oram::PageType::kAccountMeta, addr, u256{}),
-               meta.serialize());
-  ++installed_pages_;
+  // 4. Everything verified: STAGE pages (the caller installs — possibly
+  // only after every other account of a delta verified too).
+  if (task.install_meta) {
+    oram::AccountMetaPage meta;
+    meta.balance = account.balance;
+    meta.nonce = account.nonce;
+    meta.code_size = code.size();
+    meta.code_hash = account.code_hash;
+    out.push_back({oram::page_id(oram::PageType::kAccountMeta, addr, u256{}),
+                   meta.serialize()});
+  }
 
-  // Storage groups (keys grouped by key/32; absent records stay zero).
+  // Storage groups (keys grouped by key/32; absent records stay zero). Only
+  // groups in install_groups are staged — for a delta, the verify_keys of a
+  // changed group cover every live slot of that group plus the slots that
+  // went to zero, so the staged page is complete for the new state.
   std::unordered_map<u256, oram::StorageGroupPage, U256Hasher> groups;
   for (const VerifiedSlot& slot : slots) {
     groups[slot.key >> 5].values[slot.key.as_u64() & 31] = slot.value;
   }
-  for (const auto& [group_index, page] : groups) {
-    client.write(oram::page_id(oram::PageType::kStorageGroup, addr, group_index),
-                 page.serialize());
-    ++installed_pages_;
+  for (const u256& group_index : task.install_groups) {
+    const auto it = groups.find(group_index);
+    const oram::StorageGroupPage page =
+        it == groups.end() ? oram::StorageGroupPage{} : it->second;
+    out.push_back({oram::page_id(oram::PageType::kStorageGroup, addr, group_index),
+                   page.serialize()});
   }
 
-  for (size_t off = 0; off < code.size(); off += oram::kPageSize) {
-    const size_t n = std::min(oram::kPageSize, code.size() - off);
-    Bytes page(code.begin() + static_cast<long>(off),
-               code.begin() + static_cast<long>(off + n));
-    page.resize(oram::kPageSize, 0);
-    client.write(oram::page_id(oram::PageType::kCode, addr, u256{off / oram::kPageSize}),
-                 page);
-    ++installed_pages_;
+  if (task.install_code) {
+    for (size_t off = 0; off < code.size(); off += oram::kPageSize) {
+      const size_t n = std::min(oram::kPageSize, code.size() - off);
+      Bytes page(code.begin() + static_cast<long>(off),
+                 code.begin() + static_cast<long>(off + n));
+      page.resize(oram::kPageSize, 0);
+      out.push_back(
+          {oram::page_id(oram::PageType::kCode, addr, u256{off / oram::kPageSize}),
+           page});
+    }
   }
   return Status::kOk;
 }
 
+void BlockSynchronizer::install(const std::vector<PendingPage>& pages,
+                                oram::OramClient& client) {
+  for (const PendingPage& page : pages) {
+    client.write(page.id, page.data);
+    if (registry_) registry_->tag(page.id);
+    ++installed_pages_;
+  }
+}
+
+Status BlockSynchronizer::sync_account(const Address& addr,
+                                       const std::vector<u256>& keys,
+                                       oram::OramClient& client) {
+  AccountTask task;
+  task.addr = addr;
+  task.verify_keys = keys;
+  std::unordered_set<u256, U256Hasher> seen;
+  for (const u256& key : keys) {
+    if (seen.insert(key >> 5).second) task.install_groups.push_back(key >> 5);
+  }
+  std::sort(task.install_groups.begin(), task.install_groups.end());
+
+  std::vector<PendingPage> pending;
+  const Status status = verify_account_task(task, pending);
+  if (status != Status::kOk) return status;  // nothing installed: fail closed
+  install(pending, client);
+  return Status::kOk;
+}
+
 Status BlockSynchronizer::sync_all(oram::OramClient& client) {
-  for (const Address& addr : node_.world().all_accounts()) {
-    const Status status = sync_account(addr, node_.world().storage_keys(addr), client);
+  // Enumerate from the snapshot pinned by the trusted root when the node has
+  // one (the live-chain path); fall back to the node's current world for the
+  // pre-first-block setup flow.
+  const auto pinned = node_.world_at(state_root_);
+  const state::WorldState& world = pinned ? *pinned : node_.world();
+  for (const Address& addr : world.all_accounts()) {
+    const Status status = sync_account(addr, world.storage_keys(addr), client);
     if (status != Status::kOk) return status;
+  }
+  return Status::kOk;
+}
+
+Status BlockSynchronizer::sync_delta(const state::WorldState& old_world,
+                                     oram::OramClient& client, DeltaReport* report) {
+  const auto pinned = node_.world_at(state_root_);
+  if (!pinned) return Status::kNotFound;
+  const state::WorldState& new_world = *pinned;
+
+  const state::StateDelta delta = state::diff_worlds(old_world, new_world);
+
+  // Phase 1: verify every changed account and stage its pages. A group page
+  // holds 32 slots, so re-installing a changed group requires proving every
+  // live slot of that group in the new state — plus the changed slots
+  // themselves, so a slot that went to zero is proven absent (and the stale
+  // value in the old page gets overwritten with the proven zero).
+  std::vector<PendingPage> pending;
+  uint64_t slots_reverified = 0;
+  for (const auto& account_delta : delta.accounts) {
+    AccountTask task;
+    task.addr = account_delta.addr;
+    task.install_meta = account_delta.meta_changed || account_delta.code_changed;
+    task.install_code = account_delta.code_changed;
+
+    std::unordered_set<u256, U256Hasher> changed_groups;
+    for (const u256& key : account_delta.changed_keys) changed_groups.insert(key >> 5);
+    task.verify_keys = account_delta.changed_keys;
+    for (const u256& key : new_world.storage_keys(account_delta.addr)) {
+      if (changed_groups.count(key >> 5)) task.verify_keys.push_back(key);
+    }
+    std::sort(task.verify_keys.begin(), task.verify_keys.end());
+    task.verify_keys.erase(
+        std::unique(task.verify_keys.begin(), task.verify_keys.end()),
+        task.verify_keys.end());
+    task.install_groups.assign(changed_groups.begin(), changed_groups.end());
+    std::sort(task.install_groups.begin(), task.install_groups.end());
+
+    const Status status = verify_account_task(task, pending);
+    if (status != Status::kOk) return status;  // NOTHING installed: fail closed
+    slots_reverified += task.verify_keys.size();
+  }
+
+  // Phase 2: every datum of the delta verified against the trusted root —
+  // only now touch the ORAM.
+  install(pending, client);
+
+  if (report) {
+    report->accounts_changed = delta.accounts.size();
+    report->slots_reverified = slots_reverified;
+    report->pages_installed = pending.size();
   }
   return Status::kOk;
 }

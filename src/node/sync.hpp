@@ -6,11 +6,28 @@
 // (proven) code hash. Once a page is inside the ORAM, AES-GCM protects its
 // integrity, so no Merkle proofs are ever fetched during pre-execution —
 // which is also what keeps pre-execution queries oblivious.
+//
+// Live-chain additions (PR 4):
+//  - every fetch is PINNED to the trusted state root, not to the node's
+//    head: the chain may advance (or reorg) mid-sync, and a proof fetched
+//    against a newer head would not verify against the root the user
+//    trusts;
+//  - sync_delta() re-verifies and re-installs only the accounts/slots that
+//    changed between two states — the steady-state path once the initial
+//    full sync is done — and is atomic: every datum of the delta is
+//    verified BEFORE the first page is installed, so a proof failure
+//    anywhere leaves the ORAM exactly as it was (fail closed; a partial
+//    install would mix two states and silently corrupt every pinned
+//    session);
+//  - installed pages are version-tagged with a state-root epoch through an
+//    optional oram::EpochRegistry (see oram/epoch.hpp).
+// sync_account() keeps the same verify-all-then-install order per account.
 #pragma once
 
 #include <functional>
 
 #include "node/node.hpp"
+#include "oram/epoch.hpp"
 #include "oram/paged_state.hpp"
 
 namespace hardtape::node {
@@ -29,27 +46,68 @@ class BlockSynchronizer {
   Status sync_account(const Address& addr, const std::vector<u256>& keys,
                       oram::OramClient& client);
 
-  /// Full sync: every account and every storage key the node reports.
-  /// (A real deployment walks the state trie; the simulator enumerates.)
+  /// Full sync: every account and every storage key the pinned state
+  /// reports. (A real deployment walks the state trie; the simulator
+  /// enumerates.)
   Status sync_all(oram::OramClient& client);
+
+  /// Incremental sync from `old_world` (the previously installed snapshot)
+  /// to the trusted root: re-verifies only changed accounts, re-proves only
+  /// changed slots, and installs all-or-nothing (see file comment). Returns
+  /// kNotFound when the node has no snapshot for the trusted root.
+  struct DeltaReport {
+    uint64_t accounts_changed = 0;
+    uint64_t slots_reverified = 0;
+    uint64_t pages_installed = 0;
+  };
+  Status sync_delta(const state::WorldState& old_world, oram::OramClient& client,
+                    DeltaReport* report = nullptr);
 
   uint64_t verified_accounts() const { return verified_accounts_; }
   uint64_t verified_slots() const { return verified_slots_; }
   uint64_t installed_pages() const { return installed_pages_; }
 
-  /// Fault-injection hook (the node feed is SP-controlled): when the hook
-  /// returns true for an account, a byte of its fetched Merkle proof is
-  /// flipped before verification — a stale/tampered node response — which
-  /// the real proof check then rejects with kBadProof. Nothing from the
-  /// affected account is installed (fail closed).
+  /// When set, every installed page is tagged with the registry's open
+  /// epoch. The caller owns the begin/commit/abort bracket.
+  void set_epoch_registry(oram::EpochRegistry* registry) { registry_ = registry; }
+
+  /// Fault-injection hooks (the node feed is SP-controlled): when a hook
+  /// returns true for an account (or an account's storage slot), a byte of
+  /// the fetched Merkle proof is flipped before verification — a stale or
+  /// tampered node response — which the real proof check then rejects with
+  /// kBadProof. Nothing from the affected account (for sync_account) or the
+  /// whole delta (for sync_delta) is installed: fail closed.
   void set_proof_tamper(std::function<bool(const Address&)> hook) {
     proof_tamper_ = std::move(hook);
   }
+  void set_storage_proof_tamper(std::function<bool(const Address&, const u256&)> hook) {
+    storage_proof_tamper_ = std::move(hook);
+  }
 
  private:
+  struct PendingPage {
+    oram::BlockId id;
+    Bytes data;
+  };
+  /// One account's verify work: which slots to (re-)prove and which of the
+  /// resulting pages to stage for installation.
+  struct AccountTask {
+    Address addr;
+    std::vector<u256> verify_keys;      ///< slots to prove against the root
+    std::vector<u256> install_groups;   ///< group indices to stage (sorted)
+    bool install_meta = true;
+    bool install_code = true;
+  };
+  /// Verifies the task against state_root_ and stages pages into `out`.
+  /// Installs NOTHING; any failure leaves `out` meaningless.
+  Status verify_account_task(const AccountTask& task, std::vector<PendingPage>& out);
+  void install(const std::vector<PendingPage>& pages, oram::OramClient& client);
+
   const NodeSimulator& node_;
   H256 state_root_;
+  oram::EpochRegistry* registry_ = nullptr;
   std::function<bool(const Address&)> proof_tamper_;
+  std::function<bool(const Address&, const u256&)> storage_proof_tamper_;
   uint64_t verified_accounts_ = 0;
   uint64_t verified_slots_ = 0;
   uint64_t installed_pages_ = 0;

@@ -25,6 +25,8 @@ const char* to_string(TraceCode code) {
     case TraceCode::kBundleStart: return "bundle_start";
     case TraceCode::kBundleComplete: return "bundle_complete";
     case TraceCode::kBundleRequeue: return "bundle_requeue";
+    case TraceCode::kBundleResim: return "bundle_resim";
+    case TraceCode::kEpochAdvance: return "epoch_advance";
   }
   return "unknown";
 }

@@ -54,6 +54,8 @@ enum class TraceCode : uint16_t {
   kBundleStart = 0x301,
   kBundleComplete = 0x302,
   kBundleRequeue = 0x303,
+  kBundleResim = 0x304,   ///< outcome orphaned by a reorg, re-executed
+  kEpochAdvance = 0x305,  ///< engine re-pinned to a newer chain snapshot
 };
 const char* to_string(TraceCode code);
 

@@ -1,0 +1,130 @@
+// State-root epoch tagging for installed ORAM pages (PR 4).
+//
+// The ORAM holds exactly one version of the world state at a time, but a
+// live chain keeps moving underneath it: every (re-)synchronization installs
+// pages verified against one specific trusted state root. The registry pins
+// that relationship chip-side:
+//  - each sync pass opens an *epoch* — a monotone counter bound to the
+//    (state root, block number) the pass verified against;
+//  - every page the pass installs is tagged with that epoch (a page that a
+//    delta sync did NOT touch keeps its older tag: it was verified at an
+//    earlier epoch and is still byte-identical in the newer state);
+//  - the *store epoch* is the most recently completed pass. A session
+//    pinned to epoch E is only sound while the store epoch is E — every
+//    page it reads then carries a tag <= E, i.e. data verified against a
+//    root on E's canonical history.
+// The engine checks store_epoch() at session start and end: a mismatch
+// means the store was re-synced mid-session and the outcome must be thrown
+// away and re-executed (never reported) — the page tags make that audit a
+// cheap integer compare instead of a per-read proof.
+//
+// Thread safety: all methods lock; begin/commit are called from the (single)
+// resync path, tag() from the installer, readers from anywhere.
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/errors.hpp"
+#include "oram/path_oram.hpp"
+
+namespace hardtape::oram {
+
+class EpochRegistry {
+ public:
+  struct Pin {
+    uint64_t epoch = 0;
+    H256 state_root{};
+    uint64_t block_number = 0;
+  };
+
+  /// Opens epoch store_epoch()+1 for `root`. Pages tagged until commit()
+  /// belong to it. Only one pass may be open at a time.
+  uint64_t begin(const H256& root, uint64_t block_number) {
+    std::lock_guard lock(mu_);
+    if (open_) throw UsageError("epoch: previous sync pass not committed");
+    open_ = true;
+    pending_ = Pin{history_.empty() ? 0 : history_.back().epoch + 1, root, block_number};
+    return pending_.epoch;
+  }
+
+  /// Tags one installed page with the open pass's epoch.
+  void tag(const BlockId& page) {
+    std::lock_guard lock(mu_);
+    if (!open_) throw UsageError("epoch: tag() outside a sync pass");
+    tags_[page] = pending_.epoch;
+    ++pages_tagged_;
+  }
+
+  /// Completes the open pass: the store epoch advances to it. On abort()
+  /// instead, the tags written by the pass are already in place but the
+  /// store epoch does not advance — callers must only abort passes that
+  /// installed nothing (the synchronizer's verify-then-install order
+  /// guarantees that for any verification failure).
+  void commit() {
+    std::lock_guard lock(mu_);
+    if (!open_) throw UsageError("epoch: commit() outside a sync pass");
+    open_ = false;
+    history_.push_back(pending_);
+  }
+  void abort() {
+    std::lock_guard lock(mu_);
+    open_ = false;
+  }
+
+  /// The last committed pass (epoch 0 exists only after the initial sync).
+  std::optional<Pin> current() const {
+    std::lock_guard lock(mu_);
+    if (history_.empty()) return std::nullopt;
+    return history_.back();
+  }
+  uint64_t store_epoch() const {
+    std::lock_guard lock(mu_);
+    return history_.empty() ? 0 : history_.back().epoch;
+  }
+  std::optional<Pin> at(uint64_t epoch) const {
+    std::lock_guard lock(mu_);
+    for (const Pin& pin : history_) {
+      if (pin.epoch == epoch) return pin;
+    }
+    return std::nullopt;
+  }
+
+  /// Install-epoch of one page (nullopt = never installed). A reader pinned
+  /// to epoch E must only ever observe tags <= E; a larger tag is a
+  /// staleness violation (the store outran the session).
+  std::optional<uint64_t> page_epoch(const BlockId& page) const {
+    std::lock_guard lock(mu_);
+    const auto it = tags_.find(page);
+    if (it == tags_.end()) return std::nullopt;
+    return it->second;
+  }
+  /// Largest tag currently in the store — used by the soak harness to audit
+  /// that no page claims an epoch newer than the committed store epoch.
+  uint64_t max_page_epoch() const {
+    std::lock_guard lock(mu_);
+    uint64_t max_epoch = 0;
+    for (const auto& [page, epoch] : tags_) max_epoch = std::max(max_epoch, epoch);
+    return max_epoch;
+  }
+  uint64_t pages_tagged() const {
+    std::lock_guard lock(mu_);
+    return pages_tagged_;
+  }
+  size_t distinct_pages() const {
+    std::lock_guard lock(mu_);
+    return tags_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  bool open_ = false;
+  Pin pending_{};
+  std::vector<Pin> history_;
+  std::unordered_map<BlockId, uint64_t, U256Hasher> tags_;
+  uint64_t pages_tagged_ = 0;
+};
+
+}  // namespace hardtape::oram

@@ -36,6 +36,9 @@ bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b) {
       a.faults_seen != b.faults_seen) {
     return false;
   }
+  if (a.epoch != b.epoch || a.state_root != b.state_root || a.resim != b.resim) {
+    return false;
+  }
   if (a.end_to_end_ns != b.end_to_end_ns || a.hevm_time_ns != b.hevm_time_ns ||
       a.crypto_time_ns != b.crypto_time_ns || a.message_time_ns != b.message_time_ns) {
     return false;
@@ -160,26 +163,222 @@ PreExecutionEngine::~PreExecutionEngine() {
 }
 
 Status PreExecutionEngine::synchronize() {
-  if (!oram_enabled()) return Status::kOk;
-  node::BlockSynchronizer sync(node_, node_.head().state_root);
+  node::PinnedBlock head = node_.pinned_head();
+  if (!oram_enabled()) {
+    std::lock_guard lock(pin_mu_);
+    pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
+                          std::move(head.world)};
+    return Status::kOk;
+  }
+  epoch_registry_.begin(head.header.state_root, head.header.number);
+  node::BlockSynchronizer sync(node_, head.header.state_root);
+  sync.set_epoch_registry(&epoch_registry_);
   if (config_.fault_plan != nullptr) {
     // The node feed is SP-controlled too (paper §III): let the plan corrupt
     // account responses at sync time; the real Merkle verification rejects
-    // them with kBadProof and nothing is installed. Stream 0 = the single
-    // synchronize pass; the op index counts accounts in enumeration order.
+    // them with kBadProof and nothing is installed. Stream = the sync pass
+    // index (0 here); the op index counts accounts in enumeration order.
     faults::FaultPlan* plan = config_.fault_plan;
+    const uint64_t stream = sync_passes_;
     auto op = std::make_shared<uint64_t>(0);
-    sync.set_proof_tamper([plan, op](const Address&) {
-      return plan->decide(faults::FaultSite::kNodeFetch, 0, (*op)++).kind ==
+    sync.set_proof_tamper([plan, stream, op](const Address&) {
+      return plan->decide(faults::FaultSite::kNodeFetch, stream, (*op)++).kind ==
              faults::FaultKind::kStaleProof;
     });
   }
-  return sync.sync_all(oram_client_);
+  const Status status = sync.sync_all(oram_client_);
+  if (status != Status::kOk) {
+    // The full sync rejected a proof: the engine is unusable (unlike a
+    // delta, a full sync is not staged all-or-nothing). Callers discard it.
+    epoch_registry_.abort();
+    return status;
+  }
+  epoch_registry_.commit();
+  ++sync_passes_;
+  std::lock_guard lock(pin_mu_);
+  pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
+                        std::move(head.world)};
+  return Status::kOk;
+}
+
+void PreExecutionEngine::ensure_pinned() {
+  std::lock_guard lock(pin_mu_);
+  if (pin_.world != nullptr) return;
+  node::PinnedBlock head = node_.pinned_head();
+  pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
+                        std::move(head.world)};
+}
+
+bool PreExecutionEngine::needs_resync() const {
+  std::lock_guard lock(pin_mu_);
+  if (pin_.world == nullptr) return false;
+  if (!node_.is_canonical_root(pin_.header.state_root)) return true;
+  return node_.head_number() > pin_.header.number + config_.max_head_lag;
+}
+
+void PreExecutionEngine::quiesce() {
+  std::unique_lock lock(results_mu_);
+  idle_cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+node::BlockHeader PreExecutionEngine::pinned_header() const {
+  std::lock_guard lock(pin_mu_);
+  return pin_.header;
+}
+
+uint64_t PreExecutionEngine::pinned_epoch() const {
+  std::lock_guard lock(pin_mu_);
+  return pin_.epoch;
+}
+
+Status PreExecutionEngine::resync() {
+  std::lock_guard serial(resync_mu_);
+  ensure_pinned();
+  // Quiesce: every queued bundle resolves before the world moves underneath
+  // the pool. This is what makes the bundle -> epoch mapping a function of
+  // the caller's submit/tick interleaving alone (worker-count independent).
+  quiesce();
+
+  node::PinnedBlock head = node_.pinned_head();
+  PinnedSnapshot old;
+  {
+    std::lock_guard lock(pin_mu_);
+    old = pin_;
+  }
+  if (head.header.state_root != old.header.state_root) {
+    if (oram_enabled()) {
+      // Delta-sync the ORAM from the pinned snapshot to the new trusted
+      // root. All-or-nothing: on any proof failure nothing was installed,
+      // the old pin stays, and the engine keeps answering at the old (still
+      // verified) snapshot — fail closed, never mixed state.
+      epoch_registry_.begin(head.header.state_root, head.header.number);
+      node::BlockSynchronizer sync(node_, head.header.state_root);
+      sync.set_epoch_registry(&epoch_registry_);
+      if (config_.fault_plan != nullptr) {
+        faults::FaultPlan* plan = config_.fault_plan;
+        const uint64_t stream = sync_passes_;
+        auto op = std::make_shared<uint64_t>(0);
+        sync.set_proof_tamper([plan, stream, op](const Address&) {
+          return plan->decide(faults::FaultSite::kNodeFetch, stream, (*op)++).kind ==
+                 faults::FaultKind::kStaleProof;
+        });
+      }
+      const Status status = sync.sync_delta(*old.world, oram_client_, nullptr);
+      if (status != Status::kOk) {
+        epoch_registry_.abort();
+        return status;
+      }
+      epoch_registry_.commit();
+    }
+    ++sync_passes_;
+  }
+  {
+    // Same root (empty blocks): just clear the lag — the state is unchanged
+    // so neither the ORAM nor the epoch moves. Otherwise adopt the new pin.
+    std::lock_guard lock(pin_mu_);
+    pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
+                          std::move(head.world)};
+  }
+  resyncs_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.trace != nullptr) {
+    config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
+                                   static_cast<uint16_t>(obs::TraceCode::kEpochAdvance),
+                                   /*sim_ns=*/0, epoch_registry_.store_epoch(),
+                                   head.header.number);
+  }
+  resimulate_orphans();
+  return Status::kOk;
+}
+
+PreExecutionEngine::Worker& PreExecutionEngine::resim_worker() {
+  if (resim_worker_ == nullptr) {
+    auto worker = std::make_unique<Worker>();
+    worker->id = -2;
+    hevm::HevmCore::Config core_config = config_.core;
+    if (config_.trace != nullptr) {
+      worker->trace = &config_.trace->ring(-1);
+      core_config.trace = worker->trace;
+    }
+    worker->core = std::make_unique<hevm::HevmCore>(-2, worker->clock, core_config);
+    const crypto::PrivateKey user_key =
+        crypto::PrivateKey::from_seed(setup_rng_.bytes(16));
+    H256 nonce;
+    setup_rng_.fill(nonce.bytes.data(), nonce.bytes.size());
+    const auto session = hypervisor_.begin_session(nonce, user_key.public_key());
+    worker->session_id = session.session_id;
+    worker->channel = &hypervisor_.channel(session.session_id);
+    resim_worker_ = std::move(worker);
+  }
+  return *resim_worker_;
+}
+
+void PreExecutionEngine::resimulate_orphans() {
+  // Pool is quiescent and resync_mu_ is held: results_ may still grow from
+  // breaker refusals at admission, but existing entries are stable and
+  // indices stay valid (append-only), so collect indices under the lock and
+  // re-execute outside it.
+  std::vector<size_t> orphaned;
+  {
+    std::lock_guard lock(results_mu_);
+    for (size_t i = 0; i < results_.size(); ++i) {
+      const SessionOutcome& outcome = results_[i];
+      if (outcome.state_root == H256{}) continue;  // refusal: never executed
+      if (node_.is_canonical_root(outcome.state_root)) continue;
+      orphaned.push_back(i);
+    }
+    // Deterministic re-execution order.
+    std::sort(orphaned.begin(), orphaned.end(), [this](size_t a, size_t b) {
+      return results_[a].bundle_id < results_[b].bundle_id;
+    });
+  }
+  for (const size_t index : orphaned) {
+    uint64_t bundle_id = 0;
+    uint32_t attempt = 0;
+    uint32_t resim = 0;
+    std::vector<evm::Transaction> txs;
+    bool have_txs = false;
+    {
+      std::lock_guard lock(results_mu_);
+      bundle_id = results_[index].bundle_id;
+      attempt = results_[index].attempt;
+      resim = ++resims_[bundle_id];
+      const auto it = bundle_txs_.find(bundle_id);
+      if (it != bundle_txs_.end()) {
+        txs = it->second;
+        have_txs = true;
+      }
+    }
+    SessionOutcome replacement;
+    if (!have_txs || static_cast<int>(resim) > config_.max_resim_attempts) {
+      // Budget exhausted (or the bundle was never queued through submit()):
+      // fail closed. No traces against a root the chain lost ever surface.
+      replacement.bundle_id = bundle_id;
+      replacement.attempt = attempt;
+      replacement.status = Status::kStale;
+      replacement.epoch = pinned_epoch();
+    } else {
+      bundle_resims_.fetch_add(1, std::memory_order_relaxed);
+      if (config_.trace != nullptr) {
+        config_.trace->ring(-1).append(
+            obs::TraceCategory::kBundle,
+            static_cast<uint16_t>(obs::TraceCode::kBundleResim), /*sim_ns=*/0,
+            bundle_id, resim);
+      }
+      // Fresh attempt number -> fresh fault/noise streams, same bundle RNG:
+      // the re-execution is as deterministic as the original.
+      replacement = execute_session(bundle_id, attempt + 1, txs, resim_worker());
+      register_attempt(replacement);
+    }
+    replacement.resim = resim;
+    std::lock_guard lock(results_mu_);
+    results_[index] = std::move(replacement);
+  }
 }
 
 void PreExecutionEngine::start() {
   if (started_) throw UsageError("engine: already started");
   started_ = true;
+  ensure_pinned();
   wall_timer_.restart();
   for (int i = 0; i < config_.num_hevms; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -235,6 +434,16 @@ Admission PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
     record_outcome(std::move(refused), 0, nullptr);
     return {id, Status::kUnavailable};
   }
+  // Staleness gate (PR 4): when the chain outran the pin (or orphaned it),
+  // re-pin before this bundle is admitted, so it executes against a snapshot
+  // within the staleness budget. A failed re-sync keeps the old pin (fail
+  // closed) and the bundle proceeds against it.
+  if (config_.auto_resync && needs_resync()) (void)resync();
+  {
+    std::lock_guard lock(results_mu_);
+    ++outstanding_;
+    bundle_txs_[id] = bundle;  // kept for reorg-triggered re-execution
+  }
   if (!queue_.push(QueueItem{id, std::move(bundle), std::chrono::steady_clock::now(), 0})) {
     throw UsageError("engine: queue closed");
   }
@@ -249,6 +458,10 @@ std::vector<SessionOutcome> PreExecutionEngine::drain() {
     }
     if (watchdog_ != nullptr) watchdog_->stop();
     for (auto& worker : workers_) hypervisor_.end_session(worker->session_id);
+    if (resim_worker_ != nullptr) {
+      hypervisor_.end_session(resim_worker_->session_id);
+      resim_worker_.reset();
+    }
     {
       std::lock_guard lock(results_mu_);
       wall_elapsed_ns_ = wall_timer_.elapsed_ns();
@@ -326,6 +539,10 @@ void PreExecutionEngine::record_outcome(SessionOutcome outcome, uint64_t queued_
   if (worker != nullptr) {
     ++worker->bundles;
     worker->busy_sim_ns += outcome.end_to_end_ns;
+    // Queued bundle resolved (admission refusals come in with a null worker
+    // and were never counted): unblock a quiescing resync.
+    if (outstanding_ > 0) --outstanding_;
+    idle_cv_.notify_all();
   }
   results_.push_back(std::move(outcome));
 }
@@ -337,6 +554,17 @@ SessionOutcome PreExecutionEngine::execute_session(
   outcome.bundle_id = bundle_id;
   outcome.worker_id = worker.id;
   outcome.attempt = attempt;
+
+  // Snapshot the pin once at session start: the whole session reads one
+  // immutable world at one block context, no matter what the node does
+  // meanwhile. The outcome carries the pin so staleness is auditable.
+  PinnedSnapshot pin;
+  {
+    std::lock_guard lock(pin_mu_);
+    pin = pin_;
+  }
+  outcome.epoch = pin.epoch;
+  if (pin.world != nullptr) outcome.state_root = pin.header.state_root;
 
   // Fresh per-session time and randomness (see determinism contract above).
   worker.clock.reset();
@@ -398,7 +626,9 @@ SessionOutcome PreExecutionEngine::execute_session(
   // --- execute on the worker's dedicated HEVM (steps 4-8) ---
   RoutedStateReader::Timing timing = config_.timing;
   timing.clock = &clock;
-  RoutedStateReader routed(node_.world(), oram_enabled() ? &oram_state_ : nullptr,
+  const state::WorldState& local_world =
+      pin.world != nullptr ? *pin.world : node_.world();
+  RoutedStateReader routed(local_world, oram_enabled() ? &oram_state_ : nullptr,
                            config_.security, timing);
   crypto::AesKey128 session_key;
   rng.fill(session_key.data(), session_key.size());
@@ -406,7 +636,10 @@ SessionOutcome PreExecutionEngine::execute_session(
   // directly — like the fault schedule, never from a shared RNG's call order
   // — so swap traces are identical at any worker count and a retried bundle
   // still re-rolls its padding.
-  worker.core->assign(routed, node_.block_context(), session_key,
+  worker.core->assign(routed,
+                      pin.world != nullptr ? node_.block_context_at(pin.header)
+                                           : node_.block_context(),
+                      session_key,
                       memlayer::noise_stream(config_.seed, bundle_id, attempt));
 
   const sim::SimStopwatch exec(clock);
@@ -478,6 +711,7 @@ SessionOutcome PreExecutionEngine::execute_session(
 
 std::vector<SessionOutcome> PreExecutionEngine::execute_serial(
     const std::vector<std::vector<evm::Transaction>>& bundles) {
+  ensure_pinned();
   Worker serial;
   serial.id = -1;
   hevm::HevmCore::Config core_config = config_.core;
@@ -521,6 +755,9 @@ EngineMetrics PreExecutionEngine::snapshot() const {
   m.bundle_requeues = bundle_requeues_.load(std::memory_order_relaxed);
   m.watchdog_stalls = watchdog_ != nullptr ? watchdog_->stalls_detected() : 0;
   m.circuit_open = breaker_open();
+  m.resyncs = resyncs_.load(std::memory_order_relaxed);
+  m.bundle_resims = bundle_resims_.load(std::memory_order_relaxed);
+  m.store_epoch = epoch_registry_.store_epoch();
 
   std::lock_guard lock(results_mu_);
   m.bundles_completed = results_.size();
@@ -529,6 +766,8 @@ EngineMetrics PreExecutionEngine::snapshot() const {
       if (outcome.faults_seen > 0 || outcome.attempt > 0) ++m.bundles_recovered;
     } else if (outcome.status == Status::kUnavailable) {
       ++m.bundles_unavailable;
+    } else if (outcome.status == Status::kStale) {
+      ++m.bundles_stale;
     } else {
       ++m.bundles_aborted;
     }
@@ -624,6 +863,10 @@ void PreExecutionEngine::publish_metrics(const EngineMetrics& m) const {
   set("hardtape_engine_bundle_requeues", static_cast<double>(m.bundle_requeues));
   set("hardtape_engine_watchdog_stalls", static_cast<double>(m.watchdog_stalls));
   set("hardtape_engine_circuit_open", m.circuit_open ? 1.0 : 0.0);
+  set("hardtape_engine_resyncs", static_cast<double>(m.resyncs));
+  set("hardtape_engine_bundle_resims", static_cast<double>(m.bundle_resims));
+  set("hardtape_engine_bundles_stale", static_cast<double>(m.bundles_stale));
+  set("hardtape_engine_store_epoch", static_cast<double>(m.store_epoch));
   for (const auto& ws : m.workers) {
     set("hardtape_engine_worker" + std::to_string(ws.worker_id) + "_utilization",
         ws.utilization);

@@ -42,16 +42,32 @@
 //     terminates in bounded simulated time.
 // A wall-clock Watchdog (service/watchdog.hpp) additionally flags worker
 // threads that stop making host progress; it is diagnostics-only.
+//
+// Live-chain model (PR 4): the node keeps producing blocks — and reorging —
+// while bundles queue. The engine therefore pins every session to an
+// immutable snapshot of one specific block (synchronize() pins the first;
+// outcomes carry the pinned state root + store epoch). When the head outruns
+// the pin by more than max_head_lag, or a reorg orphans the pinned root,
+// resync() quiesces the pool, delta-syncs the ORAM against the new trusted
+// root (all-or-nothing, epoch-tagged — see oram/epoch.hpp), and
+// re-executes every outcome whose root the canonical chain lost; a bundle
+// that burns max_resim_attempts such rounds resolves as the fail-closed
+// Status::kStale. The determinism contract extends to all of it: outcomes
+// (including which bundles go stale) depend only on the seeded submit/tick
+// interleaving the caller drives, never on worker count.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "faults/fault_plan.hpp"
 #include "faults/faulty_oram.hpp"
 #include "obs/metrics.hpp"
+#include "oram/epoch.hpp"
 #include "oram/frontend.hpp"
 #include "service/bundle_queue.hpp"
 #include "service/pre_execution.hpp"
@@ -98,6 +114,18 @@ struct EngineConfig {
   bool watchdog_enabled = true;
   uint64_t watchdog_stall_ms = 2'000;
 
+  // --- live-chain staleness policy (PR 4) ---
+  /// Blocks the chain head may advance past the engine's pinned snapshot
+  /// before an admission triggers a delta re-sync + re-pin (0 = re-sync on
+  /// any lag). A reorg that orphans the pinned root always triggers one.
+  /// Only consulted when auto_resync is set; resync() is always available.
+  uint64_t max_head_lag = 4;
+  /// Re-execution rounds one bundle may consume after reorgs orphan the
+  /// root its outcome ran against, before it resolves as kStale.
+  int max_resim_attempts = 2;
+  /// Check staleness at every submit() and re-sync automatically.
+  bool auto_resync = true;
+
   // --- observability (PR 3) ---
   /// Optional trace sink (must outlive the engine). When set, each worker's
   /// HEVM/pager emits into the sink's ring for that worker id, the shared
@@ -123,6 +151,14 @@ struct SessionOutcome {
   uint64_t recovery_sim_ns = 0;  ///< simulated time spent in retry/backoff
   uint32_t oram_retries = 0;     ///< ORAM requests re-issued after timeouts
   uint32_t faults_seen = 0;      ///< faulty backend attempts observed
+  /// Live-chain pinning (PR 4): the snapshot this session executed against.
+  /// A refusal that never executed (kUnavailable at admission, kStale after
+  /// the resim budget) carries a zero state_root — it ran against nothing.
+  uint64_t epoch = 0;   ///< engine store epoch at execution time
+  H256 state_root{};    ///< pinned state root the session read
+  /// Re-execution rounds this bundle went through after reorgs orphaned the
+  /// root of an earlier outcome (0 = the original result stands).
+  uint32_t resim = 0;
   hevm::BundleReport report;
   uint64_t end_to_end_ns = 0;
   uint64_t hevm_time_ns = 0;
@@ -179,6 +215,12 @@ struct EngineMetrics {
   uint64_t watchdog_stalls = 0;      ///< wall-clock stall episodes flagged
   bool circuit_open = false;
 
+  // --- live-chain staleness (PR 4; zero on a static chain) ---
+  uint64_t resyncs = 0;        ///< re-pin passes (delta or same-root) applied
+  uint64_t bundle_resims = 0;  ///< outcomes re-executed after a reorg
+  uint64_t bundles_stale = 0;  ///< resolved kStale (resim budget exhausted)
+  uint64_t store_epoch = 0;    ///< committed epoch of the ORAM store
+
   struct WorkerStats {
     int worker_id = 0;
     uint64_t bundles = 0;
@@ -207,8 +249,28 @@ class PreExecutionEngine {
   PreExecutionEngine(const PreExecutionEngine&) = delete;
   PreExecutionEngine& operator=(const PreExecutionEngine&) = delete;
 
-  /// Step 11: verify the node's state and install it into the ORAM.
+  /// Step 11: verify the node's state and install it into the ORAM. Also
+  /// pins the engine to the node's head snapshot: every session executes
+  /// against that immutable snapshot (and its block context) until a
+  /// resync() re-pins — never against whatever the node's mutable world
+  /// happens to hold mid-bundle.
   Status synchronize();
+
+  /// Re-pins the engine to the node's current head: quiesces the pool
+  /// (waits for every queued bundle to resolve), delta-syncs the ORAM
+  /// against the new trusted root (all-or-nothing; on verification failure
+  /// the old pin is kept — fail closed), advances the store epoch, and
+  /// deterministically re-executes every recorded outcome whose pinned root
+  /// the chain no longer contains. A bundle that exhausts max_resim_attempts
+  /// such rounds resolves as kStale. Called automatically from submit()
+  /// when auto_resync is set; safe to call manually between start() and
+  /// drain(). Serialized against concurrent callers.
+  Status resync();
+
+  /// The snapshot sessions are currently pinned to (for tests/benches).
+  node::BlockHeader pinned_header() const;
+  uint64_t pinned_epoch() const;
+  const oram::EpochRegistry& epoch_registry() const { return epoch_registry_; }
 
   /// Spawns the worker pool: per worker, one hypervisor session (secure
   /// channel) and one dedicated HevmCore. Call once, before submit().
@@ -283,10 +345,29 @@ class PreExecutionEngine {
     obs::TraceRing* trace = nullptr;  ///< this worker's ring (null = off)
   };
 
+  /// The engine-side pin: which immutable chain snapshot sessions read.
+  struct PinnedSnapshot {
+    uint64_t epoch = 0;
+    node::BlockHeader header;
+    std::shared_ptr<const state::WorldState> world;
+  };
+
   void worker_loop(Worker& worker);
   SessionOutcome execute_session(uint64_t bundle_id, uint32_t attempt,
                                  const std::vector<evm::Transaction>& bundle,
                                  Worker& worker);
+  /// Pins to the node's head if nothing is pinned yet (engines that skip
+  /// synchronize(), e.g. with the ORAM disabled).
+  void ensure_pinned();
+  /// True when the pinned snapshot violates the staleness policy.
+  bool needs_resync() const;
+  /// Blocks until every queued bundle has resolved to an outcome.
+  void quiesce();
+  /// Re-executes recorded outcomes whose pinned root was orphaned (resync
+  /// tail; pool quiescent, resync_mu_ held).
+  void resimulate_orphans();
+  /// Lazily created scratch worker (id -2) that runs re-executions.
+  Worker& resim_worker();
   /// Feeds the circuit breaker: backend faults count consecutively, a clean
   /// kOk resets the streak.
   void register_attempt(const SessionOutcome& outcome);
@@ -322,6 +403,16 @@ class PreExecutionEngine {
   std::atomic<bool> breaker_open_{false};
   std::atomic<uint64_t> bundle_requeues_{0};
 
+  // --- live-chain pinning (PR 4) ---
+  oram::EpochRegistry epoch_registry_;
+  mutable std::mutex pin_mu_;  ///< guards pin_ (sessions copy it at start)
+  PinnedSnapshot pin_;
+  std::mutex resync_mu_;       ///< serializes resync passes
+  std::unique_ptr<Worker> resim_worker_;  ///< created on first resimulation
+  uint64_t sync_passes_ = 0;   ///< fault-plan stream index for node fetches
+  std::atomic<uint64_t> resyncs_{0};
+  std::atomic<uint64_t> bundle_resims_{0};
+
   /// Unified metrics (obs). The latency histogram is a live instrument fed
   /// by record_outcome; scalar snapshot values are published on snapshot().
   mutable obs::Registry registry_;
@@ -329,6 +420,13 @@ class PreExecutionEngine {
 
   mutable std::mutex results_mu_;  ///< guards everything below
   std::vector<SessionOutcome> results_;
+  /// Queued-but-unresolved bundles; resync()'s quiesce waits on this.
+  uint64_t outstanding_ = 0;
+  std::condition_variable idle_cv_;
+  /// Submitted bundles kept for reorg-triggered re-execution.
+  std::unordered_map<uint64_t, std::vector<evm::Transaction>> bundle_txs_;
+  /// Re-execution rounds consumed per bundle (the kStale budget).
+  std::unordered_map<uint64_t, uint32_t> resims_;
   uint64_t wall_queue_wait_ns_ = 0;
   sim::WallTimer wall_timer_;      ///< restarted at start()
   uint64_t wall_elapsed_ns_ = 0;   ///< frozen at drain()

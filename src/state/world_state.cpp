@@ -111,6 +111,47 @@ std::vector<Address> WorldState::all_accounts() const {
   return out;
 }
 
+StateDelta diff_worlds(const WorldState& from, const WorldState& to) {
+  StateDelta delta;
+  // Union of both account sets, sorted (all_accounts() is already sorted).
+  std::vector<Address> addrs = to.all_accounts();
+  for (const Address& addr : from.all_accounts()) {
+    if (!to.account(addr).has_value()) addrs.push_back(addr);
+  }
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+
+  for (const Address& addr : addrs) {
+    StateDelta::AccountDelta d;
+    d.addr = addr;
+    const auto old_acct = from.account(addr);
+    const auto new_acct = to.account(addr);
+    const bool existed = old_acct.has_value();
+    const bool exists = new_acct.has_value();
+    if (existed != exists) {
+      d.meta_changed = true;
+      d.code_changed = exists && !to.code(addr).empty();
+    } else if (exists) {
+      d.meta_changed = old_acct->balance != new_acct->balance ||
+                       old_acct->nonce != new_acct->nonce ||
+                       old_acct->code_hash != new_acct->code_hash;
+      d.code_changed = old_acct->code_hash != new_acct->code_hash;
+    }
+    // Slot-level diff over the union of both key sets (sorted inputs).
+    std::vector<u256> keys = to.storage_keys(addr);
+    for (const u256& key : from.storage_keys(addr)) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    for (const u256& key : keys) {
+      if (from.storage(addr, key) != to.storage(addr, key)) d.changed_keys.push_back(key);
+    }
+    if (d.meta_changed || d.code_changed || !d.changed_keys.empty()) {
+      delta.accounts.push_back(std::move(d));
+    }
+  }
+  return delta;
+}
+
 std::vector<u256> WorldState::storage_keys(const Address& addr) const {
   std::vector<u256> out;
   const auto it = accounts_.find(addr);

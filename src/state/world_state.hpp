@@ -76,6 +76,30 @@ class WorldState : public StateReader {
   mutable bool trie_dirty_ = true;
 };
 
+/// What changed between two world states, account by account — the work
+/// list of an incremental (delta) ORAM sync: only accounts listed here need
+/// re-verification, and only their changed slots need fresh storage proofs.
+/// Accounts present in `from` but absent in `to` are reported with
+/// `meta_changed` set (the new state proves them absent).
+struct StateDelta {
+  struct AccountDelta {
+    Address addr;
+    bool meta_changed = false;  ///< balance / nonce / code hash / existence
+    bool code_changed = false;
+    std::vector<u256> changed_keys;  ///< slots whose value differs, sorted
+  };
+  std::vector<AccountDelta> accounts;  ///< sorted by address (deterministic)
+  size_t changed_slots() const {
+    size_t n = 0;
+    for (const auto& a : accounts) n += a.changed_keys.size();
+    return n;
+  }
+};
+
+/// Diffs `to` against `from`. Deterministic: output order depends only on
+/// the two states, never on hash-map iteration order.
+StateDelta diff_worlds(const WorldState& from, const WorldState& to);
+
 /// Trivial in-memory StateReader for tests that do not need tries.
 class InMemoryState : public StateReader {
  public:

@@ -302,6 +302,7 @@ TEST(Errors, StatusToString) {
   EXPECT_STREQ(to_string(Status::kTimeout), "timeout");
   EXPECT_STREQ(to_string(Status::kUnavailable), "unavailable");
   EXPECT_STREQ(to_string(Status::kRetryExhausted), "retry-exhausted");
+  EXPECT_STREQ(to_string(Status::kStale), "stale");
 }
 
 // Every Status value must round-trip to a unique human-readable name — a

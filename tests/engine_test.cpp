@@ -224,6 +224,207 @@ TEST_F(EngineTest, MetricsSnapshotIsCoherent) {
 }
 
 // ---------------------------------------------------------------------------
+// Live-chain staleness policy (PR 4): snapshot pinning, auto re-sync,
+// reorg-triggered re-execution, and the kStale budget.
+// ---------------------------------------------------------------------------
+
+TEST_F(EngineTest, OutcomesPinnedToSnapshotDespiteChainAdvance) {
+  const auto bundles = make_bundles(6);
+
+  // Reference against the static chain, computed before anything moves.
+  PreExecutionEngine ref(node_, make_config(SecurityConfig::full(), 1));
+  ASSERT_EQ(ref.synchronize(), Status::kOk);
+  const auto reference = ref.execute_serial(bundles);
+
+  // A huge lag budget means the engine never re-pins: even though the node
+  // keeps producing state-changing blocks mid-run, every session reads the
+  // pinned snapshot and outcomes stay bit-identical to the static chain.
+  auto config = make_config(SecurityConfig::full(), 4);
+  config.max_head_lag = 1'000'000;
+  PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  const H256 pinned = engine.pinned_header().state_root;
+  engine.start();
+  const auto& users = gen_.users();
+  for (size_t i = 0; i < bundles.size(); ++i) {
+    engine.submit(bundles[i]);
+    evm::Transaction tx;
+    tx.from = users[i % users.size()];
+    tx.to = users[(i + 1) % users.size()];
+    tx.value = u256{1 + i};
+    tx.gas_limit = 30'000;
+    node_.produce_block({tx});
+  }
+  const auto outcomes = engine.drain();
+
+  ASSERT_EQ(outcomes.size(), reference.size());
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    EXPECT_TRUE(outcomes_bit_identical(outcomes[i], reference[i])) << "bundle " << i;
+    EXPECT_EQ(outcomes[i].state_root, pinned);
+    EXPECT_EQ(outcomes[i].epoch, 0u);
+  }
+  EXPECT_GT(node_.head_number(), 1u);
+}
+
+TEST_F(EngineTest, AutoResyncAtAdmissionTracksHead) {
+  auto config = make_config(SecurityConfig::full(), 2);
+  config.max_head_lag = 0;  // any lag re-pins at the next admission
+  PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  engine.submit(mixed_bundle(0));
+
+  const auto& users = gen_.users();
+  evm::Transaction tx;
+  tx.from = users[0];
+  tx.to = users[1];
+  tx.value = u256{5};
+  tx.gas_limit = 30'000;
+  node_.produce_block({tx});
+
+  engine.submit(mixed_bundle(1));
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 2u);
+  // Bundle 0 ran at the original pin; bundle 1's admission saw the lag,
+  // delta-synced and ran at the new head. Bundle 0's root is still
+  // canonical (plain extension, no reorg), so its outcome stands.
+  EXPECT_EQ(outcomes[0].epoch, 0u);
+  EXPECT_EQ(outcomes[0].resim, 0u);
+  EXPECT_EQ(outcomes[0].status, Status::kOk);
+  EXPECT_EQ(outcomes[1].epoch, 1u);
+  EXPECT_EQ(outcomes[1].status, Status::kOk);
+  EXPECT_EQ(outcomes[1].state_root, node_.head().state_root);
+  const auto metrics = engine.snapshot();
+  EXPECT_GE(metrics.resyncs, 1u);
+  EXPECT_EQ(metrics.store_epoch, 1u);
+  EXPECT_EQ(metrics.bundle_resims, 0u);
+}
+
+TEST_F(EngineTest, ReorgResimulatesOutcomeAgainstNewCanonicalRoot) {
+  // Give the pinned block a unique root (a state-changing transaction), so
+  // orphaning it really abandons the root the outcome ran against.
+  const auto& users = gen_.users();
+  evm::Transaction tx0;
+  tx0.from = users[0];
+  tx0.to = users[1];
+  tx0.value = u256{123};
+  tx0.gas_limit = 30'000;
+  node_.produce_block({tx0});
+
+  auto config = make_config(SecurityConfig::full(), 2);
+  config.breaker_threshold = 0;
+  PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  const H256 pinned = engine.pinned_header().state_root;
+  engine.start();
+  engine.submit(mixed_bundle(0));
+
+  node_.set_schedule({.seed = 11, .reorg_rate = 1.0, .max_reorg_depth = 1});
+  evm::Transaction tx1 = tx0;
+  tx1.value = u256{456};  // the sibling fork commits a different state
+  const auto tick = node_.tick({tx1});
+  ASSERT_TRUE(tick.reorged);
+  ASSERT_FALSE(node_.is_canonical_root(pinned));
+
+  ASSERT_EQ(engine.resync(), Status::kOk);
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  // Exactly one outcome, re-executed: same bundle, new canonical root.
+  EXPECT_EQ(outcomes[0].status, Status::kOk);
+  EXPECT_EQ(outcomes[0].resim, 1u);
+  EXPECT_EQ(outcomes[0].state_root, node_.head().state_root);
+  EXPECT_TRUE(node_.is_canonical_root(outcomes[0].state_root));
+  const auto metrics = engine.snapshot();
+  EXPECT_EQ(metrics.bundle_resims, 1u);
+  EXPECT_GE(metrics.resyncs, 1u);
+  EXPECT_EQ(engine.pinned_epoch(), 1u);
+}
+
+TEST_F(EngineTest, ResimBudgetExhaustionResolvesStale) {
+  const auto& users = gen_.users();
+  evm::Transaction tx0;
+  tx0.from = users[0];
+  tx0.to = users[1];
+  tx0.value = u256{123};
+  tx0.gas_limit = 30'000;
+  node_.produce_block({tx0});
+
+  auto config = make_config(SecurityConfig::full(), 2);
+  config.breaker_threshold = 0;
+  config.max_resim_attempts = 0;  // no budget: orphaned -> kStale at once
+  PreExecutionEngine engine(node_, config);
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  engine.submit(mixed_bundle(0));
+
+  node_.set_schedule({.seed = 11, .reorg_rate = 1.0, .max_reorg_depth = 1});
+  evm::Transaction tx1 = tx0;
+  tx1.value = u256{456};
+  ASSERT_TRUE(node_.tick({tx1}).reorged);
+  ASSERT_EQ(engine.resync(), Status::kOk);
+
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  // Fail closed: no traces from the orphaned execution surface, and the
+  // refusal carries no state root (it ran against nothing reportable).
+  EXPECT_EQ(outcomes[0].status, Status::kStale);
+  EXPECT_EQ(outcomes[0].state_root, H256{});
+  EXPECT_EQ(outcomes[0].resim, 1u);
+  EXPECT_EQ(outcomes[0].report.transactions.size(), 0u);
+  const auto metrics = engine.snapshot();
+  EXPECT_EQ(metrics.bundles_stale, 1u);
+  EXPECT_EQ(metrics.bundle_resims, 0u);
+}
+
+TEST_F(EngineTest, LiveChainOutcomesIdenticalAcrossWorkerCounts) {
+  // A compact version of bench_soak's determinism invariant: a seeded
+  // interleaving of submits, ticks (with reorgs) and auto re-syncs must
+  // resolve every bundle bit-identically at 1 and 8 workers.
+  const workload::GeneratorConfig gcfg{
+      .user_accounts = 8, .erc20_contracts = 2, .dex_pairs = 1, .routers = 2};
+  auto run = [&](int workers) {
+    node::NodeSimulator node;
+    workload::WorkloadGenerator gen(gcfg);
+    gen.deploy(node.world());
+    node.produce_block({});
+    node.set_schedule({.seed = 99, .reorg_rate = 0.4, .max_reorg_depth = 2});
+
+    auto config = make_config(SecurityConfig::full(), workers);
+    config.max_head_lag = 0;
+    config.breaker_threshold = 0;
+    PreExecutionEngine engine(node, config);
+    EXPECT_EQ(engine.synchronize(), Status::kOk);
+    engine.start();
+    const auto& users = gen.users();
+    const auto& tokens = gen.tokens();
+    for (uint64_t i = 0; i < 18; ++i) {
+      evm::Transaction tx;
+      tx.from = users[i % users.size()];
+      tx.to = tokens[i % tokens.size()];
+      tx.data = workload::erc20_transfer(users[(i + 1) % users.size()], u256{1 + i % 5});
+      tx.gas_limit = 500'000;
+      engine.submit({tx});
+      if (i % 3 == 2) {
+        evm::Transaction block_tx;
+        block_tx.from = users[(i + 2) % users.size()];
+        block_tx.to = tokens[(i + 1) % tokens.size()];
+        block_tx.data = workload::erc20_transfer(users[i % users.size()], u256{2});
+        block_tx.gas_limit = 500'000;
+        node.tick({block_tx});
+      }
+    }
+    EXPECT_EQ(engine.resync(), Status::kOk);  // settle any late orphans
+    return engine.drain();
+  };
+  const auto one = run(1);
+  const auto eight = run(8);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_TRUE(outcomes_bit_identical(one[i], eight[i])) << "bundle " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // OramFrontend unit tests (against a controllable fake backend)
 // ---------------------------------------------------------------------------
 

@@ -77,6 +77,167 @@ TEST(Node, HeaderHashCoversContents) {
   EXPECT_NE(a.hash(), b.hash());
 }
 
+// --- chain integrity (PR 4 satellite) ---
+
+TEST(Node, ChainLinkageHoldsAcrossBlocks) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1} << 32);
+  for (int i = 0; i < 5; ++i) {
+    evm::Transaction tx;
+    tx.from = addr(1);
+    tx.to = addr(2);
+    tx.value = u256{static_cast<uint64_t>(i + 1)};
+    tx.gas_limit = 30'000;
+    node.produce_block({tx});
+  }
+  const auto chain = node.chain();
+  ASSERT_EQ(chain.size(), 6u);
+  for (size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].number, i) << "block " << i;
+    if (i > 0) {
+      EXPECT_EQ(chain[i].parent_hash, chain[i - 1].hash()) << "block " << i;
+      EXPECT_EQ(chain[i].timestamp, chain[i - 1].timestamp + 12);
+    }
+  }
+}
+
+TEST(Node, StateRootProgressesWithStateAndRepeatsWithoutIt) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1} << 32);
+  evm::Transaction tx;
+  tx.from = addr(1);
+  tx.to = addr(2);
+  tx.value = u256{7};
+  tx.gas_limit = 30'000;
+  const BlockHeader b1 = node.produce_block({tx});
+  const BlockHeader b2 = node.produce_block({});  // empty: state unchanged
+  tx.value = u256{9};
+  const BlockHeader b3 = node.produce_block({tx});
+  EXPECT_NE(b1.state_root, node.chain()[0].state_root);
+  EXPECT_EQ(b2.state_root, b1.state_root);
+  EXPECT_NE(b3.state_root, b2.state_root);
+  // Headers still diverge even when roots repeat (parent hash, timestamp).
+  EXPECT_NE(b2.hash(), b1.hash());
+}
+
+// Golden value: pins the RLP header encoding. If this changes, every
+// previously trusted block hash changes meaning — bump it only with a
+// deliberate, documented format change.
+TEST(Node, HeaderHashGoldenValue) {
+  BlockHeader header;
+  header.number = 7;
+  header.parent_hash = crypto::keccak256("parent");
+  header.state_root = crypto::keccak256("state");
+  header.tx_root = crypto::keccak256("txs");
+  header.timestamp = 1'700'000'084;
+  header.gas_used = 21'000;
+  EXPECT_EQ(header.hash().hex(), "ecec6bb8ec6da430a6ce57a1e636e2cd3ff95f4fca930ca60188946e3a65adaa");
+}
+
+// --- live-chain schedule: tick() and reorgs (PR 4 tentpole) ---
+
+evm::Transaction simple_transfer(uint8_t from_tag, uint8_t to_tag, uint64_t value) {
+  evm::Transaction tx;
+  tx.from = addr(from_tag);
+  tx.to = addr(to_tag);
+  tx.value = u256{value};
+  tx.gas_limit = 30'000;
+  return tx;
+}
+
+TEST(NodeSchedule, TickRequiresSchedule) {
+  NodeSimulator node;
+  EXPECT_THROW(node.tick({}), UsageError);
+}
+
+TEST(NodeSchedule, DeterministicReplay) {
+  // Two nodes with the same seed and the same per-tick transactions build
+  // bit-identical chains, reorgs included.
+  const ChainSchedule schedule{.seed = 42, .reorg_rate = 0.3, .max_reorg_depth = 3};
+  NodeSimulator a, b;
+  for (NodeSimulator* node : {&a, &b}) {
+    node->world().set_balance(addr(1), u256{1} << 40);
+    node->set_schedule(schedule);
+  }
+  for (int i = 0; i < 40; ++i) {
+    const auto txs = {simple_transfer(1, 2, 10 + static_cast<uint64_t>(i))};
+    const auto ra = a.tick(txs);
+    const auto rb = b.tick(txs);
+    EXPECT_EQ(ra.reorged, rb.reorged) << "tick " << i;
+    EXPECT_EQ(ra.depth, rb.depth) << "tick " << i;
+    EXPECT_EQ(ra.head.hash(), rb.head.hash()) << "tick " << i;
+  }
+  EXPECT_EQ(a.reorgs(), b.reorgs());
+  EXPECT_GT(a.reorgs(), 0u);
+  EXPECT_EQ(a.head().hash(), b.head().hash());
+}
+
+TEST(NodeSchedule, TickAdvancesHeadByOneEvenThroughReorgs) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1} << 40);
+  node.set_schedule({.seed = 7, .reorg_rate = 1.0, .max_reorg_depth = 2});
+  node.produce_block({simple_transfer(1, 2, 5)});
+  const uint64_t start = node.head_number();
+  for (int i = 0; i < 6; ++i) {
+    const auto result = node.tick({simple_transfer(1, 2, 100 + static_cast<uint64_t>(i))});
+    EXPECT_TRUE(result.reorged);
+    EXPECT_EQ(node.head_number(), start + static_cast<uint64_t>(i) + 1);
+  }
+  EXPECT_EQ(node.reorgs(), 6u);
+  EXPECT_GT(node.orphaned_blocks(), 0u);
+}
+
+TEST(NodeSchedule, ReorgOrphansRootButKeepsSnapshotAnswerable) {
+  NodeSimulator node;
+  node.world().set_balance(addr(1), u256{1} << 40);
+  node.set_schedule({.seed = 3, .reorg_rate = 1.0, .max_reorg_depth = 1});
+  const BlockHeader doomed = node.produce_block({simple_transfer(1, 2, 50)});
+  ASSERT_TRUE(node.is_canonical_root(doomed.state_root));
+
+  // The forced reorg replaces `doomed` with a sibling running a different
+  // transaction, so the fork's state genuinely diverges.
+  const auto result = node.tick({simple_transfer(1, 3, 51)});
+  ASSERT_TRUE(result.reorged);
+  EXPECT_FALSE(node.is_canonical_root(doomed.state_root));
+  EXPECT_TRUE(node.is_canonical_root(node.head().state_root));
+
+  // The orphaned snapshot is still pinned and still proves its own history:
+  // the trusted side discovers the orphaning, it does not lose the data.
+  const auto old_world = node.world_at(doomed.state_root);
+  ASSERT_NE(old_world, nullptr);
+  EXPECT_EQ(old_world->account(addr(2))->balance, u256{50});
+  const auto response = node.fetch_account(addr(2), doomed.state_root);
+  const auto check = trie::MerklePatriciaTrie::verify_proof(
+      doomed.state_root, crypto::keccak256(addr(2).view()).view(), response.proof);
+  EXPECT_TRUE(check.valid);
+  // While the new canonical chain never credited addr(2).
+  EXPECT_EQ(node.world().storage(addr(2), u256{}), u256{});
+  EXPECT_FALSE(node.world().account(addr(2)).has_value());
+}
+
+TEST(NodeSchedule, PinnedQueriesUnknownRootFailClosed) {
+  NodeSimulator node;
+  node.produce_block({});
+  const H256 bogus = crypto::keccak256("never a block");
+  EXPECT_EQ(node.world_at(bogus), nullptr);
+  const auto response = node.fetch_account(addr(1), bogus);
+  EXPECT_TRUE(response.proof.empty());  // empty proof: verification rejects
+  const auto check = trie::MerklePatriciaTrie::verify_proof(
+      bogus, crypto::keccak256(addr(1).view()).view(), response.proof);
+  EXPECT_FALSE(check.valid);
+}
+
+TEST(NodeSchedule, PinnedHeadSeesSetupMutations) {
+  // Test/bench setup mutates world() after construction; pinned_head() must
+  // re-pin genesis to that state instead of the empty construction-time one.
+  NodeSimulator node;
+  node.world().set_balance(addr(9), u256{123});
+  const PinnedBlock pin = node.pinned_head();
+  ASSERT_NE(pin.world, nullptr);
+  EXPECT_EQ(pin.header.state_root, node.world().state_root());
+  EXPECT_EQ(pin.world->account(addr(9))->balance, u256{123});
+}
+
 class SyncTest : public ::testing::Test {
  protected:
   SyncTest()
@@ -137,6 +298,142 @@ TEST_F(SyncTest, AbsentAccountSyncsAsAbsent) {
   // Installed as an empty-meta page: balance zero, no code.
   ASSERT_TRUE(account.has_value());
   EXPECT_EQ(account->balance, u256{});
+}
+
+// Fail-closed regression (PR 4 satellite): a proof failure on the SECOND
+// storage group must leave the ORAM without ANYTHING from that account —
+// not even the already-verified meta page or first group. A partial install
+// would mix verified and unverifiable state under one account.
+TEST_F(SyncTest, StorageGroupProofFailureInstallsNothingFromAccount) {
+  BlockSynchronizer sync(node_, node_.head().state_root);
+  // Keys {5, 37} span storage groups 0 and 1; corrupt only group 1's proof.
+  sync.set_storage_proof_tamper(
+      [](const Address&, const u256& key) { return key == u256{37}; });
+  EXPECT_EQ(sync.sync_account(addr(2), {u256{5}, u256{37}}, client_),
+            Status::kBadProof);
+  oram::OramWorldState oram_state(client_);
+  EXPECT_FALSE(oram_state.account(addr(2)).has_value());
+  EXPECT_EQ(oram_state.storage(addr(2), u256{5}), u256{});
+  EXPECT_EQ(sync.installed_pages(), 0u);
+}
+
+// --- incremental (delta) sync + epoch tagging (PR 4 tentpole) ---
+
+class DeltaSyncTest : public ::testing::Test {
+ protected:
+  DeltaSyncTest()
+      : server_(oram::OramConfig{.block_size = oram::kPageSize, .capacity = 1024}),
+        client_(server_, key(), 11, oram::SealMode::kChaChaHmac) {
+    node_.world().set_balance(addr(1), u256{1} << 40);
+    node_.world().set_code(addr(0x10), workload::erc20_code());
+    node_.world().set_storage(addr(0x10), addr(1).to_u256(), u256{1000});
+    // A slot in a far-away group the delta must NOT have to re-verify.
+    node_.world().set_storage(addr(0x10), u256{200}, u256{77});
+    node_.produce_block({});
+
+    BlockSynchronizer sync(node_, node_.head().state_root);
+    registry_.begin(node_.head().state_root, node_.head().number);
+    sync.set_epoch_registry(&registry_);
+    EXPECT_EQ(sync.sync_all(client_), Status::kOk);
+    registry_.commit();
+    old_root_ = node_.head().state_root;
+    old_world_ = node_.world_at(old_root_);
+
+    // Block 2: an ERC20 transfer rewrites slots 1 and 2 (both in group 0).
+    evm::Transaction tx;
+    tx.from = addr(1);
+    tx.to = addr(0x10);
+    tx.data = workload::erc20_transfer(addr(2), u256{400});
+    tx.gas_limit = 500'000;
+    node_.produce_block({tx});
+  }
+
+  NodeSimulator node_;
+  oram::OramServer server_;
+  oram::OramClient client_;
+  oram::EpochRegistry registry_;
+  H256 old_root_;
+  std::shared_ptr<const state::WorldState> old_world_;
+};
+
+TEST_F(DeltaSyncTest, DeltaReverifiesOnlyChangesAndServesNewState) {
+  BlockSynchronizer delta(node_, node_.head().state_root);
+  registry_.begin(node_.head().state_root, node_.head().number);
+  delta.set_epoch_registry(&registry_);
+  BlockSynchronizer::DeltaReport report;
+  ASSERT_EQ(delta.sync_delta(*old_world_, client_, &report), Status::kOk);
+  registry_.commit();
+
+  EXPECT_GE(report.accounts_changed, 1u);
+  // Only the changed group's slots were re-proven; the untouched group-6
+  // slot (key 200) was not.
+  EXPECT_EQ(report.slots_reverified, 2u);
+  EXPECT_GT(report.pages_installed, 0u);
+
+  oram::OramWorldState oram_state(client_);
+  EXPECT_EQ(oram_state.storage(addr(0x10), addr(1).to_u256()), u256{600});
+  EXPECT_EQ(oram_state.storage(addr(0x10), addr(2).to_u256()), u256{400});
+  // Untouched pages survive at their older epoch and still serve.
+  EXPECT_EQ(oram_state.storage(addr(0x10), u256{200}), u256{77});
+
+  // Epoch accounting: the second pass advanced the store epoch, and no page
+  // claims an epoch newer than it.
+  EXPECT_EQ(registry_.store_epoch(), 1u);
+  EXPECT_LE(registry_.max_page_epoch(), registry_.store_epoch());
+  const auto group0 =
+      oram::page_id(oram::PageType::kStorageGroup, addr(0x10), u256{});
+  EXPECT_EQ(registry_.page_epoch(group0).value(), 1u);
+  const auto group6 =
+      oram::page_id(oram::PageType::kStorageGroup, addr(0x10), u256{6});
+  EXPECT_EQ(registry_.page_epoch(group6).value(), 0u);
+}
+
+TEST_F(DeltaSyncTest, MidDeltaProofFailureInstallsNothing) {
+  BlockSynchronizer delta(node_, node_.head().state_root);
+  // Accounts are processed in address order, so addr(1)'s meta verifies and
+  // stages BEFORE the token's storage proof fails — atomicity means even
+  // that already-verified page must not land.
+  delta.set_storage_proof_tamper(
+      [](const Address&, const u256& key) { return key == addr(2).to_u256(); });
+  EXPECT_EQ(delta.sync_delta(*old_world_, client_), Status::kBadProof);
+
+  oram::OramWorldState oram_state(client_);
+  // The store still serves the OLD state, wholesale: fail closed.
+  EXPECT_EQ(oram_state.storage(addr(0x10), addr(1).to_u256()), u256{1000});
+  EXPECT_EQ(oram_state.storage(addr(0x10), addr(2).to_u256()), u256{});
+  EXPECT_EQ(oram_state.account(addr(1))->nonce, old_world_->account(addr(1))->nonce);
+}
+
+TEST_F(DeltaSyncTest, DeltaAgainstUnknownRootIsNotFound) {
+  BlockSynchronizer delta(node_, crypto::keccak256("no such block"));
+  EXPECT_EQ(delta.sync_delta(*old_world_, client_), Status::kNotFound);
+}
+
+TEST(EpochRegistry, TracksPassesAndPageTags) {
+  oram::EpochRegistry reg;
+  EXPECT_EQ(reg.store_epoch(), 0u);
+  EXPECT_FALSE(reg.current().has_value());
+
+  reg.begin(crypto::keccak256("r0"), 1);
+  EXPECT_THROW(reg.begin(crypto::keccak256("r1"), 2), UsageError);
+  reg.tag(u256{1});
+  reg.tag(u256{2});
+  reg.commit();
+  EXPECT_EQ(reg.store_epoch(), 0u);
+  EXPECT_EQ(reg.current()->block_number, 1u);
+
+  reg.begin(crypto::keccak256("r1"), 2);
+  reg.tag(u256{2});
+  reg.commit();
+  EXPECT_EQ(reg.store_epoch(), 1u);
+  EXPECT_EQ(reg.page_epoch(u256{1}).value(), 0u);  // untouched: older tag
+  EXPECT_EQ(reg.page_epoch(u256{2}).value(), 1u);  // re-installed: new tag
+  EXPECT_FALSE(reg.page_epoch(u256{9}).has_value());
+  EXPECT_EQ(reg.max_page_epoch(), reg.store_epoch());
+  EXPECT_EQ(reg.distinct_pages(), 2u);
+  EXPECT_EQ(reg.pages_tagged(), 3u);
+  EXPECT_EQ(reg.at(0)->state_root, crypto::keccak256("r0"));
+  EXPECT_THROW(reg.tag(u256{3}), UsageError);  // no pass open
 }
 
 TEST(SyncIntegration, FullWorkloadWorldSyncs) {
