@@ -1,0 +1,234 @@
+#include "durability/checkpoint.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "crypto/keccak.hpp"
+
+namespace hardtape::durability::checkpoint {
+
+namespace {
+
+constexpr char kMagic[8] = {'H', 'T', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kChecksumSize = 8;
+
+void put_u32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u256(Bytes& out, const u256& v) {
+  const auto be = v.to_be_bytes();
+  out.insert(out.end(), be.begin(), be.end());
+}
+
+/// Bounds-checked little-endian reader; any read past the end poisons the
+/// cursor so parse() can check once at the end of each section.
+struct Reader {
+  const uint8_t* p;
+  size_t remaining;
+  bool ok = true;
+
+  bool take(size_t n) {
+    if (!ok || remaining < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  uint32_t u32() {
+    if (!take(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    remaining -= 4;
+    return v;
+  }
+  uint64_t u64() {
+    if (!take(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    remaining -= 8;
+    return v;
+  }
+  u256 big() {
+    if (!take(32)) return u256{};
+    const u256 v = u256::from_be_bytes(BytesView{p, 32});
+    p += 32;
+    remaining -= 32;
+    return v;
+  }
+  H256 h256() {
+    H256 v{};
+    if (!take(32)) return v;
+    std::memcpy(v.bytes.data(), p, 32);
+    p += 32;
+    remaining -= 32;
+    return v;
+  }
+  Bytes blob() {
+    const uint32_t len = u32();
+    Bytes v;
+    if (!take(len)) return v;
+    v.assign(p, p + len);
+    p += len;
+    remaining -= len;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::string checkpoint_path(uint64_t generation) {
+  return "ckpt-" + std::to_string(generation);
+}
+
+std::string journal_path(uint64_t generation) {
+  return "wal-" + std::to_string(generation);
+}
+
+Bytes serialize(uint64_t generation, const StoreImage& image) {
+  Bytes out;
+  out.insert(out.end(), kMagic, kMagic + sizeof(kMagic));
+  put_u32(out, kVersion);
+  put_u64(out, generation);
+  put_u64(out, image.base_seq);
+  put_u64(out, image.next_bundle_id);
+
+  put_u32(out, static_cast<uint32_t>(image.epoch_history.size()));
+  for (const auto& pin : image.epoch_history) {
+    put_u64(out, pin.epoch);
+    out.insert(out.end(), pin.state_root.bytes.begin(), pin.state_root.bytes.end());
+    put_u64(out, pin.block_number);
+  }
+
+  put_u32(out, static_cast<uint32_t>(image.page_tags.size()));
+  for (const auto& [id, epoch] : image.page_tags) {
+    put_u256(out, id);
+    put_u64(out, epoch);
+  }
+
+  put_u32(out, static_cast<uint32_t>(image.pages.size()));
+  for (const auto& [id, page] : image.pages) {
+    put_u256(out, id);
+    put_u64(out, page.leaf);
+    put_u32(out, static_cast<uint32_t>(page.data.size()));
+    append(out, page.data);
+  }
+
+  put_u32(out, static_cast<uint32_t>(image.positions.size()));
+  for (const auto& [id, leaf] : image.positions) {
+    put_u256(out, id);
+    put_u64(out, leaf);
+  }
+
+  put_u32(out, static_cast<uint32_t>(image.pending_bundles.size()));
+  for (const uint64_t id : image.pending_bundles) put_u64(out, id);
+
+  const H256 digest = crypto::keccak256(out);
+  out.insert(out.end(), digest.bytes.begin(), digest.bytes.begin() + kChecksumSize);
+  return out;
+}
+
+std::optional<StoreImage> parse(BytesView data) {
+  constexpr size_t kMinSize = sizeof(kMagic) + 4 + kChecksumSize;
+  if (data.size() < kMinSize) return std::nullopt;
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) return std::nullopt;
+
+  const size_t body_len = data.size() - kChecksumSize;
+  const H256 digest = crypto::keccak256(BytesView{data.data(), body_len});
+  if (std::memcmp(digest.bytes.data(), data.data() + body_len, kChecksumSize) != 0) {
+    return std::nullopt;
+  }
+
+  Reader r{data.data() + sizeof(kMagic), body_len - sizeof(kMagic)};
+  if (r.u32() != kVersion) return std::nullopt;
+  (void)r.u64();  // generation (the filename is authoritative)
+
+  StoreImage image;
+  image.base_seq = r.u64();
+  image.next_bundle_id = r.u64();
+
+  const uint32_t history_count = r.u32();
+  for (uint32_t i = 0; r.ok && i < history_count; ++i) {
+    oram::EpochRegistry::Pin pin;
+    pin.epoch = r.u64();
+    pin.state_root = r.h256();
+    pin.block_number = r.u64();
+    image.epoch_history.push_back(pin);
+  }
+
+  const uint32_t tag_count = r.u32();
+  for (uint32_t i = 0; r.ok && i < tag_count; ++i) {
+    const u256 id = r.big();
+    image.page_tags[id] = r.u64();
+  }
+
+  const uint32_t page_count = r.u32();
+  for (uint32_t i = 0; r.ok && i < page_count; ++i) {
+    const u256 id = r.big();
+    PageImage page;
+    page.leaf = r.u64();
+    page.data = r.blob();
+    image.pages[id] = std::move(page);
+  }
+
+  const uint32_t pos_count = r.u32();
+  for (uint32_t i = 0; r.ok && i < pos_count; ++i) {
+    const u256 id = r.big();
+    image.positions[id] = r.u64();
+  }
+
+  const uint32_t pending_count = r.u32();
+  for (uint32_t i = 0; r.ok && i < pending_count; ++i) {
+    image.pending_bundles.insert(r.u64());
+  }
+
+  if (!r.ok || r.remaining != 0) return std::nullopt;
+  return image;
+}
+
+void write(SimFs& fs, uint64_t generation, const StoreImage& image) {
+  const std::string tmp = checkpoint_path(generation) + ".tmp";
+  fs.append(tmp, serialize(generation, image));
+  fs.fsync(tmp);
+  fs.rename(tmp, checkpoint_path(generation));
+  fs.sync_dir();
+  // Only after the new generation is durably published may the one-before-
+  // previous be reclaimed; keeping generation-1 around means even a
+  // checkpoint whose own bytes were corrupted in flight leaves recovery a
+  // complete fallback chain.
+  if (generation >= 2) {
+    fs.remove(checkpoint_path(generation - 2));
+    fs.remove(journal_path(generation - 2));
+    fs.sync_dir();
+  }
+}
+
+std::optional<std::pair<uint64_t, StoreImage>> load_newest(const SimFs& fs) {
+  std::vector<uint64_t> generations;
+  const std::string prefix = "ckpt-";
+  for (const std::string& name : fs.list()) {
+    if (name.size() <= prefix.size() || name.compare(0, prefix.size(), prefix) != 0) {
+      continue;
+    }
+    const std::string suffix = name.substr(prefix.size());
+    if (suffix.find_first_not_of("0123456789") != std::string::npos) continue;
+    generations.push_back(std::stoull(suffix));
+  }
+  std::sort(generations.rbegin(), generations.rend());
+  for (const uint64_t gen : generations) {
+    const auto data = fs.read(checkpoint_path(gen));
+    if (!data.has_value()) continue;
+    auto image = parse(*data);
+    if (image.has_value()) return std::make_pair(gen, std::move(*image));
+  }
+  return std::nullopt;
+}
+
+}  // namespace hardtape::durability::checkpoint

@@ -1,0 +1,78 @@
+// Checkpoint snapshots of the durable ORAM store image.
+//
+// A checkpoint bounds recovery time: instead of replaying the journal from
+// genesis, recovery loads the newest VALID checkpoint and replays only the
+// journal generations written after it. The write protocol is the classic
+// atomic-publish sequence over the SimFs crash model:
+//
+//   serialize -> append ckpt-<g>.tmp -> fsync(tmp) -> rename(tmp, ckpt-<g>)
+//   -> sync_dir()
+//
+// A crash anywhere in that sequence leaves either the previous checkpoint
+// generation intact (rename/dir-sync not yet durable) or the new one fully
+// durable — never a half-written file under the published name. The
+// previous generation's files are removed only AFTER the new publication is
+// dir-synced, so at every instant at least one complete (checkpoint,
+// journal-chain) pair exists on disk.
+//
+// The image itself carries a trailing truncated-keccak checksum; a
+// checkpoint that fails it (possible when its own tmp-write crashed AND the
+// rename leaked through a reordered metadata journal) is skipped and
+// recovery falls back to the previous generation — fail closed, same
+// discipline as the journal.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "durability/vfs.hpp"
+#include "oram/epoch.hpp"
+
+namespace hardtape::durability {
+
+struct PageImage {
+  Bytes data;        ///< block-size-padded page contents
+  uint64_t leaf = 0; ///< last journaled ORAM leaf (audit trail; reinstall
+                     ///< draws fresh leaves — obliviousness never depends
+                     ///< on restoring old positions)
+};
+
+/// The full durable image of the store: everything recovery needs to rebuild
+/// the chip-side registry and reinstall the ORAM without re-verifying the
+/// world from the node. Ordered containers throughout so serialization (and
+/// hence the checksum) is a pure function of the logical content.
+struct StoreImage {
+  uint64_t base_seq = 0;  ///< next journal sequence at snapshot time
+  std::vector<oram::EpochRegistry::Pin> epoch_history;  ///< committed only
+  std::map<u256, uint64_t> page_tags;
+  std::map<u256, PageImage> pages;
+  std::map<u256, uint64_t> positions;
+  std::set<uint64_t> pending_bundles;  ///< admitted, not yet resolved
+  uint64_t next_bundle_id = 0;
+};
+
+namespace checkpoint {
+
+std::string checkpoint_path(uint64_t generation);
+std::string journal_path(uint64_t generation);
+
+Bytes serialize(uint64_t generation, const StoreImage& image);
+/// nullopt on any structural or checksum violation — never a partial image.
+std::optional<StoreImage> parse(BytesView data);
+
+/// Publishes `image` as generation `generation` with the atomic-rename
+/// sequence above, then garbage-collects generation-2 files.
+void write(SimFs& fs, uint64_t generation, const StoreImage& image);
+
+/// Loads the newest generation whose checkpoint file parses and verifies.
+std::optional<std::pair<uint64_t, StoreImage>> load_newest(const SimFs& fs);
+
+}  // namespace checkpoint
+
+}  // namespace hardtape::durability

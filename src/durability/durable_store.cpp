@@ -1,0 +1,150 @@
+#include "durability/durable_store.hpp"
+
+#include <utility>
+
+namespace hardtape::durability {
+
+DurableStore::DurableStore(SimFs& fs, DurableConfig config)
+    : fs_(fs), config_(config) {
+  journal_.emplace(fs_, checkpoint::journal_path(0), /*start_seq=*/0);
+}
+
+void DurableStore::on_epoch_begin(uint64_t epoch, const H256& root,
+                                  uint64_t block_number) {
+  std::lock_guard lock(mu_);
+  journal_->append_epoch_begin(epoch, root, block_number);
+  sync_journal_locked();
+  epoch_open_ = true;
+  open_pin_ = {epoch, root, block_number};
+  staged_pages_.clear();
+  staged_positions_.clear();
+}
+
+void DurableStore::on_epoch_commit(uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  journal_->append_epoch_commit(epoch);
+  // Group commit: this single fsync makes the epoch's begin record, every
+  // page install and position update appended during the pass, and the
+  // commit record durable together.
+  sync_journal_locked();
+  if (epoch_open_) {
+    for (auto& [id, page] : staged_pages_) {
+      mirror_.pages[id] = std::move(page);
+      mirror_.page_tags[id] = open_pin_.epoch;
+    }
+    for (const auto& [id, leaf] : staged_positions_) mirror_.positions[id] = leaf;
+    mirror_.epoch_history.push_back(open_pin_);
+    epoch_open_ = false;
+    staged_pages_.clear();
+    staged_positions_.clear();
+  }
+  if (config_.checkpoint_every_records != 0 &&
+      journal_->records_written() >= config_.checkpoint_every_records) {
+    checkpoint_locked(journal_->next_seq(), generation_ + 1);
+  }
+}
+
+void DurableStore::on_epoch_abort(uint64_t epoch) {
+  std::lock_guard lock(mu_);
+  journal_->append_epoch_abort(epoch);
+  sync_journal_locked();
+  epoch_open_ = false;
+  staged_pages_.clear();
+  staged_positions_.clear();
+}
+
+void DurableStore::log_page_install(const u256& page_id, BytesView data,
+                                    uint64_t leaf) {
+  std::lock_guard lock(mu_);
+  if (restoring_) return;
+  // Appended UN-synced: the epoch-commit fsync is the durability barrier for
+  // the whole pass (group commit). A crash before it loses the epoch, which
+  // recovery's staging replay handles by design.
+  journal_->append_page_install(page_id, data, leaf);
+  journal_->append_position_update(page_id, leaf);
+  if (epoch_open_) {
+    staged_pages_[page_id] = PageImage{Bytes(data.begin(), data.end()), leaf};
+    staged_positions_[page_id] = leaf;
+  }
+}
+
+void DurableStore::log_bundle_admitted(uint64_t bundle_id) {
+  std::lock_guard lock(mu_);
+  journal_->append_bundle_admit(bundle_id);
+  sync_journal_locked();
+  mirror_.pending_bundles.insert(bundle_id);
+  if (bundle_id + 1 > mirror_.next_bundle_id) mirror_.next_bundle_id = bundle_id + 1;
+}
+
+void DurableStore::log_bundle_resolved(uint64_t bundle_id) {
+  std::lock_guard lock(mu_);
+  // The durable resolve mark is the delivery receipt: once this sync
+  // returns, recovery treats the bundle as settled and will not re-derive
+  // its outcome.
+  journal_->append_bundle_resolve(bundle_id);
+  sync_journal_locked();
+  mirror_.pending_bundles.erase(bundle_id);
+}
+
+void DurableStore::adopt(const RecoveredState& recovered) {
+  std::lock_guard lock(mu_);
+  mirror_ = recovered.image;
+  // Re-anchor durably at a FRESH generation: the adopted image becomes its
+  // own checkpoint, so post-recovery operation never appends to (or behind)
+  // artifacts that are still crash evidence.
+  checkpoint_locked(recovered.image.base_seq, recovered.stats.next_generation);
+}
+
+void DurableStore::checkpoint() {
+  std::lock_guard lock(mu_);
+  if (epoch_open_) return;
+  checkpoint_locked(journal_->next_seq(), generation_ + 1);
+}
+
+void DurableStore::set_restoring(bool restoring) {
+  std::lock_guard lock(mu_);
+  restoring_ = restoring;
+}
+
+void DurableStore::note_next_bundle_id(uint64_t next_bundle_id) {
+  std::lock_guard lock(mu_);
+  if (next_bundle_id > mirror_.next_bundle_id) mirror_.next_bundle_id = next_bundle_id;
+}
+
+void DurableStore::sync_journal_locked() {
+  journal_->sync();
+  if (!journal_published_) {
+    // First durability barrier of this generation: the fsync made the BYTES
+    // durable, but the file's directory entry is still a pending create — a
+    // crash now would orphan them behind a name that never existed. One
+    // sync_dir publishes it (the forgot-to-fsync-the-directory bug, closed).
+    fs_.sync_dir();
+    journal_published_ = true;
+  }
+  ++stats_.journal_syncs;
+}
+
+void DurableStore::checkpoint_locked(uint64_t base_seq, uint64_t new_generation) {
+  mirror_.base_seq = base_seq;
+  checkpoint::write(fs_, new_generation, mirror_);
+  ++stats_.checkpoints_written;
+  records_before_roll_ += journal_->records_written();
+  generation_ = new_generation;
+  journal_.emplace(fs_, checkpoint::journal_path(new_generation), base_seq);
+  journal_published_ = false;
+}
+
+DurableStore::Stats DurableStore::stats() const {
+  std::lock_guard lock(mu_);
+  Stats out = stats_;
+  out.journal_records = records_before_roll_ + journal_->records_written();
+  out.generation = generation_;
+  return out;
+}
+
+StoreImage DurableStore::image_snapshot() const {
+  std::lock_guard lock(mu_);
+  return mirror_;
+}
+
+}  // namespace hardtape::durability

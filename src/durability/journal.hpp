@@ -1,0 +1,115 @@
+// Write-ahead journal for the ORAM store (length-prefixed, checksummed).
+//
+// Record wire format (little-endian):
+//   u32 payload_len | u64 seq | 8-byte checksum | payload
+// where checksum = the first 8 bytes of keccak256(seq_le || payload) — the
+// repo's one hash, truncated; enough to reject torn tails and garbage holes
+// with the same primitive the rest of the chip trusts. `seq` is globally
+// monotone across journal generations, so replay can prove wal-g really
+// continues where checkpoint g (base_seq) and wal-(g-1) left off.
+//
+// Payloads are type-tagged:
+//   kEpochBegin    u64 epoch | 32B state root | u64 block number
+//   kEpochCommit   u64 epoch
+//   kEpochAbort    u64 epoch
+//   kPageInstall   32B page id | u64 leaf | u32 len | len bytes
+//   kPositionUpdate 32B page id | u64 leaf
+//   kBundleAdmit   u64 bundle id
+//   kBundleResolve u64 bundle id
+//
+// Replay is FAIL-CLOSED: the first record whose length runs past the file,
+// whose checksum rejects, or whose sequence breaks the expected chain
+// truncates the journal to the valid prefix before it. A malicious or
+// power-lossed tail can lose suffix records (the delta-sync heals that from
+// the node) but can never smuggle a corrupted record into recovered state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+#include "durability/vfs.hpp"
+
+namespace hardtape::durability {
+
+enum class RecordType : uint8_t {
+  kEpochBegin = 1,
+  kEpochCommit = 2,
+  kEpochAbort = 3,
+  kPageInstall = 4,
+  kPositionUpdate = 5,
+  kBundleAdmit = 6,
+  kBundleResolve = 7,
+};
+const char* to_string(RecordType type);
+
+/// A decoded journal record, as replay hands it to the consumer.
+struct JournalRecord {
+  uint64_t seq = 0;
+  RecordType type = RecordType::kEpochBegin;
+  // Fields are populated per type; unused ones stay zero.
+  uint64_t epoch = 0;
+  H256 root{};
+  uint64_t block_number = 0;
+  u256 page_id{};
+  uint64_t leaf = 0;
+  Bytes page_data;
+  uint64_t bundle_id = 0;
+};
+
+/// Appender. One Journal instance owns one generation file; records carry a
+/// caller-provided monotone sequence so a successor generation continues the
+/// chain. Appends are buffered by the SimFs until sync().
+class Journal {
+ public:
+  Journal(SimFs& fs, std::string path, uint64_t start_seq)
+      : fs_(fs), path_(std::move(path)), next_seq_(start_seq) {}
+
+  void append_epoch_begin(uint64_t epoch, const H256& root, uint64_t block_number);
+  void append_epoch_commit(uint64_t epoch);
+  void append_epoch_abort(uint64_t epoch);
+  void append_page_install(const u256& page_id, BytesView data, uint64_t leaf);
+  void append_position_update(const u256& page_id, uint64_t leaf);
+  void append_bundle_admit(uint64_t bundle_id);
+  void append_bundle_resolve(uint64_t bundle_id);
+
+  /// Durability barrier: everything appended so far survives a crash.
+  void sync() { fs_.fsync(path_); }
+
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t records_written() const { return records_written_; }
+  const std::string& path() const { return path_; }
+
+  /// Builds one encoded record (exposed for tests to craft corrupt tails).
+  static Bytes encode(uint64_t seq, BytesView payload);
+
+  struct ReplayResult {
+    uint64_t records = 0;        ///< valid records delivered
+    uint64_t valid_bytes = 0;    ///< length of the accepted prefix
+    uint64_t truncated_bytes = 0;///< bytes discarded after it
+    uint64_t next_seq = 0;       ///< sequence the next record must carry
+    std::string stop_reason;     ///< empty = clean end of file
+  };
+  /// Replays `path`, delivering each valid record in order. `expected_seq`
+  /// anchors the sequence chain (the checkpoint's base_seq, or the previous
+  /// generation's next_seq). Missing file = zero records, clean. The consumer
+  /// returns false to REJECT a record that is wire-valid but semantically
+  /// impossible (install outside an epoch, commit of a mismatched epoch):
+  /// replay then truncates there, same fail-closed discipline as a bad
+  /// checksum — a record the state machine cannot apply is corruption.
+  static ReplayResult replay(const SimFs& fs, const std::string& path,
+                             uint64_t expected_seq,
+                             const std::function<bool(const JournalRecord&)>& on_record);
+
+ private:
+  void append_record(BytesView payload);
+
+  SimFs& fs_;
+  std::string path_;
+  uint64_t next_seq_;
+  uint64_t records_written_ = 0;
+};
+
+}  // namespace hardtape::durability

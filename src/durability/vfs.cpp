@@ -1,0 +1,250 @@
+#include "durability/vfs.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.hpp"
+
+namespace hardtape::durability {
+
+const char* to_string(FsOp op) {
+  switch (op) {
+    case FsOp::kAppend: return "append";
+    case FsOp::kFsync: return "fsync";
+    case FsOp::kRename: return "rename";
+    case FsOp::kRemove: return "remove";
+    case FsOp::kSyncDir: return "sync_dir";
+  }
+  return "unknown";
+}
+
+void SimFs::arm(const CrashConfig& config) {
+  std::lock_guard lock(mu_);
+  crash_ = config;
+  armed_ = config.crash_at_op != 0;
+}
+
+bool SimFs::crashed() const {
+  std::lock_guard lock(mu_);
+  return crashed_;
+}
+
+void SimFs::restart() {
+  std::lock_guard lock(mu_);
+  if (!dead_) return;
+  dead_ = false;
+  armed_ = false;
+  // dir_ was already replaced with the resolved durable state at crash time.
+}
+
+bool SimFs::op_event_locked(FsOp op, const std::string& path, uint64_t bytes,
+                            bool crash_before) {
+  if (dead_) return true;
+  ++op_index_;
+  op_log_.push_back({op_index_, op, path, bytes});
+  if (armed_ && op_index_ == crash_.crash_at_op) {
+    if (crash_before) {
+      resolve_crash_locked();
+      return true;
+    }
+    // crash-after (append): the caller already buffered the bytes; the
+    // resolution decides whether/how much of them survived.
+    resolve_crash_locked();
+  }
+  return false;
+}
+
+void SimFs::append(const std::string& path, BytesView data) {
+  std::lock_guard lock(mu_);
+  if (dead_) return;
+  auto it = dir_.find(path);
+  if (it == dir_.end()) {
+    auto inode = std::make_shared<Inode>();
+    it = dir_.emplace(path, inode).first;
+    pending_meta_.push_back({FsOp::kAppend, path, "", inode});
+  }
+  it->second->pending.emplace_back(data.begin(), data.end());
+  (void)op_event_locked(FsOp::kAppend, path, data.size(), /*crash_before=*/false);
+}
+
+void SimFs::fsync(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (op_event_locked(FsOp::kFsync, path, 0, /*crash_before=*/true)) return;
+  const auto it = dir_.find(path);
+  if (it == dir_.end()) return;
+  for (Bytes& chunk : it->second->pending) {
+    hardtape::append(it->second->durable, chunk);
+  }
+  it->second->pending.clear();
+}
+
+void SimFs::rename(const std::string& from, const std::string& to) {
+  std::lock_guard lock(mu_);
+  if (op_event_locked(FsOp::kRename, from + " -> " + to, 0, /*crash_before=*/true)) {
+    return;
+  }
+  const auto it = dir_.find(from);
+  if (it == dir_.end()) return;
+  InodePtr inode = it->second;
+  dir_.erase(it);
+  dir_[to] = std::move(inode);
+  pending_meta_.push_back({FsOp::kRename, from, to, nullptr});
+}
+
+void SimFs::remove(const std::string& path) {
+  std::lock_guard lock(mu_);
+  if (op_event_locked(FsOp::kRemove, path, 0, /*crash_before=*/true)) return;
+  dir_.erase(path);
+  pending_meta_.push_back({FsOp::kRemove, path, "", nullptr});
+}
+
+void SimFs::sync_dir() {
+  std::lock_guard lock(mu_);
+  if (op_event_locked(FsOp::kSyncDir, "", 0, /*crash_before=*/true)) return;
+  for (const MetaOp& op : pending_meta_) {
+    switch (op.op) {
+      case FsOp::kAppend:  // create
+        durable_dir_[op.name] = op.inode;
+        break;
+      case FsOp::kRename: {
+        const auto it = durable_dir_.find(op.name);
+        if (it == durable_dir_.end()) break;
+        InodePtr inode = it->second;
+        durable_dir_.erase(it);
+        durable_dir_[op.to] = std::move(inode);
+        break;
+      }
+      case FsOp::kRemove:
+        durable_dir_.erase(op.name);
+        break;
+      default: break;
+    }
+  }
+  pending_meta_.clear();
+}
+
+void SimFs::resolve_crash_locked() {
+  crashed_ = true;
+  dead_ = true;
+  armed_ = false;
+  Random rng(crash_.resolve_seed);
+
+  // 1. Resolve each inode's content. Deterministic order: every inode
+  // reachable from either directory view, by its smallest name.
+  std::set<InodePtr> seen;
+  std::vector<InodePtr> inodes;
+  for (const auto& dir : {std::cref(durable_dir_), std::cref(dir_)}) {
+    for (const auto& [name, inode] : dir.get()) {
+      if (seen.insert(inode).second) inodes.push_back(inode);
+    }
+  }
+  for (const InodePtr& inode : inodes) {
+    const size_t durable_size = inode->durable.size();
+    Bytes content = inode->durable;
+    size_t chunk_start = durable_size;
+    bool lost_any = false;
+    for (const Bytes& chunk : inode->pending) {
+      const bool survives = rng.uniform_double() < crash_.unsynced_survival;
+      if (survives) {
+        if (content.size() < chunk_start) {
+          // Out-of-order write-back: the hole left by a lost earlier chunk
+          // holds whatever the platter had — seeded garbage, so recovery's
+          // checksum walk meets real corruption, not convenient zeros.
+          const size_t hole = chunk_start - content.size();
+          Bytes garbage = rng.bytes(hole);
+          hardtape::append(content, garbage);
+        }
+        hardtape::append(content, chunk);
+      } else {
+        lost_any = true;
+        if (!crash_.allow_reorder) break;  // ordered write-back: rest is gone
+      }
+      chunk_start += chunk.size();
+    }
+    (void)lost_any;
+    if (crash_.allow_torn_tail && content.size() > durable_size) {
+      // The final write may have been cut mid-sector: keep a seeded prefix
+      // of the unsynced region (possibly all of it).
+      const size_t unsynced = content.size() - durable_size;
+      content.resize(durable_size + rng.uniform(unsynced + 1));
+    }
+    inode->durable = std::move(content);
+    inode->pending.clear();
+  }
+
+  // 2. Resolve the directory: start from the last sync_dir state and apply
+  // each pending op with its own survival coin.
+  std::map<std::string, InodePtr> resolved = durable_dir_;
+  for (const MetaOp& op : pending_meta_) {
+    const bool survives = rng.uniform_double() < crash_.unsynced_survival;
+    if (!survives) {
+      if (!crash_.allow_reorder) break;  // journal-ordered metadata
+      continue;
+    }
+    switch (op.op) {
+      case FsOp::kAppend:
+        resolved[op.name] = op.inode;
+        break;
+      case FsOp::kRename: {
+        const auto it = resolved.find(op.name);
+        if (it == resolved.end()) break;  // source never became durable
+        InodePtr inode = it->second;
+        resolved.erase(it);
+        resolved[op.to] = std::move(inode);
+        break;
+      }
+      case FsOp::kRemove:
+        resolved.erase(op.name);
+        break;
+      default: break;
+    }
+  }
+  pending_meta_.clear();
+  durable_dir_ = resolved;
+  dir_ = std::move(resolved);
+}
+
+std::optional<Bytes> SimFs::read(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  if (dead_) return std::nullopt;
+  const auto it = dir_.find(path);
+  if (it == dir_.end()) return std::nullopt;
+  Bytes out = it->second->durable;
+  for (const Bytes& chunk : it->second->pending) hardtape::append(out, chunk);
+  return out;
+}
+
+bool SimFs::exists(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  return !dead_ && dir_.contains(path);
+}
+
+std::vector<std::string> SimFs::list() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> names;
+  if (dead_) return names;
+  names.reserve(dir_.size());
+  for (const auto& [name, inode] : dir_) names.push_back(name);
+  return names;
+}
+
+uint64_t SimFs::op_count() const {
+  std::lock_guard lock(mu_);
+  return op_index_;
+}
+
+std::vector<FsOpRecord> SimFs::op_log() const {
+  std::lock_guard lock(mu_);
+  return op_log_;
+}
+
+uint64_t SimFs::pending_bytes() const {
+  std::lock_guard lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [name, inode] : dir_) {
+    for (const Bytes& chunk : inode->pending) total += chunk.size();
+  }
+  return total;
+}
+
+}  // namespace hardtape::durability

@@ -1,0 +1,147 @@
+// Simulated filesystem with injectable power-loss semantics.
+//
+// The durability layer's whole correctness argument is about what survives a
+// crash at an arbitrary instant — which a real filesystem cannot reproduce
+// on demand, and certainly not deterministically in CI. SimFs is an
+// in-memory filesystem that models exactly the crash-consistency contract
+// journaling code must be written against:
+//
+//  - appended bytes are PENDING until fsync(path) makes them durable;
+//  - create/rename/remove are PENDING directory operations until sync_dir()
+//    makes them durable (rename itself is atomic: it either happened
+//    entirely or not at all — the POSIX anchor checkpointing relies on);
+//  - fsync of a file whose creation was never sync_dir'd leaves durable
+//    bytes behind a name that may not survive — the classic
+//    "forgot-to-fsync-the-directory" bug is representable, so tests can
+//    prove the checkpoint writer does not have it.
+//
+// Crash model (armed via CrashConfig): every mutating call is one numbered
+// operation; at operation `crash_at_op` the power goes out. The filesystem
+// then resolves what the platters actually held — each unsynced chunk
+// survives with a seeded probability; lost chunks either cut off everything
+// after them (ordered write-back) or, with allow_reorder, leave seeded
+// garbage holes while later chunks land (out-of-order write-back); the last
+// surviving unsynced region may additionally be TORN mid-record — and goes
+// dead: subsequent operations are no-ops. restart() brings the resolved
+// durable state back up, exactly as a process restart would find it.
+// Resolution is pure in (state, resolve_seed): the same run crashed at the
+// same op recovers the same bytes, which is what makes crash sweeps
+// replayable (the fault_stream discipline, extended to power loss).
+//
+// Why no-throw: the crash can fire under a journal append issued from an
+// engine worker thread; an exception there would cross a thread boundary
+// and terminate. Callers poll crashed() at their harness level instead.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace hardtape::durability {
+
+/// One armed power-loss event. crash_at_op is 1-indexed over mutating
+/// operations (append/fsync/rename/remove/sync_dir); 0 = disarmed.
+struct CrashConfig {
+  uint64_t crash_at_op = 0;
+  uint64_t resolve_seed = 1;
+  /// Probability each unsynced chunk / directory op made it to the platter.
+  double unsynced_survival = 0.5;
+  /// Allow the last surviving unsynced region to be cut mid-chunk.
+  bool allow_torn_tail = true;
+  /// Allow out-of-order write-back: a lost chunk leaves a garbage hole
+  /// instead of discarding everything after it.
+  bool allow_reorder = true;
+};
+
+enum class FsOp : uint8_t { kAppend, kFsync, kRename, kRemove, kSyncDir };
+const char* to_string(FsOp op);
+
+/// Mutating-operation log entry — the crash sweep uses a rehearsal run's log
+/// to aim crashes at semantically interesting points (journal tail,
+/// checkpoint tmp write, the rename itself).
+struct FsOpRecord {
+  uint64_t index = 0;  ///< 1-indexed
+  FsOp op = FsOp::kAppend;
+  std::string path;
+  uint64_t bytes = 0;  ///< appended payload size (kAppend only)
+};
+
+class SimFs {
+ public:
+  SimFs() = default;
+
+  /// Arms the next power loss. Call before driving the workload.
+  void arm(const CrashConfig& config);
+  bool crashed() const;
+  /// Clears the dead state after a crash: the working view becomes the
+  /// resolved durable state (what a restarted process would find). No-op if
+  /// no crash happened.
+  void restart();
+
+  // --- mutating operations (each one numbered op; no-ops once crashed) ---
+  /// Appends to `path`, creating it (a pending directory op) if missing.
+  /// The bytes are pending until fsync. The crash point is AFTER the buffer
+  /// accepted the bytes: a crashed append is exactly the torn-tail case.
+  void append(const std::string& path, BytesView data);
+  /// Makes `path`'s pending bytes durable. Crash point is BEFORE the flush:
+  /// "died between write and fsync".
+  void fsync(const std::string& path);
+  /// Atomically renames (replacing any existing `to`). Pending until
+  /// sync_dir. Crash point before the rename takes effect.
+  void rename(const std::string& from, const std::string& to);
+  /// Removes a name (the inode's durable bytes die with the last durable
+  /// name). Pending until sync_dir; crash point before.
+  void remove(const std::string& path);
+  /// Makes all pending directory operations durable, in order.
+  void sync_dir();
+
+  // --- read-side (working view; not numbered, empty/false once crashed) ---
+  std::optional<Bytes> read(const std::string& path) const;
+  bool exists(const std::string& path) const;
+  std::vector<std::string> list() const;
+
+  // --- introspection ---
+  uint64_t op_count() const;
+  std::vector<FsOpRecord> op_log() const;
+  /// Total bytes currently pending (unsynced) across all files.
+  uint64_t pending_bytes() const;
+
+ private:
+  struct Inode {
+    Bytes durable;
+    std::vector<Bytes> pending;  ///< ordered unsynced appends
+  };
+  using InodePtr = std::shared_ptr<Inode>;
+  struct MetaOp {
+    FsOp op;                 ///< kAppend doubles as "create" here
+    std::string name;        ///< created/removed name, or rename source
+    std::string to;          ///< rename target
+    InodePtr inode;          ///< created inode (create only)
+  };
+
+  /// Numbers the op, logs it, and fires the armed crash if this is the op.
+  /// Returns true when the caller must NOT apply the effect (crash fired
+  /// before the effect, or the fs was already dead).
+  bool op_event_locked(FsOp op, const std::string& path, uint64_t bytes,
+                       bool crash_before);
+  void resolve_crash_locked();
+
+  mutable std::mutex mu_;
+  std::map<std::string, InodePtr> dir_;          ///< working view
+  std::map<std::string, InodePtr> durable_dir_;  ///< as of last sync_dir
+  std::vector<MetaOp> pending_meta_;
+  CrashConfig crash_{};
+  bool armed_ = false;
+  bool crashed_ = false;
+  bool dead_ = false;  ///< post-crash, pre-restart: everything no-ops
+  uint64_t op_index_ = 0;
+  std::vector<FsOpRecord> op_log_;
+};
+
+}  // namespace hardtape::durability

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace hardtape::obs {
 
 SpTrace SpTrace::project(const std::vector<TraceEvent>& events) {
@@ -303,9 +305,10 @@ std::string AuditReport::json() const {
   for (const AuditFinding& f : findings) {
     if (!first) out << ", ";
     first = false;
-    out << "{\"channel\": \"" << f.channel << "\", \"pass\": " << (f.pass ? "true" : "false")
+    out << "{\"channel\": \"" << json_escape(f.channel)
+        << "\", \"pass\": " << (f.pass ? "true" : "false")
         << ", \"statistic\": " << f.statistic << ", \"threshold\": " << f.threshold
-        << ", \"detail\": \"" << f.detail << "\"}";
+        << ", \"detail\": \"" << json_escape(f.detail) << "\"}";
   }
   out << "]}";
   return out.str();

@@ -1,0 +1,98 @@
+#include "obs/json.hpp"
+
+#include <cstdio>
+
+namespace hardtape::obs {
+
+namespace {
+
+void escape_byte(std::string& out, unsigned char c) {
+  char buf[8];
+  std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c));
+  out += buf;
+}
+
+/// Length of the well-formed UTF-8 sequence starting at s[i], or 0 when the
+/// bytes there are not a valid sequence (including overlong encodings and
+/// truncated tails). Follows RFC 3629: 4-byte max, surrogate range excluded.
+size_t utf8_sequence_length(std::string_view s, size_t i) {
+  const auto byte = [&](size_t k) { return static_cast<unsigned char>(s[k]); };
+  const unsigned char b0 = byte(i);
+  auto is_cont = [&](size_t k) {
+    return k < s.size() && (byte(k) & 0xc0) == 0x80;
+  };
+  if (b0 < 0x80) return 1;
+  if (b0 >= 0xc2 && b0 <= 0xdf) {  // 0xc0/0xc1 would be overlong
+    return is_cont(i + 1) ? 2 : 0;
+  }
+  if (b0 == 0xe0) {  // second byte restricted to exclude overlongs
+    return i + 2 < s.size() && byte(i + 1) >= 0xa0 && byte(i + 1) <= 0xbf &&
+                   is_cont(i + 2)
+               ? 3
+               : 0;
+  }
+  if (b0 == 0xed) {  // exclude UTF-16 surrogates U+D800..U+DFFF
+    return i + 2 < s.size() && byte(i + 1) >= 0x80 && byte(i + 1) <= 0x9f &&
+                   is_cont(i + 2)
+               ? 3
+               : 0;
+  }
+  if (b0 >= 0xe1 && b0 <= 0xef) {
+    return is_cont(i + 1) && is_cont(i + 2) ? 3 : 0;
+  }
+  if (b0 == 0xf0) {
+    return i + 3 < s.size() && byte(i + 1) >= 0x90 && byte(i + 1) <= 0xbf &&
+                   is_cont(i + 2) && is_cont(i + 3)
+               ? 4
+               : 0;
+  }
+  if (b0 >= 0xf1 && b0 <= 0xf3) {
+    return is_cont(i + 1) && is_cont(i + 2) && is_cont(i + 3) ? 4 : 0;
+  }
+  if (b0 == 0xf4) {  // cap at U+10FFFF
+    return i + 3 < s.size() && byte(i + 1) >= 0x80 && byte(i + 1) <= 0x8f &&
+                   is_cont(i + 2) && is_cont(i + 3)
+               ? 4
+               : 0;
+  }
+  return 0;  // 0xc0, 0xc1, 0xf5..0xff: never valid lead bytes
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (c < 0x80) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (c < 0x20) {
+            escape_byte(out, c);
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+      ++i;
+      continue;
+    }
+    const size_t len = utf8_sequence_length(s, i);
+    if (len == 0) {  // malformed: escape this single byte and resynchronize
+      escape_byte(out, c);
+      ++i;
+    } else {
+      out.append(s.substr(i, len));
+      i += len;
+    }
+  }
+  return out;
+}
+
+}  // namespace hardtape::obs

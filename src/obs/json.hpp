@@ -1,0 +1,29 @@
+// JSON string escaping for every obs exposition surface (JSONL traces,
+// registry dumps, bench artifacts).
+//
+// Exported fields can carry bytes the chip never chose: metric names are
+// assembled from runtime ids, and trace/artifact pipelines downstream of a
+// hostile contract may embed contract-controlled data (return data, log
+// payloads) into labels. A raw '"' or '\n' in such a field splits a JSONL
+// line in two — corrupting the stream an auditor replays — and a non-UTF8
+// byte makes the whole document unparseable for strict consumers. This
+// helper makes any byte sequence JSON-safe:
+//  - '"', '\\' and the C0 control range are escaped ('\n', '\t', '\r'
+//    short forms; \u00XX otherwise), so one logical record is always one
+//    physical line;
+//  - well-formed UTF-8 passes through untouched;
+//  - malformed UTF-8 (stray continuation bytes, overlong or truncated
+//    sequences, 0xFE/0xFF) is escaped byte-wise as \u00XX — lossless enough
+//    to debug, and always valid JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hardtape::obs {
+
+/// Escapes `s` for embedding between double quotes in a JSON document.
+/// Output is pure ASCII-or-valid-UTF8 with no unescaped control bytes.
+std::string json_escape(std::string_view s);
+
+}  // namespace hardtape::obs

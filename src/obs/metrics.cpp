@@ -1,10 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
-#include <cstdio>
 #include <sstream>
 
 #include "common/errors.hpp"
+#include "obs/json.hpp"
 
 namespace hardtape::obs {
 
@@ -20,28 +20,6 @@ std::string format_double(double v) {
   out.precision(17);
   out << v;
   return out.str();
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace

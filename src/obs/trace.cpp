@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/json.hpp"
+
 namespace hardtape::obs {
 
 const char* to_string(TraceCategory category) {
@@ -27,6 +29,8 @@ const char* to_string(TraceCode code) {
     case TraceCode::kBundleRequeue: return "bundle_requeue";
     case TraceCode::kBundleResim: return "bundle_resim";
     case TraceCode::kEpochAdvance: return "epoch_advance";
+    case TraceCode::kWarmRestart: return "warm_restart";
+    case TraceCode::kBundleReadmit: return "bundle_readmit";
   }
   return "unknown";
 }
@@ -103,13 +107,17 @@ void TraceSink::write_jsonl(std::ostream& out) const {
             [](const TraceRing* a, const TraceRing* b) { return a->worker() < b->worker(); });
   for (const TraceRing* ring : ordered) {
     for (const TraceEvent& e : ring->events()) {
+      // The cat/name strings are compiled-in today, but every string that
+      // reaches the JSONL stream goes through json_escape so a future
+      // data-derived label can't split a record across lines.
       out << "{\"worker\":" << e.worker << ",\"seq\":" << e.seq << ",\"sim_ns\":" << e.sim_ns
-          << ",\"wall_ns\":" << e.wall_ns << ",\"cat\":\"" << to_string(e.category)
+          << ",\"wall_ns\":" << e.wall_ns << ",\"cat\":\"" << json_escape(to_string(e.category))
           << "\",\"code\":" << e.code;
       if (e.category == TraceCategory::kOpcode) {
         out << ",\"op\":" << e.code;
       } else {
-        out << ",\"name\":\"" << to_string(static_cast<TraceCode>(e.code)) << "\"";
+        out << ",\"name\":\"" << json_escape(to_string(static_cast<TraceCode>(e.code)))
+            << "\"";
       }
       out << ",\"a\":" << e.a << ",\"b\":" << e.b << ",\"c\":" << e.c << "}\n";
     }

@@ -56,6 +56,8 @@ enum class TraceCode : uint16_t {
   kBundleRequeue = 0x303,
   kBundleResim = 0x304,   ///< outcome orphaned by a reorg, re-executed
   kEpochAdvance = 0x305,  ///< engine re-pinned to a newer chain snapshot
+  kWarmRestart = 0x306,   ///< engine adopted a crash-recovered store image
+  kBundleReadmit = 0x307, ///< recovered pending bundle re-admitted post-crash
 };
 const char* to_string(TraceCode code);
 

@@ -32,6 +32,21 @@
 
 namespace hardtape::oram {
 
+class EpochRegistry;
+
+/// Observer for epoch transitions, implemented by the durability layer so
+/// every begin/commit/abort lands in the write-ahead journal in the same
+/// order the registry applied it. Callbacks run with the registry lock held
+/// (that IS the ordering guarantee) — implementations must not call back
+/// into the registry.
+class EpochListener {
+ public:
+  virtual ~EpochListener() = default;
+  virtual void on_epoch_begin(uint64_t epoch, const H256& root, uint64_t block_number) = 0;
+  virtual void on_epoch_commit(uint64_t epoch) = 0;
+  virtual void on_epoch_abort(uint64_t epoch) = 0;
+};
+
 class EpochRegistry {
  public:
   struct Pin {
@@ -40,6 +55,12 @@ class EpochRegistry {
     uint64_t block_number = 0;
   };
 
+  /// Registers the (single) transition observer; nullptr detaches.
+  void set_listener(EpochListener* listener) {
+    std::lock_guard lock(mu_);
+    listener_ = listener;
+  }
+
   /// Opens epoch store_epoch()+1 for `root`. Pages tagged until commit()
   /// belong to it. Only one pass may be open at a time.
   uint64_t begin(const H256& root, uint64_t block_number) {
@@ -47,31 +68,56 @@ class EpochRegistry {
     if (open_) throw UsageError("epoch: previous sync pass not committed");
     open_ = true;
     pending_ = Pin{history_.empty() ? 0 : history_.back().epoch + 1, root, block_number};
+    staged_tags_.clear();
+    if (listener_) listener_->on_epoch_begin(pending_.epoch, root, block_number);
     return pending_.epoch;
   }
 
-  /// Tags one installed page with the open pass's epoch.
+  /// Tags one installed page with the open pass's epoch. The tag is STAGED:
+  /// it becomes visible to readers at commit(), and abort() discards it —
+  /// so `max_page_epoch() <= store_epoch()` holds at every instant, even
+  /// mid-pass, and an aborted pass releases every page it touched.
   void tag(const BlockId& page) {
     std::lock_guard lock(mu_);
     if (!open_) throw UsageError("epoch: tag() outside a sync pass");
-    tags_[page] = pending_.epoch;
+    staged_tags_.push_back(page);
     ++pages_tagged_;
   }
 
-  /// Completes the open pass: the store epoch advances to it. On abort()
-  /// instead, the tags written by the pass are already in place but the
-  /// store epoch does not advance — callers must only abort passes that
-  /// installed nothing (the synchronizer's verify-then-install order
-  /// guarantees that for any verification failure).
+  /// Completes the open pass: the staged tags land and the store epoch
+  /// advances to it. Calling commit() (or abort()) with no pass open is a
+  /// usage error — a double commit means the caller lost track of the pass
+  /// lifecycle and its journal would disagree with the registry.
   void commit() {
     std::lock_guard lock(mu_);
     if (!open_) throw UsageError("epoch: commit() outside a sync pass");
     open_ = false;
+    for (const BlockId& page : staged_tags_) tags_[page] = pending_.epoch;
+    staged_tags_.clear();
     history_.push_back(pending_);
+    if (listener_) listener_->on_epoch_commit(pending_.epoch);
   }
   void abort() {
     std::lock_guard lock(mu_);
+    if (!open_) throw UsageError("epoch: abort() outside a sync pass");
     open_ = false;
+    staged_tags_.clear();  // released: the pass never happened
+    if (listener_) listener_->on_epoch_abort(pending_.epoch);
+  }
+
+  /// Re-seeds a pristine registry from recovered durable state (committed
+  /// history + page tags). Warm-restart only: rejects a registry that has
+  /// already begun life, and never fires the listener — the journal already
+  /// contains these transitions.
+  void restore(std::vector<Pin> history,
+               std::unordered_map<BlockId, uint64_t, U256Hasher> tags) {
+    std::lock_guard lock(mu_);
+    if (open_ || !history_.empty() || !tags_.empty()) {
+      throw UsageError("epoch: restore() on a non-pristine registry");
+    }
+    history_ = std::move(history);
+    tags_ = std::move(tags);
+    pages_tagged_ = tags_.size();
   }
 
   /// The last committed pass (epoch 0 exists only after the initial sync).
@@ -118,13 +164,26 @@ class EpochRegistry {
     return tags_.size();
   }
 
+  /// Committed history snapshot, oldest first (for checkpointing).
+  std::vector<Pin> history() const {
+    std::lock_guard lock(mu_);
+    return history_;
+  }
+  /// Committed page-tag snapshot (for checkpointing).
+  std::unordered_map<BlockId, uint64_t, U256Hasher> tags() const {
+    std::lock_guard lock(mu_);
+    return tags_;
+  }
+
  private:
   mutable std::mutex mu_;
   bool open_ = false;
   Pin pending_{};
   std::vector<Pin> history_;
+  std::vector<BlockId> staged_tags_;  ///< open pass's tags, not yet visible
   std::unordered_map<BlockId, uint64_t, U256Hasher> tags_;
   uint64_t pages_tagged_ = 0;
+  EpochListener* listener_ = nullptr;
 };
 
 }  // namespace hardtape::oram

@@ -145,6 +145,13 @@ void OramServer::write_path(uint64_t leaf, std::vector<SealedSlot> slots) {
   }
 }
 
+void OramServer::load_slots(std::vector<SealedSlot> slots) {
+  if (slots.size() != bucket_count() * config_.bucket_capacity) {
+    throw UsageError("oram: bulk load shape mismatch");
+  }
+  slots_ = std::move(slots);
+}
+
 uint64_t OramServer::bytes_per_access() const {
   const uint64_t slot_bytes = 12 + 16 + 32 + config_.block_size;
   return 2 * (depth_ + 1) * config_.bucket_capacity * slot_bytes;
@@ -195,6 +202,54 @@ AccessAttempt OramClient::try_write(const BlockId& id, BytesView data) {
 std::optional<Bytes> OramClient::read_modify_write(
     const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate) {
   return access(id, nullptr, &mutate);
+}
+
+void OramClient::bulk_restore(const std::vector<std::pair<BlockId, Bytes>>& pages) {
+  if (!position_.empty() || !stash_.empty()) {
+    throw UsageError("oram: bulk_restore requires a fresh client");
+  }
+  const size_t z = server_.config().bucket_capacity;
+  const size_t depth = server_.depth();
+  const size_t block_size = server_.config().block_size;
+  const uint64_t leaf_count = server_.leaf_count();
+  const size_t buckets = 2 * leaf_count - 1;
+
+  // Plan placement locally: deepest non-full bucket on the page's (fresh)
+  // path, stash as the overflow of last resort.
+  std::vector<std::vector<const std::pair<BlockId, Bytes>*>> bucket_blocks(buckets);
+  for (const auto& page : pages) {
+    if (page.second.size() > block_size) throw UsageError("oram: block too large");
+    const uint64_t leaf = rng_.uniform(leaf_count);
+    position_[page.first] = leaf;
+    bool placed = false;
+    for (size_t level_plus_1 = depth + 1; level_plus_1 > 0 && !placed; --level_plus_1) {
+      const size_t bucket = ((leaf_count + leaf) >> (depth - (level_plus_1 - 1))) - 1;
+      if (bucket_blocks[bucket].size() < z) {
+        bucket_blocks[bucket].push_back(&page);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      Bytes padded = page.second;
+      padded.resize(block_size, 0);
+      stash_.emplace(page.first, StashEntry{std::move(padded), leaf});
+    }
+  }
+  stash_high_water_ = std::max(stash_high_water_, stash_.size());
+  if (stash_.size() > server_.config().max_stash_blocks) stash_overflowed_ = true;
+
+  // Seal each real page exactly once and install the tree in one shot.
+  // Unfilled slots stay empty-ciphertext — the same "never written" state a
+  // fresh tree has, which every access already treats as a dummy.
+  std::vector<SealedSlot> slots(buckets * z);
+  for (size_t bucket = 0; bucket < buckets; ++bucket) {
+    for (size_t slot = 0; slot < bucket_blocks[bucket].size(); ++slot) {
+      const auto* page = bucket_blocks[bucket][slot];
+      slots[bucket * z + slot] = seal_slot(
+          mode_, key_, rng_, make_plaintext(page->first, page->second, block_size));
+    }
+  }
+  server_.load_slots(std::move(slots));
 }
 
 std::optional<Bytes> OramClient::access(
@@ -249,6 +304,7 @@ std::optional<Bytes> OramClient::access(
   // 2. Remap the requested block to a fresh uniformly random leaf.
   const uint64_t new_leaf = rng_.uniform(server_.leaf_count());
   position_[id] = new_leaf;
+  if (new_data != nullptr && install_hook_) install_hook_(id, *new_data, new_leaf);
 
   std::optional<Bytes> result;
   auto stash_it = stash_.find(id);

@@ -71,6 +71,11 @@ class OramServer {
   std::vector<SealedSlot> read_path(uint64_t leaf);
   /// Replaces the path with re-encrypted slots (same shape as read_path).
   void write_path(uint64_t leaf, std::vector<SealedSlot> slots);
+  /// Checkpoint restore (PR 5): replaces the entire tree in one bulk load
+  /// (`slots` in bucket-major order, bucket_count()*Z entries). A restore is
+  /// a single public event — it is not an access and reveals no per-path
+  /// information, so it is not added to the adversary's observed-leaf trace.
+  void load_slots(std::vector<SealedSlot> slots);
 
   // --- the adversary's view / statistics ---
   const std::vector<uint64_t>& observed_leaves() const { return observed_leaves_; }
@@ -162,6 +167,17 @@ class OramClient : public OramAccessor {
   /// never-written id; the returned bytes are padded to block_size.
   std::optional<Bytes> read_modify_write(
       const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate);
+  /// Checkpoint restore (PR 5): installs `pages` into a FRESH client (throws
+  /// UsageError otherwise) without paying one full path access per page.
+  /// Every page draws a fresh uniform leaf — positions are never carried
+  /// across a crash, so obliviousness cannot come to depend on a recovered
+  /// position map — and is placed into the deepest non-full bucket on its
+  /// path (overflow falls back to the stash). Each slot is sealed exactly
+  /// once and the tree is handed to the server as one bulk load, which is
+  /// what makes a warm restart cheaper than a cold re-sync. Fires neither
+  /// the access hook (a restore is not an access) nor the install hook (the
+  /// pages are already durable in the checkpoint being restored).
+  void bulk_restore(const std::vector<std::pair<BlockId, Bytes>>& pages);
   bool contains(const BlockId& id) const { return position_.contains(id); }
 
   size_t block_count() const { return position_.size(); }
@@ -173,6 +189,14 @@ class OramClient : public OramAccessor {
 
   /// Callback fired once per ORAM access (for timing models / schedulers).
   void set_access_hook(std::function<void()> hook) { access_hook_ = std::move(hook); }
+
+  /// Callback fired once per write()-style install/update, AFTER the block
+  /// is remapped: (id, block-size-padded contents, new leaf). This is the
+  /// durability layer's journaling point — it observes the logical store
+  /// mutation, never the oblivious path traffic.
+  void set_install_hook(std::function<void(const BlockId&, BytesView, uint64_t)> hook) {
+    install_hook_ = std::move(hook);
+  }
 
  private:
   struct StashEntry {
@@ -195,6 +219,7 @@ class OramClient : public OramAccessor {
   size_t stash_high_water_ = 0;
   bool stash_overflowed_ = false;
   std::function<void()> access_hook_;
+  std::function<void(const BlockId&, BytesView, uint64_t)> install_hook_;
 };
 
 }  // namespace hardtape::oram

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "durability/durable_store.hpp"
 #include "memlayer/pager.hpp"
 #include "node/sync.hpp"
 
@@ -120,6 +121,46 @@ bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b) {
          same_events(a.observed_timeline, b.observed_timeline);
 }
 
+bool outcomes_semantically_identical(const SessionOutcome& a, const SessionOutcome& b) {
+  if (a.bundle_id != b.bundle_id || a.status != b.status) return false;
+
+  const hevm::BundleReport& ra = a.report;
+  const hevm::BundleReport& rb = b.report;
+  if (ra.instructions != rb.instructions || ra.aborted != rb.aborted) return false;
+  if (ra.final_balances.size() != rb.final_balances.size()) return false;
+  for (size_t i = 0; i < ra.final_balances.size(); ++i) {
+    if (ra.final_balances[i].first != rb.final_balances[i].first ||
+        ra.final_balances[i].second != rb.final_balances[i].second) {
+      return false;
+    }
+  }
+  if (ra.transactions.size() != rb.transactions.size()) return false;
+  for (size_t i = 0; i < ra.transactions.size(); ++i) {
+    const hevm::TxTraceReport& ta = ra.transactions[i];
+    const hevm::TxTraceReport& tb = rb.transactions[i];
+    if (ta.status != tb.status || ta.gas_used != tb.gas_used ||
+        ta.return_data != tb.return_data || ta.create_address != tb.create_address) {
+      return false;
+    }
+    if (ta.storage_writes.size() != tb.storage_writes.size()) return false;
+    for (size_t j = 0; j < ta.storage_writes.size(); ++j) {
+      if (ta.storage_writes[j].addr != tb.storage_writes[j].addr ||
+          ta.storage_writes[j].key != tb.storage_writes[j].key ||
+          ta.storage_writes[j].value != tb.storage_writes[j].value) {
+        return false;
+      }
+    }
+    if (ta.logs.size() != tb.logs.size()) return false;
+    for (size_t j = 0; j < ta.logs.size(); ++j) {
+      if (ta.logs[j].address != tb.logs[j].address ||
+          ta.logs[j].topics != tb.logs[j].topics || ta.logs[j].data != tb.logs[j].data) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig config)
     : node_(node),
       config_(config),
@@ -151,6 +192,17 @@ PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig c
   }
   if (config_.max_bundle_attempts < 1) {
     throw UsageError("engine: max_bundle_attempts must be >= 1");
+  }
+  if (config_.durable != nullptr) {
+    // Durability is a pure observer on the untrusted side of the boundary:
+    // the registry listener journals epoch transitions, the install hook
+    // journals page writes. Neither feeds anything back into execution.
+    epoch_registry_.set_listener(config_.durable);
+    oram_client_.set_install_hook(
+        [durable = config_.durable](const oram::BlockId& id, BytesView data,
+                                    uint64_t leaf) {
+          durable->log_page_install(id, data, leaf);
+        });
   }
 }
 
@@ -194,6 +246,9 @@ Status PreExecutionEngine::synchronize() {
     return status;
   }
   epoch_registry_.commit();
+  sync_verified_accounts_.fetch_add(sync.verified_accounts(), std::memory_order_relaxed);
+  sync_verified_slots_.fetch_add(sync.verified_slots(), std::memory_order_relaxed);
+  sync_pages_installed_.fetch_add(sync.installed_pages(), std::memory_order_relaxed);
   ++sync_passes_;
   std::lock_guard lock(pin_mu_);
   pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
@@ -269,6 +324,9 @@ Status PreExecutionEngine::resync() {
         return status;
       }
       epoch_registry_.commit();
+    sync_verified_accounts_.fetch_add(sync.verified_accounts(), std::memory_order_relaxed);
+    sync_verified_slots_.fetch_add(sync.verified_slots(), std::memory_order_relaxed);
+    sync_pages_installed_.fetch_add(sync.installed_pages(), std::memory_order_relaxed);
     }
     ++sync_passes_;
   }
@@ -375,6 +433,132 @@ void PreExecutionEngine::resimulate_orphans() {
   }
 }
 
+Status PreExecutionEngine::warm_restart(const durability::RecoveredState& recovered) {
+  if (started_) throw UsageError("engine: warm_restart() before start()");
+  const durability::StoreImage& image = recovered.image;
+  if (image.epoch_history.empty()) {
+    // Nothing committed survived (fresh disk, or the crash predated the
+    // first epoch commit): a warm restart degenerates to the cold path.
+    return synchronize();
+  }
+
+  // 1. Seed the chip-side registry with the recovered committed history, so
+  // epoch numbering continues where the crashed run left off and the
+  // max-page-epoch <= store-epoch invariant is auditable from record one.
+  std::unordered_map<oram::BlockId, uint64_t, U256Hasher> tags(
+      image.page_tags.begin(), image.page_tags.end());
+  epoch_registry_.restore(image.epoch_history, std::move(tags));
+
+  // 2. Re-install the recovered pages. Journaling is suppressed: these
+  // pages are already durable in the checkpoint the store adopted, and
+  // re-journaling them would double the image. The ORAM draws fresh leaves
+  // (positions are never restored — obliviousness must not depend on a
+  // crash-surviving position map).
+  const H256 recovered_root = image.epoch_history.back().state_root;
+  std::shared_ptr<const state::WorldState> recovered_world =
+      node_.world_at(recovered_root);
+  if (recovered_world == nullptr) {
+    // The node no longer holds the recovered snapshot (deep reorg/pruning):
+    // the journal cannot be delta-synced from — the caller cold-syncs.
+    return Status::kNotFound;
+  }
+  if (oram_enabled()) {
+    if (config_.durable != nullptr) config_.durable->set_restoring(true);
+    std::vector<std::pair<oram::BlockId, Bytes>> pages;
+    pages.reserve(image.pages.size());
+    for (const auto& [id, page] : image.pages) pages.emplace_back(id, page.data);
+    // Bulk load: one sealed-tree install instead of one full path access per
+    // page — the restore cost that makes warm beat cold (the image's pages
+    // were verified before they were journaled; only the gap needs proofs).
+    oram_client_.bulk_restore(pages);
+    pages_restored_.fetch_add(pages.size(), std::memory_order_relaxed);
+    if (config_.durable != nullptr) config_.durable->set_restoring(false);
+  }
+
+  // 3. Close the gap from the recovered committed root to the node's head
+  // with the normal verified delta-sync, then pin the head.
+  node::PinnedBlock head = node_.pinned_head();
+  if (head.header.state_root != recovered_root) {
+    if (oram_enabled()) {
+      epoch_registry_.begin(head.header.state_root, head.header.number);
+      node::BlockSynchronizer sync(node_, head.header.state_root);
+      sync.set_epoch_registry(&epoch_registry_);
+      const Status status = sync.sync_delta(*recovered_world, oram_client_, nullptr);
+      if (status != Status::kOk) {
+        epoch_registry_.abort();
+        return status;
+      }
+      epoch_registry_.commit();
+    sync_verified_accounts_.fetch_add(sync.verified_accounts(), std::memory_order_relaxed);
+    sync_verified_slots_.fetch_add(sync.verified_slots(), std::memory_order_relaxed);
+    sync_pages_installed_.fetch_add(sync.installed_pages(), std::memory_order_relaxed);
+    }
+    ++sync_passes_;
+  }
+  {
+    std::lock_guard lock(pin_mu_);
+    pin_ = PinnedSnapshot{epoch_registry_.store_epoch(), head.header,
+                          std::move(head.world)};
+  }
+
+  // 4. Continue bundle-id numbering past everything the crashed run
+  // admitted, so re-admissions keep their ids and new submissions never
+  // collide with them.
+  next_bundle_id_.store(image.next_bundle_id, std::memory_order_relaxed);
+  if (config_.durable != nullptr) {
+    config_.durable->note_next_bundle_id(image.next_bundle_id);
+  }
+  warm_restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.trace != nullptr) {
+    config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
+                                   static_cast<uint16_t>(obs::TraceCode::kWarmRestart),
+                                   /*sim_ns=*/0, epoch_registry_.store_epoch(),
+                                   image.pending_bundles.size());
+  }
+  return Status::kOk;
+}
+
+Admission PreExecutionEngine::resubmit(uint64_t bundle_id,
+                                       std::vector<evm::Transaction> bundle,
+                                       uint32_t attempt) {
+  if (!started_) throw UsageError("engine: start() before resubmit()");
+  if (drained_) throw UsageError("engine: already drained");
+  // Keep the id allocator strictly ahead of explicit re-admissions.
+  uint64_t expected = next_bundle_id_.load(std::memory_order_relaxed);
+  while (expected <= bundle_id &&
+         !next_bundle_id_.compare_exchange_weak(expected, bundle_id + 1,
+                                                std::memory_order_relaxed)) {
+  }
+  // Admit-mark again (set semantics in the mirror dedupe the pending entry;
+  // the fresh journal generation needs its own record anyway).
+  if (config_.durable != nullptr) config_.durable->log_bundle_admitted(bundle_id);
+  bundles_readmitted_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.trace != nullptr) {
+    config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
+                                   static_cast<uint16_t>(obs::TraceCode::kBundleReadmit),
+                                   /*sim_ns=*/0, bundle_id, attempt);
+  }
+  if (breaker_open()) {
+    SessionOutcome refused;
+    refused.bundle_id = bundle_id;
+    refused.attempt = attempt;
+    refused.status = Status::kUnavailable;
+    record_outcome(std::move(refused), 0, nullptr);
+    return {bundle_id, Status::kUnavailable};
+  }
+  if (config_.auto_resync && needs_resync()) (void)resync();
+  {
+    std::lock_guard lock(results_mu_);
+    ++outstanding_;
+    bundle_txs_[bundle_id] = bundle;
+  }
+  if (!queue_.push(QueueItem{bundle_id, std::move(bundle),
+                             std::chrono::steady_clock::now(), attempt})) {
+    throw UsageError("engine: queue closed");
+  }
+  return {bundle_id, Status::kOk};
+}
+
 void PreExecutionEngine::start() {
   if (started_) throw UsageError("engine: already started");
   started_ = true;
@@ -419,6 +603,12 @@ Admission PreExecutionEngine::submit(std::vector<evm::Transaction> bundle) {
   if (!started_) throw UsageError("engine: start() before submit()");
   if (drained_) throw UsageError("engine: already drained");
   const uint64_t id = next_bundle_id_.fetch_add(1, std::memory_order_relaxed);
+  // Durable admit mark, synced before the bundle can run: after any crash,
+  // every bundle the caller saw admitted is either durably resolved or in
+  // the recovered pending set — never silently forgotten. Breaker refusals
+  // are admitted too (they resolve immediately below), keeping the
+  // admit/resolve ledger balanced.
+  if (config_.durable != nullptr) config_.durable->log_bundle_admitted(id);
   if (config_.trace != nullptr) {
     config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
                                    static_cast<uint16_t>(obs::TraceCode::kBundleSubmit),
@@ -533,6 +723,13 @@ void PreExecutionEngine::register_attempt(const SessionOutcome& outcome) {
 
 void PreExecutionEngine::record_outcome(SessionOutcome outcome, uint64_t queued_wall_ns,
                                         Worker* worker) {
+  // The durable resolve mark IS the delivery receipt: it becomes durable
+  // before the outcome is visible in results_, so recovery never re-derives
+  // an outcome the user may already hold. (DurableStore takes only its own
+  // lock — no ordering against results_mu_.)
+  if (config_.durable != nullptr) {
+    config_.durable->log_bundle_resolved(outcome.bundle_id);
+  }
   latency_hist_->observe(outcome.end_to_end_ns);
   std::lock_guard lock(results_mu_);
   wall_queue_wait_ns_ += queued_wall_ns;
@@ -758,6 +955,12 @@ EngineMetrics PreExecutionEngine::snapshot() const {
   m.resyncs = resyncs_.load(std::memory_order_relaxed);
   m.bundle_resims = bundle_resims_.load(std::memory_order_relaxed);
   m.store_epoch = epoch_registry_.store_epoch();
+  m.warm_restarts = warm_restarts_.load(std::memory_order_relaxed);
+  m.bundles_readmitted = bundles_readmitted_.load(std::memory_order_relaxed);
+  m.pages_restored = pages_restored_.load(std::memory_order_relaxed);
+  m.sync_verified_accounts = sync_verified_accounts_.load(std::memory_order_relaxed);
+  m.sync_verified_slots = sync_verified_slots_.load(std::memory_order_relaxed);
+  m.sync_pages_installed = sync_pages_installed_.load(std::memory_order_relaxed);
 
   std::lock_guard lock(results_mu_);
   m.bundles_completed = results_.size();
@@ -867,6 +1070,10 @@ void PreExecutionEngine::publish_metrics(const EngineMetrics& m) const {
   set("hardtape_engine_bundle_resims", static_cast<double>(m.bundle_resims));
   set("hardtape_engine_bundles_stale", static_cast<double>(m.bundles_stale));
   set("hardtape_engine_store_epoch", static_cast<double>(m.store_epoch));
+  set("hardtape_engine_warm_restarts", static_cast<double>(m.warm_restarts));
+  set("hardtape_engine_bundles_readmitted", static_cast<double>(m.bundles_readmitted));
+  set("hardtape_engine_pages_restored", static_cast<double>(m.pages_restored));
+  set("hardtape_engine_sync_verified_slots", static_cast<double>(m.sync_verified_slots));
   for (const auto& ws : m.workers) {
     set("hardtape_engine_worker" + std::to_string(ws.worker_id) + "_utilization",
         ws.utilization);

@@ -73,6 +73,11 @@
 #include "service/pre_execution.hpp"
 #include "service/watchdog.hpp"
 
+namespace hardtape::durability {
+class DurableStore;
+struct RecoveredState;
+}  // namespace hardtape::durability
+
 namespace hardtape::service {
 
 struct EngineConfig {
@@ -126,6 +131,16 @@ struct EngineConfig {
   /// Check staleness at every submit() and re-sync automatically.
   bool auto_resync = true;
 
+  // --- crash-consistent durability (PR 5) ---
+  /// Optional write-ahead mirror of the ORAM store (must outlive the
+  /// engine). When set, the engine journals epoch transitions (via the
+  /// registry listener), page installs (via the client's install hook) and
+  /// bundle admit/resolve marks, enabling Recovery::replay + warm_restart()
+  /// after a crash. Null = no durability (the default); the execution path
+  /// is untouched either way — journaling is a pure observer, so outcomes
+  /// stay bit-identical with and without it.
+  durability::DurableStore* durable = nullptr;
+
   // --- observability (PR 3) ---
   /// Optional trace sink (must outlive the engine). When set, each worker's
   /// HEVM/pager emits into the sink's ring for that worker id, the shared
@@ -172,6 +187,16 @@ struct SessionOutcome {
 /// (everything except worker_id). Used by tests and bench_throughput to hold
 /// the engine to the serial reference.
 bool outcomes_bit_identical(const SessionOutcome& a, const SessionOutcome& b);
+
+/// True iff the two outcomes agree in every USER-VISIBLE field: status and
+/// the full bundle report (per-tx status/gas/return data/storage writes/
+/// logs/created addresses, final balances, instruction count, abort flag).
+/// Deliberately ignores attempt, epoch, state root, simulated timings, swap
+/// noise and query timelines — a re-admitted bundle runs at attempt+1 with
+/// a fresh fault/noise stream against a re-pinned (same-content) snapshot,
+/// so those provenance fields legitimately differ while everything the user
+/// receives must not. This is the crash drill's correctness bar.
+bool outcomes_semantically_identical(const SessionOutcome& a, const SessionOutcome& b);
 
 struct EngineMetrics {
   uint64_t bundles_submitted = 0;
@@ -220,6 +245,17 @@ struct EngineMetrics {
   uint64_t bundle_resims = 0;  ///< outcomes re-executed after a reorg
   uint64_t bundles_stale = 0;  ///< resolved kStale (resim budget exhausted)
   uint64_t store_epoch = 0;    ///< committed epoch of the ORAM store
+
+  // --- crash durability (PR 5; zero without a DurableStore) ---
+  uint64_t warm_restarts = 0;       ///< recovered images adopted
+  uint64_t bundles_readmitted = 0;  ///< pending bundles re-admitted post-crash
+  uint64_t pages_restored = 0;      ///< checkpoint pages bulk-loaded, no proofs
+  /// Merkle-verification work across every sync pass (full + delta). The
+  /// crash drill's deterministic speedup claim: a warm restart re-verifies
+  /// only the crash gap, a cold sync re-verifies the world.
+  uint64_t sync_verified_accounts = 0;
+  uint64_t sync_verified_slots = 0;
+  uint64_t sync_pages_installed = 0;
 
   struct WorkerStats {
     int worker_id = 0;
@@ -271,6 +307,25 @@ class PreExecutionEngine {
   node::BlockHeader pinned_header() const;
   uint64_t pinned_epoch() const;
   const oram::EpochRegistry& epoch_registry() const { return epoch_registry_; }
+
+  /// Warm restart (PR 5): adopts a crash-recovered store image instead of a
+  /// cold synchronize(). Seeds the epoch registry with the recovered
+  /// committed history, re-installs the recovered pages into the ORAM
+  /// (journaling suppressed — they are already durable in the adopted
+  /// checkpoint), then brings the store from the recovered committed root to
+  /// the node's head via the normal delta-sync and pins it. Falls back:
+  /// an empty recovered image degenerates to synchronize(); a recovered
+  /// root the node no longer holds returns kNotFound and the caller cold-
+  /// syncs. Call before start(), after the DurableStore adopted the same
+  /// RecoveredState. Restores the bundle-id high-water mark so re-admitted
+  /// and new bundles keep their crash-free ids.
+  Status warm_restart(const durability::RecoveredState& recovered);
+
+  /// Re-admits a recovered pending bundle under its ORIGINAL id at a given
+  /// attempt number (the crash drill uses attempt+1: same bundle RNG, fresh
+  /// fault/noise streams). Otherwise behaves exactly like submit().
+  Admission resubmit(uint64_t bundle_id, std::vector<evm::Transaction> bundle,
+                     uint32_t attempt);
 
   /// Spawns the worker pool: per worker, one hypervisor session (secure
   /// channel) and one dedicated HevmCore. Call once, before submit().
@@ -412,6 +467,12 @@ class PreExecutionEngine {
   uint64_t sync_passes_ = 0;   ///< fault-plan stream index for node fetches
   std::atomic<uint64_t> resyncs_{0};
   std::atomic<uint64_t> bundle_resims_{0};
+  std::atomic<uint64_t> warm_restarts_{0};
+  std::atomic<uint64_t> bundles_readmitted_{0};
+  std::atomic<uint64_t> pages_restored_{0};
+  std::atomic<uint64_t> sync_verified_accounts_{0};
+  std::atomic<uint64_t> sync_verified_slots_{0};
+  std::atomic<uint64_t> sync_pages_installed_{0};
 
   /// Unified metrics (obs). The latency histogram is a live instrument fed
   /// by record_outcome; scalar snapshot values are published on snapshot().

@@ -1,0 +1,641 @@
+// Crash-consistent durability (PR 5): the simulated filesystem's power-loss
+// semantics, the WAL's fail-closed replay, checkpoint atomicity, recovery's
+// staging state machine, the DurableStore mirror, and the engine's warm
+// restart. Every crash here is seeded and replayable — a failing case is a
+// unit test, not an anecdote.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "durability/checkpoint.hpp"
+#include "durability/durable_store.hpp"
+#include "durability/journal.hpp"
+#include "durability/recovery.hpp"
+#include "durability/vfs.hpp"
+#include "faults/crash_plan.hpp"
+#include "service/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace hardtape::durability {
+namespace {
+
+Bytes bytes_of(const std::string& s) { return Bytes(s.begin(), s.end()); }
+
+// ---------------------------------------------------------------- SimFs ----
+
+TEST(SimFs, AppendIsPendingUntilFsync) {
+  SimFs fs;
+  fs.append("f", bytes_of("hello"));
+  EXPECT_EQ(fs.pending_bytes(), 5u);
+  ASSERT_TRUE(fs.read("f").has_value());
+  EXPECT_EQ(*fs.read("f"), bytes_of("hello"));  // working view sees it
+  fs.fsync("f");
+  EXPECT_EQ(fs.pending_bytes(), 0u);
+}
+
+TEST(SimFs, CrashDropsUnsyncedBytes) {
+  SimFs fs;
+  fs.append("f", bytes_of("durable"));
+  fs.fsync("f");
+  fs.sync_dir();
+  CrashConfig crash;
+  crash.unsynced_survival = 0.0;
+  crash.allow_torn_tail = false;
+  fs.append("f", bytes_of("lost"));
+  crash.crash_at_op = fs.op_count() + 1;
+  fs.arm(crash);
+  fs.append("f", bytes_of("also lost"));  // the armed op: power out
+  EXPECT_TRUE(fs.crashed());
+  EXPECT_FALSE(fs.read("f").has_value());  // dead until restart
+  fs.restart();
+  EXPECT_EQ(*fs.read("f"), bytes_of("durable"));
+}
+
+TEST(SimFs, CrashResolutionIsDeterministic) {
+  const auto run = [](uint64_t resolve_seed) {
+    SimFs fs;
+    fs.append("f", bytes_of("base"));
+    fs.fsync("f");
+    fs.sync_dir();
+    for (int i = 0; i < 8; ++i) {
+      fs.append("f", bytes_of("chunk" + std::to_string(i)));
+    }
+    CrashConfig crash;
+    crash.crash_at_op = fs.op_count() + 1;
+    crash.resolve_seed = resolve_seed;
+    crash.unsynced_survival = 0.5;
+    fs.arm(crash);
+    fs.fsync("nonexistent");  // any op fires the crash
+    fs.restart();
+    return *fs.read("f");
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));  // different platter resolution
+}
+
+TEST(SimFs, UnsyncedCreateNeedsSyncDir) {
+  SimFs fs;
+  fs.append("f", bytes_of("data"));
+  fs.fsync("f");  // bytes durable, name is not
+  CrashConfig crash;
+  crash.unsynced_survival = 0.0;
+  crash.allow_reorder = false;
+  crash.crash_at_op = fs.op_count() + 1;
+  fs.arm(crash);
+  fs.remove("unrelated");
+  fs.restart();
+  // The classic forgot-to-fsync-the-directory bug: the file is gone.
+  EXPECT_FALSE(fs.exists("f"));
+}
+
+TEST(SimFs, RenameIsAtomic) {
+  SimFs fs;
+  fs.append("a", bytes_of("old"));
+  fs.fsync("a");
+  fs.sync_dir();
+  fs.append("a.tmp", bytes_of("new"));
+  fs.fsync("a.tmp");
+  fs.sync_dir();
+  CrashConfig crash;
+  crash.unsynced_survival = 0.0;
+  crash.allow_reorder = false;
+  crash.crash_at_op = fs.op_count() + 2;  // die on the sync_dir after rename
+  fs.arm(crash);
+  fs.rename("a.tmp", "a");
+  fs.sync_dir();
+  fs.restart();
+  // Rename never became durable: the OLD content is intact, not a mix.
+  EXPECT_EQ(*fs.read("a"), bytes_of("old"));
+}
+
+// -------------------------------------------------------------- Journal ----
+
+Journal::ReplayResult replay_all(const SimFs& fs, const std::string& path,
+                                 std::vector<JournalRecord>* out = nullptr) {
+  return Journal::replay(fs, path, 0, [out](const JournalRecord& rec) {
+    if (out != nullptr) out->push_back(rec);
+    return true;
+  });
+}
+
+TEST(JournalTest, RoundTripAllRecordTypes) {
+  SimFs fs;
+  Journal journal(fs, "wal-0", 0);
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  journal.append_epoch_begin(0, root, 41);
+  journal.append_bundle_admit(7);
+  journal.append_page_install(u256{123}, bytes_of("page contents"), 5);
+  journal.append_position_update(u256{123}, 5);
+  journal.append_epoch_commit(0);
+  journal.append_bundle_resolve(7);
+  journal.append_epoch_begin(1, root, 42);
+  journal.append_epoch_abort(1);
+  journal.sync();
+
+  std::vector<JournalRecord> records;
+  const auto result = replay_all(fs, "wal-0", &records);
+  EXPECT_EQ(result.stop_reason, "");
+  EXPECT_EQ(result.records, 8u);
+  EXPECT_EQ(result.next_seq, 8u);
+  EXPECT_EQ(result.truncated_bytes, 0u);
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_EQ(records[0].type, RecordType::kEpochBegin);
+  EXPECT_EQ(records[0].root, root);
+  EXPECT_EQ(records[0].block_number, 41u);
+  EXPECT_EQ(records[1].bundle_id, 7u);
+  EXPECT_EQ(records[2].page_id, u256{123});
+  EXPECT_EQ(records[2].page_data, bytes_of("page contents"));
+  EXPECT_EQ(records[2].leaf, 5u);
+  EXPECT_EQ(records[7].type, RecordType::kEpochAbort);
+}
+
+TEST(JournalTest, TornTailTruncatesToValidPrefix) {
+  SimFs fs;
+  Journal journal(fs, "wal-0", 0);
+  journal.append_bundle_admit(1);
+  journal.append_bundle_admit(2);
+  journal.sync();
+  // A record cut mid-payload, as a torn last sector would leave it.
+  Bytes p;
+  p.push_back(static_cast<uint8_t>(RecordType::kBundleAdmit));
+  for (int i = 0; i < 8; ++i) p.push_back(3);
+  Bytes torn = Journal::encode(2, p);
+  torn.resize(torn.size() - 4);
+  fs.append("wal-0", torn);
+  fs.fsync("wal-0");
+
+  const auto result = replay_all(fs, "wal-0");
+  EXPECT_EQ(result.records, 2u);
+  EXPECT_EQ(result.stop_reason, "torn payload");
+  EXPECT_GT(result.truncated_bytes, 0u);
+}
+
+TEST(JournalTest, ChecksumMismatchTruncates) {
+  SimFs fs;
+  Journal journal(fs, "wal-0", 0);
+  journal.append_bundle_admit(1);
+  journal.sync();
+  Bytes p;
+  p.push_back(static_cast<uint8_t>(RecordType::kBundleAdmit));
+  for (int i = 0; i < 8; ++i) p.push_back(9);
+  Bytes corrupt = Journal::encode(1, p);
+  corrupt.back() ^= 0x40;  // flip one payload bit after checksumming
+  fs.append("wal-0", corrupt);
+  fs.fsync("wal-0");
+
+  const auto result = replay_all(fs, "wal-0");
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_EQ(result.stop_reason, "checksum mismatch");
+}
+
+TEST(JournalTest, SequenceBreakTruncates) {
+  SimFs fs;
+  Journal journal(fs, "wal-0", 0);
+  journal.append_bundle_admit(1);
+  journal.sync();
+  Bytes p;
+  p.push_back(static_cast<uint8_t>(RecordType::kBundleAdmit));
+  for (int i = 0; i < 8; ++i) p.push_back(9);
+  fs.append("wal-0", Journal::encode(5, p));  // expected seq 1, carries 5
+  fs.fsync("wal-0");
+
+  const auto result = replay_all(fs, "wal-0");
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_EQ(result.stop_reason, "sequence break");
+}
+
+TEST(JournalTest, ConsumerRejectionTruncates) {
+  SimFs fs;
+  Journal journal(fs, "wal-0", 0);
+  journal.append_bundle_admit(1);
+  journal.append_bundle_admit(2);
+  journal.append_bundle_admit(3);
+  journal.sync();
+  uint64_t seen = 0;
+  const auto result =
+      Journal::replay(fs, "wal-0", 0, [&seen](const JournalRecord& rec) {
+        ++seen;
+        return rec.bundle_id != 2;  // semantic rejection mid-stream
+      });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_EQ(result.stop_reason, "rejected by consumer");
+}
+
+TEST(JournalTest, MissingFileIsCleanEmptyReplay) {
+  SimFs fs;
+  const auto result = replay_all(fs, "wal-0");
+  EXPECT_EQ(result.records, 0u);
+  EXPECT_EQ(result.stop_reason, "");
+}
+
+// ----------------------------------------------------------- Checkpoint ----
+
+StoreImage sample_image() {
+  StoreImage image;
+  image.base_seq = 17;
+  image.epoch_history.push_back({0, crypto::keccak256(bytes_of("r0")), 1});
+  image.epoch_history.push_back({1, crypto::keccak256(bytes_of("r1")), 2});
+  image.page_tags[u256{1}] = 0;
+  image.page_tags[u256{2}] = 1;
+  image.pages[u256{1}] = PageImage{bytes_of("page one"), 3};
+  image.pages[u256{2}] = PageImage{bytes_of("page two"), 9};
+  image.positions[u256{1}] = 3;
+  image.positions[u256{2}] = 9;
+  image.pending_bundles = {4, 6};
+  image.next_bundle_id = 7;
+  return image;
+}
+
+TEST(Checkpoint, SerializeParseRoundTrip) {
+  const StoreImage image = sample_image();
+  const auto parsed = checkpoint::parse(checkpoint::serialize(3, image));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->base_seq, image.base_seq);
+  EXPECT_EQ(parsed->next_bundle_id, image.next_bundle_id);
+  ASSERT_EQ(parsed->epoch_history.size(), 2u);
+  EXPECT_EQ(parsed->epoch_history[1].state_root, image.epoch_history[1].state_root);
+  EXPECT_EQ(parsed->page_tags, image.page_tags);
+  ASSERT_EQ(parsed->pages.size(), 2u);
+  EXPECT_EQ(parsed->pages.at(u256{1}).data, bytes_of("page one"));
+  EXPECT_EQ(parsed->pages.at(u256{2}).leaf, 9u);
+  EXPECT_EQ(parsed->positions, image.positions);
+  EXPECT_EQ(parsed->pending_bundles, image.pending_bundles);
+}
+
+TEST(Checkpoint, CorruptionRejected) {
+  Bytes data = checkpoint::serialize(3, sample_image());
+  for (const size_t index : {size_t{0}, data.size() / 2, data.size() - 1}) {
+    Bytes mutated = data;
+    mutated[index] ^= 0x01;
+    EXPECT_FALSE(checkpoint::parse(mutated).has_value()) << "at byte " << index;
+  }
+  Bytes truncated = data;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(checkpoint::parse(truncated).has_value());
+}
+
+TEST(Checkpoint, WriteIsAtomicUnderCrash) {
+  // Crash on the rename's sync_dir, with all unsynced effects lost: the
+  // published name must still hold the PREVIOUS generation, fully intact.
+  SimFs fs;
+  checkpoint::write(fs, 1, sample_image());
+  StoreImage newer = sample_image();
+  newer.next_bundle_id = 99;
+  CrashConfig crash;
+  crash.unsynced_survival = 0.0;
+  crash.allow_reorder = false;
+  crash.crash_at_op = fs.op_count() + 4;  // append, fsync, rename, SYNC_DIR
+  fs.arm(crash);
+  checkpoint::write(fs, 2, newer);
+  fs.restart();
+  const auto loaded = checkpoint::load_newest(fs);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->first, 1u);
+  EXPECT_EQ(loaded->second.next_bundle_id, 7u);
+}
+
+TEST(Checkpoint, KeepsPreviousGenerationOnly) {
+  SimFs fs;
+  Journal(fs, checkpoint::journal_path(1), 0).append_bundle_admit(1);
+  fs.fsync(checkpoint::journal_path(1));
+  checkpoint::write(fs, 1, sample_image());
+  checkpoint::write(fs, 2, sample_image());
+  checkpoint::write(fs, 3, sample_image());
+  EXPECT_FALSE(fs.exists(checkpoint::checkpoint_path(1)));
+  EXPECT_FALSE(fs.exists(checkpoint::journal_path(1)));
+  EXPECT_TRUE(fs.exists(checkpoint::checkpoint_path(2)));
+  EXPECT_TRUE(fs.exists(checkpoint::checkpoint_path(3)));
+}
+
+// -------------------------------------------------------------- Recovery ----
+
+TEST(RecoveryTest, EmptyFilesystemYieldsFreshImage) {
+  SimFs fs;
+  const auto rec = Recovery::replay(fs);
+  EXPECT_FALSE(rec.stats.used_checkpoint);
+  EXPECT_TRUE(rec.image.epoch_history.empty());
+  EXPECT_TRUE(rec.image.pages.empty());
+  EXPECT_EQ(rec.stats.next_generation, 1u);
+}
+
+TEST(RecoveryTest, CommittedEpochIsReplayed) {
+  SimFs fs;
+  Journal journal(fs, checkpoint::journal_path(0), 0);
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  journal.append_epoch_begin(0, root, 10);
+  journal.append_page_install(u256{42}, bytes_of("page"), 3);
+  journal.append_position_update(u256{42}, 3);
+  journal.append_epoch_commit(0);
+  journal.sync();
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.stop_reason, "");
+  EXPECT_EQ(rec.stats.records_replayed, 4u);
+  ASSERT_EQ(rec.image.epoch_history.size(), 1u);
+  EXPECT_EQ(rec.image.epoch_history[0].state_root, root);
+  EXPECT_EQ(rec.image.pages.at(u256{42}).data, bytes_of("page"));
+  EXPECT_EQ(rec.image.page_tags.at(u256{42}), 0u);
+  EXPECT_EQ(rec.stats.epochs_aborted, 0u);
+}
+
+TEST(RecoveryTest, UncommittedEpochIsAborted) {
+  SimFs fs;
+  Journal journal(fs, checkpoint::journal_path(0), 0);
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  journal.append_epoch_begin(0, root, 10);
+  journal.append_page_install(u256{1}, bytes_of("committed"), 1);
+  journal.append_epoch_commit(0);
+  journal.append_epoch_begin(1, root, 11);
+  journal.append_page_install(u256{2}, bytes_of("in flight"), 2);
+  // No commit: the crash ate it.
+  journal.sync();
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.epochs_aborted, 1u);
+  ASSERT_EQ(rec.image.epoch_history.size(), 1u);
+  EXPECT_TRUE(rec.image.pages.contains(u256{1}));
+  EXPECT_FALSE(rec.image.pages.contains(u256{2}));  // staged, never visible
+  // The paper's safety invariant, recovered form: no page tagged past the
+  // committed store epoch.
+  for (const auto& [id, epoch] : rec.image.page_tags) {
+    EXPECT_LE(epoch, rec.image.epoch_history.back().epoch);
+  }
+}
+
+TEST(RecoveryTest, SemanticViolationTruncatesFailClosed) {
+  SimFs fs;
+  Journal journal(fs, checkpoint::journal_path(0), 0);
+  journal.append_bundle_admit(1);
+  // Install outside any epoch: wire-valid, semantically impossible.
+  journal.append_page_install(u256{5}, bytes_of("rogue"), 1);
+  journal.append_bundle_admit(2);  // after the violation: untrusted
+  journal.sync();
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.stop_reason, "rejected by consumer");
+  EXPECT_EQ(rec.stats.records_replayed, 1u);
+  EXPECT_TRUE(rec.image.pending_bundles.contains(1));
+  EXPECT_FALSE(rec.image.pending_bundles.contains(2));
+  EXPECT_TRUE(rec.image.pages.empty());
+}
+
+TEST(RecoveryTest, CheckpointPlusJournalChain) {
+  SimFs fs;
+  // Generation 1 checkpoint, then a wal-1 continuing from its base_seq.
+  StoreImage base = sample_image();
+  base.base_seq = 17;
+  base.pending_bundles = {4};
+  checkpoint::write(fs, 1, base);
+  Journal journal(fs, checkpoint::journal_path(1), 17);
+  journal.append_bundle_resolve(4);
+  journal.append_bundle_admit(8);
+  journal.sync();
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_TRUE(rec.stats.used_checkpoint);
+  EXPECT_EQ(rec.stats.checkpoint_generation, 1u);
+  EXPECT_EQ(rec.stats.records_replayed, 2u);
+  EXPECT_FALSE(rec.image.pending_bundles.contains(4));  // resolved post-ckpt
+  EXPECT_TRUE(rec.image.pending_bundles.contains(8));
+  EXPECT_EQ(rec.image.next_bundle_id, 9u);
+  EXPECT_EQ(rec.stats.next_generation, 2u);
+  EXPECT_EQ(rec.image.pages.size(), 2u);  // carried by the checkpoint
+}
+
+TEST(RecoveryTest, JournalNotContinuingCheckpointIsRejected) {
+  SimFs fs;
+  StoreImage base = sample_image();
+  base.base_seq = 17;
+  checkpoint::write(fs, 1, base);
+  Journal journal(fs, checkpoint::journal_path(1), 3);  // wrong anchor
+  journal.append_bundle_admit(8);
+  journal.sync();
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.stop_reason, "sequence break");
+  EXPECT_FALSE(rec.image.pending_bundles.contains(8));
+}
+
+// ---------------------------------------------------------- DurableStore ----
+
+TEST(DurableStoreTest, MirrorMatchesRecovery) {
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{});
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  store.on_epoch_begin(0, root, 5);
+  store.log_page_install(u256{1}, bytes_of("page one"), 2);
+  store.log_bundle_admitted(0);
+  store.on_epoch_commit(0);
+  store.log_bundle_admitted(1);
+  store.log_bundle_resolved(0);
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.stop_reason, "");
+  const StoreImage mirror = store.image_snapshot();
+  EXPECT_EQ(rec.image.pages.size(), mirror.pages.size());
+  EXPECT_EQ(rec.image.page_tags, mirror.page_tags);
+  EXPECT_EQ(rec.image.pending_bundles, mirror.pending_bundles);
+  EXPECT_EQ(rec.image.next_bundle_id, mirror.next_bundle_id);
+  ASSERT_EQ(rec.image.epoch_history.size(), 1u);
+  EXPECT_EQ(rec.image.epoch_history[0].state_root, root);
+}
+
+TEST(DurableStoreTest, CrashMidEpochRecoversPreEpochImage) {
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{});
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  store.on_epoch_begin(0, root, 5);
+  store.log_page_install(u256{1}, bytes_of("epoch zero"), 2);
+  store.on_epoch_commit(0);
+
+  CrashConfig crash;
+  crash.unsynced_survival = 0.5;
+  crash.resolve_seed = 33;
+  fs.arm([&] {
+    CrashConfig c = crash;
+    c.crash_at_op = fs.op_count() + 5;  // inside the second epoch's pass
+    return c;
+  }());
+  store.on_epoch_begin(1, root, 6);
+  store.log_page_install(u256{2}, bytes_of("epoch one"), 3);
+  store.log_page_install(u256{3}, bytes_of("epoch one b"), 4);
+  store.on_epoch_commit(1);  // some of this dies with the power
+  EXPECT_TRUE(fs.crashed());
+  fs.restart();
+
+  const auto rec = Recovery::replay(fs);
+  // Whatever survived, the recovered image is a committed prefix: either
+  // epoch 1 committed entirely or it aborted entirely.
+  ASSERT_FALSE(rec.image.epoch_history.empty());
+  const uint64_t committed = rec.image.epoch_history.back().epoch;
+  EXPECT_TRUE(rec.image.pages.contains(u256{1}));
+  if (committed == 0) {
+    EXPECT_FALSE(rec.image.pages.contains(u256{2}));
+    EXPECT_FALSE(rec.image.pages.contains(u256{3}));
+  } else {
+    EXPECT_EQ(committed, 1u);
+    EXPECT_TRUE(rec.image.pages.contains(u256{2}));
+    EXPECT_TRUE(rec.image.pages.contains(u256{3}));
+  }
+  for (const auto& [id, epoch] : rec.image.page_tags) EXPECT_LE(epoch, committed);
+}
+
+TEST(DurableStoreTest, AutoCheckpointRollsGeneration) {
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{.checkpoint_every_records = 4});
+  const H256 root = crypto::keccak256(bytes_of("root"));
+  for (uint64_t e = 0; e < 3; ++e) {
+    store.on_epoch_begin(e, root, e);
+    store.log_page_install(u256{e + 1}, bytes_of("page"), e);
+    store.on_epoch_commit(e);
+  }
+  const auto stats = store.stats();
+  EXPECT_GE(stats.checkpoints_written, 1u);
+  EXPECT_GE(stats.generation, 1u);
+  const auto rec = Recovery::replay(fs);
+  EXPECT_TRUE(rec.stats.used_checkpoint);
+  EXPECT_EQ(rec.image.epoch_history.size(), 3u);
+  EXPECT_EQ(rec.image.pages.size(), 3u);
+}
+
+// ------------------------------------------------------------- CrashPlan ----
+
+TEST(CrashPlanTest, PureInTrialAndAttempt) {
+  faults::CrashPlan plan(faults::CrashPlanConfig{.seed = 9});
+  const auto a = plan.spec(3, 1, 100);
+  const auto b = plan.spec(3, 1, 100);
+  EXPECT_EQ(a.crash_at_op, b.crash_at_op);
+  EXPECT_EQ(a.resolve_seed, b.resolve_seed);
+  const auto c = plan.spec(3, 2, 100);
+  const auto d = plan.spec(4, 1, 100);
+  EXPECT_TRUE(c.crash_at_op != a.crash_at_op || c.resolve_seed != a.resolve_seed);
+  EXPECT_TRUE(d.crash_at_op != a.crash_at_op || d.resolve_seed != a.resolve_seed);
+  EXPECT_GE(a.crash_at_op, 1u);
+  EXPECT_LE(a.crash_at_op, 100u);
+}
+
+// ------------------------------------------------- engine warm restart ----
+
+class DurableEngineTest : public ::testing::Test {
+ protected:
+  DurableEngineTest() {
+    workload::WorkloadGenerator gen(workload::GeneratorConfig{
+        .seed = 0xd0a1, .user_accounts = 8, .erc20_contracts = 4,
+        .dex_pairs = 2, .routers = 2, .txs_per_block = 4});
+    gen.deploy(node_.world());
+    node_.produce_block({});
+    const auto blocks = gen.generate_evaluation_set(4);
+    for (const auto& block : blocks) txs_.insert(txs_.end(), block.begin(), block.end());
+  }
+
+  service::EngineConfig make_config(DurableStore* durable) {
+    service::EngineConfig config;
+    config.security = service::SecurityConfig::full();
+    config.num_hevms = 2;
+    config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 4096,
+                                   .max_stash_blocks = 512};
+    config.seal_mode = oram::SealMode::kChaChaHmac;
+    config.perform_channel_crypto = false;
+    config.durable = durable;
+    return config;
+  }
+
+  node::NodeSimulator node_;
+  std::vector<evm::Transaction> txs_;
+};
+
+TEST_F(DurableEngineTest, CleanRunJournalRecoversToPinnedState) {
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{});
+  service::PreExecutionEngine engine(node_, make_config(&store));
+  ASSERT_EQ(engine.synchronize(), Status::kOk);
+  engine.start();
+  for (size_t i = 0; i < 6; ++i) engine.submit({txs_[i % txs_.size()]});
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 6u);
+
+  const auto rec = Recovery::replay(fs);
+  EXPECT_EQ(rec.stats.stop_reason, "");
+  EXPECT_TRUE(rec.image.pending_bundles.empty());  // every bundle resolved
+  EXPECT_EQ(rec.image.next_bundle_id, 6u);
+  ASSERT_FALSE(rec.image.epoch_history.empty());
+  EXPECT_EQ(rec.image.epoch_history.back().state_root,
+            engine.pinned_header().state_root);
+  EXPECT_FALSE(rec.image.pages.empty());
+}
+
+TEST_F(DurableEngineTest, WarmRestartContinuesNumberingAndInvariants) {
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{});
+  {
+    service::PreExecutionEngine engine(node_, make_config(&store));
+    ASSERT_EQ(engine.synchronize(), Status::kOk);
+    engine.start();
+    for (size_t i = 0; i < 4; ++i) engine.submit({txs_[i % txs_.size()]});
+    (void)engine.drain();
+  }
+  // The chain moves on while the pre-executor is down.
+  node_.produce_block({txs_[5]});
+
+  const auto rec = Recovery::replay(fs);
+  SimFs fs2;
+  DurableStore store2(fs2, DurableConfig{});
+  store2.adopt(rec);
+  service::PreExecutionEngine engine(node_, make_config(&store2));
+  ASSERT_EQ(engine.warm_restart(rec), Status::kOk);
+  // Warm restart delta-synced to the new head and the invariant holds.
+  EXPECT_EQ(engine.pinned_header().state_root, node_.head().state_root);
+  EXPECT_LE(engine.epoch_registry().max_page_epoch(),
+            engine.epoch_registry().store_epoch());
+  engine.start();
+  const auto admission = engine.submit({txs_[0]});
+  EXPECT_EQ(admission.bundle_id, 4u);  // numbering continues across the crash
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].status, Status::kOk);
+  EXPECT_EQ(engine.snapshot().warm_restarts, 1u);
+}
+
+TEST_F(DurableEngineTest, ResubmitReplaysPendingBundleSemanticallyIdentical) {
+  // Baseline: what the bundle produces with no crash anywhere.
+  service::SessionOutcome baseline;
+  {
+    service::PreExecutionEngine engine(node_, make_config(nullptr));
+    ASSERT_EQ(engine.synchronize(), Status::kOk);
+    engine.start();
+    engine.submit({txs_[1]});
+    baseline = engine.drain()[0];
+  }
+  // Crashed run: the bundle was admitted durably but never resolved.
+  SimFs fs;
+  DurableStore store(fs, DurableConfig{});
+  {
+    service::PreExecutionEngine engine(node_, make_config(&store));
+    ASSERT_EQ(engine.synchronize(), Status::kOk);
+    store.log_bundle_admitted(0);  // admitted; power died before execution
+  }
+  const auto rec = Recovery::replay(fs);
+  ASSERT_TRUE(rec.image.pending_bundles.contains(0));
+
+  SimFs fs2;
+  DurableStore store2(fs2, DurableConfig{});
+  store2.adopt(rec);
+  service::PreExecutionEngine engine(node_, make_config(&store2));
+  ASSERT_EQ(engine.warm_restart(rec), Status::kOk);
+  engine.start();
+  engine.resubmit(0, {txs_[1]}, /*attempt=*/1);
+  const auto outcomes = engine.drain();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_EQ(outcomes[0].attempt, 1u);
+  EXPECT_TRUE(service::outcomes_semantically_identical(outcomes[0], baseline));
+  EXPECT_EQ(engine.snapshot().bundles_readmitted, 1u);
+  // The re-admission resolved durably on the new store.
+  const auto rec2 = Recovery::replay(fs2);
+  EXPECT_FALSE(rec2.image.pending_bundles.contains(0));
+}
+
+}  // namespace
+}  // namespace hardtape::durability

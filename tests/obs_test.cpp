@@ -8,6 +8,7 @@
 
 #include "memlayer/pager.hpp"
 #include "obs/audit.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "obs/percentile.hpp"
 #include "obs/trace.hpp"
@@ -84,6 +85,48 @@ TEST(Registry, Exposition) {
   EXPECT_NE(prom.find("hardtape_latency_ns_count 1"), std::string::npos);
   const std::string json = registry.json();
   EXPECT_NE(json.find("\"hardtape_bundles_total\": 7"), std::string::npos);
+}
+
+// --- JSON escaping (satellite: hostile-contract bytes in exported fields) ---
+
+TEST(JsonEscape, ControlCharactersAndQuotes) {
+  // The satellite's exact adversarial bytes: '\n' splits a JSONL record in
+  // two, '"' terminates the string early, 0x01 is an unescaped control byte
+  // strict parsers reject.
+  const std::string hostile = std::string("li\nne\"quote") + '\x01' + "end";
+  const std::string escaped = json_escape(hostile);
+  EXPECT_EQ(escaped, "li\\nne\\\"quote\\u0001end");
+  EXPECT_EQ(escaped.find('\n'), std::string::npos);
+  EXPECT_EQ(escaped.find('\x01'), std::string::npos);
+  EXPECT_EQ(json_escape("tab\there\rcr\\slash"), "tab\\there\\rcr\\\\slash");
+  EXPECT_EQ(json_escape(std::string_view("\x00\x1f", 2)), "\\u0000\\u001f");
+}
+
+TEST(JsonEscape, ValidUtf8PassesThrough) {
+  // 2-, 3- and 4-byte sequences survive untouched.
+  const std::string utf8 = "caf\xc3\xa9 \xe4\xb8\xad \xf0\x9f\x94\x92";
+  EXPECT_EQ(json_escape(utf8), utf8);
+  EXPECT_EQ(json_escape("plain ascii"), "plain ascii");
+}
+
+TEST(JsonEscape, MalformedUtf8EscapedByteWise) {
+  // Stray continuation byte, invalid lead bytes, truncated sequence, and
+  // overlong encoding all become \u00XX instead of leaking raw bytes.
+  EXPECT_EQ(json_escape("\x80"), "\\u0080");
+  EXPECT_EQ(json_escape("\xff\xfe"), "\\u00ff\\u00fe");
+  EXPECT_EQ(json_escape("\xe4\xb8"), "\\u00e4\\u00b8");      // truncated 3-byte
+  EXPECT_EQ(json_escape("\xc0\xaf"), "\\u00c0\\u00af");      // overlong '/'
+  EXPECT_EQ(json_escape("\xed\xa0\x80"), "\\u00ed\\u00a0\\u0080");  // surrogate
+  // Resynchronizes: garbage then valid UTF-8 then garbage.
+  EXPECT_EQ(json_escape("\x80ok\xc3\xa9\xff"), "\\u0080ok\xc3\xa9\\u00ff");
+}
+
+TEST(JsonEscape, RegistryNamesAreEscapedInJson) {
+  Registry registry;
+  registry.counter("bad\nname\"x").add(1);
+  const std::string json = registry.json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("bad\\nname\\\"x"), std::string::npos);
 }
 
 // --- trace rings ---

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "crypto/keccak.hpp"
+#include "oram/epoch.hpp"
 #include "oram/paged_state.hpp"
 #include "oram/path_oram.hpp"
 
@@ -221,6 +222,45 @@ TEST(OramClient, RejectsOversizedBlock) {
   EXPECT_THROW(client.write(bid(1), Bytes(33, 0)), UsageError);
 }
 
+TEST(OramClient, BulkRestoreRoundTripAndFollowOnAccesses) {
+  OramServer server(OramConfig{.block_size = 64, .bucket_capacity = 4, .capacity = 256,
+                               .max_stash_blocks = 64});
+  OramClient client(server, test_key(), 42, SealMode::kChaChaHmac);
+  std::vector<std::pair<BlockId, Bytes>> pages;
+  for (uint64_t i = 0; i < 100; ++i) {
+    pages.emplace_back(bid(i), Bytes(8, static_cast<uint8_t>(i)));
+  }
+  int installs = 0;
+  client.set_install_hook([&](const BlockId&, BytesView, uint64_t) { ++installs; });
+  client.bulk_restore(pages);
+  EXPECT_EQ(installs, 0);  // a restore is not an install: nothing to journal
+  EXPECT_EQ(server.access_count(), 0u);  // and not an access: no observed paths
+  EXPECT_EQ(client.block_count(), 100u);
+  for (uint64_t i = 0; i < 100; ++i) {
+    const auto data = client.read(bid(i));
+    ASSERT_TRUE(data.has_value()) << "block " << i;
+    EXPECT_EQ(Bytes(data->begin(), data->begin() + 8), Bytes(8, static_cast<uint8_t>(i)));
+  }
+  // Restored blocks stay healthy under normal accesses (evict/remap churn).
+  client.write(bid(3), Bytes(8, 0xaa));
+  const auto updated = client.read(bid(3));
+  ASSERT_TRUE(updated.has_value());
+  EXPECT_EQ(Bytes(updated->begin(), updated->begin() + 8), Bytes(8, 0xaa));
+  EXPECT_FALSE(client.stash_overflowed());
+}
+
+TEST(OramClient, BulkRestoreRequiresFreshClient) {
+  OramServer server(OramConfig{.block_size = 32, .capacity = 16});
+  OramClient client(server, test_key(), 1, SealMode::kChaChaHmac);
+  client.write(bid(1), Bytes{1});
+  EXPECT_THROW(client.bulk_restore({{bid(2), Bytes{2}}}), UsageError);
+}
+
+TEST(OramServer, BulkLoadShapeValidated) {
+  OramServer server(OramConfig{.block_size = 32, .bucket_capacity = 4, .capacity = 16});
+  EXPECT_THROW(server.load_slots({}), UsageError);
+}
+
 TEST(OramClient, AccessHookFires) {
   OramServer server(OramConfig{.block_size = 32, .capacity = 16});
   OramClient client(server, test_key(), 1, SealMode::kChaChaHmac);
@@ -369,6 +409,108 @@ TEST_F(OramWorldStateTest, EveryQueryIsOnePathAccess) {
   EXPECT_EQ(server_.access_count(), before + 1);
   oram_state_.account(acct(1));
   EXPECT_EQ(server_.access_count(), before + 2);
+}
+
+// --- EpochRegistry edge cases (satellite: direct unit tests, not via the
+// engine paths). The registry is the chip-side source of truth recovery must
+// agree with, so its pass-lifecycle rejections have to hold standalone. ---
+
+TEST(EpochRegistryEdge, AbortAfterTagReleasesPages) {
+  EpochRegistry reg;
+  reg.begin(crypto::keccak256("e0"), 1);
+  reg.tag(u256{10});
+  reg.tag(u256{11});
+  reg.abort();
+  // The aborted pass never happened: no tags, no committed epoch.
+  EXPECT_FALSE(reg.page_epoch(u256{10}).has_value());
+  EXPECT_FALSE(reg.page_epoch(u256{11}).has_value());
+  EXPECT_EQ(reg.distinct_pages(), 0u);
+  EXPECT_FALSE(reg.current().has_value());
+  EXPECT_EQ(reg.store_epoch(), 0u);
+  // A later committed pass is unaffected and reuses the epoch number.
+  reg.begin(crypto::keccak256("e0b"), 1);
+  reg.tag(u256{10});
+  reg.commit();
+  EXPECT_EQ(reg.page_epoch(u256{10}).value(), 0u);
+  EXPECT_EQ(reg.max_page_epoch(), reg.store_epoch());
+}
+
+TEST(EpochRegistryEdge, StagedTagsInvisibleUntilCommit) {
+  EpochRegistry reg;
+  reg.begin(crypto::keccak256("e0"), 1);
+  reg.tag(u256{5});
+  // Mid-pass, the invariant max_page_epoch <= store_epoch must already hold.
+  EXPECT_FALSE(reg.page_epoch(u256{5}).has_value());
+  EXPECT_LE(reg.max_page_epoch(), reg.store_epoch());
+  reg.commit();
+  EXPECT_EQ(reg.page_epoch(u256{5}).value(), 0u);
+}
+
+TEST(EpochRegistryEdge, DoubleCommitRejected) {
+  EpochRegistry reg;
+  reg.begin(crypto::keccak256("e0"), 1);
+  reg.commit();
+  EXPECT_THROW(reg.commit(), UsageError);
+  EXPECT_THROW(reg.abort(), UsageError);  // nothing open to abort either
+  EXPECT_EQ(reg.store_epoch(), 0u);       // the failed calls changed nothing
+}
+
+TEST(EpochRegistryEdge, BeginWhileOpenRejected) {
+  EpochRegistry reg;
+  reg.begin(crypto::keccak256("e0"), 1);
+  EXPECT_THROW(reg.begin(crypto::keccak256("e1"), 2), UsageError);
+  // The open pass is still the original one: committing lands root e0.
+  reg.commit();
+  EXPECT_EQ(reg.current()->state_root, crypto::keccak256("e0"));
+  EXPECT_EQ(reg.current()->block_number, 1u);
+}
+
+namespace {
+struct RecordingListener final : EpochListener {
+  std::vector<std::string> events;
+  void on_epoch_begin(uint64_t epoch, const H256&, uint64_t) override {
+    events.push_back("begin:" + std::to_string(epoch));
+  }
+  void on_epoch_commit(uint64_t epoch) override {
+    events.push_back("commit:" + std::to_string(epoch));
+  }
+  void on_epoch_abort(uint64_t epoch) override {
+    events.push_back("abort:" + std::to_string(epoch));
+  }
+};
+}  // namespace
+
+TEST(EpochRegistryEdge, ListenerSeesTransitionsInOrder) {
+  EpochRegistry reg;
+  RecordingListener listener;
+  reg.set_listener(&listener);
+  reg.begin(crypto::keccak256("e0"), 1);
+  reg.commit();
+  reg.begin(crypto::keccak256("e1"), 2);
+  reg.abort();
+  EXPECT_EQ(listener.events,
+            (std::vector<std::string>{"begin:0", "commit:0", "begin:1", "abort:1"}));
+}
+
+TEST(EpochRegistryEdge, RestoreSeedsPristineRegistryOnly) {
+  EpochRegistry reg;
+  std::vector<EpochRegistry::Pin> history{{0, crypto::keccak256("r0"), 1},
+                                          {1, crypto::keccak256("r1"), 2}};
+  std::unordered_map<BlockId, uint64_t, U256Hasher> tags;
+  tags[u256{1}] = 0;
+  tags[u256{2}] = 1;
+  reg.restore(history, tags);
+  EXPECT_EQ(reg.store_epoch(), 1u);
+  EXPECT_EQ(reg.page_epoch(u256{2}).value(), 1u);
+  EXPECT_EQ(reg.at(0)->state_root, crypto::keccak256("r0"));
+  // Restored registry continues numbering where the history left off.
+  EXPECT_EQ(reg.begin(crypto::keccak256("r2"), 3), 2u);
+  reg.commit();
+  // A registry with any life in it refuses a restore.
+  EXPECT_THROW(reg.restore(history, tags), UsageError);
+  EpochRegistry used;
+  used.begin(crypto::keccak256("x"), 1);
+  EXPECT_THROW(used.restore(history, tags), UsageError);
 }
 
 }  // namespace

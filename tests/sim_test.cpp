@@ -4,6 +4,7 @@
 
 #include "common/errors.hpp"
 #include "service/pre_execution.hpp"
+#include "sim/backoff.hpp"
 #include "sim/clock.hpp"
 #include "sim/costs.hpp"
 
@@ -115,6 +116,54 @@ TEST(Scheduler, ArrivalGapAboveServiceRateMeansNoWaiting) {
 
 TEST(Scheduler, RejectsZeroCores) {
   EXPECT_THROW(PreExecutionService::schedule_bundles({1}, 0, 0), UsageError);
+}
+
+// --- BackoffPolicy exponent-growth regression (attempt counts >= 63) ---
+//
+// The exponential term must saturate at cap_ns instead of letting the
+// doubling wrap uint64: a wrapped term resets the wait to ~0 exactly when
+// retries have been going on the longest, re-synchronizing every session
+// into a retry storm. With cap_ns pushed to UINT64_MAX the old loop wrapped
+// at attempt ~63 and the jitter float->int conversion became UB.
+
+TEST(BackoffPolicy, Attempt64SaturatesAtCapWithDefaultPolicy) {
+  const BackoffPolicy policy{};
+  const uint64_t at_cap = backoff_delay_ns(policy, 10, 7);
+  const uint64_t attempt64 = backoff_delay_ns(policy, 64, 7);
+  // Both attempts are deep into saturation: term == cap_ns for each, so the
+  // delay is cap plus jitter bounded by jitter_frac * cap.
+  EXPECT_GE(attempt64, policy.cap_ns);
+  EXPECT_LE(attempt64, policy.cap_ns +
+                           static_cast<uint64_t>(policy.jitter_frac *
+                                                 static_cast<double>(policy.cap_ns)));
+  EXPECT_GE(at_cap, policy.cap_ns);
+}
+
+TEST(BackoffPolicy, Attempt64And1000NeverWrapEvenWithExtremeCap) {
+  BackoffPolicy policy;
+  policy.cap_ns = UINT64_MAX;   // adversarial config: doubling would wrap
+  policy.jitter_frac = 0.0;     // isolate the exponential term
+  uint64_t previous = 0;
+  for (const int attempt : {1, 2, 62, 63, 64, 65, 100, 1000}) {
+    const uint64_t delay = backoff_delay_ns(policy, attempt, 42);
+    // Monotone non-decreasing: a wrap would show up as a collapse to ~0.
+    EXPECT_GE(delay, previous) << "attempt " << attempt;
+    EXPECT_GE(delay, policy.base_ns) << "attempt " << attempt;
+    previous = delay;
+  }
+  // Saturated high: the term parked at the cap, not at a wrapped residue.
+  EXPECT_GT(backoff_delay_ns(policy, 1000, 42), UINT64_MAX / 2);
+}
+
+TEST(BackoffPolicy, Attempt1000WithJitterStaysBoundedAndDeterministic) {
+  BackoffPolicy policy;
+  policy.cap_ns = UINT64_MAX;  // jitter_frac * cap overflows double->u64 naively
+  policy.jitter_frac = 0.5;
+  const uint64_t a = backoff_delay_ns(policy, 1000, 9);
+  const uint64_t b = backoff_delay_ns(policy, 1000, 9);
+  EXPECT_EQ(a, b);                       // same inputs, same schedule
+  EXPECT_GE(a, UINT64_MAX / 2);          // at least the saturated term
+  EXPECT_NE(backoff_delay_ns(policy, 64, 9), 0u);
 }
 
 }  // namespace
