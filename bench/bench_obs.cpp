@@ -20,6 +20,16 @@
 //     the observed counts ARE the secret frame sizes and the audit must
 //     FAIL on swap_size_ks.
 //
+//  3. Sharded-store / shard-routing channel (PR 6): the sharded frontend's
+//     adversary view is a (shard, leaf) stream. A skewed workload (a few hot
+//     pages taking most accesses) drives a ShardedOramStore directly: with
+//     the faithful per-access shard redraw the stream must audit uniform
+//     (audit_shard_obliviousness PASS); with pin_shard_assignment the hot
+//     pages hammer their fixed shards and the shard_balance_z channel must
+//     FAIL. The session streams of the two engine runs from harness 1 are
+//     additionally audited per shard — the full system's view, not just the
+//     store in isolation, must stay uniform.
+//
 // Usage: bench_obs [--out FILE] [--artifacts-dir DIR]
 // Writes BENCH_obs_audit.json plus artifacts: TRACE_obs_intent_{a,b}.jsonl,
 // TRACE_obs_pager.jsonl, METRICS_obs.prom, METRICS_obs.json.
@@ -31,9 +41,11 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "common/random.hpp"
 #include "memlayer/pager.hpp"
 #include "obs/audit.hpp"
 #include "obs/trace.hpp"
+#include "oram/sharded.hpp"
 #include "service/engine.hpp"
 #include "workload/contracts.hpp"
 
@@ -96,17 +108,33 @@ std::vector<std::vector<evm::Transaction>> make_intent(
   return out;
 }
 
+/// The sharded store's adversary view of one engine run: every session-phase
+/// walk as (shard, shard-local leaf), plus the public geometry.
+struct ShardView {
+  std::vector<std::pair<uint32_t, uint64_t>> walks;
+  uint32_t shard_count = 0;
+  uint64_t leaf_count = 0;
+};
+
 bool run_intent(node::NodeSimulator& node,
                 const std::vector<std::vector<evm::Transaction>>& bundles,
                 obs::TraceSink& sink, std::vector<service::SessionOutcome>& outcomes,
-                std::string* prom, std::string* json) {
+                std::string* prom, std::string* json, ShardView* shards = nullptr) {
   service::PreExecutionEngine engine(node, engine_config(&sink));
   if (engine.synchronize() != Status::kOk) return false;
+  // Audit the session-visible stream only: the sync-phase bulk install is a
+  // one-time public event, not part of the per-session view.
+  engine.oram_store().clear_observations();
   engine.start();
   for (const auto& bundle : bundles) engine.submit(bundle);
   outcomes = engine.drain();
   if (prom != nullptr) *prom = engine.metrics_prometheus();
   if (json != nullptr) *json = engine.metrics_json();
+  if (shards != nullptr) {
+    shards->walks = engine.oram_store().observed_walks();
+    shards->shard_count = static_cast<uint32_t>(engine.oram_store().shard_count());
+    shards->leaf_count = engine.oram_store().leaf_count();
+  }
   for (const auto& outcome : outcomes) {
     if (outcome.status != Status::kOk) return false;
   }
@@ -150,6 +178,33 @@ obs::SpTrace pager_trace(size_t frame_pages, size_t max_noise, obs::TraceRing& r
   return obs::SpTrace::project(ring.events());
 }
 
+// Harness 3 driver: a skewed workload (4 hot pages take ~60% of accesses)
+// against a ShardedOramStore, faithful or pinned. The access pattern is
+// IDENTICAL across the two modes (same seed); only the routing policy
+// differs — so a verdict flip is attributable to the redraw alone.
+obs::AuditReport shard_store_audit(bool pin_shard_assignment) {
+  auto config = oram::ShardedOramStore::partition(
+      oram::OramConfig{.block_size = 64, .capacity = 4096, .max_stash_blocks = 512},
+      /*shard_count=*/8);
+  config.pin_shard_assignment = pin_shard_assignment;
+  oram::ShardedOramStore store(config, crypto::AesKey128{}, /*rng_seed=*/0x0b5,
+                               oram::SealMode::kChaChaHmac);
+  Random rng(0x7a1e);
+  std::vector<oram::BlockId> ids;
+  for (uint64_t i = 0; i < 64; ++i) {
+    ids.push_back(crypto::keccak256(u256{i + 1}.to_be_bytes_vec()).to_u256());
+    store.write(ids.back(), Bytes(64, static_cast<uint8_t>(i)));
+  }
+  store.clear_observations();
+  for (int i = 0; i < 4096; ++i) {
+    const size_t pick = rng.uniform(10) < 6 ? rng.uniform(4) : rng.uniform(64);
+    store.read(ids[pick]);
+  }
+  return obs::audit_shard_obliviousness(store.observed_walks(),
+                                        static_cast<uint32_t>(store.shard_count()),
+                                        store.leaf_count());
+}
+
 void add_rows(bench::Table& table, const std::string& name, const obs::AuditReport& report,
               bool expect_pass) {
   const bool ok = report.pass == expect_pass;
@@ -189,8 +244,10 @@ int main(int argc, char** argv) {
   obs::TraceSink sink_b({.ring_capacity = 1 << 17});
   std::vector<service::SessionOutcome> outcomes_a, outcomes_b;
   std::string metrics_prom, metrics_json;
-  if (!run_intent(setup.node, intent_a, sink_a, outcomes_a, &metrics_prom, &metrics_json) ||
-      !run_intent(setup.node, intent_b, sink_b, outcomes_b, nullptr, nullptr)) {
+  ShardView shards_a, shards_b;
+  if (!run_intent(setup.node, intent_a, sink_a, outcomes_a, &metrics_prom, &metrics_json,
+                  &shards_a) ||
+      !run_intent(setup.node, intent_b, sink_b, outcomes_b, nullptr, nullptr, &shards_b)) {
     std::fprintf(stderr, "error: engine run failed\n");
     return 1;
   }
@@ -216,17 +273,33 @@ int main(int argc, char** argv) {
   const auto pager_faithful = obs::audit_obliviousness(pager_a8, pager_b8, audit_config);
   const auto pager_ablated = obs::audit_obliviousness(pager_a0, pager_b0, audit_config);
 
+  // --- harness 3: sharded store, shard-routing channel ---
+  const auto shard_faithful = shard_store_audit(/*pin_shard_assignment=*/false);
+  const auto shard_pinned = shard_store_audit(/*pin_shard_assignment=*/true);
+  const auto shard_engine_a = obs::audit_shard_obliviousness(
+      shards_a.walks, shards_a.shard_count, shards_a.leaf_count);
+  const auto shard_engine_b = obs::audit_shard_obliviousness(
+      shards_b.walks, shards_b.shard_count, shards_b.leaf_count);
+
   // --- report ---
   bench::Table table({"audit", "result", "expected", "ok"});
   add_rows(table, "engine faithful (prefetch on)", engine_faithful, true);
   add_rows(table, "engine ablated (prefetch off)", engine_ablated, false);
   add_rows(table, "pager faithful (noise=8)", pager_faithful, true);
   add_rows(table, "pager ablated (noise=0)", pager_ablated, false);
+  add_rows(table, "shard store faithful (redraw)", shard_faithful, true);
+  add_rows(table, "shard store ablated (pinned)", shard_pinned, false);
+  add_rows(table, "shard engine intent a", shard_engine_a, true);
+  add_rows(table, "shard engine intent b", shard_engine_b, true);
   table.print("Obliviousness audit (faithful must PASS, ablated must FAIL)");
   std::printf("\n-- engine faithful --\n%s", engine_faithful.summary().c_str());
   std::printf("\n-- engine prefetch-ablated --\n%s", engine_ablated.summary().c_str());
   std::printf("\n-- pager faithful --\n%s", pager_faithful.summary().c_str());
   std::printf("\n-- pager noise-ablated --\n%s", pager_ablated.summary().c_str());
+  std::printf("\n-- shard store faithful --\n%s", shard_faithful.summary().c_str());
+  std::printf("\n-- shard store pinned --\n%s", shard_pinned.summary().c_str());
+  std::printf("\n-- shard engine intent a --\n%s", shard_engine_a.summary().c_str());
+  std::printf("\n-- shard engine intent b --\n%s", shard_engine_b.summary().c_str());
 
   bool artifacts_ok = true;
   {
@@ -247,7 +320,8 @@ int main(int argc, char** argv) {
   write_file(artifacts_dir + "/METRICS_obs.json", metrics_json, artifacts_ok);
 
   const bool ok = engine_faithful.pass && !engine_ablated.pass && pager_faithful.pass &&
-                  !pager_ablated.pass && artifacts_ok;
+                  !pager_ablated.pass && shard_faithful.pass && !shard_pinned.pass &&
+                  shard_engine_a.pass && shard_engine_b.pass && artifacts_ok;
   {
     std::ofstream json(out_path);
     json << "{\n  \"bench\": \"obs_audit\",\n"
@@ -258,6 +332,11 @@ int main(int argc, char** argv) {
          << "  \"engine_prefetch_ablated\": " << engine_ablated.json() << ",\n"
          << "  \"pager_faithful\": " << pager_faithful.json() << ",\n"
          << "  \"pager_noise_ablated\": " << pager_ablated.json() << ",\n"
+         << "  \"shard_store_faithful\": " << shard_faithful.json() << ",\n"
+         << "  \"shard_store_pinned\": " << shard_pinned.json() << ",\n"
+         << "  \"shard_engine_intent_a\": " << shard_engine_a.json() << ",\n"
+         << "  \"shard_engine_intent_b\": " << shard_engine_b.json() << ",\n"
+         << "  \"shard_walks\": " << shards_a.walks.size() << ",\n"
          << "  \"ok\": " << (ok ? "true" : "false") << "\n}\n";
     json.flush();
     if (!json) {

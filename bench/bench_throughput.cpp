@@ -92,7 +92,7 @@ int main(int argc, char** argv) {
 
   const double base = sweep.front().metrics.sim_bundles_per_s;
   bench::Table table({"HEVMs", "sim bundles/s", "speedup", "sim queue wait (ms)",
-                      "ORAM stall (ms)", "wall bundles/s", "identical"});
+                      "ORAM stall (ms)", "wall bundles/s", "conc walks", "identical"});
   for (const auto& p : sweep) {
     const auto& m = p.metrics;
     table.add_row({std::to_string(p.workers), bench::fmt(m.sim_bundles_per_s, 2),
@@ -100,6 +100,7 @@ int main(int argc, char** argv) {
                    bench::fmt(double(m.sim_mean_queue_wait_ns) / 1e6, 2),
                    bench::fmt(double(m.sim_oram_serialization_stall_ns) / 1e6, 2),
                    bench::fmt(m.wall_bundles_per_s, 2),
+                   std::to_string(m.oram_max_concurrent_walks),
                    p.identical_to_serial ? "yes" : "NO"});
   }
   table.print("Engine throughput sweep (simulated timeline; wall = diagnostics)");
@@ -160,7 +161,22 @@ int main(int argc, char** argv) {
          << ", \"wall_bundles_per_s\": " << m.wall_bundles_per_s
          << ", \"wall_elapsed_ns\": " << m.wall_elapsed_ns
          << ", \"oram_contention_stall_ns\": " << m.oram_contention_stall_ns
-         << ", \"bit_identical_to_serial\": "
+         << ", \"oram_shards\": " << m.oram_shard_count
+         << ", \"oram_shard_walks\": " << m.oram_shard_walks
+         << ", \"oram_shard_migrations\": " << m.oram_shard_migrations
+         << ", \"oram_max_concurrent_walks\": " << m.oram_max_concurrent_walks
+         << ", \"oram_coalesced_reads\": " << m.oram_coalesced_reads
+         << ",\n     \"shards\": [";
+    for (size_t s = 0; s < m.oram_shards.size(); ++s) {
+      const auto& shard = m.oram_shards[s];
+      json << (s > 0 ? ", " : "") << "{\"shard\": " << shard.shard
+           << ", \"walks\": " << shard.walks
+           << ", \"migrations_in\": " << shard.migrations_in
+           << ", \"stall_ns\": " << shard.stall_ns
+           << ", \"stall_p50_ns\": " << shard.stall_p50_ns
+           << ", \"stall_p99_ns\": " << shard.stall_p99_ns << "}";
+    }
+    json << "],\n     \"bit_identical_to_serial\": "
          << (sweep[i].identical_to_serial ? "true" : "false") << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }

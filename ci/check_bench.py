@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_throughput.json (CI perf-gate job).
+
+Checks, in order:
+  1. correctness precondition — every sweep point ran bit-identical to the
+     serial reference (a perf number from a wrong run is meaningless);
+  2. wall scaling — wall bundles/s at the highest worker count must be at
+     least --min-wall-scaling x the 1-worker figure. This is the "ORAM wall
+     is broken" gate: it is self-normalizing (a slow runner slows both ends
+     of the ratio), so it needs no wall baseline;
+  3. sim regression — simulated bundles/s per sweep point must not fall
+     more than --tolerance below the committed baseline. The simulated
+     timeline is deterministic on any host, so this comparison is exact
+     across machines;
+  4. wall regression — same comparison for wall bundles/s, but only for
+     baseline entries with a recorded (non-zero) wall figure. 0 is the
+     "no baseline yet" sentinel: wall numbers are only ever recorded from a
+     CI runner, never from a developer machine;
+  5. shard stalls — the per-shard walk-lock wait p50 at the highest worker
+     count must stay under --max-stall-p50-ns. Under the old single global
+     lock the median access waited behind every concurrent session (~ms);
+     with per-shard locking the median walk acquires its lock unconteded
+     (~100 ns). The p50 is robust to preemption outliers on busy runners.
+
+Writes a markdown delta table to --summary (append mode; pass
+$GITHUB_STEP_SUMMARY) and always prints it to stdout. Exit 1 on any gate
+failure, 2 on malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def by_workers(report):
+    return {p["workers"]: p for p in report.get("sweep", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True, help="BENCH_throughput.json from this run")
+    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
+    ap.add_argument("--min-wall-scaling", type=float, default=2.0,
+                    help="min wall bundles/s ratio, max workers vs 1 (0 disables)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="max fractional regression vs baseline")
+    ap.add_argument("--max-stall-p50-ns", type=float, default=1e6,
+                    help="max per-shard stall p50 at max workers, ns (0 disables)")
+    ap.add_argument("--summary", default=None,
+                    help="markdown summary file to append to (e.g. $GITHUB_STEP_SUMMARY)")
+    args = ap.parse_args()
+
+    current = by_workers(load(args.current))
+    baseline = by_workers(load(args.baseline))
+    if not current:
+        print("error: current report has no sweep points", file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    rows = []
+
+    # 1. Correctness precondition.
+    for workers, point in sorted(current.items()):
+        if not point.get("bit_identical_to_serial", False):
+            failures.append(f"{workers}-worker run diverged from the serial reference")
+
+    # 2. Wall scaling ratio.
+    lo, hi = min(current), max(current)
+    wall_lo = current[lo].get("wall_bundles_per_s", 0.0)
+    wall_hi = current[hi].get("wall_bundles_per_s", 0.0)
+    scaling = wall_hi / wall_lo if wall_lo > 0 else 0.0
+    if args.min_wall_scaling > 0:
+        verdict = "ok" if scaling >= args.min_wall_scaling else "FAIL"
+        rows.append(("wall scaling", f"{hi}w/{lo}w", f"{scaling:.2f}x",
+                     f">= {args.min_wall_scaling:.2f}x", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"wall scaling {scaling:.2f}x ({wall_lo:.1f} -> {wall_hi:.1f} bundles/s) "
+                f"below {args.min_wall_scaling:.2f}x: the ORAM wall is back")
+
+    # 3 + 4. Regression vs committed baseline.
+    for workers in sorted(baseline):
+        if workers not in current:
+            failures.append(f"baseline has {workers} workers but current sweep does not")
+            continue
+        for key, label in (("sim_bundles_per_s", "sim"), ("wall_bundles_per_s", "wall")):
+            base = baseline[workers].get(key, 0.0)
+            if base <= 0:
+                continue  # 0 = no-baseline sentinel (see module docstring)
+            cur = current[workers].get(key, 0.0)
+            delta = (cur - base) / base
+            floor = base * (1.0 - args.tolerance)
+            verdict = "ok" if cur >= floor else "FAIL"
+            rows.append((f"{label} bundles/s", f"{workers}w",
+                         f"{cur:.2f} (base {base:.2f}, {delta:+.1%})",
+                         f">= {floor:.2f}", verdict))
+            if verdict == "FAIL":
+                failures.append(
+                    f"{label} bundles/s at {workers} workers regressed {delta:+.1%} "
+                    f"vs baseline (> {args.tolerance:.0%} allowed)")
+
+    # 5. Per-shard stall p50 at max workers.
+    if args.max_stall_p50_ns > 0:
+        shards = current[hi].get("shards", [])
+        worst = max((s.get("stall_p50_ns", 0) for s in shards), default=0)
+        verdict = "ok" if worst <= args.max_stall_p50_ns else "FAIL"
+        rows.append(("shard stall p50", f"{hi}w worst", f"{worst} ns",
+                     f"<= {args.max_stall_p50_ns:.0f} ns", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"worst per-shard stall p50 at {hi} workers is {worst} ns "
+                f"(> {args.max_stall_p50_ns:.0f}): walks are queueing again")
+
+    lines = ["## Perf gate: throughput", "",
+             "| check | point | value | gate | verdict |",
+             "|---|---|---|---|---|"]
+    lines += [f"| {c} | {p} | {v} | {g} | {s} |" for c, p, v, g, s in rows]
+    lines.append("")
+    lines.append("**PASS**" if not failures else
+                 "**FAIL**\n" + "\n".join(f"- {f}" for f in failures))
+    summary = "\n".join(lines) + "\n"
+    print(summary)
+    if args.summary:
+        with open(args.summary, "a") as f:
+            f.write(summary)
+
+    sys.exit(1 if failures else 0)
+
+
+if __name__ == "__main__":
+    main()

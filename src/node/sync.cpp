@@ -124,7 +124,7 @@ Status BlockSynchronizer::verify_account_task(const AccountTask& task,
 }
 
 void BlockSynchronizer::install(const std::vector<PendingPage>& pages,
-                                oram::OramClient& client) {
+                                oram::OramAccessor& client) {
   for (const PendingPage& page : pages) {
     client.write(page.id, page.data);
     if (registry_) registry_->tag(page.id);
@@ -134,7 +134,7 @@ void BlockSynchronizer::install(const std::vector<PendingPage>& pages,
 
 Status BlockSynchronizer::sync_account(const Address& addr,
                                        const std::vector<u256>& keys,
-                                       oram::OramClient& client) {
+                                       oram::OramAccessor& client) {
   AccountTask task;
   task.addr = addr;
   task.verify_keys = keys;
@@ -151,7 +151,7 @@ Status BlockSynchronizer::sync_account(const Address& addr,
   return Status::kOk;
 }
 
-Status BlockSynchronizer::sync_all(oram::OramClient& client) {
+Status BlockSynchronizer::sync_all(oram::OramAccessor& client) {
   // Enumerate from the snapshot pinned by the trusted root when the node has
   // one (the live-chain path); fall back to the node's current world for the
   // pre-first-block setup flow.
@@ -165,7 +165,7 @@ Status BlockSynchronizer::sync_all(oram::OramClient& client) {
 }
 
 Status BlockSynchronizer::sync_delta(const state::WorldState& old_world,
-                                     oram::OramClient& client, DeltaReport* report) {
+                                     oram::OramAccessor& client, DeltaReport* report) {
   const auto pinned = node_.world_at(state_root_);
   if (!pinned) return Status::kNotFound;
   const state::WorldState& new_world = *pinned;

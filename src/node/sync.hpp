@@ -44,12 +44,12 @@ class BlockSynchronizer {
   /// (from `keys`), and its code pages. Returns kBadProof on any failure —
   /// in which case nothing from this account is installed.
   Status sync_account(const Address& addr, const std::vector<u256>& keys,
-                      oram::OramClient& client);
+                      oram::OramAccessor& client);
 
   /// Full sync: every account and every storage key the pinned state
   /// reports. (A real deployment walks the state trie; the simulator
   /// enumerates.)
-  Status sync_all(oram::OramClient& client);
+  Status sync_all(oram::OramAccessor& client);
 
   /// Incremental sync from `old_world` (the previously installed snapshot)
   /// to the trusted root: re-verifies only changed accounts, re-proves only
@@ -60,7 +60,7 @@ class BlockSynchronizer {
     uint64_t slots_reverified = 0;
     uint64_t pages_installed = 0;
   };
-  Status sync_delta(const state::WorldState& old_world, oram::OramClient& client,
+  Status sync_delta(const state::WorldState& old_world, oram::OramAccessor& client,
                     DeltaReport* report = nullptr);
 
   uint64_t verified_accounts() const { return verified_accounts_; }
@@ -101,7 +101,7 @@ class BlockSynchronizer {
   /// Verifies the task against state_root_ and stages pages into `out`.
   /// Installs NOTHING; any failure leaves `out` meaningless.
   Status verify_account_task(const AccountTask& task, std::vector<PendingPage>& out);
-  void install(const std::vector<PendingPage>& pages, oram::OramClient& client);
+  void install(const std::vector<PendingPage>& pages, oram::OramAccessor& client);
 
   const NodeSimulator& node_;
   H256 state_root_;

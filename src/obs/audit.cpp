@@ -288,6 +288,90 @@ AuditReport audit_obliviousness(const SpTrace& a, const SpTrace& b, const AuditC
   return report;
 }
 
+double uniform_ks_statistic(std::vector<uint64_t> sample, uint64_t support) {
+  if (sample.empty() || support == 0) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double n = static_cast<double>(sample.size());
+  const double s = static_cast<double>(support);
+  double max_diff = 0.0;
+  size_t i = 0;
+  while (i < sample.size()) {
+    const uint64_t v = sample[i];
+    size_t j = i;
+    while (j < sample.size() && sample[j] == v) ++j;
+    // ECDF just below v vs F(v-1), and at v vs F(v). The flat ECDF stretch
+    // between consecutive observed values is covered by the next iteration's
+    // below-v comparison (its ECDF equals this one's at-v value).
+    const double f_lo = static_cast<double>(v) / s;
+    const double f_hi = static_cast<double>(v + 1) / s;
+    max_diff = std::max(max_diff, std::abs(static_cast<double>(i) / n - f_lo));
+    max_diff = std::max(max_diff, std::abs(static_cast<double>(j) / n - f_hi));
+    i = j;
+  }
+  return max_diff;
+}
+
+AuditReport audit_shard_obliviousness(
+    const std::vector<std::pair<uint32_t, uint64_t>>& walks, uint32_t shard_count,
+    uint64_t leaf_count, const ShardAuditConfig& config) {
+  AuditReport report;
+  if (shard_count == 0) {
+    add_finding(report, "shard_balance_z", false, 0.0, 0.0, "no shards");
+    return report;
+  }
+
+  std::vector<std::vector<uint64_t>> leaves(shard_count);
+  for (const auto& [shard, leaf] : walks) {
+    if (shard < shard_count) leaves[shard].push_back(leaf);
+  }
+
+  // 1. Shard-visit balance: worst binomial z across shards. Every walk is an
+  //    independent uniform shard draw under the faithful redraw, so count_s ~
+  //    Binomial(n, 1/S).
+  {
+    const double n = static_cast<double>(walks.size());
+    const double p = 1.0 / static_cast<double>(shard_count);
+    const double sd = std::sqrt(n * p * (1.0 - p));
+    double worst_z = 0.0;
+    uint32_t worst_shard = 0;
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      const double z =
+          sd > 0.0 ? (static_cast<double>(leaves[s].size()) - n * p) / sd : 0.0;
+      if (std::abs(z) > std::abs(worst_z)) {
+        worst_z = z;
+        worst_shard = s;
+      }
+    }
+    std::ostringstream detail;
+    detail << "worst_shard=" << worst_shard << " visits=" << leaves[worst_shard].size()
+           << " expected=" << n * p << " n=" << walks.size();
+    add_finding(report, "shard_balance_z",
+                std::abs(worst_z) <= config.shard_balance_z_threshold, worst_z,
+                config.shard_balance_z_threshold, detail.str());
+  }
+
+  // 2. Per-shard leaf uniformity: sqrt(n) * one-sample KS vs uniform.
+  for (uint32_t s = 0; s < shard_count; ++s) {
+    std::ostringstream channel;
+    channel << "shard" << s << "_leaf_ks";
+    if (leaves[s].size() < config.min_samples) {
+      std::ostringstream detail;
+      detail << "skipped: n=" << leaves[s].size();
+      add_finding(report, channel.str(), true, 0.0, config.leaf_ks_threshold,
+                  detail.str());
+      continue;
+    }
+    const double n = static_cast<double>(leaves[s].size());
+    const double stat = std::sqrt(n) * uniform_ks_statistic(leaves[s], leaf_count);
+    std::ostringstream detail;
+    detail << "n=" << leaves[s].size() << " leaves=" << leaf_count;
+    add_finding(report, channel.str(), stat <= config.leaf_ks_threshold, stat,
+                config.leaf_ks_threshold, detail.str());
+  }
+
+  return report;
+}
+
 std::string AuditReport::summary() const {
   std::ostringstream out;
   for (const AuditFinding& f : findings) {

@@ -145,4 +145,47 @@ double pearson(const std::vector<uint64_t>& x, const std::vector<uint64_t>& y);
 AuditReport audit_obliviousness(const SpTrace& a, const SpTrace& b,
                                 const AuditConfig& config = {});
 
+// ---------------------------------------------------------------------------
+// Per-shard audit (PR 6). With the sharded frontend the SP's per-access view
+// is a (shard, leaf) pair instead of one global leaf. The security claim of
+// oram/sharded.hpp is that the pair is i.i.d. uniform: shard draws uniform
+// over shards, leaf draws uniform over that shard's leaves, independent of
+// which block was touched. The auditor tests exactly those two marginals:
+//   1. shard_balance_z  — worst-shard binomial z of the shard-visit counts
+//                         vs uniform. THE sharding leak detector: pinning a
+//                         hot block to a fixed shard (pin_shard_assignment
+//                         ablation) concentrates its accesses there and the
+//                         worst bin blows up.
+//   2. shard<i>_leaf_ks — per shard, one-sample KS of the observed leaf
+//                         sequence vs discrete uniform over the shard's
+//                         leaves, normalized to sqrt(n)*D so one threshold
+//                         covers unevenly loaded shards.
+// Batching/coalescing never appears here by construction: a coalesced rider
+// performs NO walk, so it contributes no (shard, leaf) observation at all —
+// dedup removes server traffic, it cannot correlate it.
+
+struct ShardAuditConfig {
+  /// Max acceptable sqrt(n) * one-sample-KS per shard. Under uniformity
+  /// sqrt(n)*D stays ~O(1) regardless of n (Kolmogorov: P(sqrt(n)*D > 1.95)
+  /// ~ 0.001); discreteness of the leaf support only lowers it.
+  double leaf_ks_threshold = 2.0;
+  /// Max acceptable |binomial z| of any shard's visit count vs uniform.
+  /// Faithful redraw keeps the worst of S bins within ~3 sigma; a pinned hot
+  /// page pushes its shard tens of sigma out.
+  double shard_balance_z_threshold = 4.5;
+  /// Per-shard leaf KS is skipped (pass with detail) under this many walks.
+  size_t min_samples = 16;
+};
+
+/// One-sample KS statistic of `sample` vs the discrete uniform distribution
+/// on [0, support): sup |F_emp(x) - (x+1)/support|.
+double uniform_ks_statistic(std::vector<uint64_t> sample, uint64_t support);
+
+/// Audit a sharded store's adversary view: `walks` is the global observation
+/// order of (shard, shard-local leaf) pairs (ShardedOramStore::
+/// observed_walks()), `shard_count`/`leaf_count` its public geometry.
+AuditReport audit_shard_obliviousness(
+    const std::vector<std::pair<uint32_t, uint64_t>>& walks, uint32_t shard_count,
+    uint64_t leaf_count, const ShardAuditConfig& config = {});
+
 }  // namespace hardtape::obs

@@ -23,6 +23,7 @@ const char* to_string(TraceCode code) {
     case TraceCode::kOramIssue: return "oram_issue";
     case TraceCode::kOramRetry: return "oram_retry";
     case TraceCode::kOramComplete: return "oram_complete";
+    case TraceCode::kOramShardAccess: return "oram_shard_access";
     case TraceCode::kBundleSubmit: return "bundle_submit";
     case TraceCode::kBundleStart: return "bundle_start";
     case TraceCode::kBundleComplete: return "bundle_complete";

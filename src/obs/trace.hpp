@@ -49,6 +49,7 @@ enum class TraceCode : uint16_t {
   kOramIssue = 0x200,
   kOramRetry = 0x201,
   kOramComplete = 0x202,
+  kOramShardAccess = 0x203,  ///< sharded store walk: a = shard, b = local leaf
   // kBundle
   kBundleSubmit = 0x300,
   kBundleStart = 0x301,

@@ -59,7 +59,13 @@ AccessAttempt OramFrontend::recovered_access(const BlockId& id,
                           write_data != nullptr ? 1 : 0, stream_tag);
   }
   {
-    std::lock_guard lock(access_mu_);
+    // Historical mode: one global queue, strictly serialized backend. In
+    // concurrent mode the ShardedOramStore locks per shard and gated_access
+    // already serialized same-block requests, so no lock is taken here.
+    std::unique_lock<std::mutex> serial_lock;
+    if (!config_.concurrent_backend) {
+      serial_lock = std::unique_lock<std::mutex>(access_mu_);
+    }
     stall_ns = wall_ns_since(start);
     for (int attempt = 1;; ++attempt) {
       AccessAttempt a = write_data != nullptr ? backend_.try_write(id, *write_data)
@@ -120,37 +126,94 @@ AccessAttempt OramFrontend::recovered_access(const BlockId& id,
   return result;
 }
 
-AccessAttempt OramFrontend::try_read(const BlockId& id) {
-  if (!config_.coalesce_duplicate_reads) return recovered_access(id, nullptr);
-
-  std::unique_lock lock(state_mu_);
-  if (auto it = inflight_.find(id); it != inflight_.end()) {
-    // An identical read is already walking the tree — ride it. The rider
-    // inherits the winner's data and status but none of its recovery time
-    // (the winner's session already paid for the retries).
-    const std::shared_ptr<Inflight> entry = it->second;
-    ++stats_.coalesced_reads;
-    entry->cv.wait(lock, [&] { return entry->done; });
-    AccessAttempt result = entry->result;
-    result.sim_delay_ns = 0;
-    return result;
+void OramFrontend::note_shard_result(uint32_t shard, Status status) {
+  if (config_.shard_count == 0 || shard >= config_.shard_count) return;
+  std::lock_guard lock(state_mu_);
+  if (status == Status::kOk) {
+    shard_fail_streak_[shard] = 0;
+    return;
   }
-  const auto entry = std::make_shared<Inflight>();
-  inflight_.emplace(id, entry);
-  lock.unlock();
+  if (status != Status::kAuthFailed && status != Status::kBadProof &&
+      status != Status::kRetryExhausted) {
+    return;
+  }
+  ++stats_.shard_failures[shard];
+  if (config_.shard_breaker_threshold > 0 &&
+      ++shard_fail_streak_[shard] >= config_.shard_breaker_threshold) {
+    stats_.shard_quarantined[shard] = 1;
+  }
+}
 
-  AccessAttempt result = recovered_access(id, nullptr);
+AccessAttempt OramFrontend::gated_access(const BlockId& id,
+                                         const BytesView* write_data) {
+  // Per-shard breaker: requests routed to a quarantined shard are refused
+  // before touching the gate — the other shards keep serving.
+  uint32_t shard = kUnknownShard;
+  if (config_.shard_router) shard = config_.shard_router(id);
+  if (shard != kUnknownShard && shard < config_.shard_count) {
+    std::lock_guard lock(state_mu_);
+    if (stats_.shard_quarantined[shard] != 0) {
+      ++stats_.shard_unavailable;
+      return AccessAttempt{Status::kUnavailable, std::nullopt, 0};
+    }
+  }
 
-  lock.lock();
-  entry->result = result;
-  entry->done = true;
-  inflight_.erase(id);
-  entry->cv.notify_all();
+  const auto gate_start = std::chrono::steady_clock::now();
+  std::shared_ptr<Inflight> entry;
+  {
+    std::unique_lock lock(state_mu_);
+    for (;;) {
+      const auto it = inflight_.find(id);
+      if (it == inflight_.end()) break;
+      if (write_data == nullptr && config_.coalesce_duplicate_reads &&
+          it->second->is_read) {
+        // An identical read is already walking the tree — ride it. The rider
+        // inherits the leader's data and status but none of its recovery
+        // time (the leader's session already paid for the retries). One tree
+        // walk fans out to every waiter.
+        const std::shared_ptr<Inflight> leader = it->second;
+        ++stats_.coalesced_reads;
+        gate_cv_.wait(lock, [&] { return leader->done; });
+        AccessAttempt result = leader->result;
+        result.sim_delay_ns = 0;
+        return result;
+      }
+      // Same-block request that cannot ride (a write, or coalescing is
+      // off): wait for the in-flight access to finish, then re-claim. The
+      // gate is what makes the backend's migrating shard map safe to
+      // consult — at most one access per block id is ever in flight.
+      gate_cv_.wait(lock);
+    }
+    entry = std::make_shared<Inflight>();
+    entry->is_read = write_data == nullptr;
+    inflight_.emplace(id, entry);
+    stats_.contention_stall_ns += wall_ns_since(gate_start);
+  }
+
+  AccessAttempt result = recovered_access(id, write_data);
+  note_shard_result(shard, result.status);
+
+  {
+    std::lock_guard lock(state_mu_);
+    entry->result = result;
+    entry->done = true;
+    inflight_.erase(id);
+  }
+  gate_cv_.notify_all();
   return result;
 }
 
+AccessAttempt OramFrontend::try_read(const BlockId& id) {
+  if (config_.concurrent_backend || config_.coalesce_duplicate_reads) {
+    return gated_access(id, nullptr);
+  }
+  return recovered_access(id, nullptr);
+}
+
 AccessAttempt OramFrontend::try_write(const BlockId& id, BytesView data) {
-  // Writes (block synchronization) are never coalesced: each must land.
+  // Writes are never coalesced: each must land. In concurrent mode they
+  // still take the per-block gate (same-block exclusion).
+  if (config_.concurrent_backend) return gated_access(id, &data);
   return recovered_access(id, &data);
 }
 

@@ -32,6 +32,23 @@
 // the same contract at once issue one fewer query) for server bandwidth, so
 // it is off by default and gated by config — mirroring the paper's stance
 // that every relaxation of the oblivious stream must be opt-in.
+//
+// Concurrent mode (PR 6): with `concurrent_backend` set the backend is a
+// ShardedOramStore (oram/sharded.hpp) that does its own per-shard locking,
+// and this frontend stops serializing globally. What remains here is the
+// request scheduler:
+//  - a per-block in-flight gate: at most one access per BlockId at a time.
+//    This is correctness, not tuning — an access migrates the block's shard
+//    assignment, so an unserialized twin could consult a stale route. With
+//    coalescing on, a gated duplicate read RIDES the in-flight access (one
+//    tree walk fans out to every waiter); with it off the duplicate simply
+//    waits its turn and issues its own walk.
+//  - per-shard circuit breaking (opt-in via shard_breaker_threshold): the
+//    recovery semantics above are unchanged per request, and consecutive
+//    terminal failures attributed to one shard quarantine THAT shard —
+//    requests routed to it resolve kUnavailable immediately while every
+//    other shard keeps serving. The engine-level breaker still owns the
+//    whole-backend verdict.
 #pragma once
 
 #include <condition_variable>
@@ -84,11 +101,33 @@ struct FrontendConfig {
   /// carry wall time for ordering and per-request sim recovery time — the
   /// frontend has no session clock.
   obs::TraceRing* trace = nullptr;
+
+  // --- concurrent mode (PR 6; see file comment) ---
+  /// The backend locks internally (ShardedOramStore): drop the global
+  /// serialization and gate only same-block requests. Off by default — the
+  /// historical strictly-serialized frontend, byte-for-byte.
+  bool concurrent_backend = false;
+  /// Shards behind the backend (sizes the per-shard failure accounting;
+  /// 0 disables it).
+  size_t shard_count = 0;
+  /// Current shard of a block (ShardedOramStore::shard_of), kUnknownShard
+  /// for ids the store never saw. Consulted before issuing — which is also
+  /// the shard any failure of this request is attributed to, since a
+  /// migration only happens after a successful walk there.
+  std::function<uint32_t(const BlockId&)> shard_router;
+  /// Consecutive terminal failures (kAuthFailed/kBadProof/kRetryExhausted)
+  /// attributed to one shard before that shard is quarantined. <= 0
+  /// disables per-shard breaking.
+  int shard_breaker_threshold = 0;
 };
 
 class OramFrontend : public OramAccessor {
  public:
   using Config = FrontendConfig;
+
+  /// `shard_router` result for ids the store has no assignment for.
+  /// Numerically equal to ShardedOramStore::kNoShard.
+  static constexpr uint32_t kUnknownShard = ~uint32_t{0};
 
   /// Counters over the frontend's lifetime. All wall-clock figures are host
   /// measurements of real lock contention (NOT simulated time — the
@@ -105,10 +144,18 @@ class OramFrontend : public OramAccessor {
     uint64_t auth_failures = 0;     ///< tampered responses (fail-closed)
     uint64_t bad_proofs = 0;        ///< stale-proof responses (fail-closed)
     uint64_t retry_exhausted = 0;   ///< requests that ran out of attempts
+    // --- per-shard breaker (concurrent mode; empty when shard_count == 0) ---
+    std::vector<uint64_t> shard_failures;     ///< terminal failures per shard
+    std::vector<uint8_t> shard_quarantined;   ///< 1 = shard refused service
+    uint64_t shard_unavailable = 0;  ///< requests refused by a quarantine
   };
 
   explicit OramFrontend(OramAccessor& backend, Config config = {})
-      : backend_(backend), config_(config) {}
+      : backend_(backend), config_(std::move(config)) {
+    stats_.shard_failures.resize(config_.shard_count, 0);
+    stats_.shard_quarantined.resize(config_.shard_count, 0);
+    shard_fail_streak_.resize(config_.shard_count, 0);
+  }
 
   /// Throws BackendFault when the fault-aware path ends in a non-kOk status
   /// (never happens over a reliable backend).
@@ -127,22 +174,30 @@ class OramFrontend : public OramAccessor {
  private:
   struct Inflight {
     bool done = false;
+    bool is_read = false;
     AccessAttempt result;
-    std::condition_variable cv;  // waits on state_mu_
   };
 
-  /// One serialized request with recovery: write_data == nullptr for reads.
+  /// One request with recovery: write_data == nullptr for reads. Serialized
+  /// behind access_mu_ in the historical mode; lock-free here in concurrent
+  /// mode (the backend locks per shard, gated_access gates per block).
   AccessAttempt recovered_access(const BlockId& id, const BytesView* write_data);
+  /// The per-block gate + coalescing fan-out (see file comment).
+  AccessAttempt gated_access(const BlockId& id, const BytesView* write_data);
+  /// Feeds the per-shard breaker with a request's terminal status.
+  void note_shard_result(uint32_t shard, Status status);
   void enter_queue();
   void leave_queue(uint64_t stall_ns, bool was_read);
 
   OramAccessor& backend_;
   Config config_;
   std::mutex access_mu_;  ///< serializes backend path accesses (the queue)
-  mutable std::mutex state_mu_;  ///< guards stats_, pending_, inflight_
+  mutable std::mutex state_mu_;  ///< guards stats_, pending_, inflight_, shard state
+  std::condition_variable gate_cv_;  ///< waits on state_mu_: gate + rider wakeups
   Stats stats_;
   uint64_t pending_ = 0;
   std::unordered_map<BlockId, std::shared_ptr<Inflight>, U256Hasher> inflight_;
+  std::vector<int> shard_fail_streak_;  ///< consecutive terminal failures
 };
 
 }  // namespace hardtape::oram

@@ -199,6 +199,21 @@ AccessAttempt OramClient::try_write(const BlockId& id, BytesView data) {
   }
 }
 
+std::optional<Bytes> OramClient::access_remove(const BlockId& id) {
+  return access(id, nullptr, nullptr, /*remove=*/true);
+}
+
+void OramClient::adopt(const BlockId& id, Bytes data) {
+  const size_t block_size = server_.config().block_size;
+  if (data.size() > block_size) throw UsageError("oram: block too large");
+  data.resize(block_size, 0);
+  const uint64_t leaf = rng_.uniform(server_.leaf_count());
+  position_[id] = leaf;
+  stash_[id] = StashEntry{std::move(data), leaf};
+  stash_high_water_ = std::max(stash_high_water_, stash_.size());
+  if (stash_.size() > server_.config().max_stash_blocks) stash_overflowed_ = true;
+}
+
 std::optional<Bytes> OramClient::read_modify_write(
     const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate) {
   return access(id, nullptr, &mutate);
@@ -254,7 +269,7 @@ void OramClient::bulk_restore(const std::vector<std::pair<BlockId, Bytes>>& page
 
 std::optional<Bytes> OramClient::access(
     const BlockId& id, const Bytes* new_data,
-    const std::function<Bytes(std::optional<Bytes>)>* mutate) {
+    const std::function<Bytes(std::optional<Bytes>)>* mutate, bool remove) {
   if (access_hook_) access_hook_();
 
   const auto pos_it = position_.find(id);
@@ -299,6 +314,21 @@ std::optional<Bytes> OramClient::access(
     entry.data.assign(pt->begin() + 32, pt->end());
     entry.leaf = slot_pos->second;
     stash_.emplace(slot_id, std::move(entry));
+  }
+
+  if (remove) {
+    // Out-migration: forget the block after pulling it off the path. The
+    // server-visible traffic (one path read + rewrite) is identical to any
+    // other access — only the trusted-side maps change.
+    auto removed = stash_.find(id);
+    if (removed == stash_.end()) {
+      throw IntegrityError("oram: mapped block missing");
+    }
+    std::optional<Bytes> result = std::move(removed->second.data);
+    stash_.erase(removed);
+    position_.erase(id);
+    evict_along_path(leaf);
+    return result;
   }
 
   // 2. Remap the requested block to a fresh uniformly random leaf.

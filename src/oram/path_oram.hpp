@@ -167,6 +167,21 @@ class OramClient : public OramAccessor {
   /// never-written id; the returned bytes are padded to block_size.
   std::optional<Bytes> read_modify_write(
       const BlockId& id, const std::function<Bytes(std::optional<Bytes>)>& mutate);
+  /// One full, normal-looking path access that returns the block's data and
+  /// REMOVES it from this client (position map + stash). The adversary sees
+  /// the same single path read+rewrite as any other access; only the trusted
+  /// side forgets the block. This is the out-migration half of a cross-shard
+  /// move in the sharded store (oram/sharded.hpp). Returns nullopt (after a
+  /// dummy access) for an id this client never held.
+  std::optional<Bytes> access_remove(const BlockId& id);
+  /// Installs a block straight into the stash under a fresh uniform leaf
+  /// WITHOUT touching the server — no path access, nothing the adversary can
+  /// observe. The in-migration half of a cross-shard move: the handoff is
+  /// trusted-side state only, and the block surfaces on the server through
+  /// ordinary evictions of later accesses. `data` must be <= block_size and
+  /// is zero-padded to it. Does not fire the install hook (migration moves a
+  /// page between trees; it does not change the logical store).
+  void adopt(const BlockId& id, Bytes data);
   /// Checkpoint restore (PR 5): installs `pages` into a FRESH client (throws
   /// UsageError otherwise) without paying one full path access per page.
   /// Every page draws a fresh uniform leaf — positions are never carried
@@ -205,9 +220,12 @@ class OramClient : public OramAccessor {
   };
 
   // One full access; returns the (pre-update) block data if present.
-  // When `mutate` is set it computes the new contents from the old.
+  // When `mutate` is set it computes the new contents from the old. When
+  // `remove` is set the block is dropped from the stash and position map
+  // after the path is read (the path rewrite stays indistinguishable).
   std::optional<Bytes> access(const BlockId& id, const Bytes* new_data,
-                              const std::function<Bytes(std::optional<Bytes>)>* mutate = nullptr);
+                              const std::function<Bytes(std::optional<Bytes>)>* mutate = nullptr,
+                              bool remove = false);
   void evict_along_path(uint64_t leaf);
 
   OramServer& server_;

@@ -168,20 +168,35 @@ PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig c
       manufacturer_(config.seed ^ 0xfab),
       hypervisor_(setup_rng_.bytes(32), manufacturer_, sv(kSbl), sv(kFirmware),
                   sv(kBitstream), config.seed ^ 0xb007),
-      oram_server_(config.oram),
-      oram_client_(oram_server_, hypervisor_.generate_oram_key(), config.seed ^ 0x02a3,
-                   config.seal_mode),
+      oram_store_(
+          [&config] {
+            auto store = oram::ShardedOramStore::partition(
+                config.oram, std::max<size_t>(1, config.oram_shards));
+            store.pin_shard_assignment = config.oram_pin_shard_assignment;
+            store.trace = config.trace != nullptr ? &config.trace->ring(-2) : nullptr;
+            return store;
+          }(),
+          hypervisor_.generate_oram_key(), config.seed ^ 0x02a3, config.seal_mode),
       fault_layer_(config.fault_plan != nullptr
-                       ? std::make_unique<faults::FaultyOram>(oram_client_,
+                       ? std::make_unique<faults::FaultyOram>(oram_store_,
                                                               *config.fault_plan)
                        : nullptr),
       frontend_(fault_layer_ != nullptr
                     ? static_cast<oram::OramAccessor&>(*fault_layer_)
-                    : static_cast<oram::OramAccessor&>(oram_client_),
+                    : static_cast<oram::OramAccessor&>(oram_store_),
                 oram::OramFrontend::Config{
                     .coalesce_duplicate_reads = config.coalesce_duplicate_reads,
                     .recovery = config.oram_recovery,
-                    .trace = config.trace != nullptr ? &config.trace->ring(-2) : nullptr}),
+                    .trace = config.trace != nullptr ? &config.trace->ring(-2) : nullptr,
+                    // The store locks per shard; the frontend only gates
+                    // same-block requests and routes per-shard accounting.
+                    .concurrent_backend = true,
+                    .shard_count = oram_store_.shard_count(),
+                    .shard_router =
+                        [this](const oram::BlockId& id) {
+                          return oram_store_.shard_of(id);
+                        },
+                    .shard_breaker_threshold = config.oram_shard_breaker_threshold}),
       oram_state_(frontend_),
       queue_(config.queue_depth),
       latency_hist_(&registry_.histogram("hardtape_engine_bundle_latency_sim_ns",
@@ -198,7 +213,7 @@ PreExecutionEngine::PreExecutionEngine(node::NodeSimulator& node, EngineConfig c
     // the registry listener journals epoch transitions, the install hook
     // journals page writes. Neither feeds anything back into execution.
     epoch_registry_.set_listener(config_.durable);
-    oram_client_.set_install_hook(
+    oram_store_.set_install_hook(
         [durable = config_.durable](const oram::BlockId& id, BytesView data,
                                     uint64_t leaf) {
           durable->log_page_install(id, data, leaf);
@@ -238,7 +253,7 @@ Status PreExecutionEngine::synchronize() {
              faults::FaultKind::kStaleProof;
     });
   }
-  const Status status = sync.sync_all(oram_client_);
+  const Status status = sync.sync_all(oram_store_);
   if (status != Status::kOk) {
     // The full sync rejected a proof: the engine is unusable (unlike a
     // delta, a full sync is not staged all-or-nothing). Callers discard it.
@@ -318,7 +333,7 @@ Status PreExecutionEngine::resync() {
                  faults::FaultKind::kStaleProof;
         });
       }
-      const Status status = sync.sync_delta(*old.world, oram_client_, nullptr);
+      const Status status = sync.sync_delta(*old.world, oram_store_, nullptr);
       if (status != Status::kOk) {
         epoch_registry_.abort();
         return status;
@@ -470,7 +485,7 @@ Status PreExecutionEngine::warm_restart(const durability::RecoveredState& recove
     // Bulk load: one sealed-tree install instead of one full path access per
     // page — the restore cost that makes warm beat cold (the image's pages
     // were verified before they were journaled; only the gap needs proofs).
-    oram_client_.bulk_restore(pages);
+    oram_store_.bulk_restore(pages);
     pages_restored_.fetch_add(pages.size(), std::memory_order_relaxed);
     if (config_.durable != nullptr) config_.durable->set_restoring(false);
   }
@@ -483,7 +498,7 @@ Status PreExecutionEngine::warm_restart(const durability::RecoveredState& recove
       epoch_registry_.begin(head.header.state_root, head.header.number);
       node::BlockSynchronizer sync(node_, head.header.state_root);
       sync.set_epoch_registry(&epoch_registry_);
-      const Status status = sync.sync_delta(*recovered_world, oram_client_, nullptr);
+      const Status status = sync.sync_delta(*recovered_world, oram_store_, nullptr);
       if (status != Status::kOk) {
         epoch_registry_.abort();
         return status;
@@ -949,6 +964,40 @@ EngineMetrics PreExecutionEngine::snapshot() const {
   m.oram_timeouts = frontend_stats.timeouts;
   m.oram_retries = frontend_stats.retries;
   m.oram_retry_exhausted = frontend_stats.retry_exhausted;
+
+  // Per-shard wall diagnostics: walk-lock waits from the store, failure
+  // attribution and quarantine state from the frontend's per-shard breaker.
+  // Each shard's stall samples are mirrored into a Registry histogram (the
+  // per-shard split of the old single oram_contention_stall_ns figure), so
+  // the exposition carries exact p50/p95/p99 next to count and sum.
+  const auto store_stats = oram_store_.snapshot();
+  m.oram_shard_count = store_stats.shards.size();
+  m.oram_shard_walks = store_stats.total_walks;
+  m.oram_shard_migrations = store_stats.total_migrations;
+  m.oram_max_concurrent_walks = store_stats.max_concurrent_walks;
+  m.oram_shards.reserve(store_stats.shards.size());
+  for (size_t s = 0; s < store_stats.shards.size(); ++s) {
+    EngineMetrics::OramShardStats shard;
+    shard.shard = static_cast<uint32_t>(s);
+    shard.walks = store_stats.shards[s].walks;
+    shard.migrations_in = store_stats.shards[s].migrations_in;
+    shard.stall_ns = store_stats.shards[s].stall_ns;
+    auto& stall_hist = registry_.histogram(
+        "hardtape_engine_oram_shard" + std::to_string(s) + "_stall_ns",
+        "wall ns a walk waited for this shard's lock");
+    stall_hist.reset();  // snapshot semantics: mirror, don't accumulate
+    for (const uint64_t sample : store_stats.shards[s].stall_samples) {
+      stall_hist.observe(sample);
+    }
+    shard.stall_p50_ns = stall_hist.percentile(50);
+    shard.stall_p99_ns = stall_hist.percentile(99);
+    if (s < frontend_stats.shard_failures.size()) {
+      shard.failures = frontend_stats.shard_failures[s];
+      shard.quarantined = frontend_stats.shard_quarantined[s] != 0;
+    }
+    if (shard.quarantined) ++m.oram_shards_quarantined;
+    m.oram_shards.push_back(shard);
+  }
   m.bundle_requeues = bundle_requeues_.load(std::memory_order_relaxed);
   m.watchdog_stalls = watchdog_ != nullptr ? watchdog_->stalls_detected() : 0;
   m.circuit_open = breaker_open();
@@ -1001,7 +1050,11 @@ EngineMetrics PreExecutionEngine::snapshot() const {
   if (!durations.empty()) {
     const auto schedule = PreExecutionService::schedule_bundles(
         durations, config_.num_hevms, config_.arrival_gap_ns);
-    m.sim_oram_server_busy_ns = oram_queries * config_.timing.server.service_ns;
+    // The sharded store is S independent subtree pipelines (PR 6): the
+    // serialized-server clamp divides across them, because walks on
+    // distinct shards overlap. S = 1 reproduces the single-server model.
+    m.sim_oram_server_busy_ns = oram_queries * config_.timing.server.service_ns /
+                                std::max<uint64_t>(1, oram_store_.shard_count());
     m.sim_makespan_ns = std::max(schedule.makespan_ns, m.sim_oram_server_busy_ns);
     m.sim_oram_serialization_stall_ns = m.sim_makespan_ns - schedule.makespan_ns;
     m.sim_mean_queue_wait_ns = schedule.mean_wait_ns;
@@ -1056,6 +1109,23 @@ void PreExecutionEngine::publish_metrics(const EngineMetrics& m) const {
       static_cast<double>(m.oram_contention_stall_ns));
   set("hardtape_engine_oram_reads", static_cast<double>(m.oram_reads));
   set("hardtape_engine_oram_coalesced_reads", static_cast<double>(m.oram_coalesced_reads));
+  set("hardtape_engine_oram_shard_count", static_cast<double>(m.oram_shard_count));
+  set("hardtape_engine_oram_shard_walks", static_cast<double>(m.oram_shard_walks));
+  set("hardtape_engine_oram_shard_migrations",
+      static_cast<double>(m.oram_shard_migrations));
+  set("hardtape_engine_oram_max_concurrent_walks",
+      static_cast<double>(m.oram_max_concurrent_walks));
+  set("hardtape_engine_oram_shards_quarantined",
+      static_cast<double>(m.oram_shards_quarantined));
+  for (const auto& shard : m.oram_shards) {
+    const std::string prefix =
+        "hardtape_engine_oram_shard" + std::to_string(shard.shard);
+    set(prefix + "_walks", static_cast<double>(shard.walks));
+    set(prefix + "_migrations_in", static_cast<double>(shard.migrations_in));
+    // Stall total + percentiles live in the per-shard _stall_ns histogram
+    // (mirrored in snapshot()); only the breaker state is a gauge here.
+    set(prefix + "_quarantined", shard.quarantined ? 1.0 : 0.0);
+  }
   set("hardtape_engine_faults_injected", static_cast<double>(m.faults_injected));
   set("hardtape_engine_oram_timeouts", static_cast<double>(m.oram_timeouts));
   set("hardtape_engine_oram_retries", static_cast<double>(m.oram_retries));

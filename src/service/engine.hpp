@@ -69,6 +69,7 @@
 #include "obs/metrics.hpp"
 #include "oram/epoch.hpp"
 #include "oram/frontend.hpp"
+#include "oram/sharded.hpp"
 #include "service/bundle_queue.hpp"
 #include "service/pre_execution.hpp"
 #include "service/watchdog.hpp"
@@ -93,6 +94,19 @@ struct EngineConfig {
   hevm::HevmCore::Config core{};
   oram::OramConfig oram{};
   oram::SealMode seal_mode = oram::SealMode::kChaChaHmac;
+  /// Independently locked Path ORAM subtrees behind the frontend (PR 6,
+  /// power of two). `oram` above stays the WHOLE-store geometry; each shard
+  /// gets ShardedOramStore::partition() of it. 1 = a single tree with the
+  /// same adversary view as the pre-sharding engine; >1 lets sessions whose
+  /// accesses land on distinct shards walk paths in parallel.
+  size_t oram_shards = 8;
+  /// ABLATION ONLY (bench_obs): pin blocks to their first shard instead of
+  /// redrawing per access — the leak the per-shard audit must catch.
+  bool oram_pin_shard_assignment = false;
+  /// Consecutive terminal failures that quarantine ONE shard at the
+  /// frontend while the rest keep serving; <= 0 disables (the engine-level
+  /// breaker below still owns the whole-backend verdict).
+  int oram_shard_breaker_threshold = 0;
   RoutedStateReader::Timing timing{};
   sim::HypervisorCostModel hypervisor_costs{};
   sim::CryptoCostModel crypto_costs{};
@@ -224,9 +238,29 @@ struct EngineMetrics {
   uint64_t wall_backpressure_ns = 0;     ///< producers blocked on full queue
   uint64_t backpressured_submits = 0;
   uint64_t queue_max_depth = 0;
-  uint64_t oram_contention_stall_ns = 0; ///< frontend lock waits, summed
+  uint64_t oram_contention_stall_ns = 0; ///< frontend gate waits, summed
   uint64_t oram_reads = 0;
   uint64_t oram_coalesced_reads = 0;
+
+  // --- sharded concurrent frontend (PR 6; wall-clock diagnostics) ---
+  uint64_t oram_shard_count = 0;
+  uint64_t oram_shard_walks = 0;        ///< path walks summed across shards
+  uint64_t oram_shard_migrations = 0;   ///< cross-shard block handoffs
+  /// High-water of simultaneously in-flight walks (1 on a serialized run;
+  /// > 1 is the sharding actually overlapping tree walks).
+  uint64_t oram_max_concurrent_walks = 0;
+  uint64_t oram_shards_quarantined = 0; ///< shards the per-shard breaker shut
+  struct OramShardStats {
+    uint32_t shard = 0;
+    uint64_t walks = 0;
+    uint64_t migrations_in = 0;
+    uint64_t stall_ns = 0;         ///< wall ns callers waited for this walk lock
+    uint64_t stall_p50_ns = 0;     ///< per-walk lock-wait percentiles
+    uint64_t stall_p99_ns = 0;
+    uint64_t failures = 0;         ///< terminal failures the frontend attributed
+    bool quarantined = false;
+  };
+  std::vector<OramShardStats> oram_shards;
 
   // --- failure model & recovery (PR 2; all zero without a FaultPlan) ---
   uint64_t faults_injected = 0;      ///< from the FaultPlan
@@ -366,7 +400,7 @@ class PreExecutionEngine {
 
   const EngineConfig& config() const { return config_; }
   oram::OramFrontend& oram_frontend() { return frontend_; }
-  oram::OramServer& oram_server() { return oram_server_; }
+  oram::ShardedOramStore& oram_store() { return oram_store_; }
   hypervisor::Hypervisor& hypervisor() { return hypervisor_; }
 
   /// True once breaker_threshold consecutive attempts died on the backend.
@@ -439,9 +473,11 @@ class PreExecutionEngine {
   Random setup_rng_;
   hypervisor::Manufacturer manufacturer_;
   hypervisor::Hypervisor hypervisor_;
-  oram::OramServer oram_server_;
-  oram::OramClient oram_client_;
-  /// The adversary between client and frontend; null without a fault plan.
+  /// The partitioned oblivious store (PR 6): a forest of per-shard
+  /// (server, client) pairs with per-shard walk locks — OramServer and
+  /// OramClient no longer appear as engine members.
+  oram::ShardedOramStore oram_store_;
+  /// The adversary between store and frontend; null without a fault plan.
   /// Declared before frontend_ so the frontend can take it as its backend.
   std::unique_ptr<faults::FaultyOram> fault_layer_;
   oram::OramFrontend frontend_;

@@ -208,12 +208,14 @@ TEST_F(EngineTest, MetricsSnapshotIsCoherent) {
   EXPECT_GT(m.sim_bundles_per_s, 0.0);
   EXPECT_GT(m.wall_elapsed_ns, 0u);
   EXPECT_GT(m.oram_reads, 0u);  // -full routes queries through the frontend
+  // Busy time is clamped by the shard pool: S independent subtree pipelines
+  // split the per-query service time (see engine.cpp snapshot()).
   EXPECT_EQ(m.sim_oram_server_busy_ns,
             25'000u * [&] {
               uint64_t queries = 0;
               for (const auto& o : engine.drain()) queries += o.query_stats.oram_queries;
               return queries;
-            }());
+            }() / m.oram_shard_count);
   ASSERT_EQ(m.workers.size(), 4u);
   uint64_t busy = 0;
   for (const auto& w : m.workers) {
@@ -518,6 +520,189 @@ TEST(OramFrontendTest, DistinctReadsAreNeverCoalesced) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(store.reads(), 4u * 20u);
   EXPECT_EQ(frontend.snapshot().coalesced_reads, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// OramFrontend concurrent mode (PR 6: sharded backend, per-block gate)
+// ---------------------------------------------------------------------------
+
+/// Fake backend whose read() parks callers until `expected` of them are
+/// inside simultaneously (or a timeout passes). peak() is the proof: 2 means
+/// two requests genuinely overlapped in the backend, 1 means something above
+/// serialized them.
+class RendezvousStore : public oram::OramAccessor {
+ public:
+  RendezvousStore(int expected, std::chrono::milliseconds timeout)
+      : expected_(expected), timeout_(timeout) {}
+
+  std::optional<Bytes> read(const oram::BlockId&) override {
+    std::unique_lock lock(mu_);
+    ++inside_;
+    peak_ = std::max(peak_, inside_);
+    cv_.notify_all();
+    cv_.wait_for(lock, timeout_, [&] { return peak_ >= expected_; });
+    --inside_;
+    return Bytes{0x5a};
+  }
+  void write(const oram::BlockId&, BytesView) override {}
+
+  int peak() const {
+    std::lock_guard lock(mu_);
+    return peak_;
+  }
+
+ private:
+  const int expected_;
+  const std::chrono::milliseconds timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int inside_ = 0;
+  int peak_ = 0;
+};
+
+TEST(OramFrontendConcurrentTest, DistinctBlocksOverlapInBackend) {
+  // The tentpole property: with a self-locking sharded backend the frontend
+  // must NOT serialize globally. Two reads of distinct blocks rendezvous
+  // INSIDE the backend — impossible under the historical global queue.
+  RendezvousStore store(2, std::chrono::seconds(10));
+  oram::OramFrontend frontend(store, {.concurrent_backend = true});
+  std::thread a([&] { frontend.read(oram::BlockId{1}); });
+  std::thread b([&] { frontend.read(oram::BlockId{2}); });
+  a.join();
+  b.join();
+  EXPECT_EQ(store.peak(), 2);
+}
+
+TEST(OramFrontendConcurrentTest, SameBlockNeverOverlapsInBackend) {
+  // The per-block gate is correctness, not tuning: an access migrates the
+  // block's shard assignment, so a same-id twin must wait. The rendezvous
+  // can only time out (short timeout keeps the test fast).
+  RendezvousStore store(2, std::chrono::milliseconds(100));
+  oram::OramFrontend frontend(store, {.concurrent_backend = true});
+  std::thread a([&] { frontend.read(oram::BlockId{7}); });
+  std::thread b([&] { frontend.read(oram::BlockId{7}); });
+  a.join();
+  b.join();
+  EXPECT_EQ(store.peak(), 1);
+}
+
+/// Fake backend that blocks its first read until released; counts calls.
+class LatchedProbeStore : public oram::OramAccessor {
+ public:
+  std::optional<Bytes> read(const oram::BlockId&) override {
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    while (!release_()) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return Bytes{0x5a};
+  }
+  void write(const oram::BlockId&, BytesView) override {}
+  void set_release(std::function<bool()> release) { release_ = std::move(release); }
+  uint64_t reads() const { return reads_.load(); }
+
+ private:
+  std::function<bool()> release_ = [] { return true; };
+  std::atomic<uint64_t> reads_{0};
+};
+
+TEST(OramFrontendConcurrentTest, ExactlyOneWalkServesAllWaiters) {
+  // Batch dedup, deterministically: the leader's backend read is held open
+  // until every other session has registered as a rider, so EXACTLY one
+  // tree walk serves all 8 — and every rider sees the leader's bytes.
+  LatchedProbeStore store;
+  oram::OramFrontend frontend(store,
+                              {.coalesce_duplicate_reads = true, .concurrent_backend = true});
+  store.set_release([&] { return frontend.snapshot().coalesced_reads >= 7; });
+
+  const oram::BlockId hot{42};
+  std::vector<std::thread> threads;
+  std::vector<std::optional<Bytes>> results(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] { results[t] = frontend.read(hot); });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(store.reads(), 1u);
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.has_value());
+    EXPECT_EQ(*r, Bytes{0x5a});
+  }
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.reads, 1u);
+  EXPECT_EQ(stats.coalesced_reads, 7u);
+}
+
+/// Fake backend that fails every access routed to one shard (id % 4 == the
+/// victim) with an integrity failure; healthy shards serve normally.
+class ShardFaultStore : public oram::OramAccessor {
+ public:
+  explicit ShardFaultStore(uint64_t victim_shard) : victim_(victim_shard) {}
+
+  oram::AccessAttempt try_read(const oram::BlockId& id) override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (id.as_u64() % 4 == victim_) {
+      return {Status::kAuthFailed, std::nullopt, 0};
+    }
+    return {Status::kOk, Bytes{0x5a}, 100};
+  }
+  oram::AccessAttempt try_write(const oram::BlockId& id, BytesView) override {
+    return try_read(id);
+  }
+  std::optional<Bytes> read(const oram::BlockId& id) override {
+    return try_read(id).data;
+  }
+  void write(const oram::BlockId&, BytesView) override {}
+  uint64_t calls() const { return calls_.load(); }
+
+ private:
+  const uint64_t victim_;
+  std::atomic<uint64_t> calls_{0};
+};
+
+TEST(OramFrontendConcurrentTest, BreakerQuarantinesOnlyTheFailingShard) {
+  ShardFaultStore store(/*victim_shard=*/2);
+  oram::OramFrontend frontend(
+      store, {.concurrent_backend = true,
+              .shard_count = 4,
+              .shard_router = [](const oram::BlockId& id) {
+                return static_cast<uint32_t>(id.as_u64() % 4);
+              },
+              .shard_breaker_threshold = 2});
+
+  // Two integrity failures on shard 2 trip its breaker.
+  EXPECT_EQ(frontend.try_read(oram::BlockId{2}).status, Status::kAuthFailed);
+  EXPECT_EQ(frontend.try_read(oram::BlockId{6}).status, Status::kAuthFailed);
+  const uint64_t calls_at_trip = store.calls();
+
+  // Shard 2 now refuses service WITHOUT touching the backend...
+  EXPECT_EQ(frontend.try_read(oram::BlockId{10}).status, Status::kUnavailable);
+  EXPECT_EQ(frontend.try_write(oram::BlockId{14}, Bytes{1}).status, Status::kUnavailable);
+  EXPECT_EQ(store.calls(), calls_at_trip);
+
+  // ...while every other shard keeps serving.
+  for (const uint64_t id : {0u, 1u, 3u, 4u, 5u, 7u}) {
+    EXPECT_EQ(frontend.try_read(oram::BlockId{id}).status, Status::kOk) << id;
+  }
+
+  const auto stats = frontend.snapshot();
+  EXPECT_EQ(stats.shard_failures, (std::vector<uint64_t>{0, 0, 2, 0}));
+  EXPECT_EQ(stats.shard_quarantined, (std::vector<uint8_t>{0, 0, 1, 0}));
+  EXPECT_EQ(stats.shard_unavailable, 2u);
+}
+
+TEST(OramFrontendConcurrentTest, BreakerStreakIsPerShard) {
+  // A success on a healthy shard must not reset the victim shard's failure
+  // streak: the streaks are independent counters, one per shard.
+  ShardFaultStore store(/*victim_shard=*/3);
+  oram::OramFrontend frontend(
+      store, {.concurrent_backend = true,
+              .shard_count = 4,
+              .shard_router = [](const oram::BlockId& id) {
+                return static_cast<uint32_t>(id.as_u64() % 4);
+              },
+              .shard_breaker_threshold = 2});
+  EXPECT_EQ(frontend.try_read(oram::BlockId{3}).status, Status::kAuthFailed);  // shard 3: streak 1
+  EXPECT_EQ(frontend.try_read(oram::BlockId{4}).status, Status::kOk);          // shard 0 success
+  EXPECT_EQ(frontend.try_read(oram::BlockId{7}).status, Status::kAuthFailed);  // shard 3: streak 2
+  EXPECT_EQ(frontend.snapshot().shard_quarantined, (std::vector<uint8_t>{0, 0, 0, 1}));
 }
 
 // ---------------------------------------------------------------------------

@@ -304,6 +304,75 @@ TEST(Audit, CodeGapDispersionDetectsMetronomicCodeFetches) {
   EXPECT_DOUBLE_EQ(code_gap_dispersion(SpTrace{}, 3), 1.0);
 }
 
+// --- per-shard audit (PR 6: sharded oblivious frontend) ---
+
+TEST(ShardAudit, UniformKsStatistic) {
+  // A perfectly balanced sample over the full support sits at 1/support.
+  std::vector<uint64_t> balanced;
+  for (uint64_t v = 0; v < 64; ++v) balanced.push_back(v);
+  EXPECT_LE(uniform_ks_statistic(balanced, 64), 1.0 / 64 + 1e-12);
+  // A point mass at 0 deviates maximally: ECDF jumps to 1 at F(0) = 1/s.
+  EXPECT_NEAR(uniform_ks_statistic(std::vector<uint64_t>(32, 0), 64), 1.0 - 1.0 / 64,
+              1e-12);
+  EXPECT_DOUBLE_EQ(uniform_ks_statistic({}, 64), 0.0);
+}
+
+TEST(ShardAudit, UniformWalksPass) {
+  // i.i.d. uniform (shard, leaf) pairs — the faithful redraw's view.
+  Random rng(0x5eed);
+  std::vector<std::pair<uint32_t, uint64_t>> walks;
+  for (int i = 0; i < 4096; ++i) {
+    walks.emplace_back(static_cast<uint32_t>(rng.uniform(8)), rng.uniform(512));
+  }
+  const auto report = audit_shard_obliviousness(walks, 8, 512);
+  EXPECT_TRUE(report.pass) << report.summary();
+  EXPECT_EQ(report.findings.size(), 1u + 8u);  // balance + one KS per shard
+}
+
+TEST(ShardAudit, PinnedHotShardFailsBalance) {
+  // A pinned hot page: 40% of all walks land on shard 2 (expected 12.5%).
+  Random rng(0x5eed);
+  std::vector<std::pair<uint32_t, uint64_t>> walks;
+  for (int i = 0; i < 4096; ++i) {
+    const uint32_t shard =
+        i % 5 < 2 ? 2u : static_cast<uint32_t>(rng.uniform(8));
+    walks.emplace_back(shard, rng.uniform(512));
+  }
+  const auto report = audit_shard_obliviousness(walks, 8, 512);
+  EXPECT_FALSE(report.pass);
+  ASSERT_FALSE(report.findings.empty());
+  EXPECT_EQ(report.findings.front().channel, "shard_balance_z");
+  EXPECT_FALSE(report.findings.front().pass);
+  EXPECT_NE(report.findings.front().detail.find("worst_shard=2"), std::string::npos);
+}
+
+TEST(ShardAudit, NonUniformLeavesFailKs) {
+  // Shards visited uniformly but one shard's leaves concentrate in the low
+  // half of its range — a broken in-shard position map.
+  Random rng(0x5eed);
+  std::vector<std::pair<uint32_t, uint64_t>> walks;
+  for (int i = 0; i < 4096; ++i) {
+    const auto shard = static_cast<uint32_t>(rng.uniform(8));
+    walks.emplace_back(shard, shard == 3 ? rng.uniform(256) : rng.uniform(512));
+  }
+  const auto report = audit_shard_obliviousness(walks, 8, 512);
+  EXPECT_FALSE(report.pass);
+  for (const auto& f : report.findings) {
+    if (f.channel == "shard3_leaf_ks") {
+      EXPECT_FALSE(f.pass);
+    }
+    if (f.channel == "shard1_leaf_ks") {
+      EXPECT_TRUE(f.pass);
+    }
+  }
+}
+
+TEST(ShardAudit, SparseShardsAreSkippedNotFailed) {
+  const std::vector<std::pair<uint32_t, uint64_t>> walks{{0, 1}, {1, 2}, {2, 3}};
+  const auto report = audit_shard_obliviousness(walks, 8, 512);
+  EXPECT_TRUE(report.pass) << report.summary();
+}
+
 // --- noise stream (satellite: per-session padding RNG derivation) ---
 
 TEST(NoiseStream, KeyedOnSeedBundleAttempt) {

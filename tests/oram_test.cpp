@@ -2,12 +2,15 @@
 // property checks backing threat A7 and integrity checks backing A6.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "crypto/keccak.hpp"
 #include "oram/epoch.hpp"
 #include "oram/paged_state.hpp"
 #include "oram/path_oram.hpp"
+#include "oram/sharded.hpp"
 
 namespace hardtape::oram {
 namespace {
@@ -511,6 +514,158 @@ TEST(EpochRegistryEdge, RestoreSeedsPristineRegistryOnly) {
   EpochRegistry used;
   used.begin(crypto::keccak256("x"), 1);
   EXPECT_THROW(used.restore(history, tags), UsageError);
+}
+
+// ---------------------------------------------------------------------------
+// ShardedOramStore (PR 6: the concurrent oblivious frontend's backend)
+// ---------------------------------------------------------------------------
+
+ShardedOramStore make_sharded(size_t shards, bool pin = false) {
+  auto config = ShardedOramStore::partition(
+      OramConfig{.block_size = 64, .capacity = 1024, .max_stash_blocks = 128}, shards);
+  config.pin_shard_assignment = pin;
+  return ShardedOramStore(std::move(config), test_key(), /*rng_seed=*/42,
+                          SealMode::kChaChaHmac);
+}
+
+TEST(ShardedStore, PartitionGeometryAndPowerOfTwo) {
+  const auto config = ShardedOramStore::partition(
+      OramConfig{.block_size = 64, .capacity = 1024, .max_stash_blocks = 128}, 8);
+  EXPECT_EQ(config.shard_count, 8u);
+  // 2x multinomial slack over the even split, so a random block->shard
+  // assignment cannot overflow a subtree.
+  EXPECT_GE(config.shard.capacity * 8, 2 * 1024u);
+  EXPECT_EQ(config.shard.block_size, 64u);
+  EXPECT_THROW(make_sharded(6), UsageError);   // not a power of two
+  EXPECT_NO_THROW(make_sharded(1));            // degenerate single tree
+}
+
+TEST(ShardedStore, WriteReadRoundTripAcrossMigrations) {
+  auto store = make_sharded(8);
+  std::vector<BlockId> ids;
+  for (uint64_t i = 0; i < 32; ++i) {
+    ids.push_back(bid(i));
+    store.write(ids.back(), Bytes(64, static_cast<uint8_t>(i + 1)));
+  }
+  // Repeated reads migrate blocks between shards (~7/8 of accesses redraw to
+  // a different subtree); the value must ride every handoff.
+  for (int round = 0; round < 8; ++round) {
+    for (uint64_t i = 0; i < ids.size(); ++i) {
+      const auto data = store.read(ids[i]);
+      ASSERT_TRUE(data.has_value());
+      EXPECT_EQ((*data)[0], static_cast<uint8_t>(i + 1));
+    }
+  }
+  const auto stats = store.snapshot();
+  EXPECT_GT(stats.total_migrations, 0u);
+  uint64_t shard_walk_sum = 0;
+  for (const auto& shard : stats.shards) shard_walk_sum += shard.walks;
+  EXPECT_EQ(shard_walk_sum, stats.total_walks);
+  EXPECT_EQ(store.observed_walks().size(), stats.total_walks);
+  EXPECT_FALSE(store.stash_overflowed());
+}
+
+TEST(ShardedStore, PinnedAssignmentNeverMigrates) {
+  auto store = make_sharded(8, /*pin=*/true);
+  const BlockId id = bid(7);
+  store.write(id, Bytes(64, 0xab));
+  const uint32_t home = store.shard_of(id);
+  ASSERT_NE(home, ShardedOramStore::kNoShard);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_TRUE(store.read(id).has_value());
+    EXPECT_EQ(store.shard_of(id), home);
+  }
+  EXPECT_EQ(store.snapshot().total_migrations, 0u);
+}
+
+TEST(ShardedStore, UnknownIdDummyWalksAndStaysUnknown) {
+  auto store = make_sharded(4);
+  const auto before = store.snapshot().total_walks;
+  EXPECT_FALSE(store.read(bid(999)).has_value());
+  // The miss is not free: the adversary still sees one uniform walk.
+  EXPECT_EQ(store.snapshot().total_walks, before + 1);
+  EXPECT_EQ(store.shard_of(bid(999)), ShardedOramStore::kNoShard);
+}
+
+TEST(ShardedStore, BulkRestorePartitionsAndServes) {
+  auto store = make_sharded(8);
+  std::vector<std::pair<BlockId, Bytes>> pages;
+  for (uint64_t i = 0; i < 64; ++i) {
+    pages.emplace_back(bid(i), Bytes(64, static_cast<uint8_t>(i)));
+  }
+  store.bulk_restore(pages);
+  EXPECT_EQ(store.block_count(), 64u);
+  for (uint64_t i = 0; i < 64; ++i) {
+    const auto data = store.read(bid(i));
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ((*data)[0], static_cast<uint8_t>(i));
+  }
+}
+
+TEST(ShardedStore, InstallHookFiresOnWritesNotMigrations) {
+  auto store = make_sharded(8);
+  std::atomic<uint64_t> installs{0};
+  store.set_install_hook([&](const BlockId&, BytesView, uint64_t) { ++installs; });
+  for (uint64_t i = 0; i < 16; ++i) store.write(bid(i), Bytes(64, 1));
+  EXPECT_EQ(installs.load(), 16u);
+  // Reads migrate blocks between shards; a cross-shard move is not a logical
+  // store mutation and must not be journaled.
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t i = 0; i < 16; ++i) store.read(bid(i));
+  }
+  EXPECT_GT(store.snapshot().total_migrations, 0u);
+  EXPECT_EQ(installs.load(), 16u);
+}
+
+TEST(ShardedStore, ConcurrentDistinctIdsAreLinearizable) {
+  // The store's concurrency contract: distinct ids from many threads are
+  // safe with no external locking. 8 threads × disjoint working sets,
+  // read-modify-check loops; runs under TSan in CI (sanitize-tsan job).
+  auto store = make_sharded(8);
+  constexpr int kThreads = 8, kIdsPerThread = 8, kRounds = 12;
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    for (uint64_t i = 0; i < kIdsPerThread; ++i) {
+      store.write(bid(t * 100 + i), Bytes(64, static_cast<uint8_t>(t * 16 + i)));
+    }
+  }
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (uint64_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (uint64_t i = 0; i < kIdsPerThread; ++i) {
+          const auto data = store.read(bid(t * 100 + i));
+          if (!data.has_value() || (*data)[0] != static_cast<uint8_t>(t * 16 + i)) {
+            failed.store(true);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+  const auto stats = store.snapshot();
+  EXPECT_EQ(stats.total_walks, store.observed_walks().size());
+  EXPECT_GE(stats.max_concurrent_walks, 1u);
+  EXPECT_FALSE(store.stash_overflowed());
+}
+
+TEST(ShardedStore, ObservedWalksAreGloballyOrdered) {
+  auto store = make_sharded(4);
+  for (uint64_t i = 0; i < 8; ++i) store.write(bid(i), Bytes(64, 1));
+  for (uint64_t i = 0; i < 8; ++i) store.read(bid(i));
+  const auto walks = store.observed_walks();
+  EXPECT_EQ(walks.size(), 16u);
+  for (const auto& [shard, leaf] : walks) {
+    EXPECT_LT(shard, 4u);
+    EXPECT_LT(leaf, store.leaf_count());
+  }
+  store.clear_observations();
+  EXPECT_TRUE(store.observed_walks().empty());
+  // Stats survive the observation reset (they are diagnostics, not the
+  // adversary view).
+  EXPECT_EQ(store.snapshot().total_walks, 16u);
 }
 
 }  // namespace
