@@ -1,7 +1,9 @@
 #!/usr/bin/env python3
-"""Perf-regression gate over BENCH_throughput.json (CI perf-gate job).
+"""Perf-regression gate over the bench JSON reports (CI perf-gate jobs).
 
-Checks, in order:
+Two modes, selected by --mode (default: throughput):
+
+throughput — BENCH_throughput.json. Checks, in order:
   1. correctness precondition — every sweep point ran bit-identical to the
      serial reference (a perf number from a wrong run is meaningless);
   2. wall scaling — wall bundles/s at the highest worker count must be at
@@ -17,10 +19,22 @@ Checks, in order:
      "no baseline yet" sentinel: wall numbers are only ever recorded from a
      CI runner, never from a developer machine;
   5. shard stalls — the per-shard walk-lock wait p50 at the highest worker
-     count must stay under --max-stall-p50-ns. Under the old single global
-     lock the median access waited behind every concurrent session (~ms);
-     with per-shard locking the median walk acquires its lock unconteded
-     (~100 ns). The p50 is robust to preemption outliers on busy runners.
+     count must stay under --max-stall-p50-ns.
+
+service — BENCH_service.json (the front-door overload sweep). Checks:
+  1. load shedding — goodput at 2x saturation must be at least
+     --min-goodput-ratio of goodput at saturation (overload must degrade
+     the refusal rate, not completed work);
+  2. bounded tails — every sweep point reported p99_bounded (admitted p99
+     under the deadline budget);
+  3. refusals engaged — the 2x point actually shed/expired something, so
+     the gate cannot pass by never reaching overload;
+  4. goodput regression — goodput at saturation within --tolerance of the
+     committed baseline (simulated, so exact across machines).
+
+The baseline defaults to bench/baselines/<mode>.json next to this script's
+repo; --baseline overrides it. A missing or malformed baseline fails with a
+one-line message and exit 2 — never a traceback.
 
 Writes a markdown delta table to --summary (append mode; pass
 $GITHUB_STEP_SUMMARY) and always prints it to stdout. Exit 1 on any gate
@@ -29,42 +43,54 @@ failure, 2 on malformed input.
 
 import argparse
 import json
+import os
 import sys
 
 
-def load(path):
+def fail_input(message):
+    print(f"error: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path, role):
+    """Reads a report; any problem is a one-line exit-2 message, never a
+    traceback (a broken baseline must read as 'fix the baseline', not as a
+    crashed gate)."""
+    if not os.path.exists(path):
+        hint = (" (pass --baseline, or commit the default baseline file)"
+                if role == "baseline" else "")
+        fail_input(f"{role} not found: {path}{hint}")
     try:
         with open(path) as f:
-            return json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"error: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+            data = json.load(f)
+    except OSError as e:
+        fail_input(f"cannot read {role} {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail_input(f"{role} {path} is not valid JSON: {e}")
+    if not isinstance(data, dict):
+        fail_input(f"{role} {path}: expected a JSON object at top level, "
+                   f"got {type(data).__name__}")
+    return data
 
 
-def by_workers(report):
-    return {p["workers"]: p for p in report.get("sweep", [])}
+def sweep_points(report, path, role, key_field):
+    sweep = report.get("sweep")
+    if not isinstance(sweep, list) or not sweep:
+        fail_input(f"{role} {path}: 'sweep' must be a non-empty array")
+    points = {}
+    for i, point in enumerate(sweep):
+        if not isinstance(point, dict) or key_field not in point:
+            fail_input(f"{role} {path}: sweep[{i}] must be an object with "
+                       f"a '{key_field}' field")
+        points[point[key_field]] = point
+    return points
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--current", required=True, help="BENCH_throughput.json from this run")
-    ap.add_argument("--baseline", required=True, help="committed baseline JSON")
-    ap.add_argument("--min-wall-scaling", type=float, default=2.0,
-                    help="min wall bundles/s ratio, max workers vs 1 (0 disables)")
-    ap.add_argument("--tolerance", type=float, default=0.20,
-                    help="max fractional regression vs baseline")
-    ap.add_argument("--max-stall-p50-ns", type=float, default=1e6,
-                    help="max per-shard stall p50 at max workers, ns (0 disables)")
-    ap.add_argument("--summary", default=None,
-                    help="markdown summary file to append to (e.g. $GITHUB_STEP_SUMMARY)")
-    args = ap.parse_args()
-
-    current = by_workers(load(args.current))
-    baseline = by_workers(load(args.baseline))
-    if not current:
-        print("error: current report has no sweep points", file=sys.stderr)
-        sys.exit(2)
-
+def check_throughput(args):
+    current = sweep_points(load(args.current, "current report"),
+                           args.current, "current report", "workers")
+    baseline = sweep_points(load(args.baseline, "baseline"),
+                            args.baseline, "baseline", "workers")
     failures = []
     rows = []
 
@@ -120,7 +146,95 @@ def main():
                 f"worst per-shard stall p50 at {hi} workers is {worst} ns "
                 f"(> {args.max_stall_p50_ns:.0f}): walks are queueing again")
 
-    lines = ["## Perf gate: throughput", "",
+    return rows, failures
+
+
+def check_service(args):
+    report = load(args.current, "current report")
+    current = sweep_points(report, args.current, "current report", "load_factor")
+    gates = report.get("gates")
+    if not isinstance(gates, dict):
+        fail_input(f"current report {args.current}: missing 'gates' object")
+    base_report = load(args.baseline, "baseline")
+    base_gates = base_report.get("gates")
+    if not isinstance(base_gates, dict):
+        fail_input(f"baseline {args.baseline}: missing 'gates' object")
+
+    failures = []
+    rows = []
+
+    # 1. Goodput must survive 2x overload.
+    ratio = gates.get("goodput_ratio", 0.0)
+    verdict = "ok" if ratio >= args.min_goodput_ratio else "FAIL"
+    rows.append(("goodput ratio", "2x/1x", f"{ratio:.3f}",
+                 f">= {args.min_goodput_ratio:.2f}", verdict))
+    if verdict == "FAIL":
+        failures.append(
+            f"goodput at 2x saturation is {ratio:.3f} of the saturation figure "
+            f"(need >= {args.min_goodput_ratio:.2f}): shedding is not protecting goodput")
+
+    # 2. Tails stay bounded at every load point.
+    for load_factor, point in sorted(current.items()):
+        bounded = point.get("p99_bounded", False)
+        rows.append(("p99 bounded", f"{load_factor}x",
+                     f"{point.get('p99_ns', 0) / 1e6:.1f} ms",
+                     "under deadline budget", "ok" if bounded else "FAIL"))
+        if not bounded:
+            failures.append(f"admitted p99 at {load_factor}x exceeded the deadline budget")
+
+    # 3. The overload point must actually refuse work.
+    refused = gates.get("refused_at_2x", 0)
+    verdict = "ok" if refused > 0 else "FAIL"
+    rows.append(("refusals at 2x", "shed+expired", str(refused), "> 0", verdict))
+    if verdict == "FAIL":
+        failures.append("the 2x point refused nothing: the sweep never reached overload")
+
+    # 4. Saturation goodput vs the committed baseline (sim-deterministic).
+    base = base_gates.get("goodput_at_saturation_rps", 0.0)
+    if base > 0:
+        cur = gates.get("goodput_at_saturation_rps", 0.0)
+        delta = (cur - base) / base
+        floor = base * (1.0 - args.tolerance)
+        verdict = "ok" if cur >= floor else "FAIL"
+        rows.append(("goodput req/s", "1x",
+                     f"{cur:.2f} (base {base:.2f}, {delta:+.1%})",
+                     f">= {floor:.2f}", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"saturation goodput regressed {delta:+.1%} vs baseline "
+                f"(> {args.tolerance:.0%} allowed)")
+
+    return rows, failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--mode", choices=("throughput", "service"), default="throughput",
+                    help="which bench report to gate (default: throughput)")
+    ap.add_argument("--current", required=True, help="bench JSON from this run")
+    ap.add_argument("--baseline", default=None,
+                    help="committed baseline JSON (default: bench/baselines/<mode>.json)")
+    ap.add_argument("--min-wall-scaling", type=float, default=2.0,
+                    help="[throughput] min wall bundles/s ratio, max workers vs 1 (0 disables)")
+    ap.add_argument("--tolerance", type=float, default=0.20,
+                    help="max fractional regression vs baseline")
+    ap.add_argument("--max-stall-p50-ns", type=float, default=1e6,
+                    help="[throughput] max per-shard stall p50 at max workers, ns (0 disables)")
+    ap.add_argument("--min-goodput-ratio", type=float, default=0.90,
+                    help="[service] min goodput(2x saturation) / goodput(saturation)")
+    ap.add_argument("--summary", default=None,
+                    help="markdown summary file to append to (e.g. $GITHUB_STEP_SUMMARY)")
+    args = ap.parse_args()
+
+    if args.baseline is None:
+        repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        args.baseline = os.path.join(repo_root, "bench", "baselines",
+                                     f"{args.mode}.json")
+
+    check = check_throughput if args.mode == "throughput" else check_service
+    rows, failures = check(args)
+
+    lines = [f"## Perf gate: {args.mode}", "",
              "| check | point | value | gate | verdict |",
              "|---|---|---|---|---|"]
     lines += [f"| {c} | {p} | {v} | {g} | {s} |" for c, p, v, g, s in rows]

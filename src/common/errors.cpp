@@ -17,6 +17,8 @@ const char* to_string(Status s) {
     case Status::kUnavailable: return "unavailable";
     case Status::kRetryExhausted: return "retry-exhausted";
     case Status::kStale: return "stale";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kDeadlineExceeded: return "deadline-exceeded";
     case Status::kStatusCount_: break;  // sentinel, not a real status
   }
   return "unknown";

@@ -63,6 +63,18 @@ enum class Status {
   /// refusal, not a wrong answer: the engine never reports traces produced
   /// against a state the canonical chain no longer contains.
   kStale,
+  /// The front door shed this request at admission: the service is past its
+  /// brownout watermarks (or this tenant's queue is full / its tenant class
+  /// is being shed) and queueing it would only grow tail latency without
+  /// bound. A fast, honest refusal — the client may retry elsewhere or
+  /// later; nothing was executed and no device time was spent.
+  kOverloaded,
+  /// The request's queue-wait budget was already blown when the admission
+  /// or dispatch decision was made (the frame arrived late, or the request
+  /// aged out in its tenant queue before a device freed). Fail-closed
+  /// refusal: a pre-execution answer delivered after the caller's deadline
+  /// is worthless, so the service never spends a device on it.
+  kDeadlineExceeded,
   // Sentinel — keep last. Lets tests iterate every value and prove that
   // to_string never silently degrades to "unknown" for a real status.
   kStatusCount_,

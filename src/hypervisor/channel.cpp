@@ -91,12 +91,17 @@ SecureChannel::OpenResult SecureChannel::open(const SecureMessage& message,
     result.status = Status::kAuthFailed;
     return result;
   }
-  // Step 3: anti-replay sequence check.
-  if (header->sequence != recv_sequence_) {
+  // Step 3: anti-replay sequence check. Strict mode: exactly the expected
+  // sequence. Lossy mode: allow forward skips (dropped frames), never
+  // backward ones (replays / stale reorders).
+  const bool acceptable = lossy_transport_
+                              ? header->sequence >= recv_sequence_
+                              : header->sequence == recv_sequence_;
+  if (!acceptable) {
     result.status = Status::kRejected;
     return result;
   }
-  ++recv_sequence_;
+  recv_sequence_ = header->sequence + 1;
   result.header = *header;
   result.body = std::move(*body);
   return result;

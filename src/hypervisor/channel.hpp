@@ -76,11 +76,22 @@ class SecureChannel {
   OpenResult open(const SecureMessage& message, uint64_t max_body_length,
                   uint64_t max_target_offset);
 
+  /// Lossy-transport mode (the service front door's channels). Strict mode
+  /// (the default) demands sequence == expected, which is right for the
+  /// Hypervisor's lockstep attestation/DMA exchanges but permanently wedges
+  /// a conversation the moment the transport drops one frame: every later
+  /// frame looks like a replay. In lossy mode open() accepts any sequence
+  /// >= expected (the gap is the dropped frames) and rejects < expected —
+  /// replays and stale reorders still fail closed, and a rejected frame
+  /// still never advances the window.
+  void set_lossy_transport(bool lossy) { lossy_transport_ = lossy; }
+
  private:
   crypto::AesKey128 key_{};
   uint32_t send_sequence_ = 0;
   uint32_t recv_sequence_ = 0;
   uint64_t nonce_counter_ = 0;
+  bool lossy_transport_ = false;
 };
 
 }  // namespace hardtape::hypervisor

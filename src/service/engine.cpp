@@ -574,6 +574,49 @@ Admission PreExecutionEngine::resubmit(uint64_t bundle_id,
   return {bundle_id, Status::kOk};
 }
 
+Admission PreExecutionEngine::submit_as(uint64_t bundle_id,
+                                        std::vector<evm::Transaction> bundle) {
+  if (!started_) throw UsageError("engine: start() before submit_as()");
+  if (drained_) throw UsageError("engine: already drained");
+  // Keep the allocator strictly ahead so interleaved submit() calls never
+  // reuse an explicitly assigned id.
+  uint64_t expected = next_bundle_id_.load(std::memory_order_relaxed);
+  while (expected <= bundle_id &&
+         !next_bundle_id_.compare_exchange_weak(expected, bundle_id + 1,
+                                                std::memory_order_relaxed)) {
+  }
+  if (config_.durable != nullptr) config_.durable->log_bundle_admitted(bundle_id);
+  if (config_.trace != nullptr) {
+    config_.trace->ring(-1).append(obs::TraceCategory::kBundle,
+                                   static_cast<uint16_t>(obs::TraceCode::kBundleSubmit),
+                                   /*sim_ns=*/0, bundle_id);
+  }
+  if (breaker_open()) {
+    SessionOutcome refused;
+    refused.bundle_id = bundle_id;
+    refused.status = Status::kUnavailable;
+    record_outcome(std::move(refused), 0, nullptr);
+    return {bundle_id, Status::kUnavailable};
+  }
+  if (config_.auto_resync && needs_resync()) (void)resync();
+  {
+    std::lock_guard lock(results_mu_);
+    ++outstanding_;
+    bundle_txs_[bundle_id] = bundle;
+  }
+  if (!queue_.push(QueueItem{bundle_id, std::move(bundle),
+                             std::chrono::steady_clock::now(), 0})) {
+    throw UsageError("engine: queue closed");
+  }
+  return {bundle_id, Status::kOk};
+}
+
+void PreExecutionEngine::set_on_outcome(
+    std::function<void(const SessionOutcome&)> hook) {
+  if (started_) throw UsageError("engine: set_on_outcome() before start()");
+  config_.on_outcome = std::move(hook);
+}
+
 void PreExecutionEngine::start() {
   if (started_) throw UsageError("engine: already started");
   started_ = true;
@@ -746,17 +789,23 @@ void PreExecutionEngine::record_outcome(SessionOutcome outcome, uint64_t queued_
     config_.durable->log_bundle_resolved(outcome.bundle_id);
   }
   latency_hist_->observe(outcome.end_to_end_ns);
-  std::lock_guard lock(results_mu_);
-  wall_queue_wait_ns_ += queued_wall_ns;
-  if (worker != nullptr) {
-    ++worker->bundles;
-    worker->busy_sim_ns += outcome.end_to_end_ns;
-    // Queued bundle resolved (admission refusals come in with a null worker
-    // and were never counted): unblock a quiescing resync.
-    if (outstanding_ > 0) --outstanding_;
-    idle_cv_.notify_all();
+  std::optional<SessionOutcome> notify;
+  if (config_.on_outcome) notify = outcome;
+  {
+    std::lock_guard lock(results_mu_);
+    wall_queue_wait_ns_ += queued_wall_ns;
+    if (worker != nullptr) {
+      ++worker->bundles;
+      worker->busy_sim_ns += outcome.end_to_end_ns;
+      // Queued bundle resolved (admission refusals come in with a null worker
+      // and were never counted): unblock a quiescing resync.
+      if (outstanding_ > 0) --outstanding_;
+      idle_cv_.notify_all();
+    }
+    results_.push_back(std::move(outcome));
   }
-  results_.push_back(std::move(outcome));
+  // Outside results_mu_ so the hook may call back into the engine.
+  if (notify.has_value()) config_.on_outcome(*notify);
 }
 
 SessionOutcome PreExecutionEngine::execute_session(

@@ -59,6 +59,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <unordered_map>
@@ -80,6 +81,8 @@ struct RecoveredState;
 }  // namespace hardtape::durability
 
 namespace hardtape::service {
+
+struct SessionOutcome;
 
 struct EngineConfig {
   int num_hevms = 3;       ///< worker pool width (paper §VI-A: 3 per chip)
@@ -163,6 +166,16 @@ struct EngineConfig {
   /// zero allocations, one pointer test per would-be event, and the
   /// fault-free sweep stays bit-identical to the untraced build.
   obs::TraceSink* trace = nullptr;
+
+  // --- service front door (PR 7) ---
+  /// Optional completion hook, fired once per outcome right after it is
+  /// durably resolved and recorded — from whatever thread resolved it (a
+  /// worker, or the submitter for breaker refusals), outside engine locks,
+  /// so it may call back into the engine but must itself be thread-safe.
+  /// The front door uses it to learn session durations as they land instead
+  /// of polling drain(). Reorg-driven re-execution may later revise the
+  /// stored outcome; the hook reports the first terminal resolution.
+  std::function<void(const SessionOutcome&)> on_outcome;
 };
 
 /// Outcome of one session (= one bundle on one dedicated HEVM). All *_ns
@@ -361,6 +374,11 @@ class PreExecutionEngine {
   Admission resubmit(uint64_t bundle_id, std::vector<evm::Transaction> bundle,
                      uint32_t attempt);
 
+  /// Installs the EngineConfig::on_outcome hook after construction (the
+  /// front door owns its mailbox only once the engine exists). Must be
+  /// called before start(): workers read the hook unsynchronized.
+  void set_on_outcome(std::function<void(const SessionOutcome&)> hook);
+
   /// Spawns the worker pool: per worker, one hypervisor session (secure
   /// channel) and one dedicated HevmCore. Call once, before submit().
   void start();
@@ -371,6 +389,15 @@ class PreExecutionEngine {
   /// as kUnavailable (see Admission). Throws UsageError before start() or
   /// after drain().
   Admission submit(std::vector<evm::Transaction> bundle);
+
+  /// Admits a bundle under a caller-chosen id. The front door pre-assigns
+  /// ids in ARRIVAL order at admission time, before any worker touches the
+  /// bundle — that pinning is what keeps session outcomes (whose RNG and
+  /// fault streams key on the bundle id) independent of worker count and
+  /// interleaving. Ids must be unique per engine run; the internal allocator
+  /// is kept strictly ahead so interleaved submit() calls never collide.
+  /// Otherwise behaves exactly like submit().
+  Admission submit_as(uint64_t bundle_id, std::vector<evm::Transaction> bundle);
 
   /// Closes the queue, waits for every queued bundle to finish, joins the
   /// pool and ends the hypervisor sessions. Returns all outcomes sorted by

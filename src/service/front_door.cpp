@@ -1,0 +1,396 @@
+#include "service/front_door.hpp"
+
+#include <algorithm>
+
+#include "faults/faulty_link.hpp"
+
+namespace hardtape::service {
+
+void FrontDoor::Mailbox::post(const SessionOutcome& outcome) {
+  {
+    std::lock_guard lock(mu);
+    ready[outcome.bundle_id] = outcome;
+  }
+  cv.notify_all();
+}
+
+SessionOutcome FrontDoor::Mailbox::take(uint64_t bundle_id) {
+  std::unique_lock lock(mu);
+  cv.wait(lock, [&] { return ready.find(bundle_id) != ready.end(); });
+  auto node = ready.extract(bundle_id);
+  return std::move(node.mapped());
+}
+
+FrontDoor::FrontDoor(PreExecutionEngine& engine, FrontDoorConfig config)
+    : engine_(engine),
+      config_(std::move(config)),
+      admission_(config_.admission, &engine.metrics_registry()) {
+  if (config_.num_devices == 0) {
+    throw UsageError("FrontDoor: need at least one device");
+  }
+  engine_.set_on_outcome(
+      [this](const SessionOutcome& outcome) { mailbox_.post(outcome); });
+  // Sorted descending so back() hands out the lowest free device id —
+  // deterministic assignment, deterministic binding log.
+  for (size_t i = config_.num_devices; i > 0; --i) {
+    free_devices_.push_back(static_cast<uint32_t>(i - 1));
+  }
+  obs::Registry& registry = engine_.metrics_registry();
+  frames_total_ = &registry.counter("hardtape_service_frames_total",
+                                    "frames delivered to the front door");
+  frames_rejected_ =
+      &registry.counter("hardtape_service_frames_rejected_total",
+                        "frames the channel refused (tamper, replay)");
+  frames_malformed_ =
+      &registry.counter("hardtape_service_frames_malformed_total",
+                        "authenticated frames that failed to parse");
+  dispatched_total_ = &registry.counter("hardtape_service_dispatched_total",
+                                        "requests handed to a device");
+  sessions_gauge_ =
+      &registry.gauge("hardtape_service_sessions_open", "open sessions");
+}
+
+uint64_t FrontDoor::connect(const crypto::AesKey128& key) {
+  const uint64_t conn_id = next_conn_id_++;
+  Connection conn{hypervisor::SecureChannel(key), /*session_id=*/0};
+  conn.channel.set_lossy_transport(true);
+  connections_.emplace(conn_id, std::move(conn));
+  return conn_id;
+}
+
+std::vector<hypervisor::SecureMessage> FrontDoor::deliver(
+    uint64_t conn_id, const hypervisor::SecureMessage& frame,
+    uint64_t arrival_ns) {
+  const auto conn_it = connections_.find(conn_id);
+  if (conn_it == connections_.end()) {
+    throw UsageError("FrontDoor: unknown connection");
+  }
+  Connection& conn = conn_it->second;
+  frames_total_->add();
+  advance(std::max(arrival_ns, now_ns_));
+
+  auto opened = conn.channel.open(frame, config_.max_body_length,
+                                  /*max_target_offset=*/0);
+  if (opened.status != Status::kOk) {
+    // Tampered, replayed or malformed-at-the-channel bytes: they never
+    // authenticated as the client's words, so they earn no reply and touch
+    // no session state (the channel did not advance its window either).
+    frames_rejected_->add();
+    return {};
+  }
+  auto request = RequestFrame::decode(opened.body);
+  ResponseFrame response;
+  if (!request.has_value()) {
+    // Authenticated garbage: the client really sent this, so it gets an
+    // honest error, but the session state machine is left untouched.
+    frames_malformed_->add();
+    response.status = Status::kMalformedMessage;
+  } else {
+    response = handle_frame(conn, conn_id, *request);
+  }
+  std::vector<hypervisor::SecureMessage> out;
+  out.push_back(conn.channel.seal(hypervisor::MessageType::kBundleSubmit,
+                                  /*target_offset=*/0, response.encode()));
+  return out;
+}
+
+ResponseFrame FrontDoor::handle_frame(Connection& conn, uint64_t conn_id,
+                                      const RequestFrame& request) {
+  ResponseFrame response;
+  response.verb = request.verb;
+  response.session_id = request.session_id;
+  response.request_id = request.request_id;
+
+  if (request.verb == Verb::kOpenSession) {
+    return handle_open(conn, conn_id, request);
+  }
+  const auto it = sessions_.find(request.session_id);
+  if (it == sessions_.end()) {
+    response.status = Status::kNotFound;
+    return response;
+  }
+  Session& session = it->second;
+  if (session.conn_id != conn_id) {
+    // A session is private to the connection that opened it; another
+    // authenticated client naming it is a policy violation, not a miss.
+    response.status = Status::kRejected;
+    return response;
+  }
+  if (request.verb == Verb::kCloseSession) {
+    if (session.open) {
+      session.open = false;
+      --open_sessions_;
+      sessions_gauge_->set(static_cast<double>(open_sessions_));
+    }
+    response.status = Status::kOk;  // idempotent
+    return response;
+  }
+  if (!session.open) {
+    response.status = Status::kNotFound;
+    return response;
+  }
+  if (request.verb == Verb::kSubmit) return handle_submit(session, request);
+  return handle_poll(session, request);
+}
+
+ResponseFrame FrontDoor::handle_open(Connection& conn, uint64_t conn_id,
+                                     const RequestFrame& request) {
+  ResponseFrame response;
+  response.verb = Verb::kOpenSession;
+  response.request_id = request.request_id;
+  if (conn.session_id != 0) {
+    // Idempotent re-open (the client's open response was lost): hand back
+    // the existing session as long as the tenant claim matches.
+    Session& session = sessions_.at(conn.session_id);
+    if (session.open && session.tenant_id == request.tenant_id) {
+      response.session_id = session.session_id;
+      response.status = Status::kOk;
+      return response;
+    }
+    if (session.open) {
+      response.status = Status::kRejected;  // same conn, different tenant
+      return response;
+    }
+  }
+  if (open_sessions_ >= config_.max_sessions) {
+    response.status = Status::kOverloaded;
+    return response;
+  }
+  Session session;
+  session.session_id = next_session_id_++;
+  session.tenant_id = request.tenant_id;
+  session.conn_id = conn_id;
+  session.open = true;
+  conn.session_id = session.session_id;
+  response.session_id = session.session_id;
+  response.status = Status::kOk;
+  sessions_.emplace(session.session_id, std::move(session));
+  ++open_sessions_;
+  sessions_gauge_->set(static_cast<double>(open_sessions_));
+  return response;
+}
+
+ResponseFrame FrontDoor::handle_submit(Session& session,
+                                       const RequestFrame& request) {
+  ResponseFrame response;
+  response.verb = Verb::kSubmit;
+  response.session_id = session.session_id;
+  response.request_id = request.request_id;
+
+  const auto existing = session.requests.find(request.request_id);
+  if (existing != session.requests.end()) {
+    // Idempotent resubmit (response lost on the wire): same verdict, no
+    // second admission, no second execution.
+    response.status = existing->second.admission_status;
+    return response;
+  }
+
+  QueuedRequest queued;
+  queued.session_id = session.session_id;
+  queued.tenant_id = session.tenant_id;
+  queued.request_id = request.request_id;
+  queued.deadline_ns = request.deadline_ns == 0
+                           ? 0
+                           : request.client_time_ns + request.deadline_ns;
+  queued.bundle = request.bundle;
+  const Status verdict = admission_.admit(std::move(queued), now_ns_);
+
+  RequestState state;
+  state.deadline_ns = request.deadline_ns == 0
+                          ? 0
+                          : request.client_time_ns + request.deadline_ns;
+  state.admission_status = verdict;
+  if (verdict == Status::kOk) {
+    // The moment that buys worker-count independence: the engine id — and
+    // with it the session's RNG and fault streams — is fixed here, in
+    // arrival order, before any scheduling happens.
+    state.bundle_id = next_bundle_id_++;
+  } else {
+    state.stage = Stage::kDone;
+    state.done_ns = now_ns_;
+    state.outcome_status = verdict;
+  }
+  session.requests.emplace(request.request_id, state);
+  response.status = verdict;
+  if (verdict == Status::kOk) dispatch();
+  return response;
+}
+
+ResponseFrame FrontDoor::handle_poll(Session& session,
+                                     const RequestFrame& request) {
+  ResponseFrame response;
+  response.verb = Verb::kPoll;
+  response.session_id = session.session_id;
+  response.request_id = request.request_id;
+  const auto it = session.requests.find(request.request_id);
+  if (it == session.requests.end()) {
+    response.status = Status::kNotFound;
+    return response;
+  }
+  const RequestState& state = it->second;
+  response.status = Status::kOk;
+  if (state.stage == Stage::kDone) {
+    response.done = true;
+    response.outcome_status = state.outcome_status;
+    response.queue_wait_ns = state.queue_wait_ns;
+    response.exec_ns = state.exec_ns;
+    response.gas_used = state.gas_used;
+  } else if (state.stage == Stage::kQueued && state.deadline_ns != 0 &&
+             now_ns_ >= state.deadline_ns) {
+    // Aged out in its tenant queue; the DRR pass will discard it at the
+    // next dispatch opportunity, but the client deserves the verdict now.
+    response.done = true;
+    response.outcome_status = Status::kDeadlineExceeded;
+  }
+  return response;
+}
+
+void FrontDoor::advance(uint64_t target_ns) {
+  while (!completions_.empty() && completions_.top().at_ns <= target_ns) {
+    const Completion done = completions_.top();
+    completions_.pop();
+    now_ns_ = done.at_ns;
+    // Unbind the device (the binding interval ends here) and release the
+    // tenant's in-flight slot before pulling new work.
+    free_devices_.push_back(done.device);
+    std::sort(free_devices_.begin(), free_devices_.end(),
+              std::greater<uint32_t>());
+    admission_.on_complete(done.tenant_id);
+    if (RequestState* state = find_request(done.session_id, done.request_id)) {
+      state->stage = Stage::kDone;
+    }
+    dispatch();
+  }
+  now_ns_ = std::max(now_ns_, target_ns);
+}
+
+void FrontDoor::dispatch() {
+  struct Launched {
+    uint32_t device;
+    uint64_t bundle_id;
+    uint64_t session_id;
+    uint64_t request_id;
+    uint64_t tenant_id;
+  };
+  std::vector<Launched> burst;
+  while (!free_devices_.empty()) {
+    auto pick = admission_.next(now_ns_);
+    if (!pick.has_value()) break;
+    RequestState* state =
+        find_request(pick->request.session_id, pick->request.request_id);
+    if (pick->expired) {
+      // Blew its queue-wait budget: resolved without ever touching a
+      // device. No binding, no engine submission, no execution.
+      if (state != nullptr) {
+        state->stage = Stage::kDone;
+        state->done_ns = now_ns_;
+        state->outcome_status = Status::kDeadlineExceeded;
+        state->queue_wait_ns = now_ns_ - pick->request.enqueue_ns;
+      }
+      continue;
+    }
+    if (state == nullptr) {
+      throw UsageError("FrontDoor: dispatched request has no state");
+    }
+    const uint32_t device = free_devices_.back();
+    free_devices_.pop_back();
+    state->stage = Stage::kRunning;
+    state->dispatch_ns = now_ns_;
+    state->queue_wait_ns = now_ns_ - pick->request.enqueue_ns;
+    dispatched_total_->add();
+    burst.push_back(Launched{device, state->bundle_id,
+                             pick->request.session_id,
+                             pick->request.request_id,
+                             pick->request.tenant_id});
+    // Launch the whole burst before blocking on any outcome: the engine's
+    // workers execute these sessions in parallel; only the bookkeeping
+    // below is sequential.
+    (void)engine_.submit_as(state->bundle_id, std::move(pick->request.bundle));
+  }
+  for (const Launched& launched : burst) {
+    const SessionOutcome outcome = mailbox_.take(launched.bundle_id);
+    // The simulated session time is how long the dedicated device is bound.
+    // Clamp to 1ns so even a degenerate zero-cost session produces a
+    // non-empty, auditable binding interval.
+    const uint64_t duration = std::max<uint64_t>(1, outcome.end_to_end_ns);
+    RequestState* state =
+        find_request(launched.session_id, launched.request_id);
+    if (state == nullptr) {
+      throw UsageError("FrontDoor: launched request lost its state");
+    }
+    state->done_ns = now_ns_ + duration;
+    state->outcome_status = outcome.status;
+    state->exec_ns = outcome.end_to_end_ns;
+    uint64_t gas = 0;
+    for (const auto& tx : outcome.report.transactions) gas += tx.gas_used;
+    state->gas_used = gas;
+    completions_.push(Completion{now_ns_ + duration, launched.bundle_id,
+                                 launched.device, launched.session_id,
+                                 launched.request_id, launched.tenant_id});
+    bindings_.push_back(Binding{launched.device, launched.session_id,
+                                launched.bundle_id, now_ns_,
+                                now_ns_ + duration});
+  }
+}
+
+FrontDoor::RequestState* FrontDoor::find_request(uint64_t session_id,
+                                                 uint64_t request_id) {
+  const auto session_it = sessions_.find(session_id);
+  if (session_it == sessions_.end()) return nullptr;
+  const auto request_it = session_it->second.requests.find(request_id);
+  if (request_it == session_it->second.requests.end()) return nullptr;
+  return &request_it->second;
+}
+
+void FrontDoor::advance_to(uint64_t now_ns) {
+  advance(std::max(now_ns, now_ns_));
+}
+
+void FrontDoor::finish() {
+  for (;;) {
+    if (!completions_.empty()) {
+      advance(completions_.top().at_ns);
+      continue;
+    }
+    if (admission_.total_queued() == 0) break;
+    const size_t before = admission_.total_queued();
+    dispatch();
+    if (completions_.empty() && admission_.total_queued() == before) {
+      // Nothing in flight and nothing dispatchable: queued work that can
+      // never run (a zero quota). Config error; bail instead of spinning.
+      break;
+    }
+  }
+}
+
+ServiceClient::ServiceClient(FrontDoor& door, const crypto::AesKey128& key)
+    : door_(door), channel_(key) {
+  channel_.set_lossy_transport(true);
+  conn_id_ = door_.connect(key);
+}
+
+std::optional<ResponseFrame> ServiceClient::call(const RequestFrame& request,
+                                                 uint64_t now_ns,
+                                                 faults::FaultyLink* link) {
+  auto sealed = channel_.seal(hypervisor::MessageType::kBundleSubmit,
+                              /*target_offset=*/0, request.encode());
+  std::vector<hypervisor::SecureMessage> on_wire;
+  if (link != nullptr) {
+    on_wire = link->transmit(std::move(sealed));
+  } else {
+    on_wire.push_back(std::move(sealed));
+  }
+  std::optional<ResponseFrame> first;
+  for (const auto& frame : on_wire) {
+    for (const auto& reply : door_.deliver(conn_id_, frame, now_ns)) {
+      auto opened = channel_.open(reply, /*max_body_length=*/1 << 20,
+                                  /*max_target_offset=*/0);
+      if (opened.status != Status::kOk) continue;
+      auto decoded = ResponseFrame::decode(opened.body);
+      if (decoded.has_value() && !first.has_value()) first = decoded;
+    }
+  }
+  return first;
+}
+
+}  // namespace hardtape::service

@@ -1,0 +1,237 @@
+// The service front door (PR 7): HarDTAPE's user-facing edge.
+//
+// What PreExecutionEngine deliberately is NOT — a network service — this
+// module is. It terminates authenticated client connections (one
+// hypervisor::SecureChannel each, in lossy-transport mode so a dropped
+// frame cannot wedge the anti-replay window), parses the versioned RLP
+// service frames (service/frames.hpp), multiplexes thousands of client
+// sessions onto the engine, and decides under overload who gets a device
+// and who is refused (service/admission.hpp).
+//
+//                      ┌────────────── FrontDoor ──────────────┐
+//   client ── seal ──► │ SecureChannel.open ── frames::decode  │
+//  (FaultyLink here)   │        │                              │
+//                      │   session mux (conn -> session)       │
+//                      │        │ submit                       │
+//                      │   AdmissionController (DRR/quota/     │
+//                      │        │ deadline/brownout)           │
+//                      │   sim device pool (kDevices HEVMs)    │──► engine
+//                      └───────────────────────────────────────┘
+//
+// The dedicated-hardware invariant, made explicit: a simulated device is
+// bound to AT MOST ONE session at any simulated instant — the binding log
+// records every (device, session, [start, end)) interval and a test proves
+// the intervals never overlap per device. Overload never time-slices a
+// device; it sheds requests instead.
+//
+// Determinism: the front door is a discrete-event machine on SIMULATED
+// time. deliver() stamps each frame with its arrival time; admission,
+// dispatch, expiry and brownout transitions all happen at defined sim
+// instants. Engine bundle ids are PRE-ASSIGNED in admission (= arrival)
+// order, so each session's outcome — whose RNG and fault streams key on the
+// bundle id — is pinned at admission, before any worker touches it. The
+// engine's worker count is therefore pure wall-clock parallelism: the same
+// delivery sequence yields bit-identical outcomes, admission verdicts and
+// binding logs at 1 worker or 8 (front_door_test holds it to that).
+//
+// The one wall-clock seam: at dispatch the front door must learn how long
+// the session RAN (simulated) to know when its device frees, so it
+// submits the burst of dispatchable bundles and then blocks — wall-clock —
+// on the engine's on_outcome hook for their durations before sim time
+// advances further. Bursts still execute in parallel across the pool;
+// determinism costs ordering, not concurrency.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+
+#include "crypto/aes.hpp"
+#include "service/admission.hpp"
+#include "service/engine.hpp"
+#include "service/frames.hpp"
+
+namespace hardtape::faults {
+class FaultyLink;
+}  // namespace hardtape::faults
+
+namespace hardtape::service {
+
+struct FrontDoorConfig {
+  /// Simulated dedicated-HEVM pool the dispatcher schedules onto. Decoupled
+  /// from EngineConfig::num_hevms on purpose: devices are the MODEL
+  /// (capacity, the paper's per-chip HEVM count), workers are the HOST
+  /// (how fast the model is evaluated).
+  size_t num_devices = 3;
+  AdmissionConfig admission{};
+  /// Sessions the mux will hold open at once; opens beyond it are refused
+  /// kOverloaded (a bounded front door cannot promise unbounded state).
+  size_t max_sessions = 4096;
+  uint64_t max_body_length = 1 << 20;  ///< channel open() bound
+};
+
+/// The server. Single caller thread drives deliver()/finish(); the engine's
+/// worker pool is the only concurrency underneath.
+class FrontDoor {
+ public:
+  /// The engine must be constructed but NOT started: the front door installs
+  /// its on_outcome hook, and the caller starts the engine afterwards.
+  FrontDoor(PreExecutionEngine& engine, FrontDoorConfig config);
+
+  /// Registers a client connection keyed by a pre-shared channel key and
+  /// returns its connection id. (Full ECDH session setup is the
+  /// hypervisor's attestation path; the front door models the many-clients
+  /// plane with PSK channels, same crypto, cheaper setup.)
+  uint64_t connect(const crypto::AesKey128& key);
+
+  /// Delivers one sealed frame from a connection at simulated `arrival_ns`
+  /// (clamped monotonic). Advances the event loop to the arrival instant
+  /// (processing due completions and dispatches), then handles the frame.
+  /// Returns the sealed responses going back to the client: one for an
+  /// authenticated well-formed frame, an error frame for authenticated
+  /// garbage (kMalformedMessage, session state untouched), and nothing for
+  /// frames the channel rejected (tamper, replay) — unauthenticated bytes
+  /// earn no reply and mutate nothing.
+  std::vector<hypervisor::SecureMessage> deliver(
+      uint64_t conn_id, const hypervisor::SecureMessage& frame,
+      uint64_t arrival_ns);
+
+  /// Runs the event loop until every admitted request has completed (or
+  /// expired). Does NOT drain the engine — the caller still owns that.
+  void finish();
+
+  /// Advances sim time with no new arrivals (lets polls observe progress).
+  void advance_to(uint64_t now_ns);
+
+  uint64_t now_ns() const { return now_ns_; }
+  const AdmissionController& admission() const { return admission_; }
+
+  /// One device-session binding interval, [start_ns, end_ns) in sim time.
+  struct Binding {
+    uint32_t device = 0;
+    uint64_t session_id = 0;
+    uint64_t bundle_id = 0;
+    uint64_t start_ns = 0;
+    uint64_t end_ns = 0;
+  };
+  /// Complete binding history, in dispatch order. The dedicated-hardware
+  /// audit: per device, intervals must never overlap.
+  const std::vector<Binding>& bindings() const { return bindings_; }
+
+ private:
+  enum class Stage : uint8_t { kQueued, kRunning, kDone };
+
+  struct RequestState {
+    uint64_t bundle_id = 0;
+    uint64_t deadline_ns = 0;  ///< absolute sim deadline (0 = none)
+    Stage stage = Stage::kQueued;
+    Status admission_status = Status::kOk;
+    /// Valid once stage is kRunning/kDone:
+    uint64_t dispatch_ns = 0;
+    uint64_t done_ns = 0;  ///< sim completion instant
+    Status outcome_status = Status::kOk;
+    uint64_t queue_wait_ns = 0;
+    uint64_t exec_ns = 0;
+    uint64_t gas_used = 0;
+  };
+
+  struct Session {
+    uint64_t session_id = 0;
+    uint64_t tenant_id = 0;
+    uint64_t conn_id = 0;
+    bool open = false;
+    std::map<uint64_t, RequestState> requests;  // by client request_id
+  };
+
+  struct Connection {
+    hypervisor::SecureChannel channel;
+    uint64_t session_id = 0;  ///< 0 = no session opened yet
+  };
+
+  /// A device finishing its bound session at `at_ns`.
+  struct Completion {
+    uint64_t at_ns = 0;
+    uint64_t bundle_id = 0;
+    uint32_t device = 0;
+    uint64_t session_id = 0;
+    uint64_t request_id = 0;
+    uint64_t tenant_id = 0;
+    /// Strict-weak ordering for the min-heap; bundle id tie-break keeps
+    /// simultaneous completions in one deterministic order.
+    bool operator>(const Completion& other) const {
+      return at_ns != other.at_ns ? at_ns > other.at_ns
+                                  : bundle_id > other.bundle_id;
+    }
+  };
+
+  /// The engine outcome mailbox: workers post, the dispatch loop blocks.
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<uint64_t, SessionOutcome> ready;
+    void post(const SessionOutcome& outcome);
+    SessionOutcome take(uint64_t bundle_id);
+  };
+
+  ResponseFrame handle_frame(Connection& conn, uint64_t conn_id,
+                             const RequestFrame& request);
+  ResponseFrame handle_open(Connection& conn, uint64_t conn_id,
+                            const RequestFrame& request);
+  ResponseFrame handle_submit(Session& session, const RequestFrame& request);
+  ResponseFrame handle_poll(Session& session, const RequestFrame& request);
+  /// Processes every completion due by `target_ns`, dispatching freed
+  /// devices, then advances now_ns_ to target_ns.
+  void advance(uint64_t target_ns);
+  /// Pulls DRR picks onto free devices at now_ns_; blocks on the engine for
+  /// the burst's durations and schedules their completions.
+  void dispatch();
+  RequestState* find_request(uint64_t session_id, uint64_t request_id);
+
+  PreExecutionEngine& engine_;
+  FrontDoorConfig config_;
+  AdmissionController admission_;
+  Mailbox mailbox_;
+
+  uint64_t now_ns_ = 0;
+  uint64_t next_conn_id_ = 1;
+  uint64_t next_session_id_ = 1;
+  uint64_t next_bundle_id_ = 0;  ///< pre-assigned engine ids, arrival order
+  std::map<uint64_t, Connection> connections_;
+  std::map<uint64_t, Session> sessions_;
+  size_t open_sessions_ = 0;
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      completions_;
+  std::vector<uint32_t> free_devices_;  ///< sorted stack, lowest id on top
+  std::vector<Binding> bindings_;
+
+  obs::Counter* frames_total_ = nullptr;
+  obs::Counter* frames_rejected_ = nullptr;   ///< channel said no (auth/replay)
+  obs::Counter* frames_malformed_ = nullptr;  ///< authenticated garbage
+  obs::Counter* dispatched_total_ = nullptr;
+  obs::Gauge* sessions_gauge_ = nullptr;
+};
+
+/// Test/bench client helper: one connection, seal/deliver/decode round
+/// trips, optionally through a FaultyLink (frames that the link drops or
+/// the server rejects simply yield no response — like the real wire).
+class ServiceClient {
+ public:
+  ServiceClient(FrontDoor& door, const crypto::AesKey128& key);
+
+  /// Sends the frame at sim time `now_ns`; returns the first decoded
+  /// response, or nullopt when the wire ate it.
+  std::optional<ResponseFrame> call(const RequestFrame& request,
+                                    uint64_t now_ns,
+                                    faults::FaultyLink* link = nullptr);
+
+  uint64_t conn_id() const { return conn_id_; }
+
+ private:
+  FrontDoor& door_;
+  hypervisor::SecureChannel channel_;
+  uint64_t conn_id_ = 0;
+};
+
+}  // namespace hardtape::service

@@ -303,6 +303,8 @@ TEST(Errors, StatusToString) {
   EXPECT_STREQ(to_string(Status::kUnavailable), "unavailable");
   EXPECT_STREQ(to_string(Status::kRetryExhausted), "retry-exhausted");
   EXPECT_STREQ(to_string(Status::kStale), "stale");
+  EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
+  EXPECT_STREQ(to_string(Status::kDeadlineExceeded), "deadline-exceeded");
 }
 
 // Every Status value must round-trip to a unique human-readable name — a

@@ -754,5 +754,81 @@ TEST(BoundedQueueTest, CloseUnblocksProducersAndDrainsConsumers) {
   EXPECT_FALSE(queue.push(9));
 }
 
+// Shutdown racing live traffic (PR 7 satellite): close() fires from a third
+// thread WHILE producers and consumers are mid-flight. Under TSan this pins
+// down the close/push/pop interleavings; the invariant is accounting, not
+// counts — every push that reported success is either popped or still in
+// the (drained) queue, and every thread exits.
+TEST(BoundedQueueTest, CloseRacingConcurrentPushAndPopStaysConsistent) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2'000;
+  BoundedQueue<int> queue(8);
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> popped{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        if (queue.push(1)) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          return;  // closed mid-run: push must fail fast, never hang
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (queue.pop().has_value()) {
+        popped.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  queue.close();  // races against every pusher and popper above
+  for (auto& t : threads) t.join();
+  // Consumers drain everything that was accepted before they saw close.
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(queue.depth(), 0u);
+  EXPECT_TRUE(queue.closed());
+  const auto stats = queue.stats();
+  EXPECT_EQ(stats.pushed, accepted.load());
+  EXPECT_EQ(stats.popped, popped.load());
+}
+
+// Watchdog (PR 7 satellite): a busy worker whose heartbeat stops advancing
+// is a stall; a slow-but-progressing worker, or an idle one, never is.
+TEST(WatchdogTest, FiresOnStuckWorkerOnly) {
+  Heartbeat stuck;
+  Heartbeat slow;
+  Heartbeat idle;
+  std::atomic<int> stall_count{0};
+  Watchdog::Config config;
+  config.stall_threshold_ms = 0;  // any busy poll-over-poll freeze flags
+  Watchdog watchdog({&stuck, &slow, &idle}, config,
+                    [&](size_t) { stall_count.fetch_add(1); });
+
+  stuck.busy.store(true);
+  slow.busy.store(true);
+  idle.busy.store(false);
+  for (int round = 0; round < 5; ++round) {
+    slow.beats.fetch_add(1);   // progressing: tracker resets every poll
+    idle.beats.fetch_add(1);   // idle workers never count as stalled
+    watchdog.poll_once();
+  }
+  // Only the stuck worker fired, and only once (flagged edge-triggers).
+  EXPECT_EQ(stall_count.load(), 1);
+  EXPECT_EQ(watchdog.stalls_detected(), 1u);
+
+  // Recovery re-arms: a beat clears the flag, a second freeze re-fires.
+  slow.busy.store(false);  // its work is done; idle workers can't stall
+  stuck.beats.fetch_add(1);
+  watchdog.poll_once();
+  EXPECT_EQ(stall_count.load(), 1);
+  watchdog.poll_once();
+  EXPECT_EQ(stall_count.load(), 2);
+}
+
 }  // namespace
 }  // namespace hardtape::service
