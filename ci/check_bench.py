@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Perf-regression gate over the bench JSON reports (CI perf-gate jobs).
 
-Two modes, selected by --mode (default: throughput):
+Three modes, selected by --mode (default: throughput):
 
 throughput — BENCH_throughput.json. Checks, in order:
   1. correctness precondition — every sweep point ran bit-identical to the
@@ -31,6 +31,17 @@ service — BENCH_service.json (the front-door overload sweep). Checks:
      the gate cannot pass by never reaching overload;
   4. goodput regression — goodput at saturation within --tolerance of the
      committed baseline (simulated, so exact across machines).
+
+micro — BENCH_micro_compare.json (bench_micro --compare: reference switch
+  loop vs fast-dispatch engine, wall ns/opcode per family). Checks:
+  1. identity precondition — every family ran bit-identical on both engines
+     (status, gas remainder, output, retired-op count); a speedup from a
+     diverging run is meaningless;
+  2. geomean floor — the geomean speedup over the gated families must be at
+     least --min-micro-speedup. The ratio is runner-self-normalizing (both
+     engines run on the same host), so no wall baseline is needed;
+  3. per-family regression — each gated family's speedup must stay within
+     --tolerance of the committed baseline ratio (0 = no-baseline sentinel).
 
 The baseline defaults to bench/baselines/<mode>.json next to this script's
 repo; --baseline overrides it. A missing or malformed baseline fails with a
@@ -207,9 +218,70 @@ def check_service(args):
     return rows, failures
 
 
+def micro_families(report, path, role):
+    families = report.get("families")
+    if not isinstance(families, list) or not families:
+        fail_input(f"{role} {path}: 'families' must be a non-empty array")
+    out = {}
+    for i, fam in enumerate(families):
+        if not isinstance(fam, dict) or "name" not in fam:
+            fail_input(f"{role} {path}: families[{i}] must be an object with a 'name'")
+        out[fam["name"]] = fam
+    return out
+
+
+def check_micro(args):
+    report = load(args.current, "current report")
+    current = micro_families(report, args.current, "current report")
+    baseline = micro_families(load(args.baseline, "baseline"),
+                              args.baseline, "baseline")
+    failures = []
+    rows = []
+
+    # 1. Identity precondition: both engines bit-identical on every family.
+    for name, fam in current.items():
+        if not fam.get("identical", False):
+            failures.append(f"family '{name}' diverged between the reference and "
+                            f"fast engines: the speedup is meaningless")
+
+    # 2. Geomean floor over the gated families (self-normalizing ratio).
+    geomean = report.get("geomean_gated_speedup", 0.0)
+    if args.min_micro_speedup > 0:
+        verdict = "ok" if geomean >= args.min_micro_speedup else "FAIL"
+        rows.append(("geomean speedup", "gated", f"{geomean:.2f}x",
+                     f">= {args.min_micro_speedup:.2f}x", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"gated geomean speedup {geomean:.2f}x is below "
+                f"{args.min_micro_speedup:.2f}x: the fast path lost its edge")
+
+    # 3. Per-family regression vs the committed baseline ratio.
+    for name in sorted(baseline):
+        base = baseline[name].get("speedup", 0.0)
+        if base <= 0:
+            continue  # 0 = no-baseline sentinel (report-only family)
+        if name not in current:
+            failures.append(f"baseline has family '{name}' but current report does not")
+            continue
+        cur = current[name].get("speedup", 0.0)
+        delta = (cur - base) / base
+        floor = base * (1.0 - args.tolerance)
+        verdict = "ok" if cur >= floor else "FAIL"
+        rows.append((f"{name} speedup", "ref/fast",
+                     f"{cur:.2f}x (base {base:.2f}x, {delta:+.1%})",
+                     f">= {floor:.2f}x", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"family '{name}' speedup {cur:.2f}x fell below "
+                f"{floor:.2f}x (baseline {base:.2f}x - {args.tolerance:.0%})")
+
+    return rows, failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--mode", choices=("throughput", "service"), default="throughput",
+    ap.add_argument("--mode", choices=("throughput", "service", "micro"),
+                    default="throughput",
                     help="which bench report to gate (default: throughput)")
     ap.add_argument("--current", required=True, help="bench JSON from this run")
     ap.add_argument("--baseline", default=None,
@@ -222,6 +294,9 @@ def main():
                     help="[throughput] max per-shard stall p50 at max workers, ns (0 disables)")
     ap.add_argument("--min-goodput-ratio", type=float, default=0.90,
                     help="[service] min goodput(2x saturation) / goodput(saturation)")
+    ap.add_argument("--min-micro-speedup", type=float, default=3.0,
+                    help="[micro] min geomean fast-path speedup over gated "
+                         "opcode families (0 disables)")
     ap.add_argument("--summary", default=None,
                     help="markdown summary file to append to (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
@@ -231,7 +306,8 @@ def main():
         args.baseline = os.path.join(repo_root, "bench", "baselines",
                                      f"{args.mode}.json")
 
-    check = check_throughput if args.mode == "throughput" else check_service
+    check = {"throughput": check_throughput, "service": check_service,
+             "micro": check_micro}[args.mode]
     rows, failures = check(args)
 
     lines = [f"## Perf gate: {args.mode}", "",

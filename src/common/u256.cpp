@@ -1,11 +1,22 @@
 #include "common/u256.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace hardtape {
 
 namespace {
 using u128 = unsigned __int128;
+
+inline uint64_t byteswap64(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  v = ((v & 0x00ff00ff00ff00ffull) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffull);
+  v = ((v & 0x0000ffff0000ffffull) << 16) | ((v >> 16) & 0x0000ffff0000ffffull);
+  return (v << 32) | (v >> 32);
+#endif
+}
 
 // 512-bit scratch value used by mulmod / wide multiplication, little-endian
 // limbs. Internal only; not exposed in the public API.
@@ -211,6 +222,15 @@ unsigned u256::bit_length() const {
 u256 u256::from_be_bytes(BytesView be) {
   if (be.size() > 32) throw std::invalid_argument("u256: more than 32 bytes");
   u256 r;
+  if (be.size() == 32) {  // word loads (MLOAD, hash digests): bswap limbs
+    uint64_t w[4];
+    std::memcpy(w, be.data(), 32);
+    r.limbs_[0] = byteswap64(w[3]);
+    r.limbs_[1] = byteswap64(w[2]);
+    r.limbs_[2] = byteswap64(w[1]);
+    r.limbs_[3] = byteswap64(w[0]);
+    return r;
+  }
   for (size_t i = 0; i < be.size(); ++i) {
     const size_t bit_pos = (be.size() - 1 - i) * 8;
     r.limbs_[bit_pos / 64] |= uint64_t{be[i]} << (bit_pos % 64);
@@ -219,11 +239,10 @@ u256 u256::from_be_bytes(BytesView be) {
 }
 
 std::array<uint8_t, 32> u256::to_be_bytes() const {
-  std::array<uint8_t, 32> out{};
-  for (size_t i = 0; i < 32; ++i) {
-    const size_t bit_pos = (31 - i) * 8;
-    out[i] = static_cast<uint8_t>(limbs_[bit_pos / 64] >> (bit_pos % 64));
-  }
+  std::array<uint8_t, 32> out;
+  const uint64_t w[4] = {byteswap64(limbs_[3]), byteswap64(limbs_[2]),
+                         byteswap64(limbs_[1]), byteswap64(limbs_[0])};
+  std::memcpy(out.data(), w, 32);
   return out;
 }
 

@@ -1,0 +1,944 @@
+// The fast execution engine: the pre-decoder and the decoded dispatch loop
+// (DESIGN.md §14). The reference switch loop in interpreter.cpp stays the
+// semantic ground truth; everything here must be bit-identical to it — gas
+// remainders, status, observer event streams — or bail out to it untouched.
+
+#include "evm/fastpath.hpp"
+
+#include "evm/frame.hpp"
+
+// Computed-goto dispatch needs the GNU labels-as-values extension; MSVC and
+// friends fall back to a switch in the same loop shape.
+#if defined(__GNUC__) || defined(__clang__)
+#define HARDTAPE_COMPUTED_GOTO 1
+#endif
+
+namespace hardtape::evm {
+
+namespace fastpath {
+
+namespace {
+
+FastOp classify(uint8_t byte) {
+  const auto op = static_cast<Opcode>(byte);
+  switch (op) {
+    case Opcode::STOP: return FastOp::kStop;
+    case Opcode::ADD: return FastOp::kAdd;
+    case Opcode::MUL: return FastOp::kMul;
+    case Opcode::SUB: return FastOp::kSub;
+    case Opcode::DIV: return FastOp::kDiv;
+    case Opcode::SDIV: return FastOp::kSdiv;
+    case Opcode::MOD: return FastOp::kMod;
+    case Opcode::SMOD: return FastOp::kSmod;
+    case Opcode::ADDMOD: return FastOp::kAddmod;
+    case Opcode::MULMOD: return FastOp::kMulmod;
+    case Opcode::EXP: return FastOp::kExp;
+    case Opcode::SIGNEXTEND: return FastOp::kSignextend;
+    case Opcode::LT: return FastOp::kLt;
+    case Opcode::GT: return FastOp::kGt;
+    case Opcode::SLT: return FastOp::kSlt;
+    case Opcode::SGT: return FastOp::kSgt;
+    case Opcode::EQ: return FastOp::kEq;
+    case Opcode::ISZERO: return FastOp::kIszero;
+    case Opcode::AND: return FastOp::kAnd;
+    case Opcode::OR: return FastOp::kOr;
+    case Opcode::XOR: return FastOp::kXor;
+    case Opcode::NOT: return FastOp::kNot;
+    case Opcode::BYTE: return FastOp::kByte;
+    case Opcode::SHL: return FastOp::kShl;
+    case Opcode::SHR: return FastOp::kShr;
+    case Opcode::SAR: return FastOp::kSar;
+    case Opcode::SHA3: return FastOp::kSha3;
+    case Opcode::ADDRESS: return FastOp::kAddressOp;
+    case Opcode::BALANCE: return FastOp::kBalance;
+    case Opcode::ORIGIN: return FastOp::kOrigin;
+    case Opcode::CALLER: return FastOp::kCaller;
+    case Opcode::CALLVALUE: return FastOp::kCallvalue;
+    case Opcode::CALLDATALOAD: return FastOp::kCalldataload;
+    case Opcode::CALLDATASIZE: return FastOp::kCalldatasize;
+    case Opcode::CALLDATACOPY: return FastOp::kCalldatacopy;
+    case Opcode::CODESIZE: return FastOp::kCodesize;
+    case Opcode::CODECOPY: return FastOp::kCodecopy;
+    case Opcode::GASPRICE: return FastOp::kGasprice;
+    case Opcode::EXTCODESIZE: return FastOp::kExtcodesize;
+    case Opcode::EXTCODECOPY: return FastOp::kExtcodecopy;
+    case Opcode::RETURNDATASIZE: return FastOp::kReturndatasize;
+    case Opcode::RETURNDATACOPY: return FastOp::kReturndatacopy;
+    case Opcode::EXTCODEHASH: return FastOp::kExtcodehash;
+    case Opcode::BLOCKHASH: return FastOp::kBlockhash;
+    case Opcode::COINBASE: return FastOp::kCoinbase;
+    case Opcode::TIMESTAMP: return FastOp::kTimestamp;
+    case Opcode::NUMBER: return FastOp::kNumber;
+    case Opcode::PREVRANDAO: return FastOp::kPrevrandao;
+    case Opcode::GASLIMIT: return FastOp::kGaslimit;
+    case Opcode::CHAINID: return FastOp::kChainid;
+    case Opcode::SELFBALANCE: return FastOp::kSelfbalance;
+    case Opcode::BASEFEE: return FastOp::kBasefee;
+    case Opcode::POP: return FastOp::kPop;
+    case Opcode::MLOAD: return FastOp::kMload;
+    case Opcode::MSTORE: return FastOp::kMstore;
+    case Opcode::MSTORE8: return FastOp::kMstore8;
+    case Opcode::SLOAD: return FastOp::kSload;
+    case Opcode::SSTORE: return FastOp::kSstore;
+    case Opcode::JUMP: return FastOp::kJump;
+    case Opcode::JUMPI: return FastOp::kJumpi;
+    case Opcode::PC: return FastOp::kPc;
+    case Opcode::MSIZE: return FastOp::kMsize;
+    case Opcode::GAS: return FastOp::kGas;
+    case Opcode::JUMPDEST: return FastOp::kJumpdest;
+    case Opcode::TLOAD: return FastOp::kTload;
+    case Opcode::TSTORE: return FastOp::kTstore;
+    case Opcode::MCOPY: return FastOp::kMcopy;
+    case Opcode::LOG0:
+    case Opcode::LOG1:
+    case Opcode::LOG2:
+    case Opcode::LOG3:
+    case Opcode::LOG4: return FastOp::kLog;
+    case Opcode::CREATE: return FastOp::kCreate;
+    case Opcode::CALL: return FastOp::kCall;
+    case Opcode::CALLCODE: return FastOp::kCallcode;
+    case Opcode::RETURN: return FastOp::kReturn;
+    case Opcode::DELEGATECALL: return FastOp::kDelegatecall;
+    case Opcode::CREATE2: return FastOp::kCreate2;
+    case Opcode::STATICCALL: return FastOp::kStaticcall;
+    case Opcode::REVERT: return FastOp::kRevert;
+    case Opcode::INVALID: return FastOp::kInvalid;
+    case Opcode::SELFDESTRUCT: return FastOp::kSelfdestruct;
+    default:
+      if (is_push(byte)) return FastOp::kPush;
+      if (byte >= 0x80 && byte <= 0x8f) return FastOp::kDup;
+      if (byte >= 0x90 && byte <= 0x9f) return FastOp::kSwap;
+      return FastOp::kUndefined;
+  }
+}
+
+bool is_terminator(FastOp op) {
+  switch (op) {
+    case FastOp::kStop:
+    case FastOp::kImplicitStop:
+    case FastOp::kJump:
+    case FastOp::kJumpi:
+    case FastOp::kPushJump:
+    case FastOp::kPushJumpi:
+    case FastOp::kReturn:
+    case FastOp::kRevert:
+    case FastOp::kInvalid:
+    case FastOp::kSelfdestruct:
+    case FastOp::kUndefined:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Checkpoints end a charge group (inclusive): dynamic gas, world-state
+// access, or an observable read of gas / memory size.
+bool is_checkpoint(FastOp op) {
+  switch (op) {
+    case FastOp::kExp:
+    case FastOp::kSha3:
+    case FastOp::kBalance:
+    case FastOp::kCalldatacopy:
+    case FastOp::kCodecopy:
+    case FastOp::kExtcodesize:
+    case FastOp::kExtcodecopy:
+    case FastOp::kReturndatacopy:
+    case FastOp::kExtcodehash:
+    case FastOp::kMload:
+    case FastOp::kMstore:
+    case FastOp::kMstore8:
+    case FastOp::kSload:
+    case FastOp::kSstore:
+    case FastOp::kTstore:
+    case FastOp::kMcopy:
+    case FastOp::kLog:
+    case FastOp::kMsize:
+    case FastOp::kGas:
+    case FastOp::kDupMload:
+    case FastOp::kCreate:
+    case FastOp::kCall:
+    case FastOp::kCallcode:
+    case FastOp::kDelegatecall:
+    case FastOp::kCreate2:
+    case FastOp::kStaticcall:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Peephole fusion: tries to merge the freshly decoded `cur` into `prev`.
+/// Legal because `prev` (PUSH/DUP) never ends a block, `cur` is never a
+/// JUMPDEST, and no valid jump can land on `cur.pc` (it is not a JUMPDEST).
+bool try_fuse(Instr& prev, const Instr& cur) {
+  if (prev.op == FastOp::kPush) {
+    switch (cur.op) {
+      case FastOp::kJump:
+        prev.op = FastOp::kPushJump;
+        prev.t_req = 0;
+        prev.t_delta = 0;
+        prev.t_peak = 1;
+        break;
+      case FastOp::kJumpi:
+        prev.op = FastOp::kPushJumpi;
+        prev.t_req = 1;
+        prev.t_delta = -1;
+        prev.t_peak = 1;
+        break;
+      case FastOp::kAdd:
+        prev.op = FastOp::kPushAdd;
+        prev.t_req = 1;
+        prev.t_delta = 0;
+        prev.t_peak = 1;
+        break;
+      case FastOp::kMload:
+        if (!prev.imm.fits_u64() || prev.imm.as_u64() + 32 > kFuseStaticMemCap)
+          return false;
+        prev.op = FastOp::kPushMloadS;
+        prev.t_req = 0;
+        prev.t_delta = 1;
+        prev.t_peak = 1;
+        break;
+      case FastOp::kMstore:
+        if (!prev.imm.fits_u64() || prev.imm.as_u64() + 32 > kFuseStaticMemCap)
+          return false;
+        prev.op = FastOp::kPushMstoreS;
+        prev.t_req = 1;
+        prev.t_delta = -1;
+        prev.t_peak = 1;
+        break;
+      default:
+        return false;
+    }
+  } else if (prev.op == FastOp::kDup && cur.op == FastOp::kMload) {
+    prev.op = FastOp::kDupMload;
+    prev.t_req = static_cast<int16_t>(prev.aux + 1);
+    prev.t_delta = 1;
+    prev.t_peak = 1;
+  } else {
+    return false;
+  }
+  prev.static_gas = static_cast<uint16_t>(prev.static_gas + cur.static_gas);
+  return true;
+}
+
+}  // namespace
+
+DecodedCode decode(BytesView code, bool fuse) {
+  DecodedCode dc;
+  dc.pc_to_instr.assign(code.size(), kNoTarget);
+  const std::vector<bool> jumpdests = analyze_jumpdests(code);
+
+  // Pass 1: linear scan, immediate pre-parse, peephole fusion.
+  for (uint64_t pc = 0; pc < code.size();) {
+    const uint8_t byte = code[pc];
+    const OpInfo& info = opcode_info(byte);
+    Instr ins;
+    ins.byte = byte;
+    ins.pc = pc;
+    ins.op = info.defined ? classify(byte) : FastOp::kUndefined;
+    ins.stack_in = info.stack_in;
+    ins.stack_out = info.stack_out;
+    ins.static_gas = info.base_gas;
+    ins.t_req = info.stack_in;
+    ins.t_delta = static_cast<int8_t>(info.stack_out - info.stack_in);
+    ins.t_peak = ins.t_delta;
+    if (ins.op == FastOp::kDup) {
+      ins.aux = static_cast<uint8_t>(byte - 0x80);
+    } else if (ins.op == FastOp::kSwap) {
+      ins.aux = static_cast<uint8_t>(byte - 0x90 + 1);
+    } else if (ins.op == FastOp::kLog) {
+      ins.aux = static_cast<uint8_t>(byte - 0xa0);
+    } else if (ins.op == FastOp::kPush) {
+      // Same truncation semantics as the reference loop: immediate bytes
+      // past the end of code read as zero.
+      const size_t n = push_size(byte);
+      Bytes immediate(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        const uint64_t idx = pc + 1 + i;
+        if (idx < code.size()) immediate[i] = code[idx];
+      }
+      ins.imm = u256::from_be_bytes(immediate);
+    }
+    pc += 1 + info.immediate_size;
+
+    if (fuse && !dc.instrs.empty() && ins.op != FastOp::kJumpdest &&
+        try_fuse(dc.instrs.back(), ins)) {
+      continue;  // merged into the previous instruction
+    }
+    dc.pc_to_instr[ins.pc] = static_cast<uint32_t>(dc.instrs.size());
+    dc.instrs.push_back(ins);
+  }
+
+  // Running off the end of code halts like STOP, but without an on_step
+  // event or a gas charge — a dedicated pseudo-instruction.
+  Instr stop;
+  stop.op = FastOp::kImplicitStop;
+  stop.pc = code.size();
+  dc.instrs.push_back(stop);
+
+  // Pass 2: pre-resolve fused jump targets; invalid destinations keep
+  // kNoTarget and fail kBadJumpDestination at runtime.
+  for (Instr& ins : dc.instrs) {
+    if (ins.op != FastOp::kPushJump && ins.op != FastOp::kPushJumpi) continue;
+    if (ins.imm.fits_u64() && ins.imm.as_u64() < code.size() &&
+        jumpdests[ins.imm.as_u64()]) {
+      ins.target = dc.pc_to_instr[ins.imm.as_u64()];
+    }
+  }
+
+  // Pass 3a: mark basic-block and charge-group starts.
+  bool next_starts_block = true;
+  for (Instr& ins : dc.instrs) {
+    if (next_starts_block || ins.op == FastOp::kJumpdest) {
+      ins.block_start = true;
+      ins.group_start = true;
+    }
+    next_starts_block = is_terminator(ins.op);
+  }
+  // Checkpoints end a group; the following instruction starts a new one.
+  for (size_t i = 1; i < dc.instrs.size(); ++i) {
+    if (is_checkpoint(dc.instrs[i - 1].op)) dc.instrs[i].group_start = true;
+  }
+
+  // Pass 3b: fold stack triplets per block, sum static gas and static
+  // memory needs per group.
+  for (size_t b = 0; b < dc.instrs.size();) {
+    Instr& head = dc.instrs[b];
+    int64_t h = 0;
+    int64_t req = 0;
+    int64_t peak = 0;
+    size_t e = b;
+    for (; e < dc.instrs.size(); ++e) {
+      if (e != b && dc.instrs[e].block_start) break;
+      const Instr& ins = dc.instrs[e];
+      req = std::max(req, static_cast<int64_t>(ins.t_req) - h);
+      peak = std::max(peak, h + ins.t_peak);
+      h += ins.t_delta;
+    }
+    head.block_req = static_cast<uint32_t>(req);
+    head.block_peak = static_cast<int32_t>(peak);
+    b = e;
+  }
+  for (size_t g = 0; g < dc.instrs.size();) {
+    Instr& head = dc.instrs[g];
+    uint64_t gas = 0;
+    uint64_t mem_words = 0;
+    size_t e = g;
+    for (; e < dc.instrs.size(); ++e) {
+      const Instr& ins = dc.instrs[e];
+      if (e != g && ins.group_start) break;
+      gas += ins.static_gas;
+      if (ins.op == FastOp::kPushMloadS || ins.op == FastOp::kPushMstoreS) {
+        mem_words =
+            std::max(mem_words, EvmMemory::word_count(ins.imm.as_u64() + 32));
+      }
+      if (is_checkpoint(ins.op) || is_terminator(ins.op)) {
+        ++e;
+        break;
+      }
+    }
+    head.group_gas = gas;
+    head.group_mem_words = mem_words;
+    g = e;
+  }
+
+  return dc;
+}
+
+}  // namespace fastpath
+
+// ---------------------------------------------------------------------------
+// The decoded dispatch loop
+// ---------------------------------------------------------------------------
+
+// Two instantiations of one body: kObserved mirrors the reference loop
+// opcode-at-a-time (identical on_step stream and check order, but with
+// pre-parsed immediates and no opcode-table lookups); !kObserved runs the
+// grouped full-speed mode with superinstructions. Returns false only when it
+// bailed out before mutating anything of the block/charge group at f.pc.
+template <bool kObserved>
+bool Interpreter::run_decoded(Frame& f, const fastpath::DecodedCode& dc) {
+  using fastpath::FastOp;
+  using fastpath::Instr;
+  using fastpath::kNoTarget;
+
+  // A previously aborted bundle fails the frame after its first opcode runs
+  // (reference epilogue); bail so the reference loop reproduces that per-op.
+  if (bundle_aborted_) return false;
+
+  const Message& msg = f.msg;
+  const Instr* const instrs = dc.instrs.data();
+  const uint32_t* const pc2i = dc.pc_to_instr.data();
+  const Instr* ins = nullptr;
+  size_t i = 0;
+
+  // The operand-stack top lives in a register (`sp`, one past the top
+  // element); Stack::size_ is only written back around calls that go through
+  // the Stack interface (op_* helpers, sub-frames, FrameDebug) and on every
+  // exit. Block-level validation makes the raw accesses safe.
+  u256* const sbase = f.stack.base();
+  u256* sp = sbase + f.stack.size();
+#define HARDTAPE_SYNC_STACK() f.stack.set_size(static_cast<size_t>(sp - sbase))
+#define HARDTAPE_RELOAD_STACK() sp = sbase + f.stack.size()
+
+#ifdef HARDTAPE_COMPUTED_GOTO
+  static const void* const kDispatch[] = {
+#define HARDTAPE_X(name) &&lbl_##name,
+      HARDTAPE_FASTOP_LIST(HARDTAPE_X)
+#undef HARDTAPE_X
+  };
+#define HARDTAPE_DISPATCH() goto* kDispatch[static_cast<uint8_t>(ins->op)]
+#else
+#define HARDTAPE_DISPATCH() goto dispatch_switch
+#endif
+
+  goto enter_ins;
+
+next_ins:
+  ++i;
+enter_ins:
+  ins = &instrs[i];
+  if constexpr (kObserved) {
+    // Per-opcode mode: the reference loop's check order, bit for bit.
+    if (ins->op == FastOp::kImplicitStop) {
+      f.halted = true;  // running off the end: no on_step, no charge
+      HARDTAPE_SYNC_STACK();
+      return true;
+    }
+    const auto height = static_cast<size_t>(sp - sbase);
+    observer_->on_step({ins->pc, ins->byte, f.gas, msg.depth, height,
+                        height == 0 ? u256{} : sp[-1]});
+    if (ins->op == FastOp::kUndefined) {
+      HARDTAPE_SYNC_STACK();
+      f.fail(VmStatus::kUndefinedInstruction);
+      return true;
+    }
+    if (height < ins->stack_in) {
+      HARDTAPE_SYNC_STACK();
+      f.fail(VmStatus::kStackUnderflow);
+      return true;
+    }
+    if (height - ins->stack_in + ins->stack_out > Stack::kLimit) {
+      HARDTAPE_SYNC_STACK();
+      f.fail(VmStatus::kStackOverflow);
+      return true;
+    }
+    if (!f.charge(ins->static_gas)) {
+      HARDTAPE_SYNC_STACK();
+      return true;
+    }
+  } else {
+    if (ins->block_start) {
+      // Conservative block-level stack validation; a miss bails out and the
+      // reference loop reports the precise per-opcode failure.
+      const auto h = static_cast<int64_t>(sp - sbase);
+      if (h < static_cast<int64_t>(ins->block_req) ||
+          h + ins->block_peak > static_cast<int64_t>(Stack::kLimit)) {
+        f.pc = ins->pc;
+        HARDTAPE_SYNC_STACK();
+        return false;
+      }
+    }
+    if (ins->group_start) {
+      uint64_t need = ins->group_gas;
+      uint64_t expansion = 0;
+      const uint64_t cur_words = EvmMemory::word_count(f.memory.size());
+      if (ins->group_mem_words > cur_words) {
+        expansion = memory_gas(ins->group_mem_words) - memory_gas(cur_words);
+        need += expansion;
+      }
+      if (f.gas < need) {
+        // Nothing of this group has executed; the reference loop charges
+        // per opcode and fails on exactly the right one.
+        f.pc = ins->pc;
+        HARDTAPE_SYNC_STACK();
+        return false;
+      }
+      f.gas -= need;
+      if (expansion != 0) {
+        f.memory.expand(0, ins->group_mem_words * 32);
+        if (frame_memory_limit_ != 0 && f.memory.size() > frame_memory_limit_) {
+          HARDTAPE_SYNC_STACK();
+          f.fail(VmStatus::kMemoryOverflow);
+          bundle_aborted_ = true;
+          return true;
+        }
+      }
+    }
+  }
+  HARDTAPE_DISPATCH();
+
+#ifndef HARDTAPE_COMPUTED_GOTO
+dispatch_switch:
+  switch (ins->op) {
+#define HARDTAPE_X(name) \
+  case FastOp::k##name: \
+    goto lbl_##name;
+    HARDTAPE_FASTOP_LIST(HARDTAPE_X)
+#undef HARDTAPE_X
+    case FastOp::kCount:
+      break;
+  }
+  HARDTAPE_SYNC_STACK();
+  f.fail(VmStatus::kUndefinedInstruction);
+  return true;
+#endif
+
+  // --- terminators ---
+lbl_Stop:
+  f.halted = true;
+  goto post_check;
+lbl_ImplicitStop:
+  f.halted = true;  // unobserved path (observed handles it in the prologue)
+  HARDTAPE_SYNC_STACK();
+  return true;
+lbl_Jump: {
+  const u256 dest = *--sp;
+  if (!dest.fits_u64() || dest.as_u64() >= f.code.size() ||
+      !f.valid_jumpdests[dest.as_u64()]) {
+    f.fail(VmStatus::kBadJumpDestination);
+    goto post_check;
+  }
+  i = pc2i[dest.as_u64()];
+  goto enter_ins;
+}
+lbl_Jumpi: {
+  const u256 dest = *--sp, condition = *--sp;
+  if (condition.is_zero()) goto next_ins;
+  if (!dest.fits_u64() || dest.as_u64() >= f.code.size() ||
+      !f.valid_jumpdests[dest.as_u64()]) {
+    f.fail(VmStatus::kBadJumpDestination);
+    goto post_check;
+  }
+  i = pc2i[dest.as_u64()];
+  goto enter_ins;
+}
+lbl_PushJump:
+  if (ins->target == kNoTarget) {
+    f.fail(VmStatus::kBadJumpDestination);
+    goto post_check;
+  }
+  i = ins->target;
+  goto enter_ins;
+lbl_PushJumpi:
+  if (sp[-1].is_zero()) {
+    --sp;
+    goto next_ins;
+  }
+  --sp;
+  if (ins->target == kNoTarget) {
+    f.fail(VmStatus::kBadJumpDestination);
+    goto post_check;
+  }
+  i = ins->target;
+  goto enter_ins;
+lbl_Return:
+  HARDTAPE_SYNC_STACK();
+  op_return_revert(f, false);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Revert:
+  HARDTAPE_SYNC_STACK();
+  op_return_revert(f, true);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Invalid:
+  f.fail(VmStatus::kInvalidInstruction);
+  goto post_check;
+lbl_Selfdestruct:
+  HARDTAPE_SYNC_STACK();
+  op_selfdestruct(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Undefined:
+  f.fail(VmStatus::kUndefinedInstruction);
+  goto post_check;
+
+  // --- arithmetic / comparison / bitwise (in-place where the op allows) ---
+lbl_Add:
+  sp[-2].add_in_place(sp[-1]);
+  --sp;
+  goto next_ins;
+lbl_Mul: {
+  const u256 r = sp[-1] * sp[-2];
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Sub:
+  // EVM SUB is top - second; rsub writes (argument - *this) into *this.
+  sp[-2].rsub_in_place(sp[-1]);
+  --sp;
+  goto next_ins;
+lbl_Div: {
+  const u256 r = sp[-1] / sp[-2];
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Sdiv: {
+  const u256 r = u256::sdiv(sp[-1], sp[-2]);
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Mod: {
+  const u256 r = sp[-1] % sp[-2];
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Smod: {
+  const u256 r = u256::smod(sp[-1], sp[-2]);
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Addmod: {
+  const u256 r = u256::addmod(sp[-1], sp[-2], sp[-3]);
+  --sp;
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Mulmod: {
+  const u256 r = u256::mulmod(sp[-1], sp[-2], sp[-3]);
+  --sp;
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Signextend: {
+  const u256 r = u256::signextend(sp[-1], sp[-2]);
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Lt: {
+  const bool r = sp[-1] < sp[-2];
+  --sp;
+  sp[-1] = u256{r ? 1u : 0u};
+  goto next_ins;
+}
+lbl_Gt: {
+  const bool r = sp[-1] > sp[-2];
+  --sp;
+  sp[-1] = u256{r ? 1u : 0u};
+  goto next_ins;
+}
+lbl_Slt: {
+  const bool r = u256::slt(sp[-1], sp[-2]);
+  --sp;
+  sp[-1] = u256{r ? 1u : 0u};
+  goto next_ins;
+}
+lbl_Sgt: {
+  const bool r = u256::slt(sp[-2], sp[-1]);
+  --sp;
+  sp[-1] = u256{r ? 1u : 0u};
+  goto next_ins;
+}
+lbl_Eq: {
+  const bool r = sp[-1] == sp[-2];
+  --sp;
+  sp[-1] = u256{r ? 1u : 0u};
+  goto next_ins;
+}
+lbl_Iszero:
+  sp[-1] = u256{sp[-1].is_zero() ? 1u : 0u};
+  goto next_ins;
+lbl_And:
+  sp[-2].and_in_place(sp[-1]);
+  --sp;
+  goto next_ins;
+lbl_Or:
+  sp[-2].or_in_place(sp[-1]);
+  --sp;
+  goto next_ins;
+lbl_Xor:
+  sp[-2].xor_in_place(sp[-1]);
+  --sp;
+  goto next_ins;
+lbl_Not:
+  sp[-1].not_in_place();
+  goto next_ins;
+lbl_Byte: {
+  const u256 r = u256::byte(sp[-1], sp[-2]);
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Shl: {
+  const u256& shift = sp[-1];
+  const u256 r = shift >= u256{256}
+                     ? u256{}
+                     : sp[-2] << static_cast<unsigned>(shift.as_u64());
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Shr: {
+  const u256& shift = sp[-1];
+  const u256 r = shift >= u256{256}
+                     ? u256{}
+                     : sp[-2] >> static_cast<unsigned>(shift.as_u64());
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+lbl_Sar: {
+  const u256 r = u256::sar(sp[-2], sp[-1]);
+  --sp;
+  sp[-1] = r;
+  goto next_ins;
+}
+
+  // --- environment / block context (pure pushes) ---
+lbl_AddressOp:
+  *sp++ = msg.recipient.to_u256();
+  goto next_ins;
+lbl_Origin:
+  *sp++ = msg.origin.to_u256();
+  goto next_ins;
+lbl_Caller:
+  *sp++ = msg.sender.to_u256();
+  goto next_ins;
+lbl_Callvalue:
+  *sp++ = msg.value;
+  goto next_ins;
+lbl_Calldatasize:
+  *sp++ = u256{msg.input.size()};
+  goto next_ins;
+lbl_Codesize:
+  *sp++ = u256{f.code.size()};
+  goto next_ins;
+lbl_Gasprice:
+  *sp++ = msg.gas_price;
+  goto next_ins;
+lbl_Returndatasize:
+  *sp++ = u256{f.return_data.size()};
+  goto next_ins;
+lbl_Coinbase:
+  *sp++ = block_.coinbase.to_u256();
+  goto next_ins;
+lbl_Timestamp:
+  *sp++ = u256{block_.timestamp};
+  goto next_ins;
+lbl_Number:
+  *sp++ = u256{block_.number};
+  goto next_ins;
+lbl_Prevrandao:
+  *sp++ = block_.prev_randao;
+  goto next_ins;
+lbl_Gaslimit:
+  *sp++ = u256{block_.gas_limit};
+  goto next_ins;
+lbl_Chainid:
+  *sp++ = block_.chain_id;
+  goto next_ins;
+lbl_Selfbalance:
+  *sp++ = state_.balance(msg.recipient);
+  goto next_ins;
+lbl_Basefee:
+  *sp++ = block_.base_fee;
+  goto next_ins;
+
+  // --- stack / flow (pure) ---
+lbl_Pop:
+  --sp;
+  goto next_ins;
+lbl_Jumpdest:
+  goto next_ins;
+lbl_Pc:
+  *sp++ = u256{ins->pc};
+  goto next_ins;
+lbl_Push:
+  *sp++ = ins->imm;
+  goto next_ins;
+lbl_Dup:
+  *sp = sp[-1 - ins->aux];
+  ++sp;
+  goto next_ins;
+lbl_Swap:
+  std::swap(sp[-1], sp[-1 - ins->aux]);
+  goto next_ins;
+lbl_Calldataload:
+  HARDTAPE_SYNC_STACK();
+  op_calldataload(f);
+  HARDTAPE_RELOAD_STACK();
+  goto next_ins;
+lbl_Blockhash:
+  HARDTAPE_SYNC_STACK();
+  op_blockhash(f);
+  HARDTAPE_RELOAD_STACK();
+  goto next_ins;
+lbl_Tload:
+  HARDTAPE_SYNC_STACK();
+  op_tload(f);
+  HARDTAPE_RELOAD_STACK();
+  goto next_ins;
+
+  // --- fused superinstructions (pure variants) ---
+lbl_PushAdd:
+  sp[-1].add_in_place(ins->imm);
+  goto next_ins;
+lbl_PushMloadS:
+  // Static offset: the charge-group prologue already expanded and charged.
+  *sp++ = f.memory.load_word(ins->imm.as_u64());
+  goto next_ins;
+lbl_PushMstoreS:
+  f.memory.store_word(ins->imm.as_u64(), sp[-1]);
+  --sp;
+  goto next_ins;
+
+  // --- checkpoints: shared bodies, then the reference epilogue ---
+lbl_Exp:
+  HARDTAPE_SYNC_STACK();
+  op_exp(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Sha3:
+  HARDTAPE_SYNC_STACK();
+  op_sha3(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Balance:
+  HARDTAPE_SYNC_STACK();
+  op_balance(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Calldatacopy:
+  HARDTAPE_SYNC_STACK();
+  op_calldatacopy(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Codecopy:
+  HARDTAPE_SYNC_STACK();
+  op_codecopy(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Extcodesize:
+  HARDTAPE_SYNC_STACK();
+  op_extcodesize(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Extcodecopy:
+  HARDTAPE_SYNC_STACK();
+  op_extcodecopy(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Returndatacopy:
+  HARDTAPE_SYNC_STACK();
+  op_returndatacopy(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Extcodehash:
+  HARDTAPE_SYNC_STACK();
+  op_extcodehash(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Mload:
+  HARDTAPE_SYNC_STACK();
+  op_mload(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Mstore:
+  HARDTAPE_SYNC_STACK();
+  op_mstore(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Mstore8:
+  HARDTAPE_SYNC_STACK();
+  op_mstore8(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Sload:
+  HARDTAPE_SYNC_STACK();
+  op_sload(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Sstore:
+  HARDTAPE_SYNC_STACK();
+  do_sstore(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Tstore:
+  HARDTAPE_SYNC_STACK();
+  op_tstore(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Mcopy:
+  HARDTAPE_SYNC_STACK();
+  op_mcopy(f);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Log:
+  HARDTAPE_SYNC_STACK();
+  op_log(f, ins->aux);
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Msize:
+  // Group pre-expansion is exact here: MSIZE ends its charge group, so every
+  // static-offset expansion it can see has already happened in the reference
+  // order too (memory size is max-monotone).
+  *sp++ = u256{f.memory.size()};
+  goto post_check;
+lbl_Gas:
+  // Ends its charge group, so the prepaid static gas equals the reference
+  // loop's cumulative charge at exactly this point.
+  *sp++ = u256{f.gas};
+  goto post_check;
+lbl_DupMload: {
+  // DUPn + MLOAD: net effect is push(load(peek(n-1))) — the dup'd copy is
+  // consumed by the load, so it never materializes.
+  const u256 offset = sp[-1 - ins->aux];
+  uint64_t off64 = 0, len64 = 0;
+  if (!f.charge_memory(offset, u256{32}, off64, len64)) goto post_check;
+  *sp++ = f.memory.load_word(off64);
+  goto post_check;
+}
+lbl_Create:
+lbl_Create2:
+  HARDTAPE_SYNC_STACK();
+  do_create_family(f, static_cast<Opcode>(ins->byte));
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+lbl_Call:
+lbl_Callcode:
+lbl_Delegatecall:
+lbl_Staticcall:
+  HARDTAPE_SYNC_STACK();
+  do_call_family(f, static_cast<Opcode>(ins->byte));
+  HARDTAPE_RELOAD_STACK();
+  goto post_check;
+
+post_check:
+  // The reference loop's per-iteration epilogue (frame memory limit and
+  // sticky bundle abort) after every op that can grow memory, touch a
+  // sub-frame, or halt.
+  if (frame_memory_limit_ != 0 && f.memory.size() > frame_memory_limit_ &&
+      f.status == VmStatus::kSuccess) {
+    f.fail(VmStatus::kMemoryOverflow);
+    bundle_aborted_ = true;
+  }
+  if (bundle_aborted_ && f.status == VmStatus::kSuccess) {
+    f.fail(VmStatus::kMemoryOverflow);
+  }
+  if (f.halted) {
+    HARDTAPE_SYNC_STACK();
+    return true;
+  }
+  goto next_ins;
+
+#undef HARDTAPE_DISPATCH
+#undef HARDTAPE_SYNC_STACK
+#undef HARDTAPE_RELOAD_STACK
+}
+
+template bool Interpreter::run_decoded<true>(Frame& f,
+                                             const fastpath::DecodedCode& dc);
+template bool Interpreter::run_decoded<false>(Frame& f,
+                                              const fastpath::DecodedCode& dc);
+
+}  // namespace hardtape::evm

@@ -1,0 +1,105 @@
+// Pre-decoded representation for the fast execution engine (DESIGN.md §14).
+//
+// decode() turns bytecode into a flat instruction stream once per frame:
+// PUSH immediates are parsed ahead of time, hot opcode pairs are fused into
+// superinstructions (only when no observer watches the per-opcode stream),
+// and a basic-block analysis precomputes per-block stack requirements plus
+// per-charge-group static gas and memory-expansion needs, so the decoded
+// loop charges once per group instead of once per opcode.
+//
+// A "charge group" is a maximal run of instructions whose combined static gas
+// can be deducted up front without becoming observable: it ends (inclusive)
+// at any instruction with dynamic gas, world-state access, or a gas/memory
+// reading the program can see (GAS, MSIZE), and at any block terminator.
+// Because every charge is non-negative and memory-expansion gas telescopes
+// monotonically, the group total equals the reference loop's per-opcode sum,
+// so out-of-gas triggers on exactly the same frames (externally uniform:
+// gas = 0, kOutOfGas). When a group cannot be prepaid the engine bails out
+// to the reference loop before mutating anything, which then reproduces the
+// per-opcode failure bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::evm::fastpath {
+
+// One X-macro entry per dispatch handler. The list is expanded twice — for
+// the FastOp enum here and for the computed-goto label table in
+// fastpath.cpp — so the two can never drift out of order.
+#define HARDTAPE_FASTOP_LIST(X)                                               \
+  /* terminators (end basic block and charge group) */                        \
+  X(Stop) X(ImplicitStop) X(Jump) X(Jumpi) X(PushJump) X(PushJumpi)           \
+  X(Return) X(Revert) X(Invalid) X(Selfdestruct) X(Undefined)                 \
+  /* pure: static gas only, no state access, no observable side channel */    \
+  X(Add) X(Mul) X(Sub) X(Div) X(Sdiv) X(Mod) X(Smod) X(Addmod) X(Mulmod)      \
+  X(Signextend) X(Lt) X(Gt) X(Slt) X(Sgt) X(Eq) X(Iszero) X(And) X(Or)        \
+  X(Xor) X(Not) X(Byte) X(Shl) X(Shr) X(Sar)                                  \
+  X(AddressOp) X(Origin) X(Caller) X(Callvalue) X(Calldatasize) X(Codesize)   \
+  X(Gasprice) X(Returndatasize) X(Coinbase) X(Timestamp) X(Number)            \
+  X(Prevrandao) X(Gaslimit) X(Chainid) X(Selfbalance) X(Basefee)              \
+  X(Pop) X(Jumpdest) X(Pc) X(Push) X(Dup) X(Swap)                             \
+  X(Calldataload) X(Blockhash) X(Tload)                                       \
+  X(PushAdd) X(PushMloadS) X(PushMstoreS)                                     \
+  /* checkpoints (end charge group; dynamic gas / state / observability) */   \
+  X(Exp) X(Sha3) X(Balance) X(Calldatacopy) X(Codecopy) X(Extcodesize)        \
+  X(Extcodecopy) X(Returndatacopy) X(Extcodehash) X(Mload) X(Mstore)          \
+  X(Mstore8) X(Sload) X(Sstore) X(Tstore) X(Mcopy) X(Log) X(Msize) X(Gas)     \
+  X(DupMload) X(Create) X(Call) X(Callcode) X(Delegatecall) X(Create2)        \
+  X(Staticcall)
+
+enum class FastOp : uint8_t {
+#define HARDTAPE_X(name) k##name,
+  HARDTAPE_FASTOP_LIST(HARDTAPE_X)
+#undef HARDTAPE_X
+      kCount
+};
+
+/// Sentinel for "no pre-resolved jump target" (invalid destination) and for
+/// pc_to_instr entries that are not an instruction start.
+inline constexpr uint32_t kNoTarget = 0xffffffffu;
+
+/// Static-offset fused memory ops (PUSH+MLOAD / PUSH+MSTORE) are only formed
+/// when the immediate end offset stays under this cap, so the whole group's
+/// expansion can be prepaid without quadratic-cost surprises. 1 MiB covers
+/// the paper's layer-2 memory budget with headroom.
+inline constexpr uint64_t kFuseStaticMemCap = uint64_t{1} << 20;
+
+struct Instr {
+  FastOp op = FastOp::kUndefined;
+  uint8_t byte = 0;   ///< original opcode byte (on_step, CALL-family selector)
+  uint8_t aux = 0;    ///< DUP/SWAP depth, LOG topic count
+  uint8_t stack_in = 0;   ///< reference pops (observed per-op checks)
+  uint8_t stack_out = 0;  ///< reference pushes
+  bool block_start = false;
+  bool group_start = false;
+  uint16_t static_gas = 0;  ///< this instr's static gas (fused: pair total)
+  // Stack-effect triplet for block folding: entry requirement, net delta and
+  // peak height delta — fused pairs keep the transient peak of the first op.
+  int16_t t_req = 0;
+  int8_t t_delta = 0;
+  int8_t t_peak = 0;
+  uint64_t pc = 0;            ///< bytecode pc of the (first) opcode
+  uint32_t target = kNoTarget;  ///< fused-jump target instr index
+  u256 imm{};  ///< PUSH immediate / fused static memory offset
+  // Basic-block metadata (valid when block_start):
+  uint32_t block_req = 0;  ///< minimum stack height on entry
+  int32_t block_peak = 0;  ///< max height-above-entry reached in the block
+  // Charge-group metadata (valid when group_start):
+  uint64_t group_gas = 0;        ///< summed static gas, group ops inclusive
+  uint64_t group_mem_words = 0;  ///< words needed by static-offset mem ops
+};
+
+struct DecodedCode {
+  std::vector<Instr> instrs;          ///< ends with a kImplicitStop
+  std::vector<uint32_t> pc_to_instr;  ///< code-size entries; kNoTarget gaps
+};
+
+/// Decodes `code`; superinstruction fusion only when `fuse` (legal only
+/// without an observer — fused pairs collapse two on_step events into one).
+DecodedCode decode(BytesView code, bool fuse);
+
+}  // namespace hardtape::evm::fastpath

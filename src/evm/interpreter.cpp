@@ -6,65 +6,13 @@
 #include "crypto/keccak.hpp"
 #include "crypto/secp256k1.hpp"
 #include "crypto/sha256.hpp"
+#include "evm/fastpath.hpp"
+#include "evm/frame.hpp"
 #include "trie/rlp.hpp"
 
 namespace hardtape::evm {
 
 namespace {
-
-// Gas constants not covered by the static opcode table.
-constexpr uint64_t kGasTxBase = 21000;
-constexpr uint64_t kGasTxDataZero = 4;
-constexpr uint64_t kGasTxDataNonZero = 16;
-constexpr uint64_t kGasTxCreate = 32000;
-constexpr uint64_t kGasInitcodeWord = 2;       // EIP-3860
-constexpr uint64_t kGasColdAccount = 2600;     // EIP-2929
-constexpr uint64_t kGasWarmAccess = 100;
-constexpr uint64_t kGasColdSload = 2100;
-constexpr uint64_t kGasSstoreSet = 20000;      // EIP-2200
-constexpr uint64_t kGasSstoreReset = 2900;     // 5000 - COLD_SLOAD_COST
-constexpr uint64_t kGasSstoreClearsRefund = 4800;  // EIP-3529
-constexpr uint64_t kGasSstoreSentry = 2300;
-constexpr uint64_t kGasCallValue = 9000;
-constexpr uint64_t kGasCallStipend = 2300;
-constexpr uint64_t kGasNewAccount = 25000;
-constexpr uint64_t kGasSelfdestructNewAccount = 25000;
-constexpr uint64_t kGasCopyWord = 3;
-constexpr uint64_t kGasKeccakWord = 6;
-constexpr uint64_t kGasLogByte = 8;
-constexpr uint64_t kGasLogTopic = 375;
-constexpr uint64_t kGasExpByte = 50;
-constexpr uint64_t kGasCodeDeposit = 200;      // per byte
-constexpr uint64_t kMaxCodeSize = 24576;       // EIP-170
-constexpr uint64_t kMaxInitcodeSize = 49152;   // EIP-3860
-constexpr int kMaxCallDepth = 1024;
-
-// Any memory reference beyond this is treated as out-of-gas without doing
-// the quadratic-cost arithmetic (the cost would exceed any block gas limit).
-constexpr uint64_t kMemoryHardCap = uint64_t{1} << 41;
-
-uint64_t memory_gas(uint64_t words) {
-  // kMemoryHardCap admits up to 2^36 words, but words*words wraps uint64 from
-  // 2^32 words on — an unchecked product would charge ~0 gas for a petabyte
-  // expansion. Saturate: any sane gas limit fails long before this.
-  if (words >= (uint64_t{1} << 32)) return UINT64_MAX;
-  const uint64_t quadratic = words * words / 512;
-  const uint64_t linear = 3 * words;
-  return quadratic > UINT64_MAX - linear ? UINT64_MAX : linear + quadratic;
-}
-
-std::vector<bool> analyze_jumpdests(BytesView code) {
-  std::vector<bool> valid(code.size(), false);
-  for (size_t i = 0; i < code.size(); ++i) {
-    const uint8_t op = code[i];
-    if (op == static_cast<uint8_t>(Opcode::JUMPDEST)) {
-      valid[i] = true;
-    } else if (is_push(op)) {
-      i += push_size(op);  // skip immediate bytes
-    }
-  }
-  return valid;
-}
 
 Address create_address(const Address& sender, uint64_t nonce) {
   using namespace trie;
@@ -130,72 +78,6 @@ uint64_t Transaction::intrinsic_gas() const {
   }
   return gas;
 }
-
-// ---------------------------------------------------------------------------
-// Frame
-// ---------------------------------------------------------------------------
-
-struct Interpreter::Frame {
-  const Message& msg;
-  BytesView code;
-  std::vector<bool> valid_jumpdests;
-  Stack stack;
-  EvmMemory memory;
-  uint64_t pc = 0;
-  uint64_t gas = 0;
-  Bytes return_data;  // output of the most recent sub-call
-  Bytes output;       // RETURN / REVERT payload
-  VmStatus status = VmStatus::kSuccess;
-  bool halted = false;
-
-  explicit Frame(const Message& m, BytesView c)
-      : msg(m), code(c), valid_jumpdests(analyze_jumpdests(c)), gas(m.gas) {}
-
-  void fail(VmStatus s) {
-    status = s;
-    halted = true;
-    if (s != VmStatus::kRevert) gas = 0;  // failures consume all gas
-  }
-
-  bool charge(uint64_t amount) {
-    if (gas < amount) {
-      fail(VmStatus::kOutOfGas);
-      return false;
-    }
-    gas -= amount;
-    return true;
-  }
-
-  /// Charges expansion so memory covers [offset, offset+len). Converts the
-  /// 256-bit operands, failing with out-of-gas on absurd ranges.
-  bool charge_memory(const u256& offset, const u256& len, uint64_t& off_out,
-                     uint64_t& len_out) {
-    if (len.is_zero()) {
-      off_out = 0;
-      len_out = 0;
-      return true;
-    }
-    if (!offset.fits_u64() || !len.fits_u64()) {
-      fail(VmStatus::kOutOfGas);
-      return false;
-    }
-    off_out = offset.as_u64();
-    len_out = len.as_u64();
-    const uint64_t end = off_out + len_out;
-    if (end < off_out || end > kMemoryHardCap) {
-      fail(VmStatus::kOutOfGas);
-      return false;
-    }
-    const uint64_t current_words = EvmMemory::word_count(memory.size());
-    const uint64_t new_words = EvmMemory::word_count(end);
-    if (new_words > current_words) {
-      const uint64_t cost = memory_gas(new_words) - memory_gas(current_words);
-      if (!charge(cost)) return false;
-      memory.expand(off_out, len_out);
-    }
-    return true;
-  }
-};
 
 // ---------------------------------------------------------------------------
 // Precompiles
@@ -464,6 +346,36 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
                                msg.is_create, msg.is_static});
   }
 
+  if (engine_ == EngineKind::kFast) {
+    // Superinstruction fusion is only legal when no observer watches the
+    // per-opcode event stream; with an observer the decoded loop runs
+    // opcode-at-a-time so on_step sequences stay bit-identical.
+    const fastpath::DecodedCode decoded = fastpath::decode(code, observer_ == nullptr);
+    const bool finished = observer_ ? run_decoded<true>(f, decoded)
+                                    : run_decoded<false>(f, decoded);
+    // A bail-out left f.pc at the start of an unexecuted block/charge group;
+    // the reference loop finishes the frame with per-opcode semantics.
+    if (!finished) dispatch_loop(f);
+  } else {
+    dispatch_loop(f);
+  }
+
+  if (observer_) {
+    observer_->on_frame_exit({f.status, msg.gas - f.gas, f.output.size(),
+                              f.memory.size(), msg.depth});
+  }
+  if (frame_debug_) {
+    frame_debug_->stack = f.stack.items();
+    const BytesView mem = f.memory.view(0, f.memory.size());
+    frame_debug_->memory.assign(mem.begin(), mem.end());
+    frame_debug_->status = f.status;
+    frame_debug_->gas_left = f.gas;
+  }
+  return {f.status, std::move(f.output), f.gas, {}};
+}
+
+void Interpreter::dispatch_loop(Frame& f) {
+  const Message& msg = f.msg;
   while (!f.halted) {
     if (f.pc >= f.code.size()) {
       f.halted = true;  // running off the end == STOP
@@ -545,13 +457,9 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
         f.stack.push(u256::mulmod(a, b, m));
         break;
       }
-      case Opcode::EXP: {
-        const u256 base = f.stack.pop(), exponent = f.stack.pop();
-        const uint64_t exp_bytes = (exponent.bit_length() + 7) / 8;
-        if (!f.charge(kGasExpByte * exp_bytes)) break;
-        f.stack.push(u256::exp(base, exponent));
+      case Opcode::EXP:
+        op_exp(f);
         break;
-      }
       case Opcode::SIGNEXTEND: {
         const u256 index = f.stack.pop(), value = f.stack.pop();
         f.stack.push(u256::signextend(index, value));
@@ -629,28 +537,17 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
       }
 
       // --- keccak ---
-      case Opcode::SHA3: {
-        const u256 offset = f.stack.pop(), len = f.stack.pop();
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, len, off64, len64)) break;
-        if (!f.charge(kGasKeccakWord * EvmMemory::word_count(len64))) break;
-        if (observer_) observer_->on_memory_access(MemoryLike::kMemory, off64, len64, false);
-        f.stack.push(crypto::keccak256(f.memory.view(off64, len64)).to_u256());
+      case Opcode::SHA3:
+        op_sha3(f);
         break;
-      }
 
       // --- environment ---
       case Opcode::ADDRESS:
         f.stack.push(msg.recipient.to_u256());
         break;
-      case Opcode::BALANCE: {
-        const Address addr = Address::from_u256(f.stack.pop());
-        const bool cold = state_.access_account(addr);
-        if (observer_) observer_->on_account_access(addr, cold);
-        if (!f.charge(cold ? kGasColdAccount : kGasWarmAccess)) break;
-        f.stack.push(state_.balance(addr));
+      case Opcode::BALANCE:
+        op_balance(f);
         break;
-      }
       case Opcode::ORIGIN:
         f.stack.push(msg.origin.to_u256());
         break;
@@ -660,130 +557,44 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
       case Opcode::CALLVALUE:
         f.stack.push(msg.value);
         break;
-      case Opcode::CALLDATALOAD: {
-        const u256 offset = f.stack.pop();
-        Bytes word(32, 0);
-        if (offset.fits_u64()) {
-          const uint64_t off = offset.as_u64();
-          for (size_t i = 0; i < 32; ++i) {
-            if (off + i < msg.input.size()) word[i] = msg.input[off + i];
-          }
-          if (observer_) observer_->on_memory_access(MemoryLike::kInput, off, 32, false);
-        }
-        f.stack.push(u256::from_be_bytes(word));
+      case Opcode::CALLDATALOAD:
+        op_calldataload(f);
         break;
-      }
       case Opcode::CALLDATASIZE:
         f.stack.push(u256{msg.input.size()});
         break;
-      case Opcode::CALLDATACOPY: {
-        const u256 dst = f.stack.pop(), src = f.stack.pop(), len = f.stack.pop();
-        uint64_t dst64, len64;
-        if (!f.charge_memory(dst, len, dst64, len64)) break;
-        if (!f.charge(kGasCopyWord * EvmMemory::word_count(len64))) break;
-        const uint64_t src64 = src.as_u64_saturating();
-        f.memory.store_padded(dst64, msg.input, src64, len64);
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kInput, src64, len64, false);
-          observer_->on_memory_access(MemoryLike::kMemory, dst64, len64, true);
-        }
+      case Opcode::CALLDATACOPY:
+        op_calldatacopy(f);
         break;
-      }
       case Opcode::CODESIZE:
         f.stack.push(u256{f.code.size()});
         break;
-      case Opcode::CODECOPY: {
-        const u256 dst = f.stack.pop(), src = f.stack.pop(), len = f.stack.pop();
-        uint64_t dst64, len64;
-        if (!f.charge_memory(dst, len, dst64, len64)) break;
-        if (!f.charge(kGasCopyWord * EvmMemory::word_count(len64))) break;
-        const uint64_t src64 = src.as_u64_saturating();
-        f.memory.store_padded(dst64, f.code, src64, len64);
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kCode, src64, len64, false);
-          observer_->on_memory_access(MemoryLike::kMemory, dst64, len64, true);
-        }
+      case Opcode::CODECOPY:
+        op_codecopy(f);
         break;
-      }
       case Opcode::GASPRICE:
         f.stack.push(msg.gas_price);
         break;
-      case Opcode::EXTCODESIZE: {
-        const Address addr = Address::from_u256(f.stack.pop());
-        const bool cold = state_.access_account(addr);
-        if (observer_) observer_->on_account_access(addr, cold);
-        if (!f.charge(cold ? kGasColdAccount : kGasWarmAccess)) break;
-        f.stack.push(u256{state_.code(addr).size()});
+      case Opcode::EXTCODESIZE:
+        op_extcodesize(f);
         break;
-      }
-      case Opcode::EXTCODECOPY: {
-        const Address addr = Address::from_u256(f.stack.pop());
-        const u256 dst = f.stack.pop(), src = f.stack.pop(), len = f.stack.pop();
-        const bool cold = state_.access_account(addr);
-        if (observer_) observer_->on_account_access(addr, cold);
-        if (!f.charge(cold ? kGasColdAccount : kGasWarmAccess)) break;
-        uint64_t dst64, len64;
-        if (!f.charge_memory(dst, len, dst64, len64)) break;
-        if (!f.charge(kGasCopyWord * EvmMemory::word_count(len64))) break;
-        const Bytes ext_code = state_.code(addr);
-        f.memory.store_padded(dst64, ext_code, src.as_u64_saturating(), len64);
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kMemory, dst64, len64, true);
-        }
+      case Opcode::EXTCODECOPY:
+        op_extcodecopy(f);
         break;
-      }
       case Opcode::RETURNDATASIZE:
         f.stack.push(u256{f.return_data.size()});
         break;
-      case Opcode::RETURNDATACOPY: {
-        const u256 dst = f.stack.pop(), src = f.stack.pop(), len = f.stack.pop();
-        // Unlike other copies, out-of-range reads are a hard failure.
-        if (!src.fits_u64() || !len.fits_u64() ||
-            src.as_u64() + len.as_u64() < src.as_u64() ||
-            src.as_u64() + len.as_u64() > f.return_data.size()) {
-          f.fail(VmStatus::kOutOfGas);
-          break;
-        }
-        uint64_t dst64, len64;
-        if (!f.charge_memory(dst, len, dst64, len64)) break;
-        if (!f.charge(kGasCopyWord * EvmMemory::word_count(len64))) break;
-        f.memory.store_padded(dst64, f.return_data, src.as_u64(), len64);
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kReturnData, src.as_u64(), len64, false);
-          observer_->on_memory_access(MemoryLike::kMemory, dst64, len64, true);
-        }
+      case Opcode::RETURNDATACOPY:
+        op_returndatacopy(f);
         break;
-      }
-      case Opcode::EXTCODEHASH: {
-        const Address addr = Address::from_u256(f.stack.pop());
-        const bool cold = state_.access_account(addr);
-        if (observer_) observer_->on_account_access(addr, cold);
-        if (!f.charge(cold ? kGasColdAccount : kGasWarmAccess)) break;
-        if (!state_.exists(addr)) {
-          f.stack.push(u256{});
-        } else {
-          f.stack.push(state_.code_hash(addr).to_u256());
-        }
+      case Opcode::EXTCODEHASH:
+        op_extcodehash(f);
         break;
-      }
 
       // --- block context ---
-      case Opcode::BLOCKHASH: {
-        const u256 number = f.stack.pop();
-        u256 hash{};
-        if (number.fits_u64()) {
-          const uint64_t n = number.as_u64();
-          if (n < block_.number && block_.number - n <= 256) {
-            if (block_.block_hash) {
-              hash = block_.block_hash(n).to_u256();
-            } else {
-              hash = crypto::keccak256(u256{n}.to_be_bytes_vec()).to_u256();
-            }
-          }
-        }
-        f.stack.push(hash);
+      case Opcode::BLOCKHASH:
+        op_blockhash(f);
         break;
-      }
       case Opcode::COINBASE:
         f.stack.push(block_.coinbase.to_u256());
         break;
@@ -813,38 +624,18 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
       case Opcode::POP:
         f.stack.pop();
         break;
-      case Opcode::MLOAD: {
-        const u256 offset = f.stack.pop();
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, u256{32}, off64, len64)) break;
-        if (observer_) observer_->on_memory_access(MemoryLike::kMemory, off64, 32, false);
-        f.stack.push(f.memory.load_word(off64));
+      case Opcode::MLOAD:
+        op_mload(f);
         break;
-      }
-      case Opcode::MSTORE: {
-        const u256 offset = f.stack.pop(), value = f.stack.pop();
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, u256{32}, off64, len64)) break;
-        f.memory.store_word(off64, value);
-        if (observer_) observer_->on_memory_access(MemoryLike::kMemory, off64, 32, true);
+      case Opcode::MSTORE:
+        op_mstore(f);
         break;
-      }
-      case Opcode::MSTORE8: {
-        const u256 offset = f.stack.pop(), value = f.stack.pop();
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, u256{1}, off64, len64)) break;
-        f.memory.store_byte(off64, static_cast<uint8_t>(value.as_u64() & 0xff));
-        if (observer_) observer_->on_memory_access(MemoryLike::kMemory, off64, 1, true);
+      case Opcode::MSTORE8:
+        op_mstore8(f);
         break;
-      }
-      case Opcode::SLOAD: {
-        const u256 key = f.stack.pop();
-        const bool cold = state_.access_storage(msg.recipient, key);
-        if (observer_) observer_->on_storage_access(msg.recipient, key, false, cold);
-        if (!f.charge(cold ? kGasColdSload : kGasWarmAccess)) break;
-        f.stack.push(state_.storage(msg.recipient, key));
+      case Opcode::SLOAD:
+        op_sload(f);
         break;
-      }
       case Opcode::SSTORE:
         do_sstore(f);
         break;
@@ -881,100 +672,36 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
         break;
       case Opcode::JUMPDEST:
         break;
-      case Opcode::TLOAD: {
-        const u256 key = f.stack.pop();
-        if (observer_) observer_->on_storage_access(msg.recipient, key, false, false);
-        f.stack.push(state_.transient_storage(msg.recipient, key));
+      case Opcode::TLOAD:
+        op_tload(f);
         break;
-      }
-      case Opcode::TSTORE: {
-        if (msg.is_static) {
-          f.fail(VmStatus::kStaticModeViolation);
-          break;
-        }
-        const u256 key = f.stack.pop(), value = f.stack.pop();
-        if (observer_) observer_->on_storage_access(msg.recipient, key, true, false);
-        state_.set_transient_storage(msg.recipient, key, value);
+      case Opcode::TSTORE:
+        op_tstore(f);
         break;
-      }
-      case Opcode::MCOPY: {
-        const u256 dst = f.stack.pop(), src = f.stack.pop(), len = f.stack.pop();
-        uint64_t dst64, len64, src64, len_src;
-        if (!f.charge_memory(dst, len, dst64, len64)) break;
-        if (!f.charge_memory(src, len, src64, len_src)) break;
-        if (!f.charge(kGasCopyWord * EvmMemory::word_count(len64))) break;
-        f.memory.copy_within(dst64, src64, len64);
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kMemory, src64, len64, false);
-          observer_->on_memory_access(MemoryLike::kMemory, dst64, len64, true);
-        }
+      case Opcode::MCOPY:
+        op_mcopy(f);
         break;
-      }
 
       // --- logs ---
       case Opcode::LOG0:
       case Opcode::LOG1:
       case Opcode::LOG2:
       case Opcode::LOG3:
-      case Opcode::LOG4: {
-        if (msg.is_static) {
-          f.fail(VmStatus::kStaticModeViolation);
-          break;
-        }
-        const auto topic_count = static_cast<size_t>(op_byte - 0xa0);
-        const u256 offset = f.stack.pop(), len = f.stack.pop();
-        LogEntry log;
-        log.address = msg.recipient;
-        for (size_t i = 0; i < topic_count; ++i) log.topics.push_back(f.stack.pop());
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, len, off64, len64)) break;
-        if (!f.charge(kGasLogTopic * topic_count + kGasLogByte * len64)) break;
-        const BytesView payload = f.memory.view(off64, len64);
-        log.data.assign(payload.begin(), payload.end());
-        if (observer_) {
-          if (len64 > 0) observer_->on_memory_access(MemoryLike::kMemory, off64, len64, false);
-          observer_->on_log(log);
-        }
+      case Opcode::LOG4:
+        op_log(f, static_cast<size_t>(op_byte - 0xa0));
         break;
-      }
 
       // --- halting ---
       case Opcode::RETURN:
-      case Opcode::REVERT: {
-        const u256 offset = f.stack.pop(), len = f.stack.pop();
-        uint64_t off64, len64;
-        if (!f.charge_memory(offset, len, off64, len64)) break;
-        const BytesView payload = f.memory.view(off64, len64);
-        f.output.assign(payload.begin(), payload.end());
-        if (observer_ && len64 > 0) {
-          observer_->on_memory_access(MemoryLike::kReturnData, 0, len64, true);
-        }
-        if (op == Opcode::REVERT) {
-          f.status = VmStatus::kRevert;
-        }
-        f.halted = true;
+      case Opcode::REVERT:
+        op_return_revert(f, op == Opcode::REVERT);
         break;
-      }
       case Opcode::INVALID:
         f.fail(VmStatus::kInvalidInstruction);
         break;
-      case Opcode::SELFDESTRUCT: {
-        if (msg.is_static) {
-          f.fail(VmStatus::kStaticModeViolation);
-          break;
-        }
-        const Address beneficiary = Address::from_u256(f.stack.pop());
-        const bool cold = state_.access_account(beneficiary);
-        if (observer_) observer_->on_account_access(beneficiary, cold);
-        uint64_t cost = cold ? kGasColdAccount : 0;
-        if (!state_.exists(beneficiary) && !state_.balance(msg.recipient).is_zero()) {
-          cost += kGasSelfdestructNewAccount;
-        }
-        if (!f.charge(cost)) break;
-        state_.selfdestruct(msg.recipient, beneficiary);
-        f.halted = true;
+      case Opcode::SELFDESTRUCT:
+        op_selfdestruct(f);
         break;
-      }
 
       case Opcode::CREATE:
       case Opcode::CREATE2:
@@ -1020,12 +747,6 @@ CallResult Interpreter::run_frame(const Message& msg, BytesView code) {
     }
     if (!f.halted) f.pc = next_pc;
   }
-
-  if (observer_) {
-    observer_->on_frame_exit({f.status, msg.gas - f.gas, f.output.size(),
-                              f.memory.size(), msg.depth});
-  }
-  return {f.status, std::move(f.output), f.gas, {}};
 }
 
 // ---------------------------------------------------------------------------

@@ -12,29 +12,42 @@
 namespace hardtape::evm {
 
 /// 1024-slot operand stack. Overflow/underflow are reported by the caller
-/// (the interpreter checks against OpInfo before dispatch), so the fast-path
-/// accessors here assume validity.
+/// (the interpreter checks against OpInfo before dispatch), so the
+/// accessors here assume validity. Storage is allocated at the full
+/// 1024-slot capacity up front (32 KB — exactly the layer-1 stack SRAM of
+/// Section IV-B), which lets the fast dispatch loop mirror the top-of-stack
+/// pointer in a register (base()/set_size()) with no reallocation hazard.
 class Stack {
  public:
   static constexpr size_t kLimit = 1024;
 
-  size_t size() const { return items_.size(); }
-  bool empty() const { return items_.empty(); }
+  Stack() : items_(kLimit) {}
 
-  void push(const u256& v) { items_.push_back(v); }
-  u256 pop() {
-    u256 v = items_.back();
-    items_.pop_back();
-    return v;
-  }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void push(const u256& v) { items_[size_++] = v; }
+  u256 pop() { return items_[--size_]; }
+  /// pop() without materializing the popped value (fast-path in-place ops).
+  void drop() { --size_; }
   /// 0 = top of stack.
-  const u256& peek(size_t depth = 0) const { return items_[items_.size() - 1 - depth]; }
-  u256& peek(size_t depth = 0) { return items_[items_.size() - 1 - depth]; }
+  const u256& peek(size_t depth = 0) const { return items_[size_ - 1 - depth]; }
+  u256& peek(size_t depth = 0) { return items_[size_ - 1 - depth]; }
   void swap_top(size_t depth) { std::swap(peek(0), peek(depth)); }
   void dup(size_t depth) { push(peek(depth)); }
 
+  /// Raw access for the fast dispatch loop, which keeps the height in a
+  /// register and writes it back via set_size() around any call that goes
+  /// through this interface (see run_decoded in fastpath.cpp).
+  u256* base() { return items_.data(); }
+  void set_size(size_t n) { size_ = n; }
+
+  /// Bottom-first snapshot (FrameDebug capture).
+  std::vector<u256> items() const { return {items_.begin(), items_.begin() + size_}; }
+
  private:
-  std::vector<u256> items_;
+  std::vector<u256> items_;  ///< fixed kLimit slots; size_ is the live count
+  size_t size_ = 0;
 };
 
 /// Byte-addressed, zero-initialized, word-expanded frame memory. Expansion

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/errors.hpp"
+#include "common/random.hpp"
 #include "crypto/secp256k1.hpp"
 #include "evm/assembler.hpp"
 #include "evm/interpreter.hpp"
@@ -24,8 +25,9 @@ const Address kCaller = addr(0xAA);
 const Address kContract = addr(0xCC);
 
 // Test fixture: a funded caller, one deployable contract slot, an
-// interpreter over an overlay.
-class EvmTest : public ::testing::Test {
+// interpreter over an overlay. Parameterized over the execution engine so
+// every semantic test runs on both the reference loop and the fast path.
+class EvmTest : public ::testing::TestWithParam<EngineKind> {
  protected:
   EvmTest() {
     base_.put_account(kCaller, state::Account{.balance = u256::from_string("1000000000000000000")});
@@ -44,6 +46,7 @@ class EvmTest : public ::testing::Test {
     interp_opt_.emplace(*overlay_opt_, std::move(block));
     interp_opt_->set_observer(observer_);
     interp_opt_->set_frame_memory_limit(frame_memory_limit_);
+    interp_opt_->set_engine(GetParam());
   }
 
   state::OverlayState& overlay_get() { return *overlay_opt_; }
@@ -98,6 +101,13 @@ class EvmTest : public ::testing::Test {
   uint64_t frame_memory_limit_ = 0;
 };
 
+INSTANTIATE_TEST_SUITE_P(
+    Engines, EvmTest,
+    ::testing::Values(EngineKind::kReference, EngineKind::kFast),
+    [](const ::testing::TestParamInfo<EngineKind>& info) {
+      return info.param == EngineKind::kReference ? "Reference" : "Fast";
+    });
+
 // Source snippet: RETURN the top of stack as one word.
 constexpr std::string_view kReturnTop = R"(
   PUSH1 0x00
@@ -113,12 +123,12 @@ std::string ret(std::string_view body) {
 
 // --- assembler ---
 
-TEST_F(EvmTest, AssemblerBasics) {
+TEST_P(EvmTest, AssemblerBasics) {
   const Bytes code = assemble("PUSH1 0x01 PUSH1 0x02 ADD STOP");
   EXPECT_EQ(code, (Bytes{0x60, 0x01, 0x60, 0x02, 0x01, 0x00}));
 }
 
-TEST_F(EvmTest, AssemblerAutoPushAndLabels) {
+TEST_P(EvmTest, AssemblerAutoPushAndLabels) {
   const Bytes code = assemble(R"(
     PUSH @end    ; forward reference
     JUMP
@@ -131,7 +141,7 @@ TEST_F(EvmTest, AssemblerAutoPushAndLabels) {
   EXPECT_EQ(code, (Bytes{0x61, 0x00, 0x05, 0x56, 0xfe, 0x5b, 0x00}));
 }
 
-TEST_F(EvmTest, AssemblerWidePush) {
+TEST_P(EvmTest, AssemblerWidePush) {
   const Bytes code = assemble("PUSH32 0xff PUSH 65536");
   EXPECT_EQ(code.size(), 1 + 32 + 1 + 3u);
   EXPECT_EQ(code[0], 0x7f);
@@ -139,7 +149,7 @@ TEST_F(EvmTest, AssemblerWidePush) {
   EXPECT_EQ(code[33], 0x62);  // PUSH3
 }
 
-TEST_F(EvmTest, AssemblerErrors) {
+TEST_P(EvmTest, AssemblerErrors) {
   EXPECT_THROW(assemble("BOGUS"), UsageError);
   EXPECT_THROW(assemble("PUSH1"), UsageError);
   EXPECT_THROW(assemble("PUSH @missing JUMP"), UsageError);
@@ -147,7 +157,7 @@ TEST_F(EvmTest, AssemblerErrors) {
   EXPECT_THROW(assemble("PUSH1 0x0100"), UsageError);  // too wide
 }
 
-TEST_F(EvmTest, DisassemblerRoundTrip) {
+TEST_P(EvmTest, DisassemblerRoundTrip) {
   const std::string text = disassemble(assemble("PUSH2 0x1234 MSTORE JUMPDEST STOP"));
   EXPECT_NE(text.find("PUSH2 0x1234"), std::string::npos);
   EXPECT_NE(text.find("JUMPDEST"), std::string::npos);
@@ -155,7 +165,7 @@ TEST_F(EvmTest, DisassemblerRoundTrip) {
 
 // --- arithmetic and logic ---
 
-TEST_F(EvmTest, Arithmetic) {
+TEST_P(EvmTest, Arithmetic) {
   EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 4 ADD")), u256{7});
   EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 4 MUL")), u256{12});
   EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 10 SUB")), u256{7});  // 10 - 3
@@ -167,7 +177,7 @@ TEST_F(EvmTest, Arithmetic) {
   EXPECT_EQ(run_word(ret("PUSH1 3 PUSH1 2 EXP")), u256{8});  // 2^3
 }
 
-TEST_F(EvmTest, SignedArithmetic) {
+TEST_P(EvmTest, SignedArithmetic) {
   // -8 / 2 = -4
   EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 8 PUSH0 SUB SDIV")), u256{4}.neg());
   // -8 % 3 = -2
@@ -182,7 +192,7 @@ TEST_F(EvmTest, SignedArithmetic) {
   EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH1 0 SIGNEXTEND")), ~u256{});
 }
 
-TEST_F(EvmTest, ComparisonAndBitwise) {
+TEST_P(EvmTest, ComparisonAndBitwise) {
   EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 1 LT")), u256{1});
   EXPECT_EQ(run_word(ret("PUSH1 1 PUSH1 2 GT")), u256{1});
   EXPECT_EQ(run_word(ret("PUSH1 5 PUSH1 5 EQ")), u256{1});
@@ -197,7 +207,7 @@ TEST_F(EvmTest, ComparisonAndBitwise) {
   EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH1 31 BYTE")), u256{0xff});
 }
 
-TEST_F(EvmTest, Sha3Opcode) {
+TEST_P(EvmTest, Sha3Opcode) {
   // keccak256 of one zero word, computed in-EVM vs. host-side.
   const u256 expected = crypto::keccak256(Bytes(32, 0)).to_u256();
   EXPECT_EQ(run_word(ret("PUSH1 0x20 PUSH1 0x00 SHA3")), expected);
@@ -205,7 +215,7 @@ TEST_F(EvmTest, Sha3Opcode) {
 
 // --- stack ops ---
 
-TEST_F(EvmTest, DupSwapPop) {
+TEST_P(EvmTest, DupSwapPop) {
   EXPECT_EQ(run_word(ret("PUSH1 7 DUP1 ADD")), u256{14});
   EXPECT_EQ(run_word(ret("PUSH1 2 PUSH1 1 SWAP1 SUB")), u256{1});  // swap -> 2 - 1
   EXPECT_EQ(run_word(ret("PUSH1 9 PUSH1 5 POP")), u256{9});
@@ -216,7 +226,7 @@ TEST_F(EvmTest, DupSwapPop) {
   EXPECT_EQ(run_word(ret(deep)), u256{1});
 }
 
-TEST_F(EvmTest, StackUnderflowAndOverflow) {
+TEST_P(EvmTest, StackUnderflowAndOverflow) {
   EXPECT_EQ(run_asm("ADD").status, VmStatus::kStackUnderflow);
   std::string overflow = "begin: JUMPDEST PUSH1 1 PUSH @begin JUMP";
   EXPECT_EQ(run_asm(overflow).status, VmStatus::kStackOverflow);
@@ -224,7 +234,7 @@ TEST_F(EvmTest, StackUnderflowAndOverflow) {
 
 // --- control flow ---
 
-TEST_F(EvmTest, JumpAndJumpi) {
+TEST_P(EvmTest, JumpAndJumpi) {
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 1
     PUSH @skip
@@ -250,7 +260,7 @@ TEST_F(EvmTest, JumpAndJumpi) {
   )")), u256{7});
 }
 
-TEST_F(EvmTest, InvalidJumpDestinations) {
+TEST_P(EvmTest, InvalidJumpDestinations) {
   EXPECT_EQ(run_asm("PUSH1 0x01 JUMP STOP").status, VmStatus::kBadJumpDestination);
   // Jump into PUSH immediate data that happens to contain 0x5b.
   EXPECT_EQ(run_asm("PUSH1 0x03 JUMP PUSH1 0x5b STOP").status,
@@ -258,11 +268,11 @@ TEST_F(EvmTest, InvalidJumpDestinations) {
   EXPECT_EQ(run_asm("PUSH2 0xffff JUMP").status, VmStatus::kBadJumpDestination);
 }
 
-TEST_F(EvmTest, RunningOffCodeEndIsStop) {
+TEST_P(EvmTest, RunningOffCodeEndIsStop) {
   EXPECT_EQ(run_asm("PUSH1 1 PUSH1 2 ADD").status, VmStatus::kSuccess);
 }
 
-TEST_F(EvmTest, InvalidAndUndefinedOpcodes) {
+TEST_P(EvmTest, InvalidAndUndefinedOpcodes) {
   const CallResult r1 = run(Bytes{0xfe});
   EXPECT_EQ(r1.status, VmStatus::kInvalidInstruction);
   EXPECT_EQ(r1.gas_left, 0u);  // consumes all gas
@@ -272,7 +282,7 @@ TEST_F(EvmTest, InvalidAndUndefinedOpcodes) {
 
 // --- memory ---
 
-TEST_F(EvmTest, MemoryOps) {
+TEST_P(EvmTest, MemoryOps) {
   EXPECT_EQ(run_word(ret(
                 "PUSH1 0xab PUSH1 0x40 MSTORE8 PUSH1 0x40 MLOAD PUSH1 248 SHR")),
             u256{0xab});
@@ -287,7 +297,7 @@ TEST_F(EvmTest, MemoryOps) {
   )"), u256{0x99});
 }
 
-TEST_F(EvmTest, MemoryExpansionGasCharged) {
+TEST_P(EvmTest, MemoryExpansionGasCharged) {
   // Same program, bigger memory touch -> more gas.
   const CallResult small = run_asm("PUSH1 1 PUSH1 0x00 MSTORE STOP");
   const CallResult big = run_asm("PUSH1 1 PUSH2 0x2000 MSTORE STOP");
@@ -296,12 +306,12 @@ TEST_F(EvmTest, MemoryExpansionGasCharged) {
   EXPECT_GT(small.gas_left, big.gas_left);
 }
 
-TEST_F(EvmTest, AbsurdMemoryOffsetIsOutOfGas) {
+TEST_P(EvmTest, AbsurdMemoryOffsetIsOutOfGas) {
   EXPECT_EQ(run_asm("PUSH1 1 PUSH32 0xffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff MSTORE").status,
             VmStatus::kOutOfGas);
 }
 
-TEST_F(EvmTest, TerabyteMemoryOffsetIsOutOfGasBeforeExpansion) {
+TEST_P(EvmTest, TerabyteMemoryOffsetIsOutOfGasBeforeExpansion) {
   // Regression for the memory_gas uint64 overflow: a 2^40-byte offset needs
   // ~2^35 words, so the unchecked quadratic term words*words wrapped uint64
   // and charged only the linear ~1.03e11 gas. Under a gas limit that can
@@ -315,7 +325,7 @@ TEST_F(EvmTest, TerabyteMemoryOffsetIsOutOfGasBeforeExpansion) {
 
 // --- signed arithmetic / shift edge cases ---
 
-TEST_F(EvmTest, SdivIntMinByMinusOne) {
+TEST_P(EvmTest, SdivIntMinByMinusOne) {
   // INT256_MIN / -1 overflows two's complement; EVM defines the result as
   // INT256_MIN itself.
   const u256 int_min = u256{1} << 255;
@@ -324,7 +334,7 @@ TEST_F(EvmTest, SdivIntMinByMinusOne) {
   EXPECT_EQ(run_word(ret("PUSH0 NOT PUSH1 1 PUSH1 255 SHL SMOD")), u256{});
 }
 
-TEST_F(EvmTest, SmodTakesSignOfDividend) {
+TEST_P(EvmTest, SmodTakesSignOfDividend) {
   //  8 smod -3 = 2 (sign follows the dividend, not the divisor)
   EXPECT_EQ(run_word(ret("PUSH1 3 PUSH0 SUB PUSH1 8 SMOD")), u256{2});
   // -8 smod -3 = -2
@@ -332,7 +342,7 @@ TEST_F(EvmTest, SmodTakesSignOfDividend) {
             u256{2}.neg());
 }
 
-TEST_F(EvmTest, SignExtendHighIndices) {
+TEST_P(EvmTest, SignExtendHighIndices) {
   // Index 31 treats the full word as already sign-extended: identity.
   const u256 neg = u256{5}.neg();
   EXPECT_EQ(run_word(ret("PUSH1 5 PUSH0 SUB PUSH1 31 SIGNEXTEND")), neg);
@@ -342,7 +352,7 @@ TEST_F(EvmTest, SignExtendHighIndices) {
   EXPECT_EQ(run_word(ret("PUSH1 0xff PUSH2 0x0100 SIGNEXTEND")), u256{0xff});
 }
 
-TEST_F(EvmTest, SarShiftOfWordSizeOrMore) {
+TEST_P(EvmTest, SarShiftOfWordSizeOrMore) {
   // Arithmetic shift >= 256 of a negative value saturates to -1 (all ones),
   // of a non-negative value to 0.
   EXPECT_EQ(run_word(ret("PUSH1 1 PUSH0 SUB PUSH2 0x0100 SAR")), ~u256{});
@@ -350,7 +360,7 @@ TEST_F(EvmTest, SarShiftOfWordSizeOrMore) {
   EXPECT_EQ(run_word(ret("PUSH1 5 PUSH2 0x0100 SAR")), u256{});
 }
 
-TEST_F(EvmTest, ExpFullWidthExponent) {
+TEST_P(EvmTest, ExpFullWidthExponent) {
   // Exponent with bit length 256 (top bit set). 2^(2^255) mod 2^256 = 0.
   EXPECT_EQ(run_word(ret("PUSH1 1 PUSH1 255 SHL PUSH1 2 EXP")), u256{});
   // (-1)^(2^256 - 1): odd exponent, so the result stays -1.
@@ -361,7 +371,7 @@ TEST_F(EvmTest, ExpFullWidthExponent) {
 
 // --- calldata / code / returndata ---
 
-TEST_F(EvmTest, CalldataOps) {
+TEST_P(EvmTest, CalldataOps) {
   Bytes input = from_hex("00112233445566778899aabbccddeeff00112233445566778899aabbccddeeff");
   EXPECT_EQ(run_word(ret("PUSH1 0 CALLDATALOAD"), input),
             u256::from_be_bytes(input));
@@ -376,7 +386,7 @@ TEST_F(EvmTest, CalldataOps) {
   )", input), u256::from_be_bytes(input));
 }
 
-TEST_F(EvmTest, CodeSizeAndCopy) {
+TEST_P(EvmTest, CodeSizeAndCopy) {
   const Bytes code = assemble(ret("CODESIZE"));
   base_.put_code(kContract, code);
   EXPECT_EQ(run(code).output, u256{code.size()}.to_be_bytes_vec());
@@ -384,7 +394,7 @@ TEST_F(EvmTest, CodeSizeAndCopy) {
 
 // --- environment ---
 
-TEST_F(EvmTest, EnvironmentOpcodes) {
+TEST_P(EvmTest, EnvironmentOpcodes) {
   EXPECT_EQ(run_word(ret("ADDRESS")), kContract.to_u256());
   EXPECT_EQ(run_word(ret("CALLER")), kCaller.to_u256());
   EXPECT_EQ(run_word(ret("ORIGIN")), kCaller.to_u256());
@@ -396,7 +406,7 @@ TEST_F(EvmTest, EnvironmentOpcodes) {
   EXPECT_EQ(run_word(ret("BASEFEE")), u256{7});
 }
 
-TEST_F(EvmTest, CallValueAndSelfBalance) {
+TEST_P(EvmTest, CallValueAndSelfBalance) {
   const CallResult r = run(assemble(ret("CALLVALUE")), {}, u256{12345});
   EXPECT_EQ(u256::from_be_bytes(r.output), u256{12345});
   // The transferred value is visible via SELFBALANCE.
@@ -404,13 +414,13 @@ TEST_F(EvmTest, CallValueAndSelfBalance) {
   EXPECT_EQ(u256::from_be_bytes(r2.output), u256{777});
 }
 
-TEST_F(EvmTest, BalanceOpcode) {
+TEST_P(EvmTest, BalanceOpcode) {
   base_.put_account(addr(0x55), state::Account{.balance = u256{424242}});
   const std::string src = "PUSH20 0x" + to_hex(addr(0x55).view()) + " BALANCE";
   EXPECT_EQ(run_word(ret(src)), u256{424242});
 }
 
-TEST_F(EvmTest, ExtCodeOps) {
+TEST_P(EvmTest, ExtCodeOps) {
   base_.put_code(addr(0x66), Bytes{0x60, 0x01, 0x00});
   const std::string target = "PUSH20 0x" + to_hex(addr(0x66).view());
   EXPECT_EQ(run_word(ret(target + " EXTCODESIZE")), u256{3});
@@ -423,7 +433,7 @@ TEST_F(EvmTest, ExtCodeOps) {
 
 // --- storage ---
 
-TEST_F(EvmTest, SloadSstore) {
+TEST_P(EvmTest, SloadSstore) {
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x2a PUSH1 0x01 SSTORE
     PUSH1 0x01 SLOAD
@@ -431,7 +441,7 @@ TEST_F(EvmTest, SloadSstore) {
   EXPECT_EQ(overlay_get().storage(kContract, u256{1}), u256{42});
 }
 
-TEST_F(EvmTest, SstoreGasWarmVsCold) {
+TEST_P(EvmTest, SstoreGasWarmVsCold) {
   // Two stores to different cold slots vs. two stores to the same slot.
   const CallResult two_cold = run_asm(
       "PUSH1 1 PUSH1 0x01 SSTORE PUSH1 1 PUSH1 0x02 SSTORE STOP");
@@ -448,14 +458,14 @@ TEST_F(EvmTest, SstoreGasWarmVsCold) {
   EXPECT_LT(two_cold.gas_left, warm_second.gas_left);
 }
 
-TEST_F(EvmTest, SstoreRefundOnClear) {
+TEST_P(EvmTest, SstoreRefundOnClear) {
   base_.put_storage(kContract, u256{5}, u256{99});
   const CallResult r = run_asm("PUSH0 PUSH1 0x05 SSTORE STOP");
   EXPECT_EQ(r.status, VmStatus::kSuccess);
   EXPECT_EQ(overlay_get().refund(), 4800u);
 }
 
-TEST_F(EvmTest, SstoreSentryGas) {
+TEST_P(EvmTest, SstoreSentryGas) {
   // SSTORE with <= 2300 gas left must fail (EIP-2200 sentry).
   const Bytes code = assemble("PUSH1 1 PUSH1 1 SSTORE STOP");
   base_.put_code(kContract, code);
@@ -468,7 +478,7 @@ TEST_F(EvmTest, SstoreSentryGas) {
   EXPECT_EQ(interp_get().call(msg).status, VmStatus::kOutOfGas);
 }
 
-TEST_F(EvmTest, TransientStorage) {
+TEST_P(EvmTest, TransientStorage) {
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x63 PUSH1 0x07 TSTORE
     PUSH1 0x07 TLOAD
@@ -479,7 +489,7 @@ TEST_F(EvmTest, TransientStorage) {
 
 // --- return / revert ---
 
-TEST_F(EvmTest, RevertReturnsPayloadAndKeepsGas) {
+TEST_P(EvmTest, RevertReturnsPayloadAndKeepsGas) {
   const CallResult r = run_asm(R"(
     PUSH1 0xee PUSH1 0x00 MSTORE
     PUSH1 0x20 PUSH1 0x00 REVERT
@@ -489,7 +499,7 @@ TEST_F(EvmTest, RevertReturnsPayloadAndKeepsGas) {
   EXPECT_GT(r.gas_left, 0u);
 }
 
-TEST_F(EvmTest, RevertRollsBackState) {
+TEST_P(EvmTest, RevertRollsBackState) {
   const CallResult r = run_asm("PUSH1 9 PUSH1 1 SSTORE PUSH1 0 PUSH1 0 REVERT");
   EXPECT_EQ(r.status, VmStatus::kRevert);
   EXPECT_EQ(overlay_get().storage(kContract, u256{1}), u256{});
@@ -497,7 +507,7 @@ TEST_F(EvmTest, RevertRollsBackState) {
 
 // --- calls ---
 
-TEST_F(EvmTest, CallTransfersValueAndReturnsData) {
+TEST_P(EvmTest, CallTransfersValueAndReturnsData) {
   // Callee returns CALLVALUE.
   base_.put_code(addr(0x77), assemble(ret("CALLVALUE")));
   base_.put_account(kContract, state::Account{.balance = u256{100000}});
@@ -519,7 +529,7 @@ TEST_F(EvmTest, CallTransfersValueAndReturnsData) {
   EXPECT_EQ(overlay_get().balance(addr(0x77)), u256{0x1234});
 }
 
-TEST_F(EvmTest, CallToEmptyAccountSucceeds) {
+TEST_P(EvmTest, CallToEmptyAccountSucceeds) {
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
     PUSH20 0x00000000000000000000000000000000000000e1
@@ -528,7 +538,7 @@ TEST_F(EvmTest, CallToEmptyAccountSucceeds) {
   )")), u256{1});
 }
 
-TEST_F(EvmTest, FailedCalleeRevertBubblesReturnData) {
+TEST_P(EvmTest, FailedCalleeRevertBubblesReturnData) {
   base_.put_code(addr(0x78), assemble(R"(
     PUSH1 0xbd PUSH1 0x00 MSTORE
     PUSH1 0x20 PUSH1 0x00 REVERT
@@ -548,7 +558,7 @@ TEST_F(EvmTest, FailedCalleeRevertBubblesReturnData) {
   EXPECT_EQ(u256::from_be_bytes(BytesView{r.output.data() + 32, 32}), u256{0xbd});
 }
 
-TEST_F(EvmTest, CalleeStateRevertedOnFailure) {
+TEST_P(EvmTest, CalleeStateRevertedOnFailure) {
   base_.put_code(addr(0x79), assemble("PUSH1 5 PUSH1 9 SSTORE INVALID"));
   const CallResult r = run_asm(ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
@@ -561,7 +571,7 @@ TEST_F(EvmTest, CalleeStateRevertedOnFailure) {
   EXPECT_EQ(overlay_get().storage(addr(0x79), u256{9}), u256{});  // rolled back
 }
 
-TEST_F(EvmTest, DelegatecallRunsInCallerContext) {
+TEST_P(EvmTest, DelegatecallRunsInCallerContext) {
   // The library writes to slot 3; under DELEGATECALL the write lands in the
   // caller's storage and CALLER is preserved.
   base_.put_code(addr(0x7A), assemble("PUSH1 0x11 PUSH1 0x03 SSTORE CALLER PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN"));
@@ -579,7 +589,7 @@ TEST_F(EvmTest, DelegatecallRunsInCallerContext) {
   EXPECT_EQ(overlay_get().storage(addr(0x7A), u256{3}), u256{});
 }
 
-TEST_F(EvmTest, StaticcallBlocksWrites) {
+TEST_P(EvmTest, StaticcallBlocksWrites) {
   base_.put_code(addr(0x7B), assemble("PUSH1 1 PUSH1 1 SSTORE STOP"));
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
@@ -590,7 +600,7 @@ TEST_F(EvmTest, StaticcallBlocksWrites) {
   EXPECT_EQ(overlay_get().storage(addr(0x7B), u256{1}), u256{});
 }
 
-TEST_F(EvmTest, StaticcallAllowsReads) {
+TEST_P(EvmTest, StaticcallAllowsReads) {
   base_.put_storage(addr(0x7C), u256{2}, u256{0x5a});
   base_.put_code(addr(0x7C), assemble(ret("PUSH1 0x02 SLOAD")));
   const CallResult r = run_asm(R"(
@@ -604,7 +614,7 @@ TEST_F(EvmTest, StaticcallAllowsReads) {
   EXPECT_EQ(u256::from_be_bytes(r.output), u256{0x5a});
 }
 
-TEST_F(EvmTest, InsufficientBalanceCallPushesZero) {
+TEST_P(EvmTest, InsufficientBalanceCallPushesZero) {
   // Contract has no balance; CALL with value must fail locally.
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
@@ -615,7 +625,7 @@ TEST_F(EvmTest, InsufficientBalanceCallPushesZero) {
   )")), u256{});
 }
 
-TEST_F(EvmTest, CallDepthLimit) {
+TEST_P(EvmTest, CallDepthLimit) {
   // Self-recursive call; must bottom out at depth 1024 without crashing.
   const std::string src = ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
@@ -629,7 +639,7 @@ TEST_F(EvmTest, CallDepthLimit) {
 
 // --- create ---
 
-TEST_F(EvmTest, CreateDeploysRunnableCode) {
+TEST_P(EvmTest, CreateDeploysRunnableCode) {
   // Init code returns the runtime code `PUSH1 0x2a ...ret word` (returns 42).
   const Bytes runtime = assemble(ret("PUSH1 0x2a"));
   const std::string init_src = "PUSH32 0x" + to_hex(right_pad(runtime, 32)) +
@@ -656,7 +666,7 @@ TEST_F(EvmTest, CreateDeploysRunnableCode) {
   EXPECT_EQ(overlay_get().nonce(kContract), 1u);
 }
 
-TEST_F(EvmTest, CreateAddressKnownVector) {
+TEST_P(EvmTest, CreateAddressKnownVector) {
   // Well-known: the first contract of 0x6ac7ea33f8831ea9dcc53393aaa88b25a785dbf0
   // (nonce 0) is the famous 0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d.
   state::InMemoryState base;
@@ -673,7 +683,7 @@ TEST_F(EvmTest, CreateAddressKnownVector) {
   EXPECT_EQ(r.create_address.hex(), "0xcd234a471b72ba2f1ccf0a70fcaba648a5eecd8d");
 }
 
-TEST_F(EvmTest, Create2AddressDeterministic) {
+TEST_P(EvmTest, Create2AddressDeterministic) {
   const std::string create2 = R"(
     PUSH1 0x00        ; empty init code -> empty contract
     PUSH1 0x00
@@ -699,7 +709,7 @@ TEST_F(EvmTest, Create2AddressDeterministic) {
   EXPECT_TRUE(addr2.is_zero());  // collision pushes 0
 }
 
-TEST_F(EvmTest, CreateRevertedInitcodePushesZero) {
+TEST_P(EvmTest, CreateRevertedInitcodePushesZero) {
   // Init code is the single byte 0xfd (REVERT with an empty stack ->
   // failure), so CREATE must push zero.
   EXPECT_EQ(run_word(ret(R"(
@@ -711,7 +721,7 @@ TEST_F(EvmTest, CreateRevertedInitcodePushesZero) {
   )")), u256{});
 }
 
-TEST_F(EvmTest, CreateRejectsEfPrefix) {
+TEST_P(EvmTest, CreateRejectsEfPrefix) {
   // Init code returning 0xEF-prefixed runtime must fail (EIP-3541).
   const Bytes init = assemble("PUSH1 0xef PUSH1 0x00 MSTORE8 PUSH1 0x01 PUSH1 0x00 RETURN");
   const std::string src = ret(
@@ -722,7 +732,7 @@ TEST_F(EvmTest, CreateRejectsEfPrefix) {
 
 // --- selfdestruct ---
 
-TEST_F(EvmTest, SelfdestructMovesBalance) {
+TEST_P(EvmTest, SelfdestructMovesBalance) {
   base_.put_account(kContract, state::Account{.balance = u256{5000}});
   const CallResult r = run_asm(
       "PUSH20 0x00000000000000000000000000000000000000b1 SELFDESTRUCT");
@@ -733,7 +743,7 @@ TEST_F(EvmTest, SelfdestructMovesBalance) {
 
 // --- precompiles ---
 
-TEST_F(EvmTest, Sha256Precompile) {
+TEST_P(EvmTest, Sha256Precompile) {
   const Bytes input = {'a', 'b', 'c'};
   const CallResult r = run_asm(R"(
     PUSH1 0x61 PUSH1 0x00 MSTORE8
@@ -751,7 +761,7 @@ TEST_F(EvmTest, Sha256Precompile) {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
-TEST_F(EvmTest, IdentityPrecompile) {
+TEST_P(EvmTest, IdentityPrecompile) {
   Bytes input = from_hex("deadbeef");
   const CallResult r = run_asm(R"(
     PUSH1 0x04 PUSH1 0x00 PUSH1 0x00 CALLDATACOPY
@@ -765,7 +775,7 @@ TEST_F(EvmTest, IdentityPrecompile) {
   EXPECT_EQ(to_hex(r.output), "deadbeef");
 }
 
-TEST_F(EvmTest, EcrecoverPrecompile) {
+TEST_P(EvmTest, EcrecoverPrecompile) {
   // Host-side: sign a hash, then recover in-EVM.
   const crypto::PrivateKey key(u256{0xbeef});
   const H256 hash = crypto::keccak256("sign me");
@@ -789,7 +799,7 @@ TEST_F(EvmTest, EcrecoverPrecompile) {
             crypto::pubkey_to_address(key.public_key()));
 }
 
-TEST_F(EvmTest, ModexpPrecompile) {
+TEST_P(EvmTest, ModexpPrecompile) {
   // 3^5 mod 7 = 5, via the 0x05 precompile.
   Bytes input;
   append(input, u256{1}.to_be_bytes_vec());  // base_len
@@ -812,7 +822,7 @@ TEST_F(EvmTest, ModexpPrecompile) {
   EXPECT_EQ(r.output[0], 5);
 }
 
-TEST_F(EvmTest, ModexpWordSizedOperands) {
+TEST_P(EvmTest, ModexpWordSizedOperands) {
   // Fermat: a^(p-1) mod p == 1 for prime p (secp256k1's field prime).
   const u256 p = crypto::secp256k1::field_prime();
   Bytes input;
@@ -835,7 +845,7 @@ TEST_F(EvmTest, ModexpWordSizedOperands) {
   EXPECT_EQ(u256::from_be_bytes(r.output), u256{1});
 }
 
-TEST_F(EvmTest, ModexpZeroModulusYieldsZero) {
+TEST_P(EvmTest, ModexpZeroModulusYieldsZero) {
   Bytes input;
   append(input, u256{1}.to_be_bytes_vec());
   append(input, u256{1}.to_be_bytes_vec());
@@ -856,7 +866,7 @@ TEST_F(EvmTest, ModexpZeroModulusYieldsZero) {
 
 // --- transactions ---
 
-TEST_F(EvmTest, PlainTransferCosts21000) {
+TEST_P(EvmTest, PlainTransferCosts21000) {
   Transaction tx;
   tx.from = kCaller;
   tx.to = addr(0x99);
@@ -869,7 +879,7 @@ TEST_F(EvmTest, PlainTransferCosts21000) {
   EXPECT_EQ(overlay_get().nonce(kCaller), 1u);
 }
 
-TEST_F(EvmTest, TransactionFeesSettle) {
+TEST_P(EvmTest, TransactionFeesSettle) {
   Transaction tx;
   tx.from = kCaller;
   tx.to = addr(0x99);
@@ -881,7 +891,7 @@ TEST_F(EvmTest, TransactionFeesSettle) {
   EXPECT_EQ(overlay_get().balance(addr(0xFE)), u256{r.gas_used} * u256{3});  // coinbase
 }
 
-TEST_F(EvmTest, TransactionNonceChecks) {
+TEST_P(EvmTest, TransactionNonceChecks) {
   Transaction tx;
   tx.from = kCaller;
   tx.to = addr(0x99);
@@ -893,7 +903,7 @@ TEST_F(EvmTest, TransactionNonceChecks) {
   EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kNonceMismatch);
 }
 
-TEST_F(EvmTest, TransactionInsufficientBalance) {
+TEST_P(EvmTest, TransactionInsufficientBalance) {
   Transaction tx;
   tx.from = addr(0x01);  // empty account
   tx.to = addr(0x99);
@@ -901,7 +911,7 @@ TEST_F(EvmTest, TransactionInsufficientBalance) {
   EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kInsufficientBalance);
 }
 
-TEST_F(EvmTest, TransactionIntrinsicGasTooLow) {
+TEST_P(EvmTest, TransactionIntrinsicGasTooLow) {
   Transaction tx;
   tx.from = kCaller;
   tx.to = addr(0x99);
@@ -909,7 +919,7 @@ TEST_F(EvmTest, TransactionIntrinsicGasTooLow) {
   EXPECT_EQ(interp_get().execute_transaction(tx).status, VmStatus::kOutOfGas);
 }
 
-TEST_F(EvmTest, IntrinsicGasCountsCalldata) {
+TEST_P(EvmTest, IntrinsicGasCountsCalldata) {
   Transaction tx;
   tx.data = Bytes{0x00, 0x00, 0x01, 0x02};  // 2 zero + 2 nonzero
   tx.to = addr(0x99);
@@ -918,7 +928,7 @@ TEST_F(EvmTest, IntrinsicGasCountsCalldata) {
   EXPECT_EQ(tx.intrinsic_gas(), 21000u + 2 * 4 + 2 * 16 + 32000 + 2);
 }
 
-TEST_F(EvmTest, RefundCappedAtFifth) {
+TEST_P(EvmTest, RefundCappedAtFifth) {
   // Clear two pre-existing slots: refund 9600, but cap = gas_used / 5.
   base_.put_storage(kContract, u256{1}, u256{1});
   base_.put_storage(kContract, u256{2}, u256{1});
@@ -935,13 +945,13 @@ TEST_F(EvmTest, RefundCappedAtFifth) {
 
 // --- HarDTAPE memory overflow ---
 
-TEST_F(EvmTest, FrameMemoryLimitTriggersMemoryOverflow) {
+TEST_P(EvmTest, FrameMemoryLimitTriggersMemoryOverflow) {
   set_frame_memory_limit(512 * 1024);  // half of 1 MB layer 2 (§IV-B)
   const CallResult r = run_asm("PUSH1 1 PUSH3 0x100000 MSTORE STOP");  // touch 1 MB
   EXPECT_EQ(r.status, VmStatus::kMemoryOverflow);
 }
 
-TEST_F(EvmTest, MemoryOverflowCannotBeCaughtByCaller) {
+TEST_P(EvmTest, MemoryOverflowCannotBeCaughtByCaller) {
   set_frame_memory_limit(512 * 1024);
   // Callee blows the limit; caller tries to swallow the failure.
   base_.put_code(addr(0x7D), assemble("PUSH1 1 PUSH3 0x100000 MSTORE STOP"));
@@ -954,14 +964,14 @@ TEST_F(EvmTest, MemoryOverflowCannotBeCaughtByCaller) {
   EXPECT_EQ(r.status, VmStatus::kMemoryOverflow);
 }
 
-TEST_F(EvmTest, NoLimitWhenDisabled) {
+TEST_P(EvmTest, NoLimitWhenDisabled) {
   const CallResult r = run_asm("PUSH1 1 PUSH3 0x100000 MSTORE STOP");
   EXPECT_EQ(r.status, VmStatus::kSuccess);
 }
 
 // --- tracing ---
 
-TEST_F(EvmTest, StepTracerRecordsProgram) {
+TEST_P(EvmTest, StepTracerRecordsProgram) {
   StepTracer tracer;
   set_observer(&tracer);
   run_asm("PUSH1 1 PUSH1 2 ADD STOP");
@@ -974,7 +984,7 @@ TEST_F(EvmTest, StepTracerRecordsProgram) {
   EXPECT_GT(tracer.steps()[0].gas_left, tracer.steps()[3].gas_left);
 }
 
-TEST_F(EvmTest, FrameStatsCollectorSeesNestedCalls) {
+TEST_P(EvmTest, FrameStatsCollectorSeesNestedCalls) {
   FrameStatsCollector stats;
   set_observer(&stats);
   base_.put_code(addr(0x7E), assemble(ret("PUSH1 0x05 SLOAD")));
@@ -993,7 +1003,7 @@ TEST_F(EvmTest, FrameStatsCollectorSeesNestedCalls) {
   EXPECT_GT(callee.code_size, 0u);
 }
 
-TEST_F(EvmTest, LogsReachObserver) {
+TEST_P(EvmTest, LogsReachObserver) {
   StepTracer tracer;
   set_observer(&tracer);
   run_asm(R"(
@@ -1010,7 +1020,7 @@ TEST_F(EvmTest, LogsReachObserver) {
   EXPECT_EQ(u256::from_be_bytes(tracer.logs()[0].data), u256{0xaa});
 }
 
-TEST_F(EvmTest, StaticContextBlocksLogs) {
+TEST_P(EvmTest, StaticContextBlocksLogs) {
   base_.put_code(addr(0x7F), assemble("PUSH1 0x00 PUSH1 0x00 LOG0 STOP"));
   EXPECT_EQ(run_word(ret(R"(
     PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
@@ -1018,6 +1028,381 @@ TEST_F(EvmTest, StaticContextBlocksLogs) {
     PUSH3 0xffffff
     STATICCALL
   )")), u256{});
+}
+
+// --- CALLDATALOAD offset-overflow regression ---
+
+TEST_P(EvmTest, CalldataloadOffsetNear2e64ZeroPads) {
+  // Offset 2^64 - 16: with wrapping `off + i` bounds, the guard passes for
+  // i >= 16 and the word picks up the *start* of calldata instead of the
+  // zero padding past its end.
+  Bytes input(32, 0xAB);
+  EXPECT_TRUE(run_word(ret(R"(
+    PUSH8 0xfffffffffffffff0
+    CALLDATALOAD
+  )"), std::move(input)).is_zero());
+}
+
+TEST_P(EvmTest, CalldataloadTailStillZeroPads) {
+  Bytes input(32, 0);
+  input[16] = 0x12;
+  // Offset 16 of a 32-byte input: high half is data, low half zero-padded.
+  const u256 word = run_word(ret(R"(
+    PUSH1 0x10
+    CALLDATALOAD
+  )"), std::move(input));
+  EXPECT_EQ(word, u256{0x12} << 248);
+}
+
+TEST_P(EvmTest, CalldataloadHugeOffsetIsZero) {
+  Bytes input(64, 0xFF);
+  EXPECT_TRUE(run_word(ret(R"(
+    PUSH9 0x010000000000000000
+    CALLDATALOAD
+  )"), std::move(input)).is_zero());
+}
+
+// --- cross-engine differential checks ---
+
+// Records every observer callback as a canonical string, so two engines'
+// full event streams can be compared for bit-identity.
+class RecordingObserver : public ExecutionObserver {
+ public:
+  void on_step(const StepInfo& s) override {
+    add("step pc=" + std::to_string(s.pc) + " op=" + std::to_string(s.opcode) +
+        " gas=" + std::to_string(s.gas_left) + " d=" + std::to_string(s.depth) +
+        " ss=" + std::to_string(s.stack_size) + " top=" + s.stack_top.to_hex());
+  }
+  void on_memory_access(MemoryLike m, uint64_t off, uint64_t size, bool w) override {
+    add(std::string("mem ") + to_string(m) + " off=" + std::to_string(off) +
+        " n=" + std::to_string(size) + (w ? " w" : " r"));
+  }
+  void on_storage_access(const Address& a, const u256& k, bool w, bool c) override {
+    add("sto " + a.hex() + " k=" + k.to_hex() + (w ? " w" : " r") +
+        (c ? " cold" : " warm"));
+  }
+  void on_account_access(const Address& a, bool c) override {
+    add("acct " + a.hex() + (c ? " cold" : " warm"));
+  }
+  void on_code_load(const Address& a, size_t n) override {
+    add("code " + a.hex() + " n=" + std::to_string(n));
+  }
+  void on_frame_enter(const FrameInfo& f) override {
+    add("enter " + f.code_address.hex() + " gas=" + std::to_string(f.gas) +
+        " d=" + std::to_string(f.depth) + (f.is_static ? " static" : "") +
+        (f.is_create ? " create" : ""));
+  }
+  void on_frame_exit(const FrameExitInfo& f) override {
+    add(std::string("exit ") + to_string(f.status) +
+        " used=" + std::to_string(f.gas_used) + " out=" + std::to_string(f.output_size) +
+        " mem=" + std::to_string(f.memory_size) + " d=" + std::to_string(f.depth));
+  }
+  void on_log(const LogEntry& l) override {
+    std::string s = "log " + l.address.hex() + " data=" + to_hex(l.data);
+    for (const u256& t : l.topics) s += " t=" + t.to_hex();
+    add(std::move(s));
+  }
+
+  const std::vector<std::string>& events() const { return events_; }
+
+ private:
+  void add(std::string s) { events_.push_back(std::move(s)); }
+  std::vector<std::string> events_;
+};
+
+struct DifferentialRun {
+  CallResult result;
+  Interpreter::FrameDebug frame;
+  std::vector<std::string> events;
+};
+
+// Executes the code at kContract on one engine over a fresh overlay.
+DifferentialRun run_engine(state::InMemoryState& base, const Bytes& input,
+                           uint64_t gas, EngineKind engine, bool observed,
+                           uint64_t mem_limit) {
+  state::OverlayState overlay(base);
+  BlockContext block;
+  block.number = 19145194;
+  block.timestamp = 1706600000;
+  block.coinbase = addr(0xFE);
+  Interpreter interp(overlay, std::move(block));
+  interp.set_engine(engine);
+  interp.set_frame_memory_limit(mem_limit);
+  DifferentialRun out;
+  RecordingObserver recorder;
+  if (observed) interp.set_observer(&recorder);
+  interp.set_frame_debug(&out.frame);
+  Interpreter::Message msg;
+  msg.code_address = kContract;
+  msg.recipient = kContract;
+  msg.sender = kCaller;
+  msg.origin = kCaller;
+  msg.input = input;
+  msg.gas = gas;
+  msg.depth = 1;
+  out.result = interp.call(msg);
+  out.events = recorder.events();
+  return out;
+}
+
+// Runs `code` through both engines (observed and unobserved) and asserts
+// bit-identical externals: status, gas remainder, output, observer event
+// stream, and — for frames that end in success/revert — the outermost
+// frame's final stack and memory. (A failed frame dies with gas zeroed and
+// its internals unobservable, where the group-prepaid fast path may legally
+// differ internally.)
+void expect_engines_agree(state::InMemoryState& base, const Bytes& input,
+                          uint64_t gas, uint64_t mem_limit,
+                          const std::string& tag) {
+  for (const bool observed : {false, true}) {
+    SCOPED_TRACE(tag + (observed ? " observed" : " unobserved"));
+    const DifferentialRun ref =
+        run_engine(base, input, gas, EngineKind::kReference, observed, mem_limit);
+    const DifferentialRun fast =
+        run_engine(base, input, gas, EngineKind::kFast, observed, mem_limit);
+    EXPECT_EQ(ref.result.status, fast.result.status)
+        << to_string(ref.result.status) << " vs " << to_string(fast.result.status);
+    EXPECT_EQ(ref.result.gas_left, fast.result.gas_left);
+    EXPECT_EQ(to_hex(ref.result.output), to_hex(fast.result.output));
+    ASSERT_EQ(ref.events.size(), fast.events.size())
+        << "event stream lengths diverge";
+    for (size_t i = 0; i < ref.events.size(); ++i) {
+      ASSERT_EQ(ref.events[i], fast.events[i]) << "event " << i;
+    }
+    EXPECT_EQ(ref.frame.status, fast.frame.status);
+    EXPECT_EQ(ref.frame.gas_left, fast.frame.gas_left);
+    if (ref.result.status == VmStatus::kSuccess ||
+        ref.result.status == VmStatus::kRevert) {
+      EXPECT_EQ(ref.frame.stack.size(), fast.frame.stack.size());
+      if (ref.frame.stack == fast.frame.stack) {
+        SUCCEED();
+      } else {
+        ADD_FAILURE() << "final stacks diverge";
+      }
+      EXPECT_EQ(to_hex(ref.frame.memory), to_hex(fast.frame.memory));
+    }
+  }
+}
+
+class EvmDifferentialTest : public ::testing::Test {
+ protected:
+  EvmDifferentialTest() {
+    base_.put_account(kCaller,
+                      state::Account{.balance = u256::from_string("1000000000000000000")});
+    base_.put_account(kContract, state::Account{.balance = u256{12345}});
+    base_.put_code(addr(0x7F), assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN"));
+  }
+
+  void agree(std::string_view source, Bytes input = {},
+             uint64_t gas = 1'000'000, uint64_t mem_limit = 0) {
+    const Bytes code = assemble(source);
+    base_.put_code(kContract, code);
+    expect_engines_agree(base_, input, gas, mem_limit,
+                         std::string(source.substr(0, 40)));
+  }
+
+  state::InMemoryState base_;
+};
+
+TEST_F(EvmDifferentialTest, FusedPushAdd) {
+  agree("PUSH1 0x05 PUSH1 0x07 ADD PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN");
+}
+
+TEST_F(EvmDifferentialTest, FusedPushJumpAndJumpdest) {
+  agree(R"(
+    PUSH1 0x04
+    JUMP
+    INVALID
+    JUMPDEST
+    PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN
+  )");
+}
+
+TEST_F(EvmDifferentialTest, FusedPushJumpiBothWays) {
+  agree(R"(
+    PUSH1 0x01
+    PUSH1 0x06
+    JUMPI
+    INVALID
+    JUMPDEST
+    PUSH1 0x00
+    PUSH1 0x0c
+    JUMPI
+    STOP
+  )");
+}
+
+TEST_F(EvmDifferentialTest, FusedBadJumpTarget) {
+  agree("PUSH1 0x03 JUMP INVALID");
+}
+
+TEST_F(EvmDifferentialTest, FusedDupMloadAndStaticStore) {
+  agree(R"(
+    PUSH1 0x40
+    PUSH1 0xbe PUSH1 0x40 MSTORE
+    DUP1 MLOAD
+    PUSH1 0x00 MSTORE
+    PUSH1 0x20 PUSH1 0x00 RETURN
+  )");
+}
+
+TEST_F(EvmDifferentialTest, GasOpcodeSeesIdenticalRemainder) {
+  // GAS ends a charge group, so the prepaid static gas must equal the
+  // reference loop's cumulative charge at exactly that opcode.
+  agree(R"(
+    PUSH1 0x01 PUSH1 0x02 ADD POP
+    GAS
+    PUSH1 0x00 MSTORE
+    GAS PUSH1 0x20 MSTORE
+    PUSH1 0x40 PUSH1 0x00 RETURN
+  )");
+}
+
+TEST_F(EvmDifferentialTest, MsizeSeesIdenticalExpansion) {
+  agree(R"(
+    MSIZE
+    PUSH1 0xaa PUSH2 0x0123 MSTORE
+    MSIZE
+    ADD
+    PUSH1 0x00 MSTORE
+    PUSH1 0x20 PUSH1 0x00 RETURN
+  )");
+}
+
+TEST_F(EvmDifferentialTest, OutOfGasMidBlockMatches) {
+  // 20 gas: dies partway through a straight-line block; the fast path must
+  // bail to the reference loop rather than prepay past the limit.
+  agree("PUSH1 0x01 PUSH1 0x02 ADD PUSH1 0x03 MUL PUSH1 0x04 ADD POP STOP",
+        {}, 20);
+}
+
+TEST_F(EvmDifferentialTest, FrameMemoryLimitAbortMatches) {
+  agree("PUSH1 0x01 PUSH2 0x2000 MSTORE STOP", {}, 1'000'000, 4096);
+}
+
+TEST_F(EvmDifferentialTest, CallFamilyAndReturndata) {
+  agree(R"(
+    PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0x00
+    PUSH20 0x000000000000000000000000000000000000007f
+    PUSH3 0x01ffff
+    STATICCALL
+    POP
+    RETURNDATASIZE
+    PUSH1 0x00 MSTORE
+    PUSH1 0x00 PUSH1 0x20 PUSH1 0x20 RETURNDATACOPY
+    PUSH1 0x40 PUSH1 0x00 RETURN
+  )");
+}
+
+// --- seeded differential fuzz over the full opcode set ---
+
+// Emits a mostly-plausible random program: valid opcodes with fed stacks,
+// liberal JUMPDESTs so random jumps sometimes land, plus raw random bytes
+// for undefined-opcode coverage.
+Bytes random_program(Random& rng) {
+  Bytes code;
+  const size_t target = rng.uniform_range(16, 192);
+  const auto emit = [&](std::initializer_list<uint8_t> bytes) {
+    for (uint8_t b : bytes) code.push_back(b);
+  };
+  const uint8_t alu[] = {0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08,
+                         0x09, 0x0a, 0x0b, 0x10, 0x11, 0x12, 0x13, 0x14,
+                         0x15, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x1b, 0x1c, 0x1d};
+  const uint8_t env[] = {0x30, 0x32, 0x33, 0x34, 0x35, 0x36, 0x38, 0x3a,
+                         0x3d, 0x40, 0x41, 0x42, 0x43, 0x44, 0x45, 0x46,
+                         0x47, 0x48, 0x58, 0x59, 0x5a};
+  const uint8_t state_ops[] = {0x31, 0x3b, 0x3f, 0x54, 0x55, 0x5c, 0x5d, 0x20};
+  const uint8_t mem_ops[] = {0x51, 0x52, 0x53, 0x5e, 0x37, 0x39, 0x3c, 0x3e};
+  const uint8_t calls[] = {0xf0, 0xf1, 0xf2, 0xf4, 0xf5, 0xfa};
+  const uint8_t halts[] = {0x00, 0xf3, 0xfd, 0xfe, 0xff};
+  while (code.size() < target) {
+    switch (rng.uniform(100)) {
+      case 0: case 1: case 2: case 3: case 4: case 5: case 6: case 7:
+      case 8: case 9: case 10: case 11: case 12: case 13: case 14: case 15:
+      case 16: case 17:  // small PUSH1 (feeds offsets and jump targets)
+        emit({0x60, static_cast<uint8_t>(rng.uniform(192))});
+        break;
+      case 18: case 19: case 20: case 21: case 22: case 23: {  // PUSHn random
+        const auto n = static_cast<uint8_t>(rng.uniform_range(1, 8));
+        code.push_back(static_cast<uint8_t>(0x5f + n));
+        for (uint8_t i = 0; i < n; ++i)
+          code.push_back(static_cast<uint8_t>(rng.uniform(256)));
+        break;
+      }
+      case 24:  // PUSH32 full word
+        code.push_back(0x7f);
+        for (int i = 0; i < 32; ++i)
+          code.push_back(static_cast<uint8_t>(rng.uniform(256)));
+        break;
+      case 25: case 26: case 27: case 28: case 29: case 30: case 31:
+      case 32: case 33: case 34: case 35: case 36: case 37: case 38:
+      case 39: case 40: case 41: case 42: case 43: case 44:  // ALU
+        code.push_back(alu[rng.uniform(sizeof alu)]);
+        break;
+      case 45: case 46: case 47: case 48: case 49: case 50: case 51:
+      case 52:  // DUP/SWAP
+        code.push_back(static_cast<uint8_t>(0x80 + rng.uniform(32)));
+        break;
+      case 53: case 54: case 55: case 56: case 57: case 58:  // POP / PUSH0
+        code.push_back(rng.uniform(2) == 0 ? 0x50 : 0x5f);
+        break;
+      case 59: case 60: case 61: case 62: case 63: case 64: case 65:
+      case 66:  // environment / gas / msize / pc
+        code.push_back(env[rng.uniform(sizeof env)]);
+        break;
+      case 67: case 68: case 69: case 70: case 71: case 72:  // memory
+        emit({0x60, static_cast<uint8_t>(rng.uniform(96))});
+        code.push_back(mem_ops[rng.uniform(sizeof mem_ops)]);
+        break;
+      case 73: case 74: case 75: case 76:  // storage / keccak / ext
+        code.push_back(state_ops[rng.uniform(sizeof state_ops)]);
+        break;
+      case 77: case 78: case 79: case 80: case 81: case 82: case 83:
+      case 84: case 85:  // JUMPDEST: liberal landing pads
+        code.push_back(0x5b);
+        break;
+      case 86: case 87: case 88: case 89: case 90:  // jump
+        emit({0x60, static_cast<uint8_t>(rng.uniform(192))});
+        code.push_back(rng.uniform(2) == 0 ? 0x56 : 0x57);
+        break;
+      case 91: case 92:  // LOG0-4
+        code.push_back(static_cast<uint8_t>(0xa0 + rng.uniform(5)));
+        break;
+      case 93: case 94:  // call family
+        code.push_back(calls[rng.uniform(sizeof calls)]);
+        break;
+      case 95:  // halting
+        code.push_back(halts[rng.uniform(sizeof halts)]);
+        break;
+      default:  // raw byte: undefined-opcode and decoder robustness
+        code.push_back(static_cast<uint8_t>(rng.uniform(256)));
+        break;
+    }
+  }
+  return code;
+}
+
+TEST(EvmDifferentialFuzz, RandomProgramsAgreeOnBothEngines) {
+  state::InMemoryState base;
+  base.put_account(kCaller,
+                   state::Account{.balance = u256::from_string("1000000000000000000")});
+  base.put_account(kContract, state::Account{.balance = u256{999}});
+  base.put_code(addr(0x7F),
+                assemble("PUSH1 0x2a PUSH1 0x00 MSTORE PUSH1 0x20 PUSH1 0x00 RETURN"));
+  Random rng(0x48617244'54415045ull);  // seeded: deterministic in CI
+  constexpr int kPrograms = 300;
+  const uint64_t gas_limits[] = {500, 5'000, 100'000};
+  for (int p = 0; p < kPrograms; ++p) {
+    const Bytes code = random_program(rng);
+    const Bytes input = rng.bytes(rng.uniform(64));
+    const uint64_t gas = gas_limits[p % 3];
+    const uint64_t mem_limit = p % 7 == 0 ? 4096 : 0;
+    base.put_code(kContract, code);
+    expect_engines_agree(base, input, gas, mem_limit,
+                         "program " + std::to_string(p) + " seed-fixed code=" +
+                             to_hex(code));
+    if (::testing::Test::HasFatalFailure()) break;
+  }
 }
 
 }  // namespace

@@ -491,3 +491,102 @@ TEST_F(ObsEngineTest, TracingDoesNotPerturbOutcomes) {
 
 }  // namespace
 }  // namespace hardtape::service
+
+// --- audit-trace symmetry (satellite: EXTCODECOPY source-side kCode read) ---
+//
+// The obliviousness auditor consumes the observer's memory-access stream; a
+// copy opcode that reads code without reporting the kCode touch is a hole in
+// the audit trace. CODECOPY and EXTCODECOPY move the same kind of data
+// (code region -> frame memory), so they must emit the same event shape:
+// one kCode read of the source range, then one kMemory write of the
+// destination range.
+
+#include "evm/assembler.hpp"
+#include "evm/interpreter.hpp"
+#include "state/overlay.hpp"
+#include "state/world_state.hpp"
+
+namespace hardtape::evm {
+namespace {
+
+struct MemEvent {
+  MemoryLike region;
+  uint64_t offset;
+  uint64_t size;
+  bool is_write;
+};
+
+class MemAccessRecorder : public ExecutionObserver {
+ public:
+  void on_memory_access(MemoryLike region, uint64_t offset, uint64_t size,
+                        bool is_write) override {
+    events.push_back({region, offset, size, is_write});
+  }
+  std::vector<MemEvent> events;
+};
+
+// Runs `source` at a contract whose state also holds `ext_code` at address
+// 0x..EE, returning every memory-access event the copy emitted.
+std::vector<MemEvent> copy_events(const std::string& source) {
+  Address contract{};
+  contract.bytes[19] = 0xCC;
+  Address ext{};
+  ext.bytes[19] = 0xEE;
+
+  state::InMemoryState base;
+  base.put_code(contract, assemble(source));
+  base.put_code(ext, assemble("PUSH1 0x2a PUSH1 0x00 MSTORE"));
+  state::OverlayState overlay(base);
+  Interpreter interp(overlay, BlockContext{});
+  MemAccessRecorder recorder;
+  interp.set_observer(&recorder);
+
+  Interpreter::Message msg;
+  msg.code_address = contract;
+  msg.recipient = contract;
+  msg.gas = 1'000'000;
+  msg.depth = 1;
+  const CallResult result = interp.call(msg);
+  EXPECT_EQ(result.status, VmStatus::kSuccess);
+  return recorder.events;
+}
+
+TEST(AuditTrace, ExtcodecopyEmitsSameEventShapeAsCodecopy) {
+  // Both programs copy 7 bytes from source offset 2 to memory offset 5.
+  const auto codecopy =
+      copy_events("PUSH1 0x07 PUSH1 0x02 PUSH1 0x05 CODECOPY STOP");
+  const auto extcodecopy = copy_events(
+      "PUSH1 0x07 PUSH1 0x02 PUSH1 0x05 PUSH1 0xEE EXTCODECOPY STOP");
+
+  // CODECOPY is the reference shape: kCode read of [2, 2+7), then kMemory
+  // write of [5, 5+7).
+  ASSERT_EQ(codecopy.size(), 2u);
+  EXPECT_EQ(codecopy[0].region, MemoryLike::kCode);
+  EXPECT_EQ(codecopy[0].offset, 2u);
+  EXPECT_EQ(codecopy[0].size, 7u);
+  EXPECT_FALSE(codecopy[0].is_write);
+  EXPECT_EQ(codecopy[1].region, MemoryLike::kMemory);
+  EXPECT_EQ(codecopy[1].offset, 5u);
+  EXPECT_EQ(codecopy[1].size, 7u);
+  EXPECT_TRUE(codecopy[1].is_write);
+
+  // EXTCODECOPY must be symmetric: the external code read may not vanish
+  // from the audit trace just because the bytes came from another account.
+  ASSERT_EQ(extcodecopy.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(extcodecopy[i].region, codecopy[i].region) << "event " << i;
+    EXPECT_EQ(extcodecopy[i].offset, codecopy[i].offset) << "event " << i;
+    EXPECT_EQ(extcodecopy[i].size, codecopy[i].size) << "event " << i;
+    EXPECT_EQ(extcodecopy[i].is_write, codecopy[i].is_write) << "event " << i;
+  }
+}
+
+TEST(AuditTrace, ExtcodecopyZeroLengthEmitsNoMemoryEvents) {
+  // len == 0 copies nothing and, like CODECOPY, must stay silent.
+  const auto events = copy_events(
+      "PUSH1 0x00 PUSH1 0x00 PUSH1 0x00 PUSH1 0xEE EXTCODECOPY STOP");
+  EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace hardtape::evm
