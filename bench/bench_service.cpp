@@ -11,9 +11,18 @@
 // saturation stays within 10% of goodput at saturation — overload degrades
 // the refusal rate, not the work the service completes.
 //
+// Device-churn drill (PR 9, --device-churn): a second sweep over a larger
+// fleet where k of N devices are killed/drained MID-LOAD at scheduled sim
+// instants. Gates: every admitted bundle reaches a terminal status (zero
+// unresolved, zero kDeviceLost — the fleet never fully dies), and goodput
+// with k devices alive stays >= 0.8 x (k/N) x the full-fleet figure —
+// failover costs re-execution, not proportionally more than the capacity
+// actually lost.
+//
 // All rates and latencies are SIMULATED time (deterministic on any host);
 // the engine's worker pool only changes how fast the host evaluates the
-// model. Usage: bench_service [--quick] [--requests N] [--out FILE]
+// model. Usage: bench_service [--quick] [--requests N] [--device-churn]
+// [--out FILE]
 // Writes BENCH_service.json, consumed by ci/check_bench.py --mode service.
 #include <algorithm>
 #include <cstring>
@@ -29,12 +38,13 @@ using namespace hardtape;
 namespace {
 
 constexpr size_t kDevices = 3;
+constexpr size_t kChurnDevices = 6;  // the churn drill's (larger) fleet
 constexpr size_t kTenants = 4;
 
-service::EngineConfig engine_config() {
+service::EngineConfig engine_config(size_t devices = kDevices) {
   service::EngineConfig config;
   config.security = service::SecurityConfig::full();
-  config.num_hevms = kDevices;
+  config.num_hevms = devices;
   config.queue_depth = 32;
   config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 8192,
                                  .max_stash_blocks = 512};
@@ -43,9 +53,9 @@ service::EngineConfig engine_config() {
   return config;
 }
 
-service::FrontDoorConfig door_config() {
+service::FrontDoorConfig door_config(size_t devices = kDevices) {
   service::FrontDoorConfig config;
-  config.num_devices = kDevices;
+  config.num_devices = devices;
   // Tenant 1 is the shed-first batch class (priority below the brownout
   // floor); tenants 2-4 are the paying classes.
   for (uint64_t t = 1; t <= kTenants; ++t) {
@@ -53,7 +63,7 @@ service::FrontDoorConfig door_config() {
         .tenant_id = t,
         .weight = t == 1 ? 1u : 2u,
         .queue_capacity = 32,
-        .max_in_flight = kDevices,
+        .max_in_flight = static_cast<uint32_t>(devices),
         .priority = t == 1 ? 1u : 2u,
     });
   }
@@ -89,14 +99,37 @@ struct SweepPoint {
   bool p99_bounded = false;
 };
 
+/// One point of the device-churn drill: k of N devices killed/drained
+/// mid-load, every admitted request accounted for at the end.
+struct ChurnPoint {
+  uint64_t killed = 0;
+  uint64_t drained = 0;
+  uint64_t k_alive = 0;  ///< devices still in service after the churn ops
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t completed_ok = 0;
+  uint64_t retry_exhausted = 0;
+  uint64_t device_lost = 0;
+  uint64_t unresolved = 0;  ///< admitted but never terminal — must be 0
+  uint64_t failovers = 0;
+  uint64_t horizon_ns = 0;
+  double goodput_rps = 0;
+  double min_goodput_rps = 0;  ///< the floor this point was held to
+  bool goodput_ok = true;
+  bool audit_ok = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool device_churn = false;
   size_t requests_per_point = 160;
   std::string out_path = "BENCH_service.json";
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--quick")) quick = true;
+    if (!std::strcmp(argv[i], "--device-churn")) device_churn = true;
     if (!std::strcmp(argv[i], "--requests") && i + 1 < argc) {
       requests_per_point = std::strtoull(argv[i + 1], nullptr, 10);
     }
@@ -260,6 +293,144 @@ int main(int argc, char** argv) {
   }
   const double ratio = goodput_at_sat > 0 ? goodput_at_2x / goodput_at_sat : 0;
 
+  // --- device-churn drill (--device-churn) -------------------------------
+  // Same open-loop arrival schedule at 1.0x of the FULL churn fleet's
+  // capacity for every point; mid-load, k devices are killed/drained. No
+  // per-request deadline: with the fleet shrunk the backlog must DRAIN, not
+  // expire, so goodput measures surviving capacity and every admitted
+  // bundle must still reach a terminal status.
+  constexpr double kMinGoodputFraction = 0.8;
+  std::vector<ChurnPoint> churn;
+  bool churn_ok = true;
+  if (device_churn) {
+    struct Scenario {
+      size_t kill;
+      size_t drain;
+    };
+    // 0%, 33% and 50% of the 6-device fleet churned mid-load.
+    const std::vector<Scenario> scenarios{{0, 0}, {1, 1}, {2, 1}};
+    const double churn_capacity_rps = kChurnDevices * 1e9 / mean_service_ns;
+    const uint64_t interval_ns =
+        static_cast<uint64_t>(1e9 / churn_capacity_rps);
+    double full_goodput_rps = 0;
+    for (const auto& scenario : scenarios) {
+      service::PreExecutionEngine engine(setup.node,
+                                         engine_config(kChurnDevices));
+      if (engine.synchronize() != Status::kOk) return 1;
+      service::FrontDoor door(engine, door_config(kChurnDevices));
+      engine.start();
+
+      std::vector<std::unique_ptr<service::ServiceClient>> clients;
+      std::vector<uint64_t> sessions;
+      for (uint64_t t = 1; t <= kTenants; ++t) {
+        clients.push_back(std::make_unique<service::ServiceClient>(
+            door, tenant_key(static_cast<uint8_t>(t))));
+        service::RequestFrame open;
+        open.verb = service::Verb::kOpenSession;
+        open.tenant_id = t;
+        auto response = clients.back()->call(open, 0);
+        if (!response || response->status != Status::kOk) return 1;
+        sessions.push_back(response->session_id);
+      }
+
+      ChurnPoint point;
+      point.killed = scenario.kill;
+      point.drained = scenario.drain;
+      point.k_alive = kChurnDevices - scenario.kill - scenario.drain;
+      struct Issued {
+        size_t tenant;
+        uint64_t request_id;
+        Status verdict;
+      };
+      std::vector<Issued> issued;
+      for (uint64_t r = 0; r < requests_per_point; ++r) {
+        const uint64_t now = r * interval_ns;
+        const size_t tenant = r % kTenants;
+        service::RequestFrame submit;
+        submit.verb = service::Verb::kSubmit;
+        submit.session_id = sessions[tenant];
+        submit.request_id = r + 1;
+        submit.client_time_ns = now;
+        submit.deadline_ns = 0;  // no expiry: the backlog must drain
+        submit.bundle = bundle_for(r);
+        auto response = clients[tenant]->call(submit, now);
+        if (!response) return 1;
+        issued.push_back({tenant, r + 1, response->status});
+        ++point.offered;
+        // The churn script, at deterministic sim instants mid-load:
+        // abrupt kills a third of the way in, graceful drains at halfway.
+        if (r + 1 == requests_per_point / 3) {
+          for (uint32_t d = 0; d < scenario.kill; ++d) door.kill_device(d);
+        }
+        if (r + 1 == requests_per_point / 2) {
+          for (uint32_t d = 0; d < scenario.drain; ++d) {
+            door.drain_device(static_cast<uint32_t>(scenario.kill) + d);
+          }
+        }
+      }
+      door.finish();
+      (void)engine.drain();
+
+      for (const auto& request : issued) {
+        if (request.verdict != Status::kOk) {
+          ++point.shed;
+          continue;
+        }
+        ++point.admitted;
+        service::RequestFrame poll;
+        poll.verb = service::Verb::kPoll;
+        poll.session_id = sessions[request.tenant];
+        poll.request_id = request.request_id;
+        auto response = clients[request.tenant]->call(poll, door.now_ns());
+        if (!response) return 1;
+        if (!response->done) {
+          ++point.unresolved;  // invariant (c) violation — gated below
+          continue;
+        }
+        switch (response->outcome_status) {
+          case Status::kOk: ++point.completed_ok; break;
+          case Status::kRetryExhausted: ++point.retry_exhausted; break;
+          case Status::kDeviceLost: ++point.device_lost; break;
+          default: break;  // terminal, just not goodput
+        }
+      }
+      point.failovers = engine.metrics_registry()
+                            .counter("hardtape_service_failovers_total", "")
+                            .value();
+      point.horizon_ns = door.now_ns();
+      point.goodput_rps = point.horizon_ns > 0
+                              ? point.completed_ok * 1e9 / point.horizon_ns
+                              : 0;
+      point.audit_ok = door.audit_bindings().ok;
+      if (point.k_alive == kChurnDevices) {
+        full_goodput_rps = point.goodput_rps;
+      } else {
+        point.min_goodput_rps = kMinGoodputFraction * full_goodput_rps *
+                                static_cast<double>(point.k_alive) /
+                                static_cast<double>(kChurnDevices);
+        point.goodput_ok = point.goodput_rps >= point.min_goodput_rps;
+      }
+      churn_ok &= point.goodput_ok && point.audit_ok &&
+                  point.unresolved == 0 && point.device_lost == 0;
+      churn.push_back(point);
+    }
+
+    bench::Table churn_table({"alive/total", "killed", "drained", "admitted",
+                              "completed", "failovers", "retry-exhausted",
+                              "unresolved", "goodput req/s", "floor req/s",
+                              "audit"});
+    for (const auto& p : churn) {
+      churn_table.add_row(
+          {std::to_string(p.k_alive) + "/" + std::to_string(kChurnDevices),
+           std::to_string(p.killed), std::to_string(p.drained),
+           std::to_string(p.admitted), std::to_string(p.completed_ok),
+           std::to_string(p.failovers), std::to_string(p.retry_exhausted),
+           std::to_string(p.unresolved), bench::fmt(p.goodput_rps, 1),
+           bench::fmt(p.min_goodput_rps, 1), p.audit_ok ? "ok" : "FAIL"});
+    }
+    churn_table.print("Device-churn drill (simulated timeline)");
+  }
+
   std::ofstream json(out_path);
   json << "{\n  \"bench\": \"service\",\n  \"quick\": "
        << (quick ? "true" : "false")
@@ -283,7 +454,31 @@ int main(int argc, char** argv) {
          << ", \"p99_bounded\": " << (p.p99_bounded ? "true" : "false") << "}"
          << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  json << "  ],\n  \"gates\": {\"goodput_at_saturation_rps\": " << goodput_at_sat
+  json << "  ],\n";
+  if (device_churn) {
+    json << "  \"churn\": {\"devices\": " << kChurnDevices
+         << ", \"min_goodput_fraction\": " << kMinGoodputFraction
+         << ", \"points\": [\n";
+    for (size_t i = 0; i < churn.size(); ++i) {
+      const auto& p = churn[i];
+      json << "    {\"k_alive\": " << p.k_alive << ", \"killed\": " << p.killed
+           << ", \"drained\": " << p.drained << ", \"offered\": " << p.offered
+           << ", \"admitted\": " << p.admitted << ", \"shed\": " << p.shed
+           << ", \"completed_ok\": " << p.completed_ok
+           << ", \"retry_exhausted\": " << p.retry_exhausted
+           << ", \"device_lost\": " << p.device_lost
+           << ", \"unresolved\": " << p.unresolved
+           << ", \"failovers\": " << p.failovers
+           << ", \"horizon_ns\": " << p.horizon_ns
+           << ", \"goodput_rps\": " << p.goodput_rps
+           << ", \"min_goodput_rps\": " << p.min_goodput_rps
+           << ", \"goodput_ok\": " << (p.goodput_ok ? "true" : "false")
+           << ", \"audit_ok\": " << (p.audit_ok ? "true" : "false") << "}"
+           << (i + 1 < churn.size() ? "," : "") << "\n";
+    }
+    json << "  ], \"gates_ok\": " << (churn_ok ? "true" : "false") << "},\n";
+  }
+  json << "  \"gates\": {\"goodput_at_saturation_rps\": " << goodput_at_sat
        << ", \"goodput_at_2x_rps\": " << goodput_at_2x
        << ", \"goodput_ratio\": " << ratio
        << ", \"refused_at_2x\": " << shed_at_2x
@@ -299,5 +494,11 @@ int main(int argc, char** argv) {
               "p99 bounded at every point: %s; refusals at 2x: %llu\n",
               ratio, ratio >= 0.9 ? "yes" : "NO", all_bounded ? "yes" : "NO",
               static_cast<unsigned long long>(shed_at_2x));
-  return (ratio >= 0.9 && all_bounded && shed_at_2x > 0) ? 0 : 1;
+  if (device_churn) {
+    std::printf("churn checks: zero unresolved, zero device-lost, audit ok, "
+                "goodput >= %.0f%% x (alive/total) x full-fleet: %s\n",
+                kMinGoodputFraction * 100, churn_ok ? "yes" : "NO");
+  }
+  const bool base_ok = ratio >= 0.9 && all_bounded && shed_at_2x > 0;
+  return (base_ok && (!device_churn || churn_ok)) ? 0 : 1;
 }

@@ -30,7 +30,16 @@ service — BENCH_service.json (the front-door overload sweep). Checks:
   3. refusals engaged — the 2x point actually shed/expired something, so
      the gate cannot pass by never reaching overload;
   4. goodput regression — goodput at saturation within --tolerance of the
-     committed baseline (simulated, so exact across machines).
+     committed baseline (simulated, so exact across machines);
+  5. device churn (only when the report has a 'churn' section, i.e. the
+     bench ran --device-churn) — at every churn point: zero unresolved
+     bundles (every admitted bundle reached a terminal status), zero
+     device-lost resolutions (the fleet never fully died), the binding
+     audit held (no per-device overlap, no binding outliving its device),
+     and goodput with k of N devices alive at least
+     --min-churn-goodput-frac x (k/N) x the full-fleet figure. The
+     full-fleet churn goodput is also compared against the committed
+     baseline at --tolerance when the baseline recorded one.
 
 micro — BENCH_micro_compare.json (bench_micro --compare: reference switch
   loop vs fast-dispatch engine, wall ns/opcode per family). Checks:
@@ -215,6 +224,77 @@ def check_service(args):
                 f"saturation goodput regressed {delta:+.1%} vs baseline "
                 f"(> {args.tolerance:.0%} allowed)")
 
+    # 5. Device-churn drill (present only when the bench ran --device-churn).
+    churn = report.get("churn")
+    if churn is not None:
+        points = churn.get("points") if isinstance(churn, dict) else None
+        n = churn.get("devices", 0) if isinstance(churn, dict) else 0
+        if not isinstance(points, list) or not points or n <= 0:
+            fail_input(f"current report {args.current}: 'churn' must be an "
+                       f"object with 'devices' and a non-empty 'points' array")
+        full = next((p for p in points if p.get("k_alive") == n), None)
+        if full is None:
+            fail_input(f"current report {args.current}: churn points are "
+                       f"missing the full-fleet (k_alive == devices) reference")
+        full_goodput = full.get("goodput_rps", 0.0)
+        for point in points:
+            k = point.get("k_alive", 0)
+            label = f"{k}/{n} alive"
+            unresolved = point.get("unresolved", 0)
+            verdict = "ok" if unresolved == 0 else "FAIL"
+            rows.append(("churn unresolved", label, str(unresolved), "== 0",
+                         verdict))
+            if verdict == "FAIL":
+                failures.append(
+                    f"churn at {label}: {unresolved} admitted bundles never "
+                    f"reached a terminal status")
+            lost = point.get("device_lost", 0)
+            verdict = "ok" if lost == 0 else "FAIL"
+            rows.append(("churn lost bundles", label, str(lost), "== 0",
+                         verdict))
+            if verdict == "FAIL":
+                failures.append(
+                    f"churn at {label}: {lost} bundles resolved device-lost "
+                    f"with serviceable devices remaining")
+            audit = point.get("audit_ok", False)
+            verdict = "ok" if audit else "FAIL"
+            rows.append(("churn binding audit", label,
+                         "held" if audit else "violated",
+                         "no overlap, no orphan binding", verdict))
+            if verdict == "FAIL":
+                failures.append(f"churn at {label}: the binding/lifecycle "
+                                f"audit found a violation")
+            if k < n and full_goodput > 0:
+                floor = args.min_churn_goodput_frac * full_goodput * k / n
+                cur = point.get("goodput_rps", 0.0)
+                verdict = "ok" if cur >= floor else "FAIL"
+                rows.append(("churn goodput", label, f"{cur:.2f} req/s",
+                             f">= {floor:.2f}", verdict))
+                if verdict == "FAIL":
+                    failures.append(
+                        f"goodput with {label} is {cur:.2f} req/s, below "
+                        f"{args.min_churn_goodput_frac:.0%} x (k/N) x "
+                        f"full-fleet ({floor:.2f}): failover is costing more "
+                        f"than the capacity lost")
+        # Full-fleet churn goodput vs the committed baseline, when recorded.
+        base_churn = base_report.get("churn")
+        if isinstance(base_churn, dict):
+            base_full = next(
+                (p.get("goodput_rps", 0.0)
+                 for p in base_churn.get("points", [])
+                 if p.get("k_alive") == base_churn.get("devices")), 0.0)
+            if base_full > 0:
+                delta = (full_goodput - base_full) / base_full
+                floor = base_full * (1.0 - args.tolerance)
+                verdict = "ok" if full_goodput >= floor else "FAIL"
+                rows.append(("churn goodput", f"{n}/{n} alive",
+                             f"{full_goodput:.2f} (base {base_full:.2f}, "
+                             f"{delta:+.1%})", f">= {floor:.2f}", verdict))
+                if verdict == "FAIL":
+                    failures.append(
+                        f"full-fleet churn goodput regressed {delta:+.1%} vs "
+                        f"baseline (> {args.tolerance:.0%} allowed)")
+
     return rows, failures
 
 
@@ -294,6 +374,9 @@ def main():
                     help="[throughput] max per-shard stall p50 at max workers, ns (0 disables)")
     ap.add_argument("--min-goodput-ratio", type=float, default=0.90,
                     help="[service] min goodput(2x saturation) / goodput(saturation)")
+    ap.add_argument("--min-churn-goodput-frac", type=float, default=0.80,
+                    help="[service] min goodput with k of N devices alive, as "
+                         "a fraction of (k/N) x the full-fleet figure")
     ap.add_argument("--min-micro-speedup", type=float, default=3.0,
                     help="[micro] min geomean fast-path speedup over gated "
                          "opcode families (0 disables)")

@@ -19,6 +19,7 @@ const char* to_string(Status s) {
     case Status::kStale: return "stale";
     case Status::kOverloaded: return "overloaded";
     case Status::kDeadlineExceeded: return "deadline-exceeded";
+    case Status::kDeviceLost: return "device-lost";
     case Status::kStatusCount_: break;  // sentinel, not a real status
   }
   return "unknown";

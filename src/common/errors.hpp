@@ -75,6 +75,13 @@ enum class Status {
   /// refusal: a pre-execution answer delivered after the caller's deadline
   /// is worthless, so the service never spends a device on it.
   kDeadlineExceeded,
+  /// The dedicated device executing (or queued to execute) this request died
+  /// or was drained away, and no device could ever serve it again within its
+  /// failover budget. Fail-closed: a dying device's sealed session state dies
+  /// with it — recovery is re-bind + re-execute from the bundle, never a
+  /// resume in the clear — so when the fleet cannot host another attempt the
+  /// honest terminal answer is "your device is gone", not a stale result.
+  kDeviceLost,
   // Sentinel — keep last. Lets tests iterate every value and prove that
   // to_string never silently degrades to "unknown" for a real status.
   kStatusCount_,

@@ -1,0 +1,100 @@
+#include "faults/device_fault_plan.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/random.hpp"
+
+namespace hardtape::faults {
+
+const char* to_string(DeviceFaultKind kind) {
+  switch (kind) {
+    case DeviceFaultKind::kNone: return "none";
+    case DeviceFaultKind::kCrash: return "crash";
+    case DeviceFaultKind::kSticky: return "sticky";
+    case DeviceFaultKind::kFlap: return "flap";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Same splitmix-style finalizer family as FaultPlan's mix(): the decision
+/// key is (seed, device, binding index) and nothing else.
+uint64_t mix(uint64_t seed, uint32_t device, uint64_t binding_index) {
+  uint64_t h = seed;
+  h ^= (static_cast<uint64_t>(device) + 1) * 0x9e3779b97f4a7c15ull;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+  h ^= binding_index * 0x94d049bb133111ebull;
+  h = (h ^ (h >> 27)) * 0xff51afd7ed558ccdull;
+  return h ^ (h >> 31);
+}
+
+}  // namespace
+
+DeviceFaultDecision DeviceFaultPlan::decide(uint32_t device,
+                                            uint64_t binding_index) {
+  DeviceFaultDecision decision;
+  bool forced = false;
+  {
+    std::lock_guard lock(mu_);
+    const auto it = forced_.find({device, binding_index});
+    if (it != forced_.end()) {
+      decision = it->second;
+      forced = true;
+    }
+  }
+  if (!forced) {
+    const double any_rate =
+        config_.crash_rate + config_.sticky_rate + config_.flap_rate;
+    if (any_rate <= 0.0) return decision;
+    // One DRBG per decision, keyed purely by (seed, device, index): thread
+    // interleaving cannot perturb any draw.
+    Random rng(mix(config_.seed, device, binding_index));
+    const double draw = rng.uniform_double();
+    if (draw < config_.crash_rate) {
+      decision.kind = DeviceFaultKind::kCrash;
+    } else if (draw < config_.crash_rate + config_.sticky_rate) {
+      decision.kind = DeviceFaultKind::kSticky;
+    } else if (draw < any_rate) {
+      decision.kind = DeviceFaultKind::kFlap;
+    } else {
+      return decision;
+    }
+    if (decision.kind != DeviceFaultKind::kSticky) {
+      decision.kill_frac = rng.uniform_double();
+    }
+    if (decision.kind == DeviceFaultKind::kFlap) {
+      decision.downtime_ns =
+          rng.uniform_range(config_.min_downtime_ns, config_.max_downtime_ns);
+    }
+  }
+  if (decision.kind == DeviceFaultKind::kNone) return decision;
+
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard lock(mu_);
+  trace_.push_back({device, binding_index, decision.kind});
+  return decision;
+}
+
+void DeviceFaultPlan::force(uint32_t device, uint64_t binding_index,
+                            DeviceFaultDecision decision) {
+  std::lock_guard lock(mu_);
+  forced_[{device, binding_index}] = decision;
+}
+
+std::vector<DeviceFaultEvent> DeviceFaultPlan::trace() const {
+  std::vector<DeviceFaultEvent> out;
+  {
+    std::lock_guard lock(mu_);
+    out = trace_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DeviceFaultEvent& a, const DeviceFaultEvent& b) {
+              return std::tie(a.device, a.binding_index) <
+                     std::tie(b.device, b.binding_index);
+            });
+  return out;
+}
+
+}  // namespace hardtape::faults

@@ -1,0 +1,106 @@
+// Deterministic device-fault injection for the dedicated-HEVM pool.
+//
+// The paper's deployment is a FLEET of dedicated pre-executor chips, and no
+// fleet is unkillable: devices die mid-session, return garbage while
+// claiming health, or flap in and out of service. This module is the seeded
+// adversary for that fault domain, a sibling of FaultPlan (the untrusted-
+// boundary adversary) with the same purity discipline: every decision is a
+// pure function of (plan seed, device id, per-device binding index) — never
+// of wall time, thread interleaving, or call order. The front door consults
+// it once per binding placed on a device, so two runs with the same seed and
+// the same dispatch sequence inject the same device faults at the same sim
+// instants, at any worker count.
+//
+// Fail-closed consequence model (paper §III: sealed session state dies with
+// the device): a struck binding never yields a usable result. The front door
+// must re-bind and RE-EXECUTE the bundle at attempt+1 — resuming a dead
+// device's session in the clear is not a thing this system can express.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace hardtape::faults {
+
+/// How a device fails the binding it is currently serving.
+enum class DeviceFaultKind : uint8_t {
+  kNone = 0,
+  /// Abrupt death mid-binding: the device stops at kill_frac of the way
+  /// through the session and never comes back. The binding is cut at the
+  /// death instant; the session's sealed state is unrecoverable.
+  kCrash,
+  /// Sticky failure: the device runs the session to its end but the result
+  /// fails attestation/health checks. The device stays up (and keeps lying),
+  /// which is what the per-device breaker exists to catch.
+  kSticky,
+  /// Flap: dies like kCrash but rejoins the pool after downtime_ns of
+  /// simulated repair time — the churn case that punishes naive failover.
+  kFlap,
+};
+
+const char* to_string(DeviceFaultKind kind);
+
+struct DeviceFaultDecision {
+  DeviceFaultKind kind = DeviceFaultKind::kNone;
+  /// kCrash/kFlap: fraction of the binding's duration served before death,
+  /// in [0, 1). Drawn uniformly unless forced.
+  double kill_frac = 0.0;
+  /// kFlap only: simulated downtime before the device rejoins.
+  uint64_t downtime_ns = 0;
+};
+
+struct DeviceFaultPlanConfig {
+  uint64_t seed = 1;
+  /// Per-binding probabilities, evaluated independently in this order.
+  double crash_rate = 0.0;
+  double sticky_rate = 0.0;
+  double flap_rate = 0.0;
+  /// Flap downtime is uniform in [min, max], simulated time.
+  uint64_t min_downtime_ns = 20'000'000;
+  uint64_t max_downtime_ns = 200'000'000;
+};
+
+struct DeviceFaultEvent {
+  uint32_t device = 0;
+  uint64_t binding_index = 0;
+  DeviceFaultKind kind = DeviceFaultKind::kNone;
+  friend bool operator==(const DeviceFaultEvent&,
+                         const DeviceFaultEvent&) = default;
+};
+
+/// Thread-safe, deterministic device-fault oracle (see contract above).
+class DeviceFaultPlan {
+ public:
+  explicit DeviceFaultPlan(DeviceFaultPlanConfig config) : config_(config) {}
+
+  /// The fate of binding number `binding_index` placed on `device` (indices
+  /// count bindings per device, starting at 0). Pure in its arguments plus
+  /// the seed; non-kNone decisions are recorded in the trace.
+  DeviceFaultDecision decide(uint32_t device, uint64_t binding_index);
+
+  /// Test hook: pin the fate of one (device, binding_index) regardless of
+  /// rates — lets a test kill exactly one device at exactly one binding.
+  void force(uint32_t device, uint64_t binding_index,
+             DeviceFaultDecision decision);
+
+  /// Every injected (non-kNone) fault so far, sorted by (device, index) so
+  /// traces compare equal across runs with different interleavings.
+  std::vector<DeviceFaultEvent> trace() const;
+  uint64_t injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+  const DeviceFaultPlanConfig& config() const { return config_; }
+
+ private:
+  DeviceFaultPlanConfig config_;
+  mutable std::mutex mu_;  ///< guards trace_ and forced_
+  std::vector<DeviceFaultEvent> trace_;
+  std::map<std::pair<uint32_t, uint64_t>, DeviceFaultDecision> forced_;
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace hardtape::faults

@@ -73,10 +73,18 @@ Status AdmissionController::admit(QueuedRequest request, uint64_t now_ns) {
     t.deadline_exceeded->add();
     return Status::kDeadlineExceeded;
   }
-  const bool shed_this_rung =
-      state_ == BrownoutState::kAdmitNone ||
-      (state_ == BrownoutState::kShedLowPriority &&
-       t.config.priority < config_.shed_priority_floor);
+  bool shed_this_rung = state_ == BrownoutState::kAdmitNone;
+  if (state_ == BrownoutState::kShedLowPriority) {
+    if (config_.shed_gas_budget_per_priority > 0) {
+      // Cost-aware rung: the shed budget scales with the tenant's priority,
+      // so what gets refused is the expensive work, not a whole class.
+      shed_this_rung =
+          request.estimated_gas > config_.shed_gas_budget_per_priority *
+                                      static_cast<uint64_t>(t.config.priority);
+    } else {
+      shed_this_rung = t.config.priority < config_.shed_priority_floor;
+    }
+  }
   if (shed_this_rung || t.queue.size() >= t.config.queue_capacity) {
     t.shed->add();
     return Status::kOverloaded;
@@ -143,6 +151,17 @@ std::optional<AdmissionController::Pick> AdmissionController::next(
     return pick;
   }
   return std::nullopt;
+}
+
+void AdmissionController::readmit(QueuedRequest request, uint64_t now_ns) {
+  Tenant& t = tenant(request.tenant_id);
+  request.enqueue_ns = now_ns;
+  // Front of the tenant queue, no shed checks: this request was already
+  // admitted once and lost its device through no fault of its own (see the
+  // header contract). Deadline expiry still applies at the next DRR pass.
+  t.queue.push_front(std::move(request));
+  ++total_queued_;
+  update_brownout();
 }
 
 void AdmissionController::on_complete(uint64_t tenant_id) {

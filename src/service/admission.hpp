@@ -82,7 +82,17 @@ struct AdmissionConfig {
   /// gives a weight-1 tenant one dispatch per round.
   uint32_t quantum_base = 1;
   /// Tenants with priority below this floor are refused in kShedLowPriority.
+  /// Ignored when shed_gas_budget_per_priority is set (see below).
   uint32_t shed_priority_floor = 2;
+  /// Cost-aware brownout (0 disables = legacy priority-class shedding).
+  /// When set, kShedLowPriority sheds by estimated cost × priority instead
+  /// of the class floor: a request survives iff
+  ///   estimated_gas <= shed_gas_budget_per_priority * tenant_priority.
+  /// Shedding then tracks the device time a request would actually consume:
+  /// a cheap bundle from a low-priority tenant survives a brownout that
+  /// sheds an expensive bundle from the same class, because refusing the
+  /// expensive one frees more device time per refusal.
+  uint64_t shed_gas_budget_per_priority = 0;
 
   /// Brownout ladder thresholds (enter when EITHER depth or p99 wait is past
   /// the *_enter mark; drop back only when BOTH are under the *_exit mark —
@@ -106,6 +116,10 @@ struct QueuedRequest {
   uint64_t request_id = 0;
   uint64_t enqueue_ns = 0;        ///< sim time of admission
   uint64_t deadline_ns = 0;       ///< ABSOLUTE sim deadline; 0 = none
+  /// Estimated execution cost (the submit frame's gas hint, or the bundle's
+  /// summed gas limits when the client sent none). Feeds cost-aware
+  /// brownout; 0 = unknown/free.
+  uint64_t estimated_gas = 0;
   std::vector<evm::Transaction> bundle;
 };
 
@@ -137,9 +151,29 @@ class AdmissionController {
   /// Releases the tenant's in-flight slot taken by a non-expired next().
   void on_complete(uint64_t tenant_id);
 
+  /// Re-admits a request whose device died (or was drained away) mid-flight.
+  /// The request already won admission once, so the brownout ladder and the
+  /// tenant queue cap do NOT apply — shedding it now would turn a device
+  /// fault into a silent drop of accepted work. It re-enters at the FRONT
+  /// of its tenant queue (failover work re-dispatches ahead of newer
+  /// arrivals, minimizing rebind latency) but still flows through the
+  /// normal DRR pass, in-flight quotas and deadline expiry: a re-admitted
+  /// request that ages out is still answered kDeadlineExceeded.
+  void readmit(QueuedRequest request, uint64_t now_ns);
+
   BrownoutState state() const { return state_; }
   size_t total_queued() const { return total_queued_; }
-  /// p99 queue wait over the sliding window (0 while the window is empty).
+  /// p99 queue wait over the sliding window, nearest-rank.
+  ///
+  /// Short-window semantics (pinned by unit tests at n ∈ {0, 1, 2}): an
+  /// EMPTY window reports 0, so a wait-based brownout rung can never ENTER
+  /// before the first wait sample lands (depth triggers still apply) and a
+  /// configured wait-exit mark is trivially satisfied; with one sample the
+  /// p99 IS that sample; with n < 100 samples nearest-rank p99 is the
+  /// window MAXIMUM, so a single slow dispatch early in a run can trip a
+  /// wait-enter threshold by itself. That bias is deliberate — under
+  /// overload the controller should fail toward shedding — and callers
+  /// sizing wait thresholds should size wait_window accordingly.
   uint64_t window_p99_wait_ns() const;
 
  private:

@@ -21,20 +21,26 @@ SessionOutcome FrontDoor::Mailbox::take(uint64_t bundle_id) {
   return std::move(node.mapped());
 }
 
+namespace {
+
+DevicePoolConfig pool_config_from(const FrontDoorConfig& config) {
+  DevicePoolConfig pool = config.devices;
+  if (pool.initial_devices == 0) pool.initial_devices = config.num_devices;
+  return pool;
+}
+
+}  // namespace
+
 FrontDoor::FrontDoor(PreExecutionEngine& engine, FrontDoorConfig config)
     : engine_(engine),
       config_(std::move(config)),
-      admission_(config_.admission, &engine.metrics_registry()) {
-  if (config_.num_devices == 0) {
+      admission_(config_.admission, &engine.metrics_registry()),
+      pool_(pool_config_from(config_), &engine.metrics_registry()) {
+  if (pool_.size() == 0) {
     throw UsageError("FrontDoor: need at least one device");
   }
   engine_.set_on_outcome(
       [this](const SessionOutcome& outcome) { mailbox_.post(outcome); });
-  // Sorted descending so back() hands out the lowest free device id —
-  // deterministic assignment, deterministic binding log.
-  for (size_t i = config_.num_devices; i > 0; --i) {
-    free_devices_.push_back(static_cast<uint32_t>(i - 1));
-  }
   obs::Registry& registry = engine_.metrics_registry();
   frames_total_ = &registry.counter("hardtape_service_frames_total",
                                     "frames delivered to the front door");
@@ -46,6 +52,18 @@ FrontDoor::FrontDoor(PreExecutionEngine& engine, FrontDoorConfig config)
                         "authenticated frames that failed to parse");
   dispatched_total_ = &registry.counter("hardtape_service_dispatched_total",
                                         "requests handed to a device");
+  failovers_total_ =
+      &registry.counter("hardtape_service_failovers_total",
+                        "bindings lost to device death/drain and re-admitted");
+  retry_exhausted_total_ =
+      &registry.counter("hardtape_service_failover_retry_exhausted_total",
+                        "requests terminal kRetryExhausted after failovers");
+  device_lost_total_ =
+      &registry.counter("hardtape_service_device_lost_total",
+                        "requests terminal kDeviceLost (fleet gone)");
+  rebind_latency_ =
+      &registry.histogram("hardtape_service_rebind_latency_sim_ns",
+                          "sim ns from binding cut to failover re-dispatch");
   sessions_gauge_ =
       &registry.gauge("hardtape_service_sessions_open", "open sessions");
 }
@@ -185,6 +203,16 @@ ResponseFrame FrontDoor::handle_submit(Session& session,
     return response;
   }
 
+  // The cost-aware brownout's input: the client's hint, or the bundle's
+  // summed gas limits when it sent none (a derived over-estimate — limits
+  // bound cost — which fails toward shedding, the honest direction).
+  uint64_t estimated_gas = request.gas_estimate;
+  if (estimated_gas == 0) {
+    for (const evm::Transaction& tx : request.bundle) {
+      estimated_gas += tx.gas_limit;
+    }
+  }
+
   QueuedRequest queued;
   queued.session_id = session.session_id;
   queued.tenant_id = session.tenant_id;
@@ -192,7 +220,7 @@ ResponseFrame FrontDoor::handle_submit(Session& session,
   queued.deadline_ns = request.deadline_ns == 0
                            ? 0
                            : request.client_time_ns + request.deadline_ns;
-  queued.bundle = request.bundle;
+  queued.estimated_gas = estimated_gas;
   const Status verdict = admission_.admit(std::move(queued), now_ns_);
 
   RequestState state;
@@ -200,17 +228,21 @@ ResponseFrame FrontDoor::handle_submit(Session& session,
                           ? 0
                           : request.client_time_ns + request.deadline_ns;
   state.admission_status = verdict;
+  state.estimated_gas = estimated_gas;
   if (verdict == Status::kOk) {
     // The moment that buys worker-count independence: the engine id — and
     // with it the session's RNG and fault streams — is fixed here, in
-    // arrival order, before any scheduling happens.
+    // arrival order, before any scheduling happens. A failover re-executes
+    // under this same id at attempt+1, so the bundle is retained until the
+    // request is terminal (a dead device's sealed state cannot be resumed).
     state.bundle_id = next_bundle_id_++;
+    state.bundle = request.bundle;
   } else {
     state.stage = Stage::kDone;
     state.done_ns = now_ns_;
     state.outcome_status = verdict;
   }
-  session.requests.emplace(request.request_id, state);
+  session.requests.emplace(request.request_id, std::move(state));
   response.status = verdict;
   if (verdict == Status::kOk) dispatch();
   return response;
@@ -246,22 +278,118 @@ ResponseFrame FrontDoor::handle_poll(Session& session,
 }
 
 void FrontDoor::advance(uint64_t target_ns) {
-  while (!completions_.empty() && completions_.top().at_ns <= target_ns) {
-    const Completion done = completions_.top();
-    completions_.pop();
-    now_ns_ = done.at_ns;
-    // Unbind the device (the binding interval ends here) and release the
-    // tenant's in-flight slot before pulling new work.
-    free_devices_.push_back(done.device);
-    std::sort(free_devices_.begin(), free_devices_.end(),
-              std::greater<uint32_t>());
-    admission_.on_complete(done.tenant_id);
-    if (RequestState* state = find_request(done.session_id, done.request_id)) {
-      state->stage = Stage::kDone;
+  // One merged timeline: scheduled binding-end events and the pool's timed
+  // transitions (warmup, quarantine backoff, flap rejoin), processed in sim
+  // order with pool transitions first at a shared instant — a device that
+  // rejoins at t must be bindable by work freed at t.
+  for (;;) {
+    const uint64_t pool_at = pool_.next_transition_ns();
+    const uint64_t event_at =
+        events_.empty() ? UINT64_MAX : events_.top().at_ns;
+    const uint64_t at = std::min(pool_at, event_at);
+    if (at > target_ns) break;
+    now_ns_ = std::max(now_ns_, at);
+    if (pool_at <= event_at) {
+      pool_.advance_to(at);
+    } else {
+      const Event event = events_.top();
+      events_.pop();
+      handle_event(event);
     }
     dispatch();
   }
   now_ns_ = std::max(now_ns_, target_ns);
+}
+
+FrontDoor::ActiveBinding FrontDoor::cut_binding(uint32_t device) {
+  const auto it = active_.find(device);
+  if (it == active_.end()) {
+    throw UsageError("FrontDoor: cut_binding on an idle device");
+  }
+  const ActiveBinding lost = it->second;
+  active_.erase(it);
+  // The interval ends at the cut, not at the completion that will never
+  // come; any still-heaped event for this binding goes stale with it.
+  bindings_[lost.binding_idx].end_ns = now_ns_;
+  admission_.on_complete(lost.tenant_id);
+  return lost;
+}
+
+void FrontDoor::handle_event(const Event& event) {
+  const auto it = active_.find(event.device);
+  if (it == active_.end() || it->second.gen != event.gen) {
+    return;  // stale: the binding this event was scheduled for is gone
+  }
+  switch (event.kind) {
+    case Event::Kind::kCompletion: {
+      const ActiveBinding done = it->second;
+      active_.erase(it);
+      admission_.on_complete(done.tenant_id);
+      if (done.sticky_fail) {
+        // The device ran the session to the end but the result failed
+        // health/attestation checks: fail closed — discard it, feed the
+        // per-device breaker, re-execute elsewhere.
+        pool_.sticky_fault(event.device, now_ns_);
+        failover(done);
+        break;
+      }
+      pool_.complete(event.device, now_ns_);
+      if (RequestState* state =
+              find_request(done.session_id, done.request_id)) {
+        state->stage = Stage::kDone;
+        state->done_ns = now_ns_;
+        state->outcome_status = done.outcome_status;
+        state->exec_ns = done.exec_ns;
+        state->gas_used = done.gas_used;
+      }
+      break;
+    }
+    case Event::Kind::kDeviceDeath: {
+      const ActiveBinding lost = cut_binding(event.device);
+      pool_.crash(event.device, now_ns_, event.rejoin_at_ns);
+      failover(lost);
+      break;
+    }
+    case Event::Kind::kDrainDeadline: {
+      if (pool_.state(event.device) != DeviceState::kDraining) return;
+      // Grace expired with the session still running: cut it, finish the
+      // drain, re-admit the bundle. Drains never strand a bound session.
+      const ActiveBinding lost = cut_binding(event.device);
+      pool_.finish_drain(event.device, now_ns_);
+      failover(lost);
+      break;
+    }
+  }
+}
+
+void FrontDoor::failover(const ActiveBinding& lost) {
+  RequestState* state = find_request(lost.session_id, lost.request_id);
+  if (state == nullptr) {
+    throw UsageError("FrontDoor: failover for a request with no state");
+  }
+  failovers_total_->add();
+  // Budgeted by the engine's own attempt budget: the failover attempt index
+  // continues where the engine's internal requeues left off, so device
+  // loss and backend faults spend the SAME bounded budget.
+  const uint32_t next_attempt = lost.engine_attempt + 1;
+  const int budget = engine_.config().max_bundle_attempts;
+  if (budget > 0 && next_attempt >= static_cast<uint32_t>(budget)) {
+    retry_exhausted_total_->add();
+    state->stage = Stage::kDone;
+    state->done_ns = now_ns_;
+    state->outcome_status = Status::kRetryExhausted;
+    return;
+  }
+  state->attempt = next_attempt;
+  state->stage = Stage::kQueued;
+  state->rebind_start_ns = now_ns_;
+  QueuedRequest queued;
+  queued.session_id = lost.session_id;
+  queued.tenant_id = lost.tenant_id;
+  queued.request_id = lost.request_id;
+  queued.deadline_ns = state->deadline_ns;
+  queued.estimated_gas = state->estimated_gas;
+  admission_.readmit(std::move(queued), now_ns_);
 }
 
 void FrontDoor::dispatch() {
@@ -273,7 +401,7 @@ void FrontDoor::dispatch() {
     uint64_t tenant_id;
   };
   std::vector<Launched> burst;
-  while (!free_devices_.empty()) {
+  while (pool_.has_idle()) {
     auto pick = admission_.next(now_ns_);
     if (!pick.has_value()) break;
     RequestState* state =
@@ -285,18 +413,21 @@ void FrontDoor::dispatch() {
         state->stage = Stage::kDone;
         state->done_ns = now_ns_;
         state->outcome_status = Status::kDeadlineExceeded;
-        state->queue_wait_ns = now_ns_ - pick->request.enqueue_ns;
+        state->queue_wait_ns += now_ns_ - pick->request.enqueue_ns;
       }
       continue;
     }
     if (state == nullptr) {
       throw UsageError("FrontDoor: dispatched request has no state");
     }
-    const uint32_t device = free_devices_.back();
-    free_devices_.pop_back();
+    const uint32_t device = *pool_.acquire(now_ns_);
     state->stage = Stage::kRunning;
     state->dispatch_ns = now_ns_;
-    state->queue_wait_ns = now_ns_ - pick->request.enqueue_ns;
+    state->queue_wait_ns += now_ns_ - pick->request.enqueue_ns;
+    if (state->rebind_start_ns != 0) {
+      rebind_latency_->observe(now_ns_ - state->rebind_start_ns);
+      state->rebind_start_ns = 0;
+    }
     dispatched_total_->add();
     burst.push_back(Launched{device, state->bundle_id,
                              pick->request.session_id,
@@ -304,8 +435,15 @@ void FrontDoor::dispatch() {
                              pick->request.tenant_id});
     // Launch the whole burst before blocking on any outcome: the engine's
     // workers execute these sessions in parallel; only the bookkeeping
-    // below is sequential.
-    (void)engine_.submit_as(state->bundle_id, std::move(pick->request.bundle));
+    // below is sequential. The request keeps its own copy of the bundle —
+    // a later failover re-executes from it.
+    std::vector<evm::Transaction> bundle = state->bundle;
+    if (state->attempt == 0) {
+      (void)engine_.submit_as(state->bundle_id, std::move(bundle));
+    } else {
+      (void)engine_.resubmit(state->bundle_id, std::move(bundle),
+                             state->attempt);
+    }
   }
   for (const Launched& launched : burst) {
     const SessionOutcome outcome = mailbox_.take(launched.bundle_id);
@@ -318,19 +456,82 @@ void FrontDoor::dispatch() {
     if (state == nullptr) {
       throw UsageError("FrontDoor: launched request lost its state");
     }
-    state->done_ns = now_ns_ + duration;
-    state->outcome_status = outcome.status;
-    state->exec_ns = outcome.end_to_end_ns;
+    ActiveBinding binding;
+    binding.gen = next_binding_gen_++;
+    binding.binding_idx = bindings_.size();
+    binding.bundle_id = launched.bundle_id;
+    binding.session_id = launched.session_id;
+    binding.request_id = launched.request_id;
+    binding.tenant_id = launched.tenant_id;
+    binding.outcome_status = outcome.status;
+    binding.engine_attempt = outcome.attempt;
+    binding.exec_ns = outcome.end_to_end_ns;
     uint64_t gas = 0;
     for (const auto& tx : outcome.report.transactions) gas += tx.gas_used;
-    state->gas_used = gas;
-    completions_.push(Completion{now_ns_ + duration, launched.bundle_id,
-                                 launched.device, launched.session_id,
-                                 launched.request_id, launched.tenant_id});
+    binding.gas_used = gas;
+
+    // The device fault plan decides this binding's fate — deterministically,
+    // keyed on (device, per-device binding index).
+    const faults::DeviceFaultDecision fate = pool_.binding_fate(launched.device);
+    uint64_t end_ns = now_ns_ + duration;
+    if (fate.kind == faults::DeviceFaultKind::kCrash ||
+        fate.kind == faults::DeviceFaultKind::kFlap) {
+      // Death mid-binding: at least 1ns served, cut no later than the
+      // natural end. The sealed session state dies with the device.
+      uint64_t served = static_cast<uint64_t>(
+          fate.kill_frac * static_cast<double>(duration));
+      served = std::clamp<uint64_t>(served, 1, duration);
+      end_ns = now_ns_ + served;
+      const uint64_t rejoin_at =
+          fate.kind == faults::DeviceFaultKind::kFlap
+              ? end_ns + std::max<uint64_t>(1, fate.downtime_ns)
+              : 0;
+      events_.push(Event{end_ns, next_event_seq_++,
+                         Event::Kind::kDeviceDeath, launched.device,
+                         binding.gen, rejoin_at});
+    } else {
+      binding.sticky_fail = fate.kind == faults::DeviceFaultKind::kSticky;
+      events_.push(Event{end_ns, next_event_seq_++, Event::Kind::kCompletion,
+                         launched.device, binding.gen, 0});
+    }
     bindings_.push_back(Binding{launched.device, launched.session_id,
-                                launched.bundle_id, now_ns_,
-                                now_ns_ + duration});
+                                launched.bundle_id, now_ns_, end_ns});
+    active_[launched.device] = binding;
   }
+}
+
+uint32_t FrontDoor::add_device() {
+  const uint32_t id = pool_.add_device(now_ns_);
+  dispatch();  // a zero-warmup device is bindable immediately
+  return id;
+}
+
+void FrontDoor::drain_device(uint32_t device) {
+  const auto pending = pool_.start_drain(device, now_ns_);
+  if (pending.has_value()) {
+    // In-flight session: give it the grace window, then cut. The deadline
+    // is scheduled against the CURRENT binding generation — if the session
+    // finishes (or the device dies) first, the deadline goes stale.
+    const auto it = active_.find(device);
+    if (it == active_.end()) {
+      throw UsageError("FrontDoor: draining busy device with no binding");
+    }
+    events_.push(Event{now_ns_ + pool_.config().drain_grace_ns,
+                       next_event_seq_++, Event::Kind::kDrainDeadline, device,
+                       it->second.gen, 0});
+  }
+  advance(now_ns_);  // a zero-grace drain cuts at this very instant
+}
+
+void FrontDoor::kill_device(uint32_t device) {
+  if (active_.count(device) != 0) {
+    const ActiveBinding lost = cut_binding(device);
+    pool_.crash(device, now_ns_, /*rejoin_at_ns=*/0);
+    failover(lost);
+  } else {
+    pool_.crash(device, now_ns_, /*rejoin_at_ns=*/0);
+  }
+  dispatch();  // the failover may be dispatchable elsewhere right now
 }
 
 FrontDoor::RequestState* FrontDoor::find_request(uint64_t session_id,
@@ -346,21 +547,132 @@ void FrontDoor::advance_to(uint64_t now_ns) {
   advance(std::max(now_ns, now_ns_));
 }
 
+void FrontDoor::resolve_queued_device_lost() {
+  // No device will EVER serve again, so every queued request gets its
+  // fail-closed terminal verdict now instead of waiting forever. Expired
+  // picks still resolve as the (more specific) deadline verdict.
+  for (;;) {
+    auto pick = admission_.next(now_ns_);
+    if (!pick.has_value()) break;
+    if (!pick->expired) {
+      // Charged in flight by next(); release immediately — nothing runs.
+      admission_.on_complete(pick->request.tenant_id);
+    }
+    RequestState* state =
+        find_request(pick->request.session_id, pick->request.request_id);
+    if (state != nullptr) {
+      state->stage = Stage::kDone;
+      state->done_ns = now_ns_;
+      state->outcome_status =
+          pick->expired ? Status::kDeadlineExceeded : Status::kDeviceLost;
+      state->queue_wait_ns += now_ns_ - pick->request.enqueue_ns;
+    }
+    if (!pick->expired) device_lost_total_->add();
+  }
+}
+
 void FrontDoor::finish() {
   for (;;) {
-    if (!completions_.empty()) {
-      advance(completions_.top().at_ns);
+    if (!events_.empty()) {
+      advance(events_.top().at_ns);
       continue;
     }
     if (admission_.total_queued() == 0) break;
+    // Nothing in flight but work is queued: the fleet may be temporarily
+    // down (quarantine, flap repair, warmup). Jump to the next device
+    // transition and try again.
+    const uint64_t wake = pool_.next_transition_ns();
+    if (wake != UINT64_MAX) {
+      advance(wake);
+      continue;
+    }
+    if (!pool_.can_ever_serve()) {
+      resolve_queued_device_lost();
+      break;
+    }
     const size_t before = admission_.total_queued();
     dispatch();
-    if (completions_.empty() && admission_.total_queued() == before) {
+    if (events_.empty() && admission_.total_queued() == before) {
       // Nothing in flight and nothing dispatchable: queued work that can
       // never run (a zero quota). Config error; bail instead of spinning.
       break;
     }
   }
+}
+
+FrontDoor::ChurnAudit FrontDoor::audit_bindings() const {
+  const auto fail = [](std::string why) {
+    return ChurnAudit{false, std::move(why)};
+  };
+  // Invariant (a): per-device binding intervals never overlap.
+  std::map<uint32_t, std::vector<const Binding*>> by_device;
+  for (const Binding& b : bindings_) {
+    if (b.end_ns < b.start_ns) {
+      return fail("binding on device " + std::to_string(b.device) +
+                  " ends before it starts");
+    }
+    by_device[b.device].push_back(&b);
+  }
+  for (auto& [device, intervals] : by_device) {
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Binding* a, const Binding* b) {
+                return a->start_ns < b->start_ns;
+              });
+    for (size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i]->start_ns < intervals[i - 1]->end_ns) {
+        return fail("device " + std::to_string(device) +
+                    " bound to two sessions at sim ns " +
+                    std::to_string(intervals[i]->start_ns));
+      }
+    }
+  }
+  // Invariant (b): every interval fits inside one of its device's service
+  // windows — [kServe/kRejoin .. kCrash/kQuarantine/kDrainDone). A binding
+  // past a window close would mean a session ran on a dead/quarantined/
+  // drained device.
+  std::map<uint32_t, std::vector<std::pair<uint64_t, uint64_t>>> windows;
+  std::map<uint32_t, uint64_t> open_since;
+  for (const DeviceEvent& event : pool_.events()) {
+    switch (event.kind) {
+      case DeviceEventKind::kServe:
+      case DeviceEventKind::kRejoin:
+        open_since[event.device] = event.at_ns;
+        break;
+      case DeviceEventKind::kCrash:
+      case DeviceEventKind::kQuarantine:
+      case DeviceEventKind::kDrainDone: {
+        const auto it = open_since.find(event.device);
+        if (it != open_since.end()) {
+          windows[event.device].emplace_back(it->second, event.at_ns);
+          open_since.erase(it);
+        }
+        break;
+      }
+      case DeviceEventKind::kJoin:
+      case DeviceEventKind::kDrainStart:
+      case DeviceEventKind::kStickyFault:
+        break;  // neither opens nor closes a service window
+    }
+  }
+  for (const auto& [device, since] : open_since) {
+    windows[device].emplace_back(since, UINT64_MAX);  // still in service
+  }
+  for (const Binding& b : bindings_) {
+    bool inside = false;
+    for (const auto& [open, close] : windows[b.device]) {
+      if (b.start_ns >= open && b.end_ns <= close) {
+        inside = true;
+        break;
+      }
+    }
+    if (!inside) {
+      return fail("binding [" + std::to_string(b.start_ns) + ", " +
+                  std::to_string(b.end_ns) + ") on device " +
+                  std::to_string(b.device) +
+                  " extends past the device's service window");
+    }
+  }
+  return ChurnAudit{};
 }
 
 ServiceClient::ServiceClient(FrontDoor& door, const crypto::AesKey128& key)

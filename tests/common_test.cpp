@@ -305,6 +305,7 @@ TEST(Errors, StatusToString) {
   EXPECT_STREQ(to_string(Status::kStale), "stale");
   EXPECT_STREQ(to_string(Status::kOverloaded), "overloaded");
   EXPECT_STREQ(to_string(Status::kDeadlineExceeded), "deadline-exceeded");
+  EXPECT_STREQ(to_string(Status::kDeviceLost), "device-lost");
 }
 
 // Every Status value must round-trip to a unique human-readable name — a
