@@ -18,13 +18,20 @@ struct EvaluationSetup {
   workload::WorkloadGenerator generator;
   std::vector<std::vector<evm::Transaction>> blocks;
 
+  /// `state_scale` multiplies the deployed-state population (accounts,
+  /// contracts, pairs) — the big-state crash drill runs at 10x+. The
+  /// optional `node_store` routes the node's trie through an external
+  /// backend (e.g. trie::PagedNodeStore) so that scaled state need not be
+  /// RAM-resident; it must outlive the setup.
   explicit EvaluationSetup(size_t block_count = 10, size_t txs_per_block = 40,
-                           uint64_t seed = 19145194)
-      : generator(workload::GeneratorConfig{
+                           uint64_t seed = 19145194, size_t state_scale = 1,
+                           trie::NodeStore* node_store = nullptr)
+      : node(evm::BlockContext{}, node_store),
+        generator(workload::GeneratorConfig{
             .seed = seed,
-            .user_accounts = 32,
-            .erc20_contracts = 24,
-            .dex_pairs = 12,
+            .user_accounts = 32 * state_scale,
+            .erc20_contracts = 24 * state_scale,
+            .dex_pairs = 12 * state_scale,
             .routers = 6,
             .txs_per_block = txs_per_block,
         }) {

@@ -26,7 +26,19 @@
 //       beats cold synchronize() summed over trials with a recoverable
 //       image — the journal must buy the availability it promises.
 //
-// Usage: bench_crash [--quick] [--bundles N] [--blocks N] [--trials N]
+// Paged mode (PR 10, --paged): the same drill with every state layer routed
+// through the paged backend — the node's trie over a PagedNodeStore, the
+// engine's ORAM slots over PagedSlotStore segments on the SAME crash-armed
+// fs, and the DurableStore mirror in incremental-checkpoint mode. --scale N
+// multiplies the deployed state population (the big-state drill runs at
+// 10x), and the run additionally reports the memory-bound evidence the CI
+// gate checks: analytic pool budget vs the measured peak resident bytes,
+// the full-image size vs the last incremental checkpoint's cost, and a
+// 1-vs-8-worker rehearsal image comparison (bit-identical by construction
+// of the serialized drive).
+//
+// Usage: bench_crash [--quick] [--paged] [--scale N] [--pool-pages N]
+//                    [--bundles N] [--blocks N] [--trials N]
 //                    [--seed S] [--out FILE]
 // Writes BENCH_crash.json. Exit 1 on any invariant violation.
 #include <algorithm>
@@ -34,16 +46,19 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "durability/checkpoint.hpp"
 #include "durability/durable_store.hpp"
 #include "durability/recovery.hpp"
 #include "durability/vfs.hpp"
 #include "faults/crash_plan.hpp"
 #include "service/engine.hpp"
+#include "trie/paged_node_store.hpp"
 
 using namespace hardtape;
 using durability::DurableStore;
@@ -57,6 +72,16 @@ struct CrashOptions {
   size_t uniform_trials = 8;
   uint64_t seed = 0xc4a5;
   std::string out_path = "BENCH_crash.json";
+  /// Paged state backend everywhere (trie + ORAM slots + incremental
+  /// checkpoints). Off by default: the plain drill stays bit-identical to
+  /// the pre-paging bench.
+  bool paged = false;
+  /// Deployed-state multiplier (accounts/contracts/pairs); the ORAM
+  /// capacity scales with it so the bigger world still fits the tree.
+  size_t scale = 1;
+  /// Buffer-pool cap (pages/buckets) for every paged layer. Each ORAM
+  /// shard still raises this to its walk working set when set lower.
+  size_t pool_pages = 64;
 };
 
 struct TrialResult {
@@ -83,17 +108,53 @@ uint64_t now_ns() {
       .count();
 }
 
-service::EngineConfig engine_config(DurableStore* durable) {
+constexpr uint64_t kCheckpointEvery = 512;
+
+// `oram_fs` is where a paged engine spills ORAM slot segments. The crash
+// engine gets the ARMED fs (a power loss must take the slot spill with it);
+// the warm/reference engines get their own fresh fs.
+service::EngineConfig engine_config(DurableStore* durable, SimFs* oram_fs,
+                                    const CrashOptions& opts) {
   service::EngineConfig config;
   config.security = service::SecurityConfig::full();
   config.num_hevms = 1;  // one worker -> one deterministic fs op stream
-  config.oram = oram::OramConfig{.block_size = oram::kPageSize, .capacity = 8192,
+  config.oram = oram::OramConfig{.block_size = oram::kPageSize,
+                                 .capacity = 8192 * opts.scale,
                                  .max_stash_blocks = 512};
+  if (opts.paged && oram_fs != nullptr) {
+    config.oram.backend = oram::SlotBackend::kPaged;
+    config.oram.backing_fs = oram_fs;
+    config.oram.buffer_pool_pages = opts.pool_pages;
+  }
   config.seal_mode = oram::SealMode::kChaChaHmac;
   config.perform_channel_crypto = false;
   config.durable = durable;
   return config;
 }
+
+durability::DurableConfig durable_config(const CrashOptions& opts) {
+  // Paged mode checkpoints on a tighter cadence: an incremental checkpoint
+  // costs O(dirty pages), so rolling often is cheap and keeps the measured
+  // "last checkpoint" a steady-state CoW delta instead of the initial
+  // full-sync image.
+  return {.checkpoint_every_records = opts.paged ? kCheckpointEvery / 32
+                                                 : kCheckpointEvery,
+          .incremental_checkpoints = opts.paged,
+          .buffer_pool_pages = opts.pool_pages};
+}
+
+// Memory-bound evidence for the paged drill (CI gates these against the
+// full-image size: the pool budget must sit strictly below full state, and
+// the pools must honor it).
+struct PagedMetrics {
+  uint64_t pool_budget_bytes = 0;       ///< analytic cap across every pool
+  uint64_t peak_pool_bytes = 0;         ///< measured high-water, summed
+  uint64_t full_image_bytes = 0;        ///< serialized full image (v1 cost)
+  uint64_t incremental_ckpt_bytes = 0;  ///< newest CoW checkpoint's cost
+  uint64_t checkpoints_written = 0;
+  bool workers_identical = true;  ///< 1-worker vs 8-worker rehearsal image
+};
+
 
 // The identical serialized drive used by the rehearsal and by every trial:
 // submit one bundle, barrier on resync() (quiesces the pool), and advance
@@ -120,13 +181,63 @@ std::map<uint64_t, service::SessionOutcome> drive(
 
 // Fresh deterministic chain per run: every trial replays the exact same
 // block history, so outcomes are comparable across rehearsal and trials.
+// In paged mode the node's world lives on a PagedNodeStore over the node's
+// OWN fs — never crash-armed (the node is the untrusted party; the drill
+// crashes HarDTAPE's durable state, not the chain).
 struct ChainFixture {
+  durability::SimFs node_fs;
+  std::unique_ptr<trie::PagedNodeStore> node_store;
   bench::EvaluationSetup setup;
   std::vector<evm::Transaction> txs;
-  explicit ChainFixture(uint64_t seed) : setup(4, 16, seed), txs(setup.all_transactions()) {}
+  explicit ChainFixture(const CrashOptions& opts)
+      : node_store(opts.paged
+                       ? std::make_unique<trie::PagedNodeStore>(
+                             node_fs, pagedstore::PagedStoreConfig{
+                                          .name = "node-trie",
+                                          .buffer_pool_pages = opts.pool_pages})
+                       : nullptr),
+        setup(4, 16, opts.seed, opts.scale, node_store.get()),
+        txs(setup.all_transactions()) {}
 };
 
-constexpr uint64_t kCheckpointEvery = 512;
+// Summed high-water RAM across every buffer pool in play: the durable
+// mirror, each ORAM shard's slot store, and the node's trie store.
+uint64_t measured_pool_peak(service::PreExecutionEngine& engine,
+                            const DurableStore& store, const ChainFixture& chain) {
+  uint64_t total = 0;
+  if (const auto s = store.pool_stats()) total += s->peak_resident_bytes;
+  oram::ShardedOramStore& shards = engine.oram_store();
+  for (size_t i = 0; i < shards.shard_count(); ++i) {
+    if (const auto s = shards.server(i).slot_pool_stats()) {
+      total += s->peak_resident_bytes;
+    }
+  }
+  if (chain.node_store != nullptr) {
+    total += chain.node_store->pool_stats().peak_resident_bytes;
+  }
+  return total;
+}
+
+// The analytic budget the measured peak must stay under: pages x payload
+// bytes per pool, with each ORAM shard's cap raised to its walk working set
+// exactly as PagedSlotStore raises it.
+uint64_t analytic_pool_budget(service::PreExecutionEngine& engine,
+                              const CrashOptions& opts) {
+  uint64_t total = opts.pool_pages * oram::kPageSize;  // durable mirror
+  oram::ShardedOramStore& shards = engine.oram_store();
+  const oram::OramConfig& shard_cfg = shards.server(0).config();
+  // One slot on a bucket page: 12B nonce + 16B tag + 4B length + ciphertext
+  // (stream cipher: ciphertext == block_size).
+  const uint64_t bucket_bytes =
+      shard_cfg.bucket_capacity * (12 + 16 + 4 + shard_cfg.block_size);
+  for (size_t i = 0; i < shards.shard_count(); ++i) {
+    const size_t pages = std::max(
+        opts.pool_pages, 2 * (shards.server(i).depth() + 1));
+    total += pages * bucket_bytes;
+  }
+  total += opts.pool_pages * trie::PagedNodeStore::kDefaultPagePayload;
+  return total;
+}
 
 struct TargetPoint {
   std::string label;
@@ -177,19 +288,25 @@ TrialResult run_trial(uint64_t trial, const std::string& label,
   result.crash_at_op = crash.crash_at_op;
   auto violate = [&result](const std::string& what) { result.violations.push_back(what); };
 
-  ChainFixture chain(opts.seed);
+  ChainFixture chain(opts);
   SimFs fs;
   fs.arm(crash);
 
   std::map<uint64_t, service::SessionOutcome> crashed_outcomes;
   {
-    DurableStore store(fs, {.checkpoint_every_records = kCheckpointEvery});
-    service::PreExecutionEngine engine(chain.setup.node, engine_config(&store));
-    if (engine.synchronize() != Status::kOk) {
+    DurableStore store(fs, durable_config(opts));
+    service::PreExecutionEngine engine(chain.setup.node,
+                                       engine_config(&store, &fs, opts));
+    if (engine.synchronize() == Status::kOk) {
+      crashed_outcomes = drive(engine, chain.setup.node, chain.txs, opts);
+    } else if (!fs.crashed()) {
+      // Power loss DURING the initial sync is a legitimate trial in paged
+      // mode (the slot spill lives on the armed fs, so sync fails closed
+      // once the fs dies); recovery below must still produce a usable
+      // image. A sync failure on a live fs is a real violation.
       violate("pre-crash synchronize() failed");
       return result;
     }
-    crashed_outcomes = drive(engine, chain.setup.node, chain.txs, opts);
   }
   if (!fs.crashed()) violate("armed crash point was never reached");
 
@@ -198,9 +315,10 @@ TrialResult run_trial(uint64_t trial, const std::string& label,
   const uint64_t warm_start = now_ns();
   const auto recovered = durability::Recovery::replay(fs);
   SimFs fs2;
-  DurableStore store2(fs2, {.checkpoint_every_records = kCheckpointEvery});
+  DurableStore store2(fs2, durable_config(opts));
   store2.adopt(recovered);
-  service::PreExecutionEngine engine(chain.setup.node, engine_config(&store2));
+  service::PreExecutionEngine engine(chain.setup.node,
+                                     engine_config(&store2, &fs2, opts));
   const Status warm = engine.warm_restart(recovered);
   result.warm_ns = now_ns() - warm_start;
   result.recovery = recovered.stats;
@@ -267,13 +385,15 @@ TrialResult run_trial(uint64_t trial, const std::string& label,
   for (auto& outcome : engine.drain()) readmitted[outcome.bundle_id] = outcome;
 
   // R4 reference + cold timing: a fresh engine, no journal, same head.
-  ChainFixture ref_chain(opts.seed);
+  ChainFixture ref_chain(opts);
   for (uint64_t n = ref_chain.setup.node.head_number();
        n < chain.setup.node.head_number(); ++n) {
     ref_chain.setup.node.produce_block(
         {ref_chain.txs[(opts.bundles + (n - 1)) % ref_chain.txs.size()]});
   }
-  service::PreExecutionEngine reference(ref_chain.setup.node, engine_config(nullptr));
+  SimFs ref_fs;
+  service::PreExecutionEngine reference(ref_chain.setup.node,
+                                        engine_config(nullptr, &ref_fs, opts));
   const uint64_t cold_start = now_ns();
   if (reference.synchronize() != Status::kOk) {
     violate("reference cold synchronize() failed");
@@ -335,26 +455,60 @@ int main(int argc, char** argv) {
       opts.blocks = 2;
       opts.uniform_trials = 3;
     }
+    if (!std::strcmp(argv[i], "--paged")) opts.paged = true;
     if (i >= argc - 1) continue;
     if (!std::strcmp(argv[i], "--bundles")) opts.bundles = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--blocks")) opts.blocks = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--trials")) opts.uniform_trials = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--seed")) opts.seed = std::strtoull(argv[i + 1], nullptr, 0);
+    if (!std::strcmp(argv[i], "--scale")) opts.scale = std::strtoull(argv[i + 1], nullptr, 10);
+    if (!std::strcmp(argv[i], "--pool-pages")) opts.pool_pages = std::strtoull(argv[i + 1], nullptr, 10);
     if (!std::strcmp(argv[i], "--out")) opts.out_path = argv[i + 1];
   }
+  if (opts.scale == 0) opts.scale = 1;
 
   // --- rehearsal: the uncrashed timeline every trial is measured against ---
-  ChainFixture chain(opts.seed);
+  ChainFixture chain(opts);
   SimFs rehearsal_fs;
   std::map<uint64_t, service::SessionOutcome> baseline;
+  PagedMetrics paged;
+  Bytes rehearsal_image;
   {
-    DurableStore store(rehearsal_fs, {.checkpoint_every_records = kCheckpointEvery});
-    service::PreExecutionEngine engine(chain.setup.node, engine_config(&store));
+    DurableStore store(rehearsal_fs, durable_config(opts));
+    service::PreExecutionEngine engine(chain.setup.node,
+                                       engine_config(&store, &rehearsal_fs, opts));
     if (engine.synchronize() != Status::kOk) {
       std::fprintf(stderr, "rehearsal synchronize() failed\n");
       return 1;
     }
     baseline = drive(engine, chain.setup.node, chain.txs, opts);
+    if (opts.paged) {
+      rehearsal_image = durability::checkpoint::serialize(0, store.image_snapshot());
+      paged.full_image_bytes = rehearsal_image.size();
+      paged.incremental_ckpt_bytes = store.stats().last_checkpoint_bytes;
+      paged.checkpoints_written = store.stats().checkpoints_written;
+      paged.peak_pool_bytes = measured_pool_peak(engine, store, chain);
+      paged.pool_budget_bytes = analytic_pool_budget(engine, opts);
+    }
+  }
+  // Determinism across worker counts: the drive is serialized (submit, then
+  // resync as a barrier), so an 8-worker rehearsal must land on the exact
+  // same durable image, byte for byte.
+  if (opts.paged) {
+    ChainFixture chain8(opts);
+    SimFs fs8;
+    DurableStore store8(fs8, durable_config(opts));
+    auto config8 = engine_config(&store8, &fs8, opts);
+    config8.num_hevms = 8;
+    service::PreExecutionEngine engine8(chain8.setup.node, config8);
+    if (engine8.synchronize() != Status::kOk) {
+      std::fprintf(stderr, "8-worker rehearsal synchronize() failed\n");
+      return 1;
+    }
+    (void)drive(engine8, chain8.setup.node, chain8.txs, opts);
+    paged.workers_identical =
+        durability::checkpoint::serialize(0, store8.image_snapshot()) ==
+        rehearsal_image;
   }
   const uint64_t total_ops = rehearsal_fs.op_count();
   const auto op_log = rehearsal_fs.op_log();
@@ -422,12 +576,43 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "violation (R6): warm recovery slower than cold re-sync "
                          "in aggregate\n");
   }
-  const bool ok = violations == 0 && warm_wins;
+  bool paged_ok = true;
+  if (opts.paged) {
+    std::printf("\npaged drill (scale %zux, pool %zu pages): budget %llu B, "
+                "peak %llu B, full image %llu B, last incremental ckpt %llu B "
+                "(%llu checkpoints), 8-worker image %s\n",
+                opts.scale, opts.pool_pages,
+                static_cast<unsigned long long>(paged.pool_budget_bytes),
+                static_cast<unsigned long long>(paged.peak_pool_bytes),
+                static_cast<unsigned long long>(paged.full_image_bytes),
+                static_cast<unsigned long long>(paged.incremental_ckpt_bytes),
+                static_cast<unsigned long long>(paged.checkpoints_written),
+                paged.workers_identical ? "identical" : "DIVERGED");
+    if (paged.peak_pool_bytes > paged.pool_budget_bytes) {
+      std::fprintf(stderr, "violation (paged): pool peak exceeded the budget\n");
+      paged_ok = false;
+    }
+    if (!paged.workers_identical) {
+      std::fprintf(stderr, "violation (paged): 8-worker rehearsal image diverged "
+                           "from the 1-worker image\n");
+      paged_ok = false;
+    }
+  }
+  const bool ok = violations == 0 && warm_wins && paged_ok;
 
   std::ofstream json(opts.out_path);
   json << "{\n  \"bench\": \"crash\",\n  \"bundles\": " << opts.bundles
        << ",\n  \"blocks\": " << opts.blocks
        << ",\n  \"seed\": " << opts.seed
+       << ",\n  \"paged\": " << (opts.paged ? "true" : "false")
+       << ",\n  \"scale\": " << opts.scale
+       << ",\n  \"pool_pages\": " << opts.pool_pages
+       << ",\n  \"pool_budget_bytes\": " << paged.pool_budget_bytes
+       << ",\n  \"peak_pool_bytes\": " << paged.peak_pool_bytes
+       << ",\n  \"full_image_bytes\": " << paged.full_image_bytes
+       << ",\n  \"incremental_ckpt_bytes\": " << paged.incremental_ckpt_bytes
+       << ",\n  \"checkpoints_written\": " << paged.checkpoints_written
+       << ",\n  \"workers_identical\": " << (paged.workers_identical ? "true" : "false")
        << ",\n  \"rehearsal_fs_ops\": " << total_ops
        << ",\n  \"trials\": [\n";
   for (size_t i = 0; i < trials.size(); ++i) {

@@ -52,9 +52,30 @@ micro — BENCH_micro_compare.json (bench_micro --compare: reference switch
   3. per-family regression — each gated family's speedup must stay within
      --tolerance of the committed baseline ratio (0 = no-baseline sentinel).
 
+crash — BENCH_crash.json (bench_crash, typically --paged --scale 10: the
+  big-state crash drill over the paged backend). Needs no baseline; every
+  check is self-contained in the report:
+  1. invariants — the bench's own R1-R6 verdict ('ok') and a zero per-trial
+     violation count;
+  2. coverage — at least --min-recoverable trials recovered a usable image
+     (a sweep that only ever hit empty images proves nothing);
+  3. warm wins — aggregate warm-restart speedup over cold re-sync at least
+     --min-warm-speedup;
+  and when the report ran --paged (enforced by --require-paged in CI):
+  4. memory-bounded — measured peak pool bytes within the analytic budget,
+     and the budget strictly below the full serialized image (the drill ran
+     with less RAM than the state);
+  5. incremental checkpoints — the newest checkpoint cost at most
+     --max-incremental-frac of the full image, with at least two
+     checkpoints written (so the newest one is a CoW delta, not the
+     initial full-sync image);
+  6. determinism — the 1-worker and 8-worker rehearsals produced
+     bit-identical durable images.
+
 The baseline defaults to bench/baselines/<mode>.json next to this script's
-repo; --baseline overrides it. A missing or malformed baseline fails with a
-one-line message and exit 2 — never a traceback.
+repo; --baseline overrides it (crash mode takes no baseline). A missing or
+malformed baseline fails with a one-line message and exit 2 — never a
+traceback.
 
 Writes a markdown delta table to --summary (append mode; pass
 $GITHUB_STEP_SUMMARY) and always prints it to stdout. Exit 1 on any gate
@@ -358,9 +379,102 @@ def check_micro(args):
     return rows, failures
 
 
+def check_crash(args):
+    report = load(args.current, "current report")
+    failures = []
+    rows = []
+
+    # 1. The bench's own invariant verdict (R1-R6 + its paged self-checks).
+    ok = report.get("ok", False)
+    trials = report.get("trials")
+    if not isinstance(trials, list) or not trials:
+        fail_input(f"current report {args.current}: 'trials' must be a "
+                   f"non-empty array")
+    violations = sum(t.get("violations", 0) for t in trials)
+    verdict = "ok" if ok and violations == 0 else "FAIL"
+    rows.append(("invariants R1-R6", f"{len(trials)} trials",
+                 f"{violations} violations", "ok == true, 0 violations",
+                 verdict))
+    if verdict == "FAIL":
+        failures.append(
+            f"crash drill reported ok={str(ok).lower()} with {violations} "
+            f"invariant violations across {len(trials)} trials")
+
+    # 2. Enough trials actually recovered an image.
+    recoverable = report.get("recoverable_trials", 0)
+    verdict = "ok" if recoverable >= args.min_recoverable else "FAIL"
+    rows.append(("recoverable trials", "sweep", str(recoverable),
+                 f">= {args.min_recoverable}", verdict))
+    if verdict == "FAIL":
+        failures.append(
+            f"only {recoverable} trials recovered a usable image "
+            f"(need >= {args.min_recoverable}): the sweep proves nothing")
+
+    # 3. Warm restart must beat cold re-sync in aggregate.
+    speedup = report.get("warm_speedup", 0.0)
+    if args.min_warm_speedup > 0 and recoverable > 0:
+        verdict = "ok" if speedup >= args.min_warm_speedup else "FAIL"
+        rows.append(("warm speedup", "aggregate", f"{speedup:.2f}x",
+                     f">= {args.min_warm_speedup:.2f}x", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"warm recovery speedup {speedup:.2f}x is below "
+                f"{args.min_warm_speedup:.2f}x: the journal is not buying "
+                f"its availability")
+
+    # 4-6. Paged-mode gates (memory-bounded operation + CoW checkpoints).
+    paged = report.get("paged", False)
+    if args.require_paged and not paged:
+        failures.append("the report did not run --paged but the gate "
+                        "requires it (wrong bench invocation?)")
+    if paged:
+        budget = report.get("pool_budget_bytes", 0)
+        peak = report.get("peak_pool_bytes", 0)
+        full = report.get("full_image_bytes", 0)
+        verdict = "ok" if 0 < peak <= budget else "FAIL"
+        rows.append(("pool peak", f"scale {report.get('scale', '?')}x",
+                     f"{peak} B", f"0 < peak <= {budget} B", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"measured pool peak {peak} B violates the analytic budget "
+                f"{budget} B (or no pool activity was recorded)")
+        verdict = "ok" if 0 < budget < full else "FAIL"
+        rows.append(("memory bound", "budget vs state", f"{budget} B",
+                     f"< full image {full} B", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"pool budget {budget} B is not below the full image "
+                f"{full} B: the drill never ran memory-bounded")
+
+        ckpts = report.get("checkpoints_written", 0)
+        incr = report.get("incremental_ckpt_bytes", 0)
+        ceiling = args.max_incremental_frac * full
+        verdict = ("ok" if ckpts >= 2 and 0 < incr <= ceiling else "FAIL")
+        rows.append(("incremental ckpt", f"{ckpts} written", f"{incr} B",
+                     f"<= {args.max_incremental_frac:.0%} of full image "
+                     f"({ceiling:.0f} B), >= 2 ckpts", verdict))
+        if verdict == "FAIL":
+            failures.append(
+                f"newest incremental checkpoint cost {incr} B with {ckpts} "
+                f"checkpoints written (need >= 2 and <= "
+                f"{args.max_incremental_frac:.0%} of the {full} B image): "
+                f"checkpoints are not CoW deltas")
+
+        identical = report.get("workers_identical", False)
+        verdict = "ok" if identical else "FAIL"
+        rows.append(("worker determinism", "1w vs 8w image",
+                     "identical" if identical else "DIVERGED",
+                     "bit-identical", verdict))
+        if not identical:
+            failures.append("the 8-worker rehearsal produced a different "
+                            "durable image than the 1-worker rehearsal")
+
+    return rows, failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--mode", choices=("throughput", "service", "micro"),
+    ap.add_argument("--mode", choices=("throughput", "service", "micro", "crash"),
                     default="throughput",
                     help="which bench report to gate (default: throughput)")
     ap.add_argument("--current", required=True, help="bench JSON from this run")
@@ -380,6 +494,15 @@ def main():
     ap.add_argument("--min-micro-speedup", type=float, default=3.0,
                     help="[micro] min geomean fast-path speedup over gated "
                          "opcode families (0 disables)")
+    ap.add_argument("--min-recoverable", type=int, default=1,
+                    help="[crash] min trials that recovered a usable image")
+    ap.add_argument("--min-warm-speedup", type=float, default=1.0,
+                    help="[crash] min aggregate warm/cold speedup (0 disables)")
+    ap.add_argument("--max-incremental-frac", type=float, default=0.25,
+                    help="[crash] max newest-checkpoint cost as a fraction "
+                         "of the full serialized image")
+    ap.add_argument("--require-paged", action="store_true",
+                    help="[crash] fail unless the report ran --paged")
     ap.add_argument("--summary", default=None,
                     help="markdown summary file to append to (e.g. $GITHUB_STEP_SUMMARY)")
     args = ap.parse_args()
@@ -390,7 +513,7 @@ def main():
                                      f"{args.mode}.json")
 
     check = {"throughput": check_throughput, "service": check_service,
-             "micro": check_micro}[args.mode]
+             "micro": check_micro, "crash": check_crash}[args.mode]
     rows, failures = check(args)
 
     lines = [f"## Perf gate: {args.mode}", "",

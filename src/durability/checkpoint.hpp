@@ -33,6 +33,7 @@
 #include "common/bytes.hpp"
 #include "durability/vfs.hpp"
 #include "oram/epoch.hpp"
+#include "pagedstore/store.hpp"
 
 namespace hardtape::durability {
 
@@ -67,10 +68,46 @@ Bytes serialize(uint64_t generation, const StoreImage& image);
 std::optional<StoreImage> parse(BytesView data);
 
 /// Publishes `image` as generation `generation` with the atomic-rename
-/// sequence above, then garbage-collects generation-2 files.
-void write(SimFs& fs, uint64_t generation, const StoreImage& image);
+/// sequence above, then garbage-collects generation-2 files. Returns the
+/// checkpoint's serialized size (the full-image write cost).
+size_t write(SimFs& fs, uint64_t generation, const StoreImage& image);
+
+// --- v2: incremental (CoW) checkpoint manifests (DESIGN.md §16) ---
+//
+// A v2 checkpoint does not re-serialize page payloads: they already live in
+// a pagedstore::PagedStore's segment files (appended when dirty pages were
+// flushed or evicted). The checkpoint file is a MANIFEST — the image's
+// metadata plus one locator per page — so publishing costs O(dirty pages +
+// metadata), not O(state). load_newest resolves the locators fail-closed
+// (page checksum + id re-verified); a manifest pointing at a torn or
+// missing segment record invalidates that generation and recovery falls
+// back, exactly like a corrupt v1 image.
+
+/// Where one page's payload lives at snapshot time.
+struct PageManifestEntry {
+  u256 id;
+  uint64_t leaf = 0;
+  pagedstore::PageLocator locator;
+};
+
+struct Manifest {
+  StoreImage meta;  ///< `pages` values carry leaves only; payload data empty
+  std::string store_name;  ///< the PagedStore's segment-file prefix
+  std::vector<PageManifestEntry> pages;  ///< id-ordered
+};
+
+Bytes serialize_manifest(uint64_t generation, const Manifest& manifest);
+/// nullopt on any structural/checksum violation or a non-v2 version.
+std::optional<Manifest> parse_manifest(BytesView data);
+/// Publishes a v2 manifest with the same atomic-rename sequence and
+/// generation GC as write(). Segment GC is the caller's job (the segments a
+/// retired manifest referenced may still back the surviving one). Returns
+/// the manifest's serialized size.
+size_t write_manifest(SimFs& fs, uint64_t generation, const Manifest& manifest);
 
 /// Loads the newest generation whose checkpoint file parses and verifies.
+/// v2 manifests are resolved against their segment files; any unresolvable
+/// page fails the whole generation (fall back, never a partial image).
 std::optional<std::pair<uint64_t, StoreImage>> load_newest(const SimFs& fs);
 
 }  // namespace checkpoint

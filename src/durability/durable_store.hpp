@@ -44,6 +44,16 @@ struct DurableConfig {
   /// Roll a checkpoint once this many journal records accumulated since the
   /// last one (checked at epoch commit). 0 = manual checkpoints only.
   uint64_t checkpoint_every_records = 0;
+  /// Incremental (copy-on-write) checkpoints over a paged mirror
+  /// (DESIGN.md §16): page payloads live in a pagedstore::PagedStore —
+  /// bounded buffer pool in RAM, log-structured segment files beyond it —
+  /// and a checkpoint flushes dirty pages then publishes a v2 locator
+  /// manifest. Cost is O(pages dirtied since the last checkpoint +
+  /// metadata), not O(state), and mirror RAM is capped at the pool budget.
+  /// false = the seed behavior: full-image v1 snapshots from a RAM mirror.
+  bool incremental_checkpoints = false;
+  size_t buffer_pool_pages = 64;      ///< paged mirror's hard RAM cap
+  obs::Registry* registry = nullptr;  ///< buffer-pool metrics (optional)
 };
 
 class DurableStore final : public oram::EpochListener {
@@ -83,19 +93,39 @@ class DurableStore final : public oram::EpochListener {
     uint64_t journal_syncs = 0;
     uint64_t checkpoints_written = 0;
     uint64_t generation = 0;
+    /// Bytes the newest checkpoint cost: v1 = the full serialized image;
+    /// incremental = manifest size + segment bytes appended since the
+    /// previous checkpoint (the CoW delta).
+    uint64_t last_checkpoint_bytes = 0;
+    uint64_t checkpoint_bytes_total = 0;
   };
   Stats stats() const;
+  /// The durable image as of the last committed epoch. Incremental mode
+  /// materializes page payloads from the paged mirror (epoch-staged
+  /// overwrites are read back from their pre-epoch undo locators), so the
+  /// result is identical to the RAM mirror's — at a transient O(state)
+  /// allocation; use sparingly at scale.
   StoreImage image_snapshot() const;
+  /// Paged-mirror pool statistics; nullopt in full-image mode.
+  std::optional<pagedstore::BufferPoolStats> pool_stats() const;
 
  private:
   void sync_journal_locked();
   void checkpoint_locked(uint64_t base_seq, uint64_t new_generation);
+  void gc_segments_locked();
 
   SimFs& fs_;
   DurableConfig config_;
 
   mutable std::mutex mu_;
-  StoreImage mirror_;
+  StoreImage mirror_;  ///< incremental mode: page data fields empty
+  /// Incremental mode only: page payloads, pool-capped and spilled to
+  /// "dstore.seg-*" files. Mutable: reads fault pages through the pool.
+  mutable std::optional<pagedstore::PagedStore> paged_;
+  /// First-touch undo per open epoch: the pre-epoch durable locator of each
+  /// overwritten page (nullopt = the page did not exist). Abort reverts.
+  std::map<u256, std::optional<pagedstore::PageLocator>> undo_;
+  uint64_t appended_at_last_ckpt_ = 0;
   uint64_t generation_ = 0;
   std::optional<Journal> journal_;  ///< one instance per generation file
   bool journal_published_ = false;  ///< directory entry of the live wal sync_dir'd

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "common/errors.hpp"
 #include "crypto/keccak.hpp"
 
 namespace hardtape::durability {
@@ -58,6 +59,9 @@ const char* to_string(RecordType type) {
 }
 
 Bytes Journal::encode(uint64_t seq, BytesView payload) {
+  if (payload.size() > kMaxRecordSize) {
+    throw UsageError("journal: record payload exceeds kMaxRecordSize");
+  }
   Bytes out;
   out.reserve(kHeaderSize + payload.size());
   put_u32(out, static_cast<uint32_t>(payload.size()));
@@ -153,6 +157,13 @@ Journal::ReplayResult Journal::replay(
     }
     const uint32_t len = get_u32(&data[off]);
     const uint64_t seq = get_u64(&data[off + 4]);
+    if (len > kMaxRecordSize) {
+      // Clamp BEFORE framing: a corrupt length field must not be allowed to
+      // swallow the rest of the file (or drive a huge allocation) just
+      // because the file happens to be long enough.
+      fail("oversize record");
+      return result;
+    }
     if (data.size() - off - kHeaderSize < len) {
       fail("torn payload");
       return result;

@@ -34,6 +34,14 @@
 
 namespace hardtape::durability {
 
+/// Hard ceiling on one record's payload. The largest legitimate record is a
+/// kPageInstall carrying one ORAM page (tens of KiB at the biggest block
+/// size); 1 MiB is comfortably past that while keeping replay's allocation
+/// bounded. A length field above it is treated as corruption BEFORE the
+/// torn-payload check — otherwise a single flipped high bit in `len` makes
+/// replay try to frame a multi-gigabyte record out of a kilobyte file.
+constexpr size_t kMaxRecordSize = 1u << 20;
+
 enum class RecordType : uint8_t {
   kEpochBegin = 1,
   kEpochCommit = 2,
@@ -83,6 +91,9 @@ class Journal {
   const std::string& path() const { return path_; }
 
   /// Builds one encoded record (exposed for tests to craft corrupt tails).
+  /// Throws UsageError when `payload` exceeds kMaxRecordSize — an oversize
+  /// record would be unreadable by replay, so refusing to write it is the
+  /// only honest behavior.
   static Bytes encode(uint64_t seq, BytesView payload);
 
   struct ReplayResult {

@@ -145,7 +145,13 @@ void SimFs::resolve_crash_locked() {
     bool lost_any = false;
     for (const Bytes& chunk : inode->pending) {
       const bool survives = rng.uniform_double() < crash_.unsynced_survival;
-      if (survives) {
+      // Torn partial-page write: a lost chunk may still have landed a seeded
+      // STRICT prefix (the device committed some sectors before power died).
+      size_t keep = 0;
+      if (!survives && crash_.partial_page_writes && !chunk.empty()) {
+        keep = rng.uniform(chunk.size());  // 0..size-1, never the whole page
+      }
+      if (survives || keep > 0) {
         if (content.size() < chunk_start) {
           // Out-of-order write-back: the hole left by a lost earlier chunk
           // holds whatever the platter had — seeded garbage, so recovery's
@@ -154,8 +160,14 @@ void SimFs::resolve_crash_locked() {
           Bytes garbage = rng.bytes(hole);
           hardtape::append(content, garbage);
         }
-        hardtape::append(content, chunk);
-      } else {
+        if (survives) {
+          hardtape::append(content, chunk);
+        } else {
+          content.insert(content.end(), chunk.begin(),
+                         chunk.begin() + static_cast<ptrdiff_t>(keep));
+        }
+      }
+      if (!survives) {
         lost_any = true;
         if (!crash_.allow_reorder) break;  // ordered write-back: rest is gone
       }
@@ -211,6 +223,36 @@ std::optional<Bytes> SimFs::read(const std::string& path) const {
   if (it == dir_.end()) return std::nullopt;
   Bytes out = it->second->durable;
   for (const Bytes& chunk : it->second->pending) hardtape::append(out, chunk);
+  return out;
+}
+
+std::optional<Bytes> SimFs::read_range(const std::string& path, uint64_t offset,
+                                       uint64_t len) const {
+  std::lock_guard lock(mu_);
+  if (dead_) return std::nullopt;
+  const auto it = dir_.find(path);
+  if (it == dir_.end()) return std::nullopt;
+  const Inode& inode = *it->second;
+  Bytes out;
+  out.reserve(len);
+  const uint64_t end = offset + len;
+  uint64_t pos = 0;
+  const auto copy_overlap = [&](const Bytes& chunk) {
+    const uint64_t chunk_end = pos + chunk.size();
+    if (chunk_end > offset && pos < end) {
+      const uint64_t from = std::max<uint64_t>(pos, offset) - pos;
+      const uint64_t to = std::min<uint64_t>(chunk_end, end) - pos;
+      out.insert(out.end(), chunk.begin() + static_cast<ptrdiff_t>(from),
+                 chunk.begin() + static_cast<ptrdiff_t>(to));
+    }
+    pos = chunk_end;
+  };
+  copy_overlap(inode.durable);
+  for (const Bytes& chunk : inode.pending) {
+    if (pos >= end) break;
+    copy_overlap(chunk);
+  }
+  if (out.size() != len) return std::nullopt;  // range past end of file
   return out;
 }
 

@@ -57,6 +57,13 @@ struct CrashConfig {
   /// Allow out-of-order write-back: a lost chunk leaves a garbage hole
   /// instead of discarding everything after it.
   bool allow_reorder = true;
+  /// Page-granularity torn writes: a LOST chunk may still land a seeded
+  /// strict prefix on the platter (the device committed some sectors of the
+  /// page before power died). With allow_reorder the missing suffix becomes
+  /// a garbage hole under any later surviving chunk — the exact shape a
+  /// paged store's checksum walk must refuse. Off by default so existing
+  /// seeded resolutions are bit-identical.
+  bool partial_page_writes = false;
 };
 
 enum class FsOp : uint8_t { kAppend, kFsync, kRename, kRemove, kSyncDir };
@@ -103,6 +110,12 @@ class SimFs {
 
   // --- read-side (working view; not numbered, empty/false once crashed) ---
   std::optional<Bytes> read(const std::string& path) const;
+  /// Reads exactly [offset, offset+len) of the working view without
+  /// materializing the whole file — the paged store's random-access read
+  /// path over append-only segments. nullopt when the file is missing or
+  /// the range runs past its end.
+  std::optional<Bytes> read_range(const std::string& path, uint64_t offset,
+                                  uint64_t len) const;
   bool exists(const std::string& path) const;
   std::vector<std::string> list() const;
 

@@ -19,8 +19,10 @@ Bytes BlockHeader::rlp_encode() const {
 
 H256 BlockHeader::hash() const { return crypto::keccak256(rlp_encode()); }
 
-NodeSimulator::NodeSimulator(evm::BlockContext genesis_context)
+NodeSimulator::NodeSimulator(evm::BlockContext genesis_context,
+                             trie::NodeStore* node_store)
     : context_(std::move(genesis_context)) {
+  if (node_store != nullptr) world_ = state::WorldState(node_store);
   BlockHeader genesis;
   genesis.number = context_.number;
   genesis.timestamp = context_.timestamp;

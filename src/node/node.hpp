@@ -79,7 +79,13 @@ struct PinnedBlock {
 
 class NodeSimulator {
  public:
-  explicit NodeSimulator(evm::BlockContext genesis_context = {});
+  /// `node_store` (optional, not owned, must outlive the simulator) routes
+  /// the world's trie nodes through an external NodeStore — e.g. a
+  /// trie::PagedNodeStore, so a 10-100x-state bench holds the node's world
+  /// under the buffer-pool RAM cap instead of fully resident. Snapshots
+  /// share the store (content-addressed, immutable nodes make that sound).
+  explicit NodeSimulator(evm::BlockContext genesis_context = {},
+                         trie::NodeStore* node_store = nullptr);
 
   /// Mutable world access for test/bench setup ONLY: call before the first
   /// produce_block()/tick(), never concurrently with chain advancement.

@@ -123,13 +123,20 @@ Status BlockSynchronizer::verify_account_task(const AccountTask& task,
   return Status::kOk;
 }
 
-void BlockSynchronizer::install(const std::vector<PendingPage>& pages,
-                                oram::OramAccessor& client) {
+Status BlockSynchronizer::install(const std::vector<PendingPage>& pages,
+                                  oram::OramAccessor& client) {
   for (const PendingPage& page : pages) {
-    client.write(page.id, page.data);
+    // The slot store is SP-controlled and can fail closed mid-install (a
+    // dead backing device, a tampered bucket). Surface that as a status the
+    // caller handles — it aborts the open epoch, so none of this install's
+    // page tags survive — instead of letting the backend's exception cross
+    // the sync path.
+    const oram::AccessAttempt attempt = client.try_write(page.id, page.data);
+    if (attempt.status != Status::kOk) return attempt.status;
     if (registry_) registry_->tag(page.id);
     ++installed_pages_;
   }
+  return Status::kOk;
 }
 
 Status BlockSynchronizer::sync_account(const Address& addr,
@@ -147,8 +154,7 @@ Status BlockSynchronizer::sync_account(const Address& addr,
   std::vector<PendingPage> pending;
   const Status status = verify_account_task(task, pending);
   if (status != Status::kOk) return status;  // nothing installed: fail closed
-  install(pending, client);
-  return Status::kOk;
+  return install(pending, client);
 }
 
 Status BlockSynchronizer::sync_all(oram::OramAccessor& client) {
@@ -205,7 +211,8 @@ Status BlockSynchronizer::sync_delta(const state::WorldState& old_world,
 
   // Phase 2: every datum of the delta verified against the trusted root —
   // only now touch the ORAM.
-  install(pending, client);
+  const Status installed = install(pending, client);
+  if (installed != Status::kOk) return installed;
 
   if (report) {
     report->accounts_changed = delta.accounts.size();

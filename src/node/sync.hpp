@@ -101,7 +101,9 @@ class BlockSynchronizer {
   /// Verifies the task against state_root_ and stages pages into `out`.
   /// Installs NOTHING; any failure leaves `out` meaningless.
   Status verify_account_task(const AccountTask& task, std::vector<PendingPage>& out);
-  void install(const std::vector<PendingPage>& pages, oram::OramAccessor& client);
+  /// Writes staged pages through the fault-aware accessor path; stops at
+  /// the first non-kOk write (dead or tampered backend) and returns it.
+  Status install(const std::vector<PendingPage>& pages, oram::OramAccessor& client);
 
   const NodeSimulator& node_;
   H256 state_root_;

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/sha256.hpp"
+#include "oram/slot_store.hpp"
 
 namespace hardtape::oram {
 
@@ -113,21 +114,46 @@ OramServer::OramServer(const OramConfig& config) : config_(config) {
     leaf_count_ <<= 1;
     ++depth_;
   }
-  slots_.resize(bucket_count() * config.bucket_capacity);
+  switch (config.backend) {
+    case SlotBackend::kRam:
+      store_ = std::make_unique<RamSlotStore>(bucket_count(), config.bucket_capacity);
+      break;
+    case SlotBackend::kPaged: {
+      if (config.backing_fs == nullptr) {
+        throw UsageError("oram: paged slot backend requires backing_fs");
+      }
+      pagedstore::PagedStoreConfig ps;
+      ps.name = config.backing_name;
+      ps.buffer_pool_pages = config.buffer_pool_pages;
+      ps.registry = config.registry;
+      // Walk working set: every bucket of one path stays pinned from
+      // read_path to write_path, plus slack for the rewrite's fetches.
+      store_ = std::make_unique<PagedSlotStore>(*config.backing_fs, std::move(ps),
+                                                config.bucket_capacity,
+                                                /*min_pool_pages=*/2 * (depth_ + 1));
+      break;
+    }
+  }
+  if (store_ == nullptr) throw UsageError("oram: bad slot backend");
 }
+
+OramServer::~OramServer() = default;
 
 std::vector<SealedSlot> OramServer::read_path(uint64_t leaf) {
   if (leaf >= leaf_count_) throw UsageError("oram: leaf out of range");
   observed_leaves_.push_back(leaf);
   ++access_count_;
+  std::vector<size_t> buckets;
+  buckets.reserve(depth_ + 1);
+  for (size_t level = 0; level <= depth_; ++level) {
+    buckets.push_back(bucket_index(leaf, level));
+  }
+  // The walk's pages stay pinned until write_path rewrites them (or the next
+  // read_path supersedes the walk) — eviction proceeds around them.
+  store_->begin_walk(buckets);
   std::vector<SealedSlot> out;
   out.reserve((depth_ + 1) * config_.bucket_capacity);
-  for (size_t level = 0; level <= depth_; ++level) {
-    const size_t base = bucket_index(leaf, level) * config_.bucket_capacity;
-    for (size_t z = 0; z < config_.bucket_capacity; ++z) {
-      out.push_back(slots_[base + z]);
-    }
-  }
+  for (const size_t bucket : buckets) store_->read_bucket(bucket, out);
   return out;
 }
 
@@ -136,20 +162,25 @@ void OramServer::write_path(uint64_t leaf, std::vector<SealedSlot> slots) {
   if (slots.size() != (depth_ + 1) * config_.bucket_capacity) {
     throw UsageError("oram: path shape mismatch");
   }
-  size_t i = 0;
   for (size_t level = 0; level <= depth_; ++level) {
-    const size_t base = bucket_index(leaf, level) * config_.bucket_capacity;
-    for (size_t z = 0; z < config_.bucket_capacity; ++z) {
-      slots_[base + z] = std::move(slots[i++]);
-    }
+    store_->write_bucket(bucket_index(leaf, level),
+                         slots.data() + level * config_.bucket_capacity);
   }
+  store_->end_walk();
 }
 
 void OramServer::load_slots(std::vector<SealedSlot> slots) {
   if (slots.size() != bucket_count() * config_.bucket_capacity) {
     throw UsageError("oram: bulk load shape mismatch");
   }
-  slots_ = std::move(slots);
+  store_->end_walk();
+  for (size_t bucket = 0; bucket < bucket_count(); ++bucket) {
+    store_->write_bucket(bucket, slots.data() + bucket * config_.bucket_capacity);
+  }
+}
+
+std::optional<pagedstore::BufferPoolStats> OramServer::slot_pool_stats() const {
+  return store_->pool_stats();
 }
 
 uint64_t OramServer::bytes_per_access() const {
@@ -158,7 +189,7 @@ uint64_t OramServer::bytes_per_access() const {
 }
 
 uint64_t OramServer::storage_bytes() const {
-  return slots_.size() * (12 + 16 + 32 + config_.block_size);
+  return bucket_count() * config_.bucket_capacity * (12 + 16 + 32 + config_.block_size);
 }
 
 // ---------------------------------------------------------------------------

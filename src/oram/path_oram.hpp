@@ -16,7 +16,9 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
@@ -24,16 +26,37 @@
 #include "common/random.hpp"
 #include "common/u256.hpp"
 #include "crypto/aes.hpp"
+#include "pagedstore/buffer_pool.hpp"
+
+namespace hardtape::durability {
+class SimFs;
+}
 
 namespace hardtape::oram {
 
 using BlockId = u256;
+
+class SlotStore;
+
+/// Where the server's bucket tree lives (DESIGN.md §16). kRam is the seed's
+/// flat in-memory vector; kPaged puts each bucket on a checksummed page
+/// behind a bounded buffer pool over a SimFs, so the tree can be 10-100x
+/// larger than the RAM budget.
+enum class SlotBackend : uint8_t { kRam, kPaged };
 
 struct OramConfig {
   size_t block_size = 1024;       ///< paper: 1 KB pages
   size_t bucket_capacity = 4;     ///< Z
   size_t capacity = 4096;         ///< logical blocks the tree must hold
   size_t max_stash_blocks = 256;  ///< on-chip stash bound (~O(log n) pages)
+  // --- slot backend (fields below only matter under kPaged) ---
+  SlotBackend backend = SlotBackend::kRam;
+  durability::SimFs* backing_fs = nullptr;  ///< required for kPaged
+  /// Hard RAM cap in buckets; raised to the walk working set (depth+1 plus
+  /// slack) when set lower.
+  size_t buffer_pool_pages = 64;
+  std::string backing_name = "oram";  ///< segment file prefix
+  obs::Registry* registry = nullptr;  ///< pool metrics (optional)
 };
 
 /// Slot sealing: the paper's design encrypts with AES-GCM. kChaChaHmac is a
@@ -61,6 +84,9 @@ std::optional<Bytes> open_slot(SealMode mode, const crypto::AesKey128& key,
 class OramServer {
  public:
   explicit OramServer(const OramConfig& config);
+  ~OramServer();
+  OramServer(OramServer&&) = delete;
+  OramServer& operator=(OramServer&&) = delete;
 
   size_t depth() const { return depth_; }            ///< levels - 1
   size_t leaf_count() const { return leaf_count_; }
@@ -84,6 +110,8 @@ class OramServer {
   uint64_t bytes_per_access() const;
   uint64_t storage_bytes() const;
   void clear_observations() { observed_leaves_.clear(); }
+  /// Buffer-pool statistics of the paged slot backend; nullopt under kRam.
+  std::optional<pagedstore::BufferPoolStats> slot_pool_stats() const;
 
  private:
   // Heap-style bucket index of the level-`level` ancestor of `leaf`.
@@ -94,7 +122,7 @@ class OramServer {
   OramConfig config_;
   size_t depth_;
   size_t leaf_count_;
-  std::vector<SealedSlot> slots_;  // bucket_count * Z, flat
+  std::unique_ptr<SlotStore> store_;  ///< bucket tree (RAM or paged)
   std::vector<uint64_t> observed_leaves_;
   uint64_t access_count_ = 0;
 };

@@ -40,7 +40,12 @@ ShardedOramStore::ShardedOramStore(ShardedOramConfig config,
   shards_.reserve(config.shard_count);
   for (size_t s = 0; s < config.shard_count; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->server = std::make_unique<OramServer>(config.shard);
+    OramConfig shard_config = config.shard;
+    // Each subtree needs its own segment-file namespace on the shared fs.
+    if (shard_config.backend == SlotBackend::kPaged) {
+      shard_config.backing_name += "-s" + std::to_string(s);
+    }
+    shard->server = std::make_unique<OramServer>(shard_config);
     // Distinct deterministic RNG stream per subtree (leaf draws, seals).
     shard->client = std::make_unique<OramClient>(*shard->server, oram_key,
                                                  rng_seed ^ (0x9e3779b9ull * (s + 1)),

@@ -1,0 +1,95 @@
+#include "pagedstore/page.hpp"
+
+#include <cstring>
+
+#include "common/errors.hpp"
+#include "crypto/keccak.hpp"
+
+namespace hardtape::pagedstore {
+
+namespace {
+
+constexpr size_t kChecksumSize = 8;
+
+void put_u16(Bytes& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u32(Bytes& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(Bytes& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t get_u16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (static_cast<uint16_t>(p[1]) << 8));
+}
+
+uint32_t get_u32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+uint64_t get_u64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::array<uint8_t, kChecksumSize> page_checksum(const u256& id,
+                                                 uint64_t generation,
+                                                 BytesView payload) {
+  Bytes preimage;
+  preimage.reserve(32 + 8 + payload.size());
+  append(preimage, id.to_be_bytes_vec());
+  put_u64(preimage, generation);
+  append(preimage, payload);
+  const H256 digest = crypto::keccak256(preimage);
+  std::array<uint8_t, kChecksumSize> out{};
+  std::memcpy(out.data(), digest.bytes.data(), kChecksumSize);
+  return out;
+}
+
+}  // namespace
+
+Bytes encode_page(const u256& id, uint64_t generation, BytesView payload) {
+  if (payload.size() > kMaxPagePayload) {
+    throw UsageError("pagedstore: page payload exceeds kMaxPagePayload");
+  }
+  Bytes out;
+  out.reserve(kPageHeaderSize + payload.size());
+  put_u32(out, kPageMagic);
+  put_u16(out, kPageVersion);
+  put_u16(out, 0);  // reserved
+  append(out, id.to_be_bytes_vec());
+  put_u64(out, generation);
+  put_u32(out, static_cast<uint32_t>(payload.size()));
+  const auto checksum = page_checksum(id, generation, payload);
+  out.insert(out.end(), checksum.begin(), checksum.end());
+  append(out, payload);
+  return out;
+}
+
+std::optional<DecodedPage> decode_page(BytesView raw) {
+  if (raw.size() < kPageHeaderSize) return std::nullopt;
+  const uint8_t* p = raw.data();
+  if (get_u32(p) != kPageMagic) return std::nullopt;
+  if (get_u16(p + 4) != kPageVersion) return std::nullopt;
+  DecodedPage page;
+  page.id = u256::from_be_bytes(BytesView{p + 8, 32});
+  page.generation = get_u64(p + 40);
+  const uint32_t len = get_u32(p + 48);
+  if (len > kMaxPagePayload) return std::nullopt;
+  if (raw.size() != kPageHeaderSize + len) return std::nullopt;
+  const BytesView payload{p + kPageHeaderSize, len};
+  const auto expect = page_checksum(page.id, page.generation, payload);
+  if (!std::equal(expect.begin(), expect.end(), p + 52)) return std::nullopt;
+  page.payload.assign(payload.begin(), payload.end());
+  return page;
+}
+
+}  // namespace hardtape::pagedstore

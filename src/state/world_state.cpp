@@ -35,7 +35,13 @@ Bytes WorldState::code(const Address& addr) const {
 
 WorldState::AccountRecord& WorldState::record_for(const Address& addr) {
   trie_dirty_ = true;
-  return accounts_[addr];
+  const auto it = accounts_.find(addr);
+  if (it != accounts_.end()) return it->second;
+  AccountRecord& rec = accounts_[addr];
+  if (node_store_ != nullptr) {
+    rec.storage_trie = trie::MerklePatriciaTrie{node_store_};
+  }
+  return rec;
 }
 
 void WorldState::set_balance(const Address& addr, const u256& balance) {
@@ -72,7 +78,8 @@ void WorldState::delete_account(const Address& addr) {
 
 void WorldState::rebuild_state_trie() const {
   if (!trie_dirty_) return;
-  state_trie_ = trie::MerklePatriciaTrie{};
+  state_trie_ = node_store_ != nullptr ? trie::MerklePatriciaTrie{node_store_}
+                                       : trie::MerklePatriciaTrie{};
   for (const auto& [addr, rec] : accounts_) {
     Account account = rec.account;
     account.storage_root = rec.storage_trie.root_hash();

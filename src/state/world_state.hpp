@@ -29,6 +29,14 @@ class StateReader {
 class WorldState : public StateReader {
  public:
   WorldState() = default;
+  /// Backs EVERY trie of this world (state trie + each account's storage
+  /// trie) with one shared node store — content-addressing keeps the tries
+  /// disjoint by construction. Used with a trie::PagedNodeStore to hold
+  /// world states far larger than RAM (DESIGN.md §16). `store` is not owned
+  /// and must outlive the WorldState and its copies.
+  explicit WorldState(trie::NodeStore* store) : node_store_(store) {
+    state_trie_ = trie::MerklePatriciaTrie{store};
+  }
 
   // StateReader:
   std::optional<Account> account(const Address& addr) const override;
@@ -70,6 +78,7 @@ class WorldState : public StateReader {
   AccountRecord& record_for(const Address& addr);
   void rebuild_state_trie() const;
 
+  trie::NodeStore* node_store_ = nullptr;  ///< shared backing; null = RAM tries
   std::unordered_map<Address, AccountRecord, AddressHasher> accounts_;
   std::unordered_map<H256, Bytes, H256Hasher> code_store_;  // code hash -> code
   mutable trie::MerklePatriciaTrie state_trie_;

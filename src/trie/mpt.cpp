@@ -124,14 +124,14 @@ MerklePatriciaTrie::Nibbles MerklePatriciaTrie::to_nibbles(BytesView key) {
 
 H256 MerklePatriciaTrie::store_node(const Bytes& encoded) {
   const H256 hash = crypto::keccak256(encoded);
-  nodes_[hash] = encoded;
+  store_->put(hash, encoded);
   return hash;
 }
 
-const Bytes& MerklePatriciaTrie::load_node(const H256& hash) const {
-  const auto it = nodes_.find(hash);
-  if (it == nodes_.end()) throw HardtapeError("mpt: missing node " + hash.hex());
-  return it->second;
+Bytes MerklePatriciaTrie::load_node(const H256& hash) const {
+  auto encoded = store_->get(hash);
+  if (!encoded.has_value()) throw HardtapeError("mpt: missing node " + hash.hex());
+  return std::move(*encoded);
 }
 
 H256 MerklePatriciaTrie::empty_root_hash() {

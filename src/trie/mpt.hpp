@@ -16,10 +16,10 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/u256.hpp"
+#include "trie/node_store.hpp"
 
 namespace hardtape::trie {
 
@@ -29,7 +29,44 @@ using MerkleProof = std::vector<Bytes>;
 
 class MerklePatriciaTrie {
  public:
+  /// Default: a private in-RAM node store (the seed behavior).
   MerklePatriciaTrie() = default;
+  /// Routes node storage through `store` (not owned; must outlive the trie).
+  /// Content-addressing makes sharing one store across tries safe.
+  explicit MerklePatriciaTrie(NodeStore* store) : store_(store) {}
+
+  // Copies of a trie with the default RAM store get their own store; copies
+  // of an externally-backed trie share the external store (immutable,
+  // content-addressed nodes make that sound).
+  MerklePatriciaTrie(const MerklePatriciaTrie& o)
+      : ram_(o.ram_),
+        store_(o.store_ == &o.ram_ ? &ram_ : o.store_),
+        root_(o.root_),
+        size_(o.size_) {}
+  MerklePatriciaTrie& operator=(const MerklePatriciaTrie& o) {
+    if (this != &o) {
+      ram_ = o.ram_;
+      store_ = o.store_ == &o.ram_ ? &ram_ : o.store_;
+      root_ = o.root_;
+      size_ = o.size_;
+    }
+    return *this;
+  }
+  MerklePatriciaTrie(MerklePatriciaTrie&& o) noexcept
+      : ram_(std::move(o.ram_)),
+        store_(o.store_ == &o.ram_ ? &ram_ : o.store_),
+        root_(o.root_),
+        size_(o.size_) {}
+  MerklePatriciaTrie& operator=(MerklePatriciaTrie&& o) noexcept {
+    if (this != &o) {
+      const bool own = o.store_ == &o.ram_;
+      ram_ = std::move(o.ram_);
+      store_ = own ? &ram_ : o.store_;
+      root_ = o.root_;
+      size_ = o.size_;
+    }
+    return *this;
+  }
 
   /// Inserts or updates. Empty `value` is not allowed (use erase).
   void put(BytesView key, BytesView value);
@@ -61,10 +98,11 @@ class MerklePatriciaTrie {
                                    const MerkleProof& proof);
 
  private:
-  // Node storage: node hash -> RLP encoding. Simple content-addressed store;
-  // stale nodes are left behind on update (garbage, but harmless for the
-  // simulator's lifetimes).
-  std::unordered_map<H256, Bytes, H256Hasher> nodes_;
+  // Node storage: hash -> RLP encoding behind the NodeStore interface; stale
+  // nodes are left behind on update (garbage, but harmless for the
+  // simulator's lifetimes). Default = the private RAM store.
+  RamNodeStore ram_;
+  NodeStore* store_ = &ram_;
   H256 root_{};  // zero hash means "empty trie"
   size_t size_ = 0;
 
@@ -77,7 +115,9 @@ class MerklePatriciaTrie {
   // Returns the new child hash (zero = removed entirely).
   H256 remove(const H256& node_hash, const Nibbles& path, size_t depth, bool& removed);
   H256 store_node(const Bytes& encoded);
-  const Bytes& load_node(const H256& hash) const;
+  // By value: a paged backend may evict the page a reference would dangle
+  // into. Nodes are ~100 bytes; the copy is noise next to the keccak above.
+  Bytes load_node(const H256& hash) const;
   // Collapses a branch that may have become degenerate after removal.
   H256 normalize(const H256& node_hash);
 };

@@ -1,0 +1,53 @@
+// Storage interface for MPT nodes (DESIGN.md §16).
+//
+// The trie references children by keccak hash, so its node store is a pure
+// content-addressed map: hash -> RLP encoding, immutable once written. That
+// makes the interface tiny — put / get / size — and makes SHARING one store
+// between many tries safe (the state trie and every storage trie of a
+// WorldState can use a single backing store; identical nodes coincide, which
+// is correct because they are identical subtrees).
+//
+// Two implementations:
+//  - RamNodeStore (here): the seed's unordered_map, the default — zero
+//    behavior change for existing callers;
+//  - PagedNodeStore (trie/paged_node_store.hpp): nodes packed into
+//    fixed-size pages behind a bounded buffer pool over SimFs, for world
+//    states 10-100x larger than the RAM budget.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/u256.hpp"
+
+namespace hardtape::trie {
+
+class NodeStore {
+ public:
+  virtual ~NodeStore() = default;
+  /// Stores `encoded` under `hash`. Nodes are content-addressed and
+  /// immutable: a repeated put of the same hash may be ignored.
+  virtual void put(const H256& hash, BytesView encoded) = 0;
+  /// nullopt when the hash was never stored.
+  virtual std::optional<Bytes> get(const H256& hash) const = 0;
+  virtual size_t node_count() const = 0;
+};
+
+class RamNodeStore final : public NodeStore {
+ public:
+  void put(const H256& hash, BytesView encoded) override {
+    nodes_.try_emplace(hash, encoded.begin(), encoded.end());
+  }
+  std::optional<Bytes> get(const H256& hash) const override {
+    const auto it = nodes_.find(hash);
+    if (it == nodes_.end()) return std::nullopt;
+    return it->second;
+  }
+  size_t node_count() const override { return nodes_.size(); }
+
+ private:
+  std::unordered_map<H256, Bytes, H256Hasher> nodes_;
+};
+
+}  // namespace hardtape::trie
